@@ -1,0 +1,67 @@
+// Shared helpers for the reproduction benches: the paper-testbed cluster
+// (32 processors, gigabit Ethernet), fresh-PFS factories, and formatting
+// of paper-vs-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frameworks/lanl_trace.h"
+#include "fs/memfs.h"
+#include "pfs/pfs.h"
+#include "sim/cluster.h"
+#include "taxonomy/overhead.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/mpi_io_test.h"
+
+namespace iotaxo::bench {
+
+/// The paper's testbed: 32 processors, Linux 2.6, gigabit Ethernet, RAID-5
+/// parallel file system with 64 KiB stripes over 252 drives.
+[[nodiscard]] inline sim::Cluster paper_cluster() {
+  sim::ClusterParams params;
+  params.node_count = 32;
+  return sim::Cluster(params);
+}
+
+[[nodiscard]] inline taxonomy::VfsFactory pfs_factory() {
+  return [] { return std::make_shared<pfs::Pfs>(); };
+}
+
+[[nodiscard]] inline taxonomy::VfsFactory local_factory() {
+  return [] { return std::make_shared<fs::MemFs>(); };
+}
+
+/// Benches run a scaled-down total (the simulator reproduces overhead
+/// *ratios*, which are scale-free once per-run constants are amortized;
+/// EXPERIMENTS.md documents the scaling).
+inline constexpr Bytes kScaledTotalN1 = 4 * kGiB;   // paper: one 100 GiB file
+inline constexpr Bytes kScaledTotalNN = 4 * kGiB;   // paper: N x 10 GiB files
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// Render one figure sweep as a table of block size vs bandwidths/overheads.
+inline void print_sweep(const std::vector<taxonomy::OverheadPoint>& points) {
+  TextTable table({"Block size", "BW untraced (MiB/s)", "BW traced (MiB/s)",
+                   "BW overhead", "Elapsed overhead", "Events"});
+  for (std::size_t c = 1; c < 6; ++c) {
+    table.set_align(c, Align::kRight);
+  }
+  for (const taxonomy::OverheadPoint& p : points) {
+    table.add_row({format_bytes(p.block), strprintf("%.1f", p.bw_untraced_mibps),
+                   strprintf("%.1f", p.bw_traced_mibps),
+                   format_pct(p.bandwidth_overhead),
+                   format_pct(p.elapsed_overhead),
+                   strprintf("%lld", p.events)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace iotaxo::bench

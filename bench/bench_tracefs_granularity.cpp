@@ -1,0 +1,91 @@
+// Tracefs elapsed-time overhead versus trace granularity (§2.2/§4.2):
+// "Tracefs manifests up to 12.4% elapsed time overhead for tracing all
+// file system operations on an I/O intensive workload, and additional
+// overhead for advanced features such as encryption and checksum
+// calculation" — with the declarative filter language controlling how much
+// is captured.
+#include "bench_common.h"
+#include "frameworks/tracefs.h"
+#include "workload/io_intensive.h"
+
+using namespace iotaxo;
+
+namespace {
+
+struct Level {
+  const char* name;
+  const char* filter;
+  bool checksum;
+  bool encrypt;
+  bool aggregate;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Tracefs overhead vs granularity",
+      "Konwinski et al., SC'07, §2.2/§4.2 (<= 12.4% for full tracing; more "
+      "for checksum/encryption)");
+
+  sim::ClusterParams cparams;
+  cparams.node_count = 4;
+  const sim::Cluster cluster(cparams);
+  taxonomy::OverheadHarness harness(cluster, bench::local_factory());
+
+  workload::IoIntensiveParams app;
+  app.nranks = 1;
+  app.files_per_rank = 2000;
+  const mpi::Job job = workload::make_io_intensive(app);
+
+  const std::vector<Level> levels = {
+      {"off (filter: none)", "none", false, false, false},
+      {"aggregation counters only", "", false, false, true},
+      {"metadata ops only", "metadata", false, false, false},
+      {"data ops only", "data", false, false, false},
+      {"large writes only (>= 64 KiB)", "data and bytes >= 65536", false,
+       false, false},
+      {"all operations", "", false, false, false},
+      {"all + checksumming", "", true, false, false},
+      {"all + checksum + encryption", "", true, true, false},
+  };
+
+  TextTable table({"Granularity", "Events", "Elapsed overhead"});
+  table.set_align(1, Align::kRight);
+  table.set_align(2, Align::kRight);
+
+  double full_overhead = 0.0;
+  double fancy_overhead = 0.0;
+  std::vector<double> overheads;
+  for (const Level& level : levels) {
+    frameworks::TracefsParams params;
+    params.filter = level.filter;
+    params.shim.checksum = level.checksum;
+    params.shim.encrypt = level.encrypt;
+    params.shim.aggregate_only = level.aggregate;
+    frameworks::Tracefs tracefs(params);
+    const taxonomy::OverheadPoint p = harness.measure(tracefs, job);
+    overheads.push_back(p.elapsed_overhead);
+    if (std::string(level.name) == "all operations") {
+      full_overhead = p.elapsed_overhead;
+    }
+    if (level.encrypt) {
+      fancy_overhead = p.elapsed_overhead;
+    }
+    table.add_row({level.name, strprintf("%lld", p.events),
+                   format_pct(p.elapsed_overhead)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nPaper bound for full tracing: <= 12.4%%; measured: %s\n",
+              format_pct(full_overhead).c_str());
+  std::printf("Advanced features add overhead (paper: 'additional overhead "
+              "for advanced features'): full %s -> +checksum+encryption %s\n",
+              format_pct(full_overhead).c_str(),
+              format_pct(fancy_overhead).c_str());
+
+  const bool ok = full_overhead < 0.124 * 1.3 &&
+                  fancy_overhead > full_overhead &&
+                  overheads.front() < overheads[5];
+  return ok ? 0 : 1;
+}

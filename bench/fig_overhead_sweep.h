@@ -1,0 +1,66 @@
+// Shared driver for the Figure 2/3/4 benches: one access pattern, a block-
+// size sweep of mpi_io_test under LANL-Trace, printed as the figure's series.
+#pragma once
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+namespace iotaxo::bench {
+
+inline int run_figure_bench(workload::Pattern pattern,
+                            const std::string& title,
+                            const std::string& paper_ref,
+                            const std::string& shape_note,
+                            double min_bw_growth = 2.0) {
+  print_header(title, paper_ref);
+
+  const sim::Cluster cluster = paper_cluster();
+  taxonomy::OverheadHarness harness(cluster, pfs_factory());
+  frameworks::LanlTrace lanl;
+
+  workload::MpiIoTestParams base;
+  base.pattern = pattern;
+  base.nranks = 32;
+  base.total_bytes =
+      pattern == workload::Pattern::kNtoN ? kScaledTotalNN : kScaledTotalN1;
+
+  const auto points = harness.sweep_block_sizes(
+      lanl, base, taxonomy::figure_block_sizes());
+  print_sweep(points);
+
+  // The figure itself: bandwidth (traced & untraced) vs block size.
+  ChartSeries untraced{"untraced", 'o', {}};
+  ChartSeries traced{"traced", '*', {}};
+  ChartOptions chart;
+  chart.y_label = "aggregate bandwidth (MiB/s)";
+  for (const taxonomy::OverheadPoint& p : points) {
+    untraced.values.push_back(p.bw_untraced_mibps);
+    traced.values.push_back(p.bw_traced_mibps);
+    chart.x_labels.push_back(format_bytes(p.block));
+  }
+  // Keep every other x label to avoid overlap.
+  std::vector<std::string> sparse;
+  for (std::size_t i = 0; i < chart.x_labels.size(); i += 2) {
+    sparse.push_back(chart.x_labels[i]);
+  }
+  chart.x_labels = std::move(sparse);
+  std::printf("\n%s", render_chart({untraced, traced}, chart).c_str());
+
+  std::printf("\nShape check: %s\n", shape_note.c_str());
+
+  // Self-check the figure's qualitative claims.
+  bool monotone = true;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    monotone = monotone && points[i].bandwidth_overhead <=
+                               points[i - 1].bandwidth_overhead * 1.02;
+  }
+  std::printf("Bandwidth overhead monotone non-increasing in block size: %s\n",
+              monotone ? "YES" : "NO");
+  const bool bw_grows = points.back().bw_untraced_mibps >
+                        points.front().bw_untraced_mibps * min_bw_growth;
+  std::printf("Untraced bandwidth grows with block size (saturating): %s\n",
+              bw_grows ? "YES" : "NO");
+  return monotone && bw_grows ? 0 : 1;
+}
+
+}  // namespace iotaxo::bench

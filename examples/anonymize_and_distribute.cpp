@@ -1,0 +1,72 @@
+// The trace-distribution workflow the paper's introduction motivates: LANL
+// publishes traces of sensitive applications, so traces must be anonymized
+// before release. This example captures a trace whose paths/hosts are
+// sensitive, scrubs it two ways (Tracefs-style reversible encryption and
+// true randomization), and shows that the released bundle still supports
+// analysis and replay.
+#include <cstdio>
+
+#include "anon/anonymizer.h"
+#include "frameworks/tracefs.h"
+#include "fs/memfs.h"
+#include "replay/replayer.h"
+#include "sim/cluster.h"
+#include "util/strings.h"
+#include "trace/text_format.h"
+#include "workload/io_intensive.h"
+
+using namespace iotaxo;
+
+int main() {
+  sim::ClusterParams cluster_params;
+  cluster_params.node_count = 4;
+  const sim::Cluster cluster(cluster_params);
+
+  workload::IoIntensiveParams app;
+  app.nranks = 2;
+  app.files_per_rank = 8;
+  app.root = "/weapons_sim_7/scratch";  // sensitive!
+  const mpi::Job job = workload::make_io_intensive(app);
+
+  frameworks::Tracefs tracefs;
+  frameworks::TraceJobOptions options;
+  options.store_raw_streams = true;
+  const frameworks::TraceRunResult traced =
+      tracefs.trace(cluster, job, std::make_shared<fs::MemFs>(), options);
+
+  const std::vector<std::string> secrets = {"weapons_sim_7", "lanl.gov"};
+  std::printf("Raw trace leaks sensitive strings: %s\n",
+              anon::leaks_any(traced.bundle, secrets) ? "yes" : "no");
+  std::printf("Example raw event:   %s\n",
+              trace::TextTraceWriter::line(traced.bundle.ranks[0].events[1])
+                  .c_str());
+
+  // Option A — Tracefs's own anonymization: field-selective CBC encryption
+  // (reversible with the key; taxonomy grade 4).
+  const auto encrypted = tracefs.anonymize_bundle(traced.bundle);
+  std::printf("\n[encrypting anonymizer] leaks: %s\n",
+              anon::leaks_any(*encrypted, secrets) ? "yes" : "no");
+  std::printf("Example event:       %.100s...\n",
+              trace::TextTraceWriter::line(encrypted->ranks[0].events[1])
+                  .c_str());
+
+  // Option B — true randomization (irreversible; taxonomy grade 5 — what
+  // Tracefs lacks, per §4.2).
+  anon::RandomizingAnonymizer randomizer(anon::FieldPolicy{}, 0xFEED);
+  const trace::TraceBundle randomized = randomizer.apply(traced.bundle);
+  std::printf("\n[randomizing anonymizer] leaks: %s\n",
+              anon::leaks_any(randomized, secrets) ? "yes" : "no");
+  std::printf("Example event:       %s\n",
+              trace::TextTraceWriter::line(randomized.ranks[0].events[1])
+                  .c_str());
+
+  // The released (randomized) bundle is still useful: I/O structure intact.
+  replay::Replayer replayer(cluster, std::make_shared<fs::MemFs>());
+  replay::ReplayOptions ropts;
+  ropts.pseudo.sync = replay::SyncStrategy::kBarriers;
+  const replay::ReplayResult replayed = replayer.replay(randomized, ropts);
+  std::printf("\nReplay of the anonymized trace wrote %s (original wrote %s)\n",
+              format_bytes(replayed.run.bytes_written).c_str(),
+              format_bytes(traced.run.bytes_written).c_str());
+  return !anon::leaks_any(randomized, secrets) ? 0 : 1;
+}

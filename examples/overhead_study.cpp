@@ -1,0 +1,64 @@
+// A user-driven overhead parameter study: sweep access pattern x block size
+// for a chosen framework, the way LANL runs mpi_io_test parameter studies
+// on its supercomputers.
+//
+//   ./overhead_study [ranks] [total_mib]
+#include <cstdio>
+#include <cstdlib>
+
+#include "frameworks/lanl_trace.h"
+#include "pfs/pfs.h"
+#include "sim/cluster.h"
+#include "util/strings.h"
+#include "taxonomy/overhead.h"
+#include "util/table.h"
+
+using namespace iotaxo;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 16;
+  const Bytes total =
+      (argc > 2 ? std::atoll(argv[2]) : 1024) * kMiB;
+
+  sim::ClusterParams cluster_params;
+  cluster_params.node_count = ranks;
+  const sim::Cluster cluster(cluster_params);
+  taxonomy::OverheadHarness harness(
+      cluster, [] { return std::make_shared<pfs::Pfs>(); });
+  frameworks::LanlTrace lanl;
+
+  std::printf("Overhead study: %d ranks, %s total per run, LANL-Trace/ltrace\n\n",
+              ranks, format_bytes(total).c_str());
+
+  for (const workload::Pattern pattern :
+       {workload::Pattern::kNto1Strided, workload::Pattern::kNto1NonStrided,
+        workload::Pattern::kNtoN}) {
+    workload::MpiIoTestParams base;
+    base.pattern = pattern;
+    base.nranks = ranks;
+    base.total_bytes = total;
+
+    const auto points = harness.sweep_block_sizes(
+        lanl, base, taxonomy::figure_block_sizes());
+
+    TextTable table({"Block", "BW untraced", "BW traced", "BW overhead",
+                     "Elapsed overhead"});
+    table.set_title(std::string("Pattern: ") + to_string(pattern));
+    for (std::size_t c = 1; c < 5; ++c) {
+      table.set_align(c, Align::kRight);
+    }
+    for (const taxonomy::OverheadPoint& p : points) {
+      table.add_row({format_bytes(p.block),
+                     strprintf("%.1f MiB/s", p.bw_untraced_mibps),
+                     strprintf("%.1f MiB/s", p.bw_traced_mibps),
+                     format_pct(p.bandwidth_overhead),
+                     format_pct(p.elapsed_overhead)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: overheads shrink with block size because each block incurs\n"
+      "a constant number of traced events (the paper's §4.1.2 hypothesis).\n");
+  return 0;
+}

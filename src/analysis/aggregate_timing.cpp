@@ -1,0 +1,47 @@
+#include "analysis/aggregate_timing.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace iotaxo::analysis {
+
+std::string render_aggregate_timing(
+    const std::vector<trace::TraceEvent>& barrier_events,
+    const std::string& cmdline) {
+  // Group barrier events by label (stored in .path by the runtime).
+  std::map<std::string, std::vector<const trace::TraceEvent*>> by_label;
+  std::vector<std::string> order;
+  for (const trace::TraceEvent& ev : barrier_events) {
+    auto& bucket = by_label[ev.path];
+    if (bucket.empty()) {
+      order.push_back(ev.path);
+    }
+    bucket.push_back(&ev);
+  }
+
+  std::string quoted_cmd;
+  for (const std::string& part : split_ws(cmdline)) {
+    if (quoted_cmd.empty()) {
+      quoted_cmd = part;  // the executable itself is unquoted
+    } else {
+      quoted_cmd += " \"" + part + "\"";
+    }
+  }
+
+  std::string out;
+  for (const std::string& label : order) {
+    out += strprintf("# Barrier %s %s\n", label.c_str(), quoted_cmd.c_str());
+    for (const trace::TraceEvent* ev : by_label[label]) {
+      const double enter = to_seconds(ev->local_start);
+      const double exit = to_seconds(ev->local_start + ev->duration);
+      out += strprintf("%d: %s (%u) Entered barrier at %.6f\n", ev->rank,
+                       ev->host.c_str(), ev->pid, enter);
+      out += strprintf("%d: %s (%u) Exited barrier at %.6f\n", ev->rank,
+                       ev->host.c_str(), ev->pid, exit);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotaxo::analysis

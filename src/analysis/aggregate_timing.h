@@ -1,0 +1,23 @@
+// Aggregate timing output: the second block of Figure 1. For each labelled
+// barrier it reports, per rank, the node-local enter and exit times —
+// "designed to allow analysis and replay tools to account for time drift
+// and skew amongst the distributed clocks".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace iotaxo::analysis {
+
+/// Render barrier enter/exit lines grouped by barrier, in LANL-Trace's
+/// format:
+///   # Barrier before /mpi_io_test.exe "-type" "1" ...
+///   7: host13.lanl.gov (10378) Entered barrier at 1159808385.170918
+///   7: host13.lanl.gov (10378) Exited barrier at 1159808385.173167
+[[nodiscard]] std::string render_aggregate_timing(
+    const std::vector<trace::TraceEvent>& barrier_events,
+    const std::string& cmdline);
+
+}  // namespace iotaxo::analysis

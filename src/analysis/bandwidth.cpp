@@ -1,0 +1,42 @@
+#include "analysis/bandwidth.h"
+
+#include "util/error.h"
+
+namespace iotaxo::analysis {
+
+double elapsed_time_overhead(SimTime traced, SimTime untraced) noexcept {
+  if (untraced <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(traced - untraced) /
+         static_cast<double>(untraced);
+}
+
+double bandwidth_mibps(Bytes bytes, SimTime window) noexcept {
+  if (window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / to_seconds(window);
+}
+
+double bandwidth_overhead(double bw_untraced, double bw_traced) noexcept {
+  if (bw_traced <= 0.0) {
+    return 0.0;
+  }
+  return bw_untraced / bw_traced - 1.0;
+}
+
+SimTime io_window(const mpi::RunResult& run) {
+  const auto begin = run.barrier_release.find("io_begin");
+  const auto end = run.barrier_release.find("io_end");
+  if (begin == run.barrier_release.end() || end == run.barrier_release.end()) {
+    throw FormatError("run has no io_begin/io_end barrier labels");
+  }
+  return end->second - begin->second;
+}
+
+double io_phase_bandwidth_mibps(const mpi::RunResult& run) {
+  return bandwidth_mibps(run.bytes_written + run.bytes_read, io_window(run));
+}
+
+}  // namespace iotaxo::analysis

@@ -1,0 +1,36 @@
+// Bandwidth and overhead arithmetic — the quantitative half of the
+// taxonomy (§3.1 "Elapsed time overhead" and the Figures 2-4 bandwidth
+// overhead measurements).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mpi/runtime.h"
+#include "util/types.h"
+
+namespace iotaxo::analysis {
+
+/// The paper's elapsed-time overhead formula:
+///   (elapsed traced - elapsed untraced) / elapsed untraced.
+[[nodiscard]] double elapsed_time_overhead(SimTime traced,
+                                           SimTime untraced) noexcept;
+
+/// Aggregate bandwidth in MiB/s over a time window.
+[[nodiscard]] double bandwidth_mibps(Bytes bytes, SimTime window) noexcept;
+
+/// Bandwidth overhead expressed as slowdown of the traced run:
+///   bw_untraced / bw_traced - 1 == (t_traced - t_untraced) / t_untraced
+/// for equal byte counts.
+[[nodiscard]] double bandwidth_overhead(double bw_untraced,
+                                        double bw_traced) noexcept;
+
+/// Extract the I/O window [release("io_begin"), release("io_end")] from a
+/// run result. Throws FormatError if the workload didn't label its phase
+/// barriers.
+[[nodiscard]] SimTime io_window(const mpi::RunResult& run);
+
+/// Bandwidth of a run's I/O phase (written bytes over the barrier window).
+[[nodiscard]] double io_phase_bandwidth_mibps(const mpi::RunResult& run);
+
+}  // namespace iotaxo::analysis

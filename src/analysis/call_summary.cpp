@@ -1,0 +1,28 @@
+#include "analysis/call_summary.h"
+
+#include "util/strings.h"
+
+namespace iotaxo::analysis {
+
+std::string render_call_summary(
+    const std::map<std::string, trace::SummarySink::Entry>& summary) {
+  std::string out;
+  out += "#                     SUMMARY COUNT OF TRACED CALL(S)\n";
+  out += "#  Function Name            Number of Calls            Total time (s)\n";
+  out +=
+      "============================================================================="
+      "\n";
+  for (const auto& [name, entry] : summary) {
+    out += strprintf("   %-24s %15lld %25.6f\n", name.c_str(), entry.count,
+                     to_seconds(entry.total_duration));
+  }
+  return out;
+}
+
+SimTime total_time_of(const trace::TraceBundle& bundle,
+                      const std::string& call_name) {
+  const auto it = bundle.call_summary.find(call_name);
+  return it == bundle.call_summary.end() ? 0 : it->second.total_duration;
+}
+
+}  // namespace iotaxo::analysis

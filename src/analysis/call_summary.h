@@ -1,0 +1,25 @@
+// Call-summary rendering: the third output block of Figure 1
+// ("SUMMARY COUNT OF TRACED CALL(S)").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "trace/bundle.h"
+
+namespace iotaxo::analysis {
+
+/// Render the per-call count/total-time table in LANL-Trace's format.
+[[nodiscard]] std::string render_call_summary(
+    const std::map<std::string, trace::SummarySink::Entry>& summary);
+
+[[nodiscard]] inline std::string render_call_summary(
+    const trace::TraceBundle& bundle) {
+  return render_call_summary(bundle.call_summary);
+}
+
+/// Total time attributed to one call name (0 when absent).
+[[nodiscard]] SimTime total_time_of(const trace::TraceBundle& bundle,
+                                    const std::string& call_name);
+
+}  // namespace iotaxo::analysis

@@ -1,0 +1,99 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "util/ascii_chart.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace iotaxo::analysis {
+
+std::string render_report(const UnifiedTraceStore& store,
+                          const ReportOptions& options) {
+  std::string out;
+  out += "=== iotaxo trace report ===\n\n";
+
+  out += "Sources\n-------\n";
+  for (const StoreSourceInfo& src : store.sources()) {
+    out += strprintf("  %-12s %-44s %8lld events%s\n", src.framework.c_str(),
+                     src.application.c_str(), src.events,
+                     src.time_corrected ? "  [time-corrected]" : "");
+  }
+  out += strprintf("  total: %lld events\n\n", store.total_events());
+
+  // Call statistics (top by total time).
+  const auto stats = store.call_stats();
+  std::vector<std::pair<std::string, CallStats>> sorted(stats.begin(),
+                                                        stats.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.total_time > b.second.total_time;
+            });
+  if (sorted.size() > options.max_calls) {
+    sorted.resize(options.max_calls);
+  }
+  TextTable calls({"Call", "Count", "Total time", "Bytes"});
+  for (std::size_t c = 1; c < 4; ++c) {
+    calls.set_align(c, Align::kRight);
+  }
+  for (const auto& [name, s] : sorted) {
+    calls.add_row({name, strprintf("%lld", s.count),
+                   format_duration(s.total_time), format_bytes(s.total_bytes)});
+  }
+  out += "Call statistics (by total time)\n";
+  out += calls.render();
+  out += "\n";
+
+  const auto hot = store.hottest_files(options.max_hot_files);
+  if (!hot.empty()) {
+    TextTable files({"File", "Bytes", "Ops"});
+    files.set_align(1, Align::kRight);
+    files.set_align(2, Align::kRight);
+    for (const FileHeat& h : hot) {
+      files.add_row({h.path, format_bytes(h.bytes), strprintf("%lld", h.ops)});
+    }
+    out += "Hottest files\n";
+    out += files.render();
+    out += "\n";
+  }
+
+  if (options.rate_buckets > 0 && store.total_events() > 0) {
+    // Bucket width spanning the whole capture (probe with a fine series
+    // first so short captures still chart).
+    const auto probe = store.io_rate_series(kMillisecond);
+    if (!probe.empty()) {
+      const SimTime span =
+          probe.back().first - probe.front().first + kMillisecond;
+      const SimTime width =
+          std::max<SimTime>(span / options.rate_buckets, kMillisecond);
+      const auto series = store.io_rate_series(width);
+      ChartSeries rate{"I/O bytes per bucket", '#', {}};
+      for (const auto& [start, bytes] : series) {
+        rate.values.push_back(static_cast<double>(bytes) / (1024.0 * 1024.0));
+      }
+      ChartOptions chart;
+      chart.height = options.chart_height;
+      chart.y_label = strprintf("MiB per %s bucket",
+                                format_duration(width).c_str());
+      chart.x_labels = {"start", "end"};
+      out += "I/O rate over the capture\n";
+      out += render_chart({rate}, chart);
+      out += "\n";
+    }
+  }
+
+  if (!store.dependencies().empty()) {
+    out += strprintf("Dependencies: %zu inter-rank edges discovered\n",
+                     store.dependencies().size());
+    std::map<int, int> out_degree;
+    for (const trace::DependencyEdge& e : store.dependencies()) {
+      ++out_degree[e.from_rank];
+    }
+    for (const auto& [rank, degree] : out_degree) {
+      out += strprintf("  rank %d -> %d edges\n", rank, degree);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotaxo::analysis

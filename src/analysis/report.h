@@ -1,0 +1,26 @@
+// Full-trace report generation: one human-readable document summarizing
+// everything the toolkit knows about a set of ingested traces — sources,
+// call statistics, hottest files, I/O rate over time (ASCII chart), and
+// discovered dependencies. This is the "constructive use of the trace data
+// collected" the taxonomy's Analysis-tools feature asks about (§3.1).
+#pragma once
+
+#include <string>
+
+#include "analysis/unified_store.h"
+
+namespace iotaxo::analysis {
+
+struct ReportOptions {
+  std::size_t max_hot_files = 8;
+  std::size_t max_calls = 24;
+  /// Buckets for the I/O-rate chart; <= 0 disables the chart.
+  int rate_buckets = 48;
+  int chart_height = 10;
+};
+
+/// Render the report for everything in the store.
+[[nodiscard]] std::string render_report(const UnifiedTraceStore& store,
+                                        const ReportOptions& options = {});
+
+}  // namespace iotaxo::analysis

@@ -1,0 +1,90 @@
+#include "analysis/skew_drift.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::analysis {
+
+SkewDriftModel SkewDriftModel::fit(
+    const std::vector<trace::TraceEvent>& probes) {
+  std::map<int, SimTime> pre;
+  std::map<int, SimTime> post;
+  for (const trace::TraceEvent& ev : probes) {
+    if (ev.cls != trace::EventClass::kClockProbe || ev.args.empty()) {
+      continue;
+    }
+    const std::string& label = ev.args[0];
+    if (label == "pre_sync") {
+      pre[ev.rank] = ev.local_start;
+    } else if (label == "post_sync") {
+      post[ev.rank] = ev.local_start;
+    }
+  }
+  if (pre.empty()) {
+    throw FormatError("skew/drift fit: no pre_sync probes");
+  }
+  for (const auto& [rank, t] : pre) {
+    if (!post.contains(rank)) {
+      throw FormatError(
+          strprintf("skew/drift fit: rank %d lacks a post_sync probe", rank));
+    }
+  }
+
+  SkewDriftModel model;
+  // Fleet means define the reference timeline.
+  long double sum_pre = 0.0L;
+  long double sum_delta = 0.0L;
+  for (const auto& [rank, t] : pre) {
+    sum_pre += static_cast<long double>(t);
+    sum_delta += static_cast<long double>(post.at(rank) - t);
+  }
+  const auto n = static_cast<long double>(pre.size());
+  const SimTime mean_pre = static_cast<SimTime>(sum_pre / n);
+  const long double mean_delta = sum_delta / n;
+
+  SimTime min_off = 0;
+  SimTime max_off = 0;
+  bool first = true;
+  for (const auto& [rank, t] : pre) {
+    ClockEstimate est;
+    est.offset = t - mean_pre;
+    const long double delta = static_cast<long double>(post.at(rank) - t);
+    est.drift_ppm =
+        mean_delta > 0 ? static_cast<double>((delta / mean_delta - 1.0L) * 1e6)
+                       : 0.0;
+    model.estimates_[rank] = est;
+    model.pre_reading_[rank] = t;
+    if (first) {
+      min_off = max_off = est.offset;
+      first = false;
+    } else {
+      min_off = std::min(min_off, est.offset);
+      max_off = std::max(max_off, est.offset);
+    }
+  }
+  model.mean_pre_ = mean_pre;
+  model.max_skew_ = max_off - min_off;
+  return model;
+}
+
+const ClockEstimate& SkewDriftModel::estimate(int rank) const {
+  const auto it = estimates_.find(rank);
+  if (it == estimates_.end()) {
+    throw FormatError(strprintf("skew/drift: no estimate for rank %d", rank));
+  }
+  return it->second;
+}
+
+SimTime SkewDriftModel::correct(int rank, SimTime local_time) const {
+  const ClockEstimate& est = estimate(rank);
+  const SimTime anchor = pre_reading_.at(rank);
+  const long double elapsed_local =
+      static_cast<long double>(local_time - anchor);
+  const long double rate = 1.0L + static_cast<long double>(est.drift_ppm) * 1e-6L;
+  const long double elapsed_ref = elapsed_local / rate;
+  return mean_pre_ + static_cast<SimTime>(elapsed_ref);
+}
+
+}  // namespace iotaxo::analysis

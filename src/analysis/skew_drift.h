@@ -1,0 +1,55 @@
+// Clock skew & drift estimation from LANL-Trace's pre/post barrier probe
+// job (§3.1 "Accounts for time drift and skew", §4.1.1).
+//
+// The probe job runs once before and once after the traced application.
+// Each run does: report local time, barrier, report local time again. The
+// reading taken immediately *after* a barrier release is a node-local
+// sample of (approximately) one common global instant, so:
+//
+//   skew_r  = L_pre(r)  - mean_r L_pre        (offset at the pre instant)
+//   drift_r = (ΔL_r / mean_r ΔL_r - 1)        (rate error, ppm-scale)
+//
+// where ΔL_r = L_post(r) - L_pre(r). correct() maps a node-local timestamp
+// onto the estimated common timeline, which is what replay/merge tools need.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace iotaxo::analysis {
+
+struct ClockEstimate {
+  SimTime offset = 0;   // vs fleet mean at the pre instant
+  double drift_ppm = 0.0;
+};
+
+class SkewDriftModel {
+ public:
+  /// Build the model from clock-probe events. Probes must carry labels
+  /// "<phase>_sync" where phase is "pre" or "post" (the reading taken right
+  /// after the barrier). Throws FormatError when a rank lacks either probe.
+  [[nodiscard]] static SkewDriftModel fit(
+      const std::vector<trace::TraceEvent>& probes);
+
+  [[nodiscard]] const ClockEstimate& estimate(int rank) const;
+  [[nodiscard]] int rank_count() const noexcept {
+    return static_cast<int>(estimates_.size());
+  }
+
+  /// Map a node-local timestamp from `rank` onto the common timeline.
+  [[nodiscard]] SimTime correct(int rank, SimTime local_time) const;
+
+  /// Largest pairwise skew observed at the pre instant (diagnostic).
+  [[nodiscard]] SimTime max_skew() const noexcept { return max_skew_; }
+
+ private:
+  std::map<int, ClockEstimate> estimates_;
+  std::map<int, SimTime> pre_reading_;
+  SimTime mean_pre_ = 0;
+  SimTime max_skew_ = 0;
+};
+
+}  // namespace iotaxo::analysis

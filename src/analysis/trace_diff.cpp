@@ -1,0 +1,153 @@
+#include "analysis/trace_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace iotaxo::analysis {
+
+std::string FidelityReport::summary() const {
+  return strprintf(
+      "runtime_error=%s op_mix_error=%s byte_ratio=%.3f sequence_error=%s",
+      format_pct(runtime_error).c_str(), format_pct(op_mix_error).c_str(),
+      byte_ratio, format_pct(sequence_error).c_str());
+}
+
+double sequence_similarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  if (a.empty() || b.empty()) {
+    return 0.0;
+  }
+  // Cap cost on huge traces by sampling evenly down to <= 512 elements.
+  auto sample = [](const std::vector<std::string>& v) {
+    constexpr std::size_t kMax = 512;
+    if (v.size() <= kMax) {
+      return v;
+    }
+    std::vector<std::string> out;
+    out.reserve(kMax);
+    for (std::size_t i = 0; i < kMax; ++i) {
+      out.push_back(v[i * v.size() / kMax]);
+    }
+    return out;
+  };
+  const std::vector<std::string> sa = sample(a);
+  const std::vector<std::string> sb = sample(b);
+
+  // Classic LCS DP with rolling rows.
+  std::vector<std::size_t> prev(sb.size() + 1, 0);
+  std::vector<std::size_t> cur(sb.size() + 1, 0);
+  for (std::size_t i = 1; i <= sa.size(); ++i) {
+    for (std::size_t j = 1; j <= sb.size(); ++j) {
+      if (sa[i - 1] == sb[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  const std::size_t lcs = prev[sb.size()];
+  return static_cast<double>(lcs) /
+         static_cast<double>(std::max(sa.size(), sb.size()));
+}
+
+namespace {
+
+std::map<std::string, long long> io_histogram(const trace::TraceBundle& b) {
+  std::map<std::string, long long> h;
+  for (const auto& [name, entry] : b.call_summary) {
+    // Compare I/O call mix only; barrier counts depend on sync strategy.
+    if (name != "MPI_Barrier" && name != "MPI_Send" && name != "MPI_Recv" &&
+        name != "clock_probe") {
+      h[name] += entry.count;
+    }
+  }
+  return h;
+}
+
+Bytes io_bytes(const trace::TraceBundle& b) {
+  Bytes total = 0;
+  for (const trace::RankStream& rs : b.ranks) {
+    for (const trace::TraceEvent& ev : rs.events) {
+      if (ev.cls == trace::EventClass::kSyscall &&
+          (ev.name == "SYS_write" || ev.name == "SYS_read")) {
+        total += ev.bytes;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+FidelityReport compare_traces(const trace::TraceBundle& original,
+                              const trace::TraceBundle& replay,
+                              SimTime original_elapsed,
+                              SimTime replay_elapsed) {
+  FidelityReport report;
+  if (original_elapsed > 0) {
+    report.runtime_error =
+        std::abs(to_seconds(replay_elapsed) - to_seconds(original_elapsed)) /
+        to_seconds(original_elapsed);
+  }
+
+  const auto ho = io_histogram(original);
+  const auto hr = io_histogram(replay);
+  long long total = 0;
+  long long delta = 0;
+  for (const auto& [name, count] : ho) {
+    total += count;
+    const auto it = hr.find(name);
+    delta += std::abs(count - (it == hr.end() ? 0 : it->second));
+  }
+  for (const auto& [name, count] : hr) {
+    if (!ho.contains(name)) {
+      delta += count;
+    }
+  }
+  report.op_mix_error =
+      total > 0 ? static_cast<double>(delta) / static_cast<double>(total) : 0.0;
+
+  const Bytes bo = io_bytes(original);
+  const Bytes br = io_bytes(replay);
+  report.byte_ratio =
+      bo > 0 ? static_cast<double>(br) / static_cast<double>(bo) : 1.0;
+
+  // Sequence error averaged over ranks present in both bundles.
+  double seq_sum = 0.0;
+  int seq_n = 0;
+  for (const trace::RankStream& ro : original.ranks) {
+    const trace::RankStream* rr = nullptr;
+    for (const trace::RankStream& cand : replay.ranks) {
+      if (cand.rank == ro.rank) {
+        rr = &cand;
+        break;
+      }
+    }
+    if (rr == nullptr) {
+      continue;
+    }
+    auto names = [](const trace::RankStream& rs) {
+      std::vector<std::string> out;
+      out.reserve(rs.events.size());
+      for (const trace::TraceEvent& ev : rs.events) {
+        if (ev.is_io_call()) {
+          out.push_back(ev.name);
+        }
+      }
+      return out;
+    };
+    seq_sum += 1.0 - sequence_similarity(names(ro), names(*rr));
+    ++seq_n;
+  }
+  report.sequence_error = seq_n > 0 ? seq_sum / seq_n : 0.0;
+  return report;
+}
+
+}  // namespace iotaxo::analysis

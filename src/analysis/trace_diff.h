@@ -1,0 +1,39 @@
+// Trace comparison for replay-fidelity verification (§3.1 "Trace replay
+// fidelity": "trace both the pseudo-application and the original
+// application and compare the traces generated", plus end-to-end runtime
+// comparison "using a utility such as time").
+#pragma once
+
+#include <string>
+
+#include "trace/bundle.h"
+#include "util/types.h"
+
+namespace iotaxo::analysis {
+
+struct FidelityReport {
+  /// |replay elapsed - original elapsed| / original elapsed.
+  double runtime_error = 0.0;
+  /// L1 distance between per-call-name count histograms, normalized by the
+  /// original's total count (0 = identical op mix).
+  double op_mix_error = 0.0;
+  /// Fraction of original I/O bytes reproduced (1 = exact).
+  double byte_ratio = 0.0;
+  /// 1 - normalized-LCS similarity of per-rank call-name sequences,
+  /// averaged over ranks present in both traces (0 = identical order).
+  double sequence_error = 0.0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare a replay against the original capture.
+[[nodiscard]] FidelityReport compare_traces(const trace::TraceBundle& original,
+                                            const trace::TraceBundle& replay,
+                                            SimTime original_elapsed,
+                                            SimTime replay_elapsed);
+
+/// Normalized LCS similarity of two sequences of call names in [0, 1].
+[[nodiscard]] double sequence_similarity(
+    const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+}  // namespace iotaxo::analysis

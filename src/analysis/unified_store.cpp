@@ -1,0 +1,175 @@
+#include "analysis/unified_store.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace iotaxo::analysis {
+
+std::size_t UnifiedTraceStore::ingest(const trace::TraceBundle& bundle) {
+  StoreSourceInfo info;
+  const auto framework_it = bundle.metadata.find("framework");
+  info.framework = framework_it == bundle.metadata.end()
+                       ? "(unknown)"
+                       : framework_it->second;
+  const auto app_it = bundle.metadata.find("application");
+  info.application =
+      app_it == bundle.metadata.end() ? "(unknown)" : app_it->second;
+
+  std::optional<SkewDriftModel> model;
+  if (!bundle.clock_probes.empty()) {
+    try {
+      model = SkewDriftModel::fit(bundle.clock_probes);
+      info.time_corrected = true;
+    } catch (const Error&) {
+      model.reset();  // incomplete probe sets: fall back to raw stamps
+    }
+  }
+
+  const std::size_t source_index = sources_.size();
+  for (const trace::RankStream& rs : bundle.ranks) {
+    for (const trace::TraceEvent& ev : rs.events) {
+      StoredEvent stored{ev, source_index};
+      if (model.has_value() && ev.rank >= 0) {
+        try {
+          stored.event.local_start = model->correct(ev.rank, ev.local_start);
+        } catch (const Error&) {
+          // rank missing from the probe set; keep the raw stamp
+        }
+      }
+      ++info.events;
+      events_.push_back(std::move(stored));
+    }
+  }
+  dependencies_.insert(dependencies_.end(), bundle.dependencies.begin(),
+                       bundle.dependencies.end());
+  sources_.push_back(std::move(info));
+  return source_index;
+}
+
+std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
+  std::map<std::string, CallStats> stats;
+  for (const StoredEvent& stored : events_) {
+    CallStats& s = stats[stored.event.name];
+    ++s.count;
+    s.total_time += stored.event.duration;
+    if (stored.event.is_io_call()) {
+      s.total_bytes += stored.event.bytes;
+    }
+  }
+  return stats;
+}
+
+std::vector<const trace::TraceEvent*> UnifiedTraceStore::rank_timeline(
+    int rank) const {
+  std::vector<const trace::TraceEvent*> out;
+  for (const StoredEvent& stored : events_) {
+    if (stored.event.rank == rank) {
+      out.push_back(&stored.event);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const trace::TraceEvent* a, const trace::TraceEvent* b) {
+              return a->local_start < b->local_start;
+            });
+  return out;
+}
+
+Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
+  Bytes total = 0;
+  for (const StoredEvent& stored : events_) {
+    const trace::TraceEvent& ev = stored.event;
+    if (ev.cls == trace::EventClass::kSyscall &&
+        (ev.name == "SYS_write" || ev.name == "SYS_read") &&
+        ev.local_start >= begin && ev.local_start < end) {
+      total += ev.bytes;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
+    SimTime bucket_width) const {
+  std::vector<std::pair<SimTime, Bytes>> series;
+  if (events_.empty() || bucket_width <= 0) {
+    return series;
+  }
+  SimTime lo = events_.front().event.local_start;
+  SimTime hi = lo;
+  for (const StoredEvent& stored : events_) {
+    lo = std::min(lo, stored.event.local_start);
+    hi = std::max(hi, stored.event.local_start);
+  }
+  const auto buckets =
+      static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
+  std::vector<Bytes> sums(buckets, 0);
+  for (const StoredEvent& stored : events_) {
+    const trace::TraceEvent& ev = stored.event;
+    if (ev.cls == trace::EventClass::kSyscall &&
+        (ev.name == "SYS_write" || ev.name == "SYS_read")) {
+      sums[static_cast<std::size_t>((ev.local_start - lo) / bucket_width)] +=
+          ev.bytes;
+    }
+  }
+  series.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    series.emplace_back(lo + static_cast<SimTime>(i) * bucket_width, sums[i]);
+  }
+  return series;
+}
+
+std::vector<FileHeat> UnifiedTraceStore::hottest_files(
+    std::size_t limit) const {
+  struct Tally {
+    FileHeat heat;
+    Bytes lib_bytes = 0;
+    Bytes lower_bytes = 0;  // syscall + VFS views of the same transfers
+  };
+  std::map<std::string, Tally> by_path;
+  std::map<int, std::string> fd_paths;  // best-effort fd -> path
+  for (const StoredEvent& stored : events_) {
+    const trace::TraceEvent& ev = stored.event;
+    if (!ev.path.empty() && ev.fd >= 0) {
+      fd_paths[ev.fd] = ev.path;
+    }
+    if (!ev.is_io_call() || ev.bytes <= 0) {
+      continue;
+    }
+    std::string path = ev.path;
+    if (path.empty() && ev.fd >= 0) {
+      const auto it = fd_paths.find(ev.fd);
+      if (it != fd_paths.end()) {
+        path = it->second;
+      }
+    }
+    if (path.empty()) {
+      path = "(unknown)";
+    }
+    Tally& tally = by_path[path];
+    tally.heat.path = path;
+    ++tally.heat.ops;
+    // Library wrappers and the syscalls beneath them report the same
+    // transfer; take whichever view saw more (captures lib-only traces
+    // like //TRACE's without double counting ltrace's dual view).
+    if (ev.cls == trace::EventClass::kLibraryCall) {
+      tally.lib_bytes += ev.bytes;
+    } else {
+      tally.lower_bytes += ev.bytes;
+    }
+  }
+  std::vector<FileHeat> out;
+  out.reserve(by_path.size());
+  for (auto& [path, tally] : by_path) {
+    tally.heat.bytes = std::max(tally.lib_bytes, tally.lower_bytes);
+    out.push_back(std::move(tally.heat));
+  }
+  std::sort(out.begin(), out.end(), [](const FileHeat& a, const FileHeat& b) {
+    return a.bytes > b.bytes;
+  });
+  if (out.size() > limit) {
+    out.resize(limit);
+  }
+  return out;
+}
+
+}  // namespace iotaxo::analysis

@@ -1,0 +1,274 @@
+#include "anon/anonymizer.h"
+
+#include <set>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace iotaxo::anon {
+
+using trace::TraceBundle;
+using trace::TraceEvent;
+
+const char* to_string(Field f) noexcept {
+  switch (f) {
+    case Field::kPath:
+      return "path";
+    case Field::kHost:
+      return "host";
+    case Field::kUid:
+      return "uid";
+    case Field::kGid:
+      return "gid";
+    case Field::kLabel:
+      return "label";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Replace every occurrence of `from` inside `s`.
+void replace_all_in(std::string& s, const std::string& from,
+                    const std::string& to) {
+  if (from.empty() || from == to) {
+    return;
+  }
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+/// Apply a string substitution consistently across an event's textual
+/// surfaces (semantic field + rendered args).
+void substitute(TraceEvent& ev, const std::string& from,
+                const std::string& to) {
+  if (from.empty()) {
+    return;
+  }
+  replace_all_in(ev.path, from, to);
+  replace_all_in(ev.host, from, to);
+  for (std::string& a : ev.args) {
+    replace_all_in(a, from, to);
+  }
+}
+
+}  // namespace
+
+TraceBundle Anonymizer::apply(const TraceBundle& bundle) {
+  TraceBundle out;
+  out.metadata = bundle.metadata;
+  out.call_summary = bundle.call_summary;
+  out.dependencies = bundle.dependencies;
+  // Command lines may embed paths; scrub metadata values through the same
+  // event machinery by routing them as annotation events. Structural keys
+  // that cannot carry user data stay readable.
+  static const std::set<std::string> kSafeKeys = {
+      "framework", "format", "mode", "sampling", "filter", "sync"};
+  for (auto& [key, value] : out.metadata) {
+    if (kSafeKeys.contains(key)) {
+      continue;
+    }
+    TraceEvent carrier;
+    carrier.cls = trace::EventClass::kAnnotation;
+    carrier.name = value;
+    carrier.path = value;
+    value = apply(carrier).name;
+  }
+  out.ranks.reserve(bundle.ranks.size());
+  for (const trace::RankStream& rs : bundle.ranks) {
+    trace::RankStream o;
+    o.rank = rs.rank;
+    o.pid = rs.pid;
+    o.events.reserve(rs.events.size());
+    for (const TraceEvent& ev : rs.events) {
+      o.events.push_back(apply(ev));
+    }
+    o.host = o.events.empty() ? rs.host : o.events.front().host;
+    out.ranks.push_back(std::move(o));
+  }
+  out.clock_probes.reserve(bundle.clock_probes.size());
+  for (const TraceEvent& ev : bundle.clock_probes) {
+    out.clock_probes.push_back(apply(ev));
+  }
+  out.barrier_events.reserve(bundle.barrier_events.size());
+  for (const TraceEvent& ev : bundle.barrier_events) {
+    out.barrier_events.push_back(apply(ev));
+  }
+  return out;
+}
+
+RandomizingAnonymizer::RandomizingAnonymizer(FieldPolicy policy,
+                                             std::uint64_t seed)
+    : policy_(policy), seed_(seed) {}
+
+std::string RandomizingAnonymizer::token_for(const std::string& original) {
+  const auto it = string_map_.find(original);
+  if (it != string_map_.end()) {
+    return it->second;
+  }
+  // Keyed PRF: hash(seed || original) seeds a token generator, so equal
+  // inputs map to equal tokens without retaining a dictionary on disk.
+  Rng rng(mix64(seed_ ^ fnv1a(original)));
+  std::string token = "anon_" + rng.token(12);
+  string_map_.emplace(original, token);
+  return token;
+}
+
+std::uint32_t RandomizingAnonymizer::scrub_id(std::uint32_t id) {
+  const auto it = id_map_.find(id);
+  if (it != id_map_.end()) {
+    return it->second;
+  }
+  const auto scrubbed =
+      static_cast<std::uint32_t>(mix64(seed_ ^ (0xD1DULL << 32) ^ id) % 60000u +
+                                 1000u);
+  id_map_.emplace(id, scrubbed);
+  return scrubbed;
+}
+
+TraceEvent RandomizingAnonymizer::apply(const TraceEvent& ev) {
+  TraceEvent out = ev;
+  if (policy_.wants(Field::kPath) && !ev.path.empty()) {
+    substitute(out, ev.path, token_for(ev.path));
+    out.path = token_for(ev.path);
+  }
+  if (policy_.wants(Field::kHost) && !ev.host.empty()) {
+    const std::string token = token_for(ev.host);
+    substitute(out, ev.host, token);
+    out.host = token;
+  }
+  if (policy_.wants(Field::kUid)) {
+    out.uid = scrub_id(ev.uid);
+  }
+  if (policy_.wants(Field::kGid)) {
+    out.gid = scrub_id(ev.gid);
+  }
+  if (policy_.wants(Field::kLabel) &&
+      (ev.cls == trace::EventClass::kAnnotation ||
+       ev.cls == trace::EventClass::kClockProbe)) {
+    // Annotations may quote the full application command line.
+    out.name = token_for(ev.name);
+    for (std::string& a : out.args) {
+      a = token_for(a);
+    }
+  }
+  return out;
+}
+
+EncryptingAnonymizer::EncryptingAnonymizer(FieldPolicy policy,
+                                           std::string passphrase)
+    : policy_(policy), key_(derive_key(passphrase)) {}
+
+std::string EncryptingAnonymizer::encrypt_string(const std::string& s) {
+  return "enc:" + cbc_encrypt_field(s, key_, iv_counter_++);
+}
+
+std::string EncryptingAnonymizer::decrypt_string(const std::string& s) const {
+  if (!starts_with(s, "enc:")) {
+    return s;
+  }
+  return cbc_decrypt_field(std::string_view(s).substr(4), key_);
+}
+
+TraceEvent EncryptingAnonymizer::apply(const TraceEvent& ev) {
+  TraceEvent out = ev;
+  if (policy_.wants(Field::kPath) && !ev.path.empty()) {
+    const std::string ct = encrypt_string(ev.path);
+    substitute(out, ev.path, ct);
+    out.path = ct;
+  }
+  if (policy_.wants(Field::kHost) && !ev.host.empty()) {
+    const std::string ct = encrypt_string(ev.host);
+    substitute(out, ev.host, ct);
+    out.host = ct;
+  }
+  if (policy_.wants(Field::kUid)) {
+    // Numeric ids ride through the block cipher directly.
+    out.uid = static_cast<std::uint32_t>(
+        xtea_encrypt_block(ev.uid, key_) & 0x7FFFFFFFu);
+  }
+  if (policy_.wants(Field::kGid)) {
+    out.gid = static_cast<std::uint32_t>(
+        xtea_encrypt_block(0x8000000000000000ULL | ev.gid, key_) & 0x7FFFFFFFu);
+  }
+  if (policy_.wants(Field::kLabel) &&
+      (ev.cls == trace::EventClass::kAnnotation ||
+       ev.cls == trace::EventClass::kClockProbe)) {
+    out.name = encrypt_string(ev.name);
+  }
+  return out;
+}
+
+TraceEvent EncryptingAnonymizer::reverse(const TraceEvent& ev) const {
+  TraceEvent out = ev;
+  if (!ev.path.empty() && starts_with(ev.path, "enc:")) {
+    const std::string pt = decrypt_string(ev.path);
+    for (std::string& a : out.args) {
+      replace_all_in(a, ev.path, pt);
+    }
+    out.path = pt;
+  }
+  if (!ev.host.empty() && starts_with(ev.host, "enc:")) {
+    out.host = decrypt_string(ev.host);
+  }
+  if (starts_with(ev.name, "enc:")) {
+    out.name = decrypt_string(ev.name);
+  }
+  // uid/gid are not reversed: the forward map truncated to 31 bits, which
+  // models the one-way nature of identifier scrubbing in practice.
+  return out;
+}
+
+bool leaks_any(const TraceBundle& bundle,
+               const std::vector<std::string>& secrets) {
+  auto text_leaks = [&](const std::string& text) {
+    for (const std::string& secret : secrets) {
+      if (!secret.empty() && text.find(secret) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto event_leaks = [&](const TraceEvent& ev) {
+    if (text_leaks(ev.path) || text_leaks(ev.host) || text_leaks(ev.name)) {
+      return true;
+    }
+    for (const std::string& a : ev.args) {
+      if (text_leaks(a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [key, value] : bundle.metadata) {
+    if (text_leaks(value)) {
+      return true;
+    }
+  }
+  for (const trace::RankStream& rs : bundle.ranks) {
+    if (text_leaks(rs.host)) {
+      return true;
+    }
+    for (const TraceEvent& ev : rs.events) {
+      if (event_leaks(ev)) {
+        return true;
+      }
+    }
+  }
+  for (const TraceEvent& ev : bundle.clock_probes) {
+    if (event_leaks(ev)) {
+      return true;
+    }
+  }
+  for (const TraceEvent& ev : bundle.barrier_events) {
+    if (event_leaks(ev)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace iotaxo::anon

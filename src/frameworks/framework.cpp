@@ -1,0 +1,57 @@
+#include "frameworks/framework.h"
+
+#include <algorithm>
+
+#include "trace/text_format.h"
+
+namespace iotaxo::frameworks {
+
+int ease_of_install_score(const InstallProfile& profile) noexcept {
+  int score = 1;
+  if (profile.kernel_module) {
+    score += 2;  // building/loading kernel code dominates everything else
+                 // (and already implies root access)
+  } else if (profile.requires_root) {
+    score += 1;
+  }
+  if (!profile.interpreter_deps.empty() || !profile.binary_deps.empty()) {
+    score += 1;  // software that must exist on every compute node
+  }
+  if (profile.config_steps > 2) {
+    score += 1;
+  }
+  return std::min(score, 5);
+}
+
+int intrusiveness_score(const InstallProfile& profile) noexcept {
+  int score = 1;
+  if (profile.requires_relink) {
+    score += 2;
+  }
+  if (profile.requires_source_instrumentation) {
+    score += 3;
+  }
+  return std::min(score, 5);
+}
+
+std::vector<std::uint8_t> TracingFramework::export_native(
+    const trace::TraceBundle& bundle) const {
+  std::string text;
+  for (const trace::RankStream& rs : bundle.ranks) {
+    trace::TextTraceWriter::StreamMeta meta{rs.host, rs.rank, rs.pid};
+    text += trace::TextTraceWriter::render(meta, rs.events);
+  }
+  return {text.begin(), text.end()};
+}
+
+mpi::RunResult run_untraced(const sim::Cluster& cluster, const mpi::Job& job,
+                            fs::VfsPtr vfs, SimTime app_startup) {
+  mpi::RunOptions options;
+  options.vfs = std::move(vfs);
+  options.startup = app_startup;
+  options.cmdline = job.cmdline;
+  mpi::Runtime runtime(cluster, options);
+  return runtime.run(job.programs);
+}
+
+}  // namespace iotaxo::frameworks

@@ -1,0 +1,120 @@
+// The common I/O Tracing Framework interface.
+//
+// Every framework the survey covers (LANL-Trace, Tracefs, //TRACE) — and
+// any framework a downstream user wants to classify with the taxonomy —
+// implements this interface. The taxonomy classifier drives it
+// experimentally: it mounts/attaches the framework on different file
+// systems, traces canonical workloads, inspects the resulting bundles and
+// measures overheads.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/vfs.h"
+#include "mpi/program.h"
+#include "mpi/runtime.h"
+#include "sim/cluster.h"
+#include "trace/bundle.h"
+
+namespace iotaxo::frameworks {
+
+/// What installing the framework on a cluster involves; the taxonomy's
+/// "Ease of installation and use" score (1 very easy .. 5 very difficult)
+/// is computed from this.
+struct InstallProfile {
+  bool requires_root = false;
+  bool kernel_module = false;
+  std::vector<std::string> interpreter_deps;  // e.g. {"perl"}
+  std::vector<std::string> binary_deps;       // e.g. {"strace", "ltrace"}
+  int config_steps = 1;                       // mounts, module params, ...
+  bool requires_source_instrumentation = false;
+  bool requires_relink = false;
+};
+
+/// 1 (very easy) .. 5 (very difficult).
+[[nodiscard]] int ease_of_install_score(const InstallProfile& profile) noexcept;
+
+/// 1 (very passive) .. 5 (very intrusive).
+[[nodiscard]] int intrusiveness_score(const InstallProfile& profile) noexcept;
+
+/// Declarative capability sheet. The classifier cross-checks the claims it
+/// can verify by experiment (replayability, dependency discovery,
+/// skew/drift accounting, output format, anonymization).
+struct Capabilities {
+  int anonymization_level = 0;        // 0 = none, else 1..5
+  int granularity_level = 0;          // 0 = none, 1 simple .. 5 v. advanced
+  bool replayable_traces = false;
+  bool reveals_dependencies = false;
+  bool analysis_tools = false;
+  bool human_readable_output = true;  // false => binary
+  bool accounts_skew_drift = false;
+  /// Human description of captured event types for the summary table.
+  std::string event_types;
+  /// Whether the capture layer can observe memory-mapped I/O.
+  bool sees_mmap_io = false;
+};
+
+/// Result of tracing a job.
+struct TraceRunResult {
+  trace::TraceBundle bundle;
+  /// Raw runtime result (makespan includes in-band tracing slowdown).
+  mpi::RunResult run;
+  /// End-to-end elapsed time a user would measure with `time`: run.elapsed
+  /// plus framework startup and post-processing.
+  SimTime apparent_elapsed = 0;
+};
+
+struct TraceJobOptions {
+  /// Retain full per-rank event streams in the bundle. Disable for
+  /// benchmark-scale runs where only summaries matter.
+  bool store_raw_streams = true;
+  /// mpirun-level startup for the underlying job.
+  SimTime app_startup = from_millis(300.0);
+};
+
+class TracingFramework {
+ public:
+  virtual ~TracingFramework() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string version() const { return "1.0"; }
+  [[nodiscard]] virtual InstallProfile install_profile() const = 0;
+  [[nodiscard]] virtual Capabilities capabilities() const = 0;
+
+  /// Can this framework trace applications running on this kind of file
+  /// system "out of the box"?
+  [[nodiscard]] virtual bool supports_fs(fs::FsKind kind) const = 0;
+
+  /// Trace `job` running on `cluster` against `vfs`. Throws
+  /// UnsupportedError when the file system kind is not supported.
+  [[nodiscard]] virtual TraceRunResult trace(const sim::Cluster& cluster,
+                                             const mpi::Job& job,
+                                             fs::VfsPtr vfs,
+                                             const TraceJobOptions& options = {}) = 0;
+
+  /// Frameworks with an anonymization feature return the scrubbed bundle;
+  /// the default reports "not supported".
+  [[nodiscard]] virtual std::optional<trace::TraceBundle> anonymize_bundle(
+      const trace::TraceBundle& bundle) const {
+    (void)bundle;
+    return std::nullopt;
+  }
+
+  /// Serialize a bundle the way this framework writes trace data to disk
+  /// (the classifier sniffs this to label the trace data format). The
+  /// default renders the first rank stream as text.
+  [[nodiscard]] virtual std::vector<std::uint8_t> export_native(
+      const trace::TraceBundle& bundle) const;
+};
+
+using FrameworkPtr = std::shared_ptr<TracingFramework>;
+
+/// Run `job` untraced (the baseline for every overhead measurement).
+[[nodiscard]] mpi::RunResult run_untraced(const sim::Cluster& cluster,
+                                          const mpi::Job& job, fs::VfsPtr vfs,
+                                          SimTime app_startup = from_millis(300.0));
+
+}  // namespace iotaxo::frameworks

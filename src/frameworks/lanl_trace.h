@@ -1,0 +1,57 @@
+// LANL-Trace (§2.1, §4.1): a wrapper around ltrace (or strace) driven by a
+// Perl harness. Produces three human-readable outputs per run:
+//
+//   1. raw per-node trace data (ltrace-style lines),
+//   2. aggregate timing information (barrier enter/exit per rank, from a
+//      clock-probe MPI job run before and after the application), and
+//   3. a call summary (per-function counts and total times).
+//
+// Its simplicity shows up in the taxonomy as easy installation and parallel
+// file system compatibility; its ptrace capture mechanism shows up as high
+// per-event overhead, especially for small block sizes.
+#pragma once
+
+#include "frameworks/framework.h"
+#include "interpose/mechanism.h"
+#include "interpose/tracers.h"
+
+namespace iotaxo::frameworks {
+
+struct LanlTraceParams {
+  interpose::PtraceTracer::Mode mode =
+      interpose::PtraceTracer::Mode::kLtrace;
+  interpose::InterposeCosts costs{};
+  /// Spawning the Perl wrapper + attaching the tracer on every node.
+  SimTime wrapper_startup = from_millis(800.0);
+  /// Post-run gather/merge/summarize pass over raw trace lines at rank 0
+  /// (single-threaded Perl — the dominant elapsed-time cost for small
+  /// block sizes).
+  SimTime postprocess_per_event = from_micros(24.0);
+};
+
+class LanlTrace : public TracingFramework {
+ public:
+  explicit LanlTrace(LanlTraceParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "LANL-Trace"; }
+  [[nodiscard]] InstallProfile install_profile() const override;
+  [[nodiscard]] Capabilities capabilities() const override;
+  [[nodiscard]] bool supports_fs(fs::FsKind kind) const override;
+
+  [[nodiscard]] TraceRunResult trace(const sim::Cluster& cluster,
+                                     const mpi::Job& job, fs::VfsPtr vfs,
+                                     const TraceJobOptions& options) override;
+
+  [[nodiscard]] const LanlTraceParams& params() const noexcept {
+    return params_;
+  }
+
+  /// The wrapper job LANL-Trace actually launches: probe / barrier / probe
+  /// before and after the application (exposed for tests).
+  [[nodiscard]] static mpi::Job wrap_job(const mpi::Job& app);
+
+ private:
+  LanlTraceParams params_;
+};
+
+}  // namespace iotaxo::frameworks

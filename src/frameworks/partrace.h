@@ -1,0 +1,107 @@
+// //TRACE (§2.3, §4.3): replayable trace capture for MPI applications via
+// dynamic library interposition, with inter-node data dependencies
+// discovered by I/O throttling — "manually slowing the response time of a
+// single node to I/O requests ... and observing the behavior of other
+// nodes looking for causal dependencies".
+//
+// The sampling knob is the paper's headline trade-off: it controls how many
+// nodes ever get a throttling window, which simultaneously bounds the
+// dependency-map completeness (and hence replay fidelity) and the
+// end-to-end time overhead ("~0% to 205%").
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "frameworks/framework.h"
+#include "interpose/mechanism.h"
+#include "interpose/tracers.h"
+#include "replay/replayer.h"
+
+namespace iotaxo::frameworks {
+
+struct PartraceParams {
+  /// Fraction of nodes that receive throttling windows (0 disables
+  /// dependency discovery entirely; 1 rotates through every node).
+  double sampling = 1.0;
+  /// Completion delay injected into each throttled I/O syscall.
+  SimTime throttle_delay = from_millis(7.6);
+  interpose::InterposeCosts costs{};
+  /// LD_PRELOAD setup at launch.
+  SimTime preload_setup = from_millis(250.0);
+  /// Per-event dependency analysis after the run.
+  SimTime analysis_per_event = from_micros(5.0);
+};
+
+/// The throttling engine: acts as the runtime Throttler (injecting delays)
+/// and as an observer (watching barriers to advance throttling windows and
+/// to correlate waits into dependency edges).
+class ThrottleEngine : public mpi::Throttler, public mpi::IoObserver {
+ public:
+  ThrottleEngine(int nranks, double sampling, SimTime delay);
+
+  // mpi::Throttler
+  [[nodiscard]] SimTime delay(const trace::TraceEvent& ev) override;
+
+  // mpi::IoObserver
+  [[nodiscard]] SimTime on_event(const trace::TraceEvent& ev) override;
+  void on_run_end() override;
+
+  [[nodiscard]] const std::vector<trace::DependencyEdge>& edges()
+      const noexcept {
+    return edges_;
+  }
+  /// Which rank is throttled during phase `phase` (-1 = none).
+  [[nodiscard]] int throttled_rank_for_phase(int phase) const noexcept;
+  [[nodiscard]] int phases_observed() const noexcept { return phase_; }
+
+ private:
+  struct BarrierRecord {
+    int rank = -1;
+    SimTime wait = 0;
+  };
+  void finalize_phase(const std::string& label);
+
+  int nranks_;
+  int sampled_count_;
+  SimTime delay_;
+  int phase_ = 0;
+  long long barrier_events_in_phase_ = 0;
+  std::string current_label_;
+  std::vector<BarrierRecord> current_records_;
+  std::vector<trace::DependencyEdge> edges_;
+
+  /// Waits longer than the throttled rank's by this much indicate a
+  /// genuine causal stall rather than scheduler noise.
+  static constexpr SimTime kWaitMargin = kMillisecond;
+};
+
+class Partrace : public TracingFramework {
+ public:
+  explicit Partrace(PartraceParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "//TRACE"; }
+  [[nodiscard]] std::string version() const override {
+    return "pre-release";  // footnote 1 of the paper
+  }
+  [[nodiscard]] InstallProfile install_profile() const override;
+  [[nodiscard]] Capabilities capabilities() const override;
+  [[nodiscard]] bool supports_fs(fs::FsKind kind) const override;
+
+  [[nodiscard]] TraceRunResult trace(const sim::Cluster& cluster,
+                                     const mpi::Job& job, fs::VfsPtr vfs,
+                                     const TraceJobOptions& options) override;
+
+  /// Replay options matching //TRACE's model: synchronization comes only
+  /// from the discovered dependency map.
+  [[nodiscard]] replay::ReplayOptions replay_options() const;
+
+  [[nodiscard]] const PartraceParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  PartraceParams params_;
+};
+
+}  // namespace iotaxo::frameworks

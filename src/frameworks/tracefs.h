@@ -1,0 +1,83 @@
+// Tracefs (§2.2, §4.2): a stackable file system tracer. Mounted over a
+// local or NFS file system it records every VFS operation that passes its
+// granularity filter into buffered binary output with optional
+// checksumming, compression and field-selective CBC encryption
+// (anonymization). It is implemented as a kernel module — root access and
+// real installation effort — and was "not designed to trace parallel
+// workloads": mounting it over the parallel file system throws
+// UnsupportedError unless the (non-default) adaptation shim is enabled.
+#pragma once
+
+#include <optional>
+
+#include "anon/anonymizer.h"
+#include "frameworks/framework.h"
+#include "frameworks/tracefs_filter.h"
+#include "interpose/vfs_shim.h"
+
+namespace iotaxo::frameworks {
+
+struct TracefsParams {
+  /// Granularity filter source; empty traces everything.
+  std::string filter = "";
+  interpose::VfsShimOptions shim{};
+  /// Per-run mount/unmount and module bookkeeping.
+  SimTime mount_setup = from_millis(100.0);
+  /// Fields to encrypt when anonymizing, and the secret.
+  anon::FieldPolicy anonymize_fields{};
+  std::string passphrase = "tracefs-secret";
+  /// Out-of-the-box Tracefs does not run over the parallel file system;
+  /// flipping this models the "adaptation for use on a parallel file
+  /// system" the paper anticipates.
+  bool enable_pfs_adaptation = false;
+};
+
+class Tracefs : public TracingFramework {
+ public:
+  explicit Tracefs(TracefsParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "Tracefs"; }
+  [[nodiscard]] InstallProfile install_profile() const override;
+  [[nodiscard]] Capabilities capabilities() const override;
+  [[nodiscard]] bool supports_fs(fs::FsKind kind) const override;
+
+  [[nodiscard]] TraceRunResult trace(const sim::Cluster& cluster,
+                                     const mpi::Job& job, fs::VfsPtr vfs,
+                                     const TraceJobOptions& options) override;
+
+  /// Mount the tracing shim over an inner file system (exposed so tests
+  /// and examples can stack manually). Throws UnsupportedError for
+  /// unsupported file-system kinds.
+  [[nodiscard]] std::shared_ptr<interpose::VfsShim> mount(
+      fs::VfsPtr inner, trace::SinkPtr sink,
+      const sim::Cluster* cluster) const;
+
+  /// Tracefs's anonymization feature: field-selective CBC encryption of a
+  /// captured bundle.
+  [[nodiscard]] trace::TraceBundle anonymize(
+      const trace::TraceBundle& bundle) const;
+
+  [[nodiscard]] std::optional<trace::TraceBundle> anonymize_bundle(
+      const trace::TraceBundle& bundle) const override {
+    return anonymize(bundle);
+  }
+
+  /// Binary-encode a bundle's events the way Tracefs writes them to disk
+  /// (with the configured checksum/compress/encrypt options).
+  [[nodiscard]] std::vector<std::uint8_t> encode_output(
+      const trace::TraceBundle& bundle) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> export_native(
+      const trace::TraceBundle& bundle) const override {
+    return encode_output(bundle);
+  }
+
+  [[nodiscard]] const TracefsParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  TracefsParams params_;
+};
+
+}  // namespace iotaxo::frameworks

@@ -1,0 +1,296 @@
+#include "frameworks/tracefs_filter.h"
+
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::frameworks {
+
+using interpose::VfsEventFilter;
+using trace::TraceEvent;
+
+namespace {
+
+enum class TokKind { kIdent, kString, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  long long number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= src_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = to_lower(src_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kNumber;
+      current_.text = src_.substr(start, pos_ - start);
+      current_.number = std::strtoll(current_.text.c_str(), nullptr, 10);
+      return;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        ++pos_;
+      }
+      if (pos_ >= src_.size()) {
+        throw FormatError(strprintf("tracefs filter: unterminated string at %zu",
+                                    start));
+      }
+      current_.kind = TokKind::kString;
+      current_.text = src_.substr(start, pos_ - start);
+      ++pos_;
+      return;
+    }
+    // Multi-char comparison operators first.
+    static const char* kTwo[] = {"==", "!=", ">=", "<="};
+    for (const char* op : kTwo) {
+      if (src_.compare(pos_, 2, op) == 0) {
+        current_.kind = TokKind::kSymbol;
+        current_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = TokKind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+const std::set<std::string>& metadata_ops() {
+  static const std::set<std::string> kOps = {
+      "vfs_open",  "vfs_close",  "vfs_stat",    "vfs_statfs", "vfs_mkdir",
+      "vfs_unlink", "vfs_readdir", "vfs_fsync", "vfs_mmap"};
+  return kOps;
+}
+
+const std::set<std::string>& data_ops() {
+  static const std::set<std::string> kOps = {
+      "vfs_read", "vfs_write", "vfs_mmap_read", "vfs_mmap_write"};
+  return kOps;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lexer_(src) {}
+
+  [[nodiscard]] VfsEventFilter parse() {
+    VfsEventFilter f = parse_or();
+    if (lexer_.peek().kind != TokKind::kEnd) {
+      throw FormatError(
+          strprintf("tracefs filter: trailing input at position %zu",
+                    lexer_.peek().pos));
+    }
+    return f;
+  }
+
+ private:
+  [[nodiscard]] VfsEventFilter parse_or() {
+    VfsEventFilter lhs = parse_and();
+    while (is_ident("or")) {
+      lexer_.take();
+      VfsEventFilter rhs = parse_and();
+      lhs = [lhs, rhs](const TraceEvent& ev) { return lhs(ev) || rhs(ev); };
+    }
+    return lhs;
+  }
+
+  [[nodiscard]] VfsEventFilter parse_and() {
+    VfsEventFilter lhs = parse_unary();
+    while (is_ident("and")) {
+      lexer_.take();
+      VfsEventFilter rhs = parse_unary();
+      lhs = [lhs, rhs](const TraceEvent& ev) { return lhs(ev) && rhs(ev); };
+    }
+    return lhs;
+  }
+
+  [[nodiscard]] VfsEventFilter parse_unary() {
+    if (is_ident("not")) {
+      lexer_.take();
+      VfsEventFilter inner = parse_unary();
+      return [inner](const TraceEvent& ev) { return !inner(ev); };
+    }
+    if (is_symbol("(")) {
+      lexer_.take();
+      VfsEventFilter inner = parse_or();
+      expect_symbol(")");
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  [[nodiscard]] VfsEventFilter parse_predicate() {
+    const Token head = expect(TokKind::kIdent, "predicate");
+    if (head.text == "all") {
+      return [](const TraceEvent&) { return true; };
+    }
+    if (head.text == "none") {
+      return [](const TraceEvent&) { return false; };
+    }
+    if (head.text == "metadata") {
+      return [](const TraceEvent& ev) {
+        return metadata_ops().contains(ev.name);
+      };
+    }
+    if (head.text == "data") {
+      return [](const TraceEvent& ev) { return data_ops().contains(ev.name); };
+    }
+    if (head.text == "op") {
+      if (is_ident("in")) {
+        lexer_.take();
+        expect_symbol("{");
+        auto ops = std::make_shared<std::set<std::string>>();
+        for (;;) {
+          const Token id = expect(TokKind::kIdent, "op name");
+          ops->insert("vfs_" + id.text);
+          if (is_symbol(",")) {
+            lexer_.take();
+            continue;
+          }
+          break;
+        }
+        expect_symbol("}");
+        return [ops](const TraceEvent& ev) { return ops->contains(ev.name); };
+      }
+      expect_symbol("==");
+      const Token id = expect(TokKind::kIdent, "op name");
+      const std::string want = "vfs_" + id.text;
+      return [want](const TraceEvent& ev) { return ev.name == want; };
+    }
+    if (head.text == "path") {
+      const Token kw = expect(TokKind::kIdent, "glob");
+      if (kw.text != "glob") {
+        throw FormatError(strprintf(
+            "tracefs filter: expected 'glob' after 'path' at %zu", kw.pos));
+      }
+      const Token pattern = expect(TokKind::kString, "glob pattern");
+      const std::string pat = pattern.text;
+      return [pat](const TraceEvent& ev) { return glob_match(pat, ev.path); };
+    }
+    if (head.text == "uid" || head.text == "gid" || head.text == "rank") {
+      const Token op = expect(TokKind::kSymbol, "comparison");
+      const Token num = expect(TokKind::kNumber, "number");
+      const std::string field = head.text;
+      const long long want = num.number;
+      const bool negate = op.text == "!=";
+      if (op.text != "==" && op.text != "!=") {
+        throw FormatError(strprintf(
+            "tracefs filter: %s supports == or != only (at %zu)",
+            field.c_str(), op.pos));
+      }
+      return [field, want, negate](const TraceEvent& ev) {
+        long long have = 0;
+        if (field == "uid") {
+          have = ev.uid;
+        } else if (field == "gid") {
+          have = ev.gid;
+        } else {
+          have = ev.rank;
+        }
+        return negate ? have != want : have == want;
+      };
+    }
+    if (head.text == "bytes") {
+      const Token op = expect(TokKind::kSymbol, "comparison");
+      const Token num = expect(TokKind::kNumber, "number");
+      const std::string cmp = op.text;
+      const long long want = num.number;
+      return [cmp, want](const TraceEvent& ev) {
+        if (cmp == "<") return ev.bytes < want;
+        if (cmp == "<=") return ev.bytes <= want;
+        if (cmp == ">") return ev.bytes > want;
+        if (cmp == ">=") return ev.bytes >= want;
+        return ev.bytes == want;
+      };
+    }
+    throw FormatError(strprintf("tracefs filter: unknown predicate '%s' at %zu",
+                                head.text.c_str(), head.pos));
+  }
+
+  [[nodiscard]] bool is_ident(const char* word) const {
+    return lexer_.peek().kind == TokKind::kIdent && lexer_.peek().text == word;
+  }
+  [[nodiscard]] bool is_symbol(const char* sym) const {
+    return lexer_.peek().kind == TokKind::kSymbol && lexer_.peek().text == sym;
+  }
+  Token expect(TokKind kind, const char* what) {
+    if (lexer_.peek().kind != kind) {
+      throw FormatError(strprintf("tracefs filter: expected %s at position %zu",
+                                  what, lexer_.peek().pos));
+    }
+    return lexer_.take();
+  }
+  void expect_symbol(const char* sym) {
+    if (!is_symbol(sym)) {
+      throw FormatError(strprintf("tracefs filter: expected '%s' at position %zu",
+                                  sym, lexer_.peek().pos));
+    }
+    lexer_.take();
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+VfsEventFilter compile_tracefs_filter(const std::string& source) {
+  const auto trimmed = trim(source);
+  if (trimmed.empty()) {
+    return [](const TraceEvent&) { return true; };
+  }
+  Parser parser(source);
+  return parser.parse();
+}
+
+}  // namespace iotaxo::frameworks

@@ -1,0 +1,35 @@
+// Tracefs's declarative trace-granularity language (§4.2: "A flexible
+// declarative syntax is provided for user-level specification of file
+// system operations to be traced").
+//
+// Grammar (case-insensitive keywords):
+//
+//   expr      := or_expr
+//   or_expr   := and_expr ( 'or' and_expr )*
+//   and_expr  := unary ( 'and' unary )*
+//   unary     := 'not' unary | '(' expr ')' | predicate
+//   predicate := 'op' 'in' '{' ident ( ',' ident )* '}'
+//              | 'op' '==' ident
+//              | 'path' 'glob' string
+//              | ('uid'|'gid'|'rank') ('=='|'!=') number
+//              | 'bytes' ('<'|'<='|'>'|'>='|'==') number
+//              | 'all' | 'none' | 'metadata' | 'data'
+//
+// 'metadata' matches open/close/stat/statfs/mkdir/unlink/readdir/fsync/mmap;
+// 'data' matches read/write/mmap_read/mmap_write.
+//
+// Example:  op in {write, mmap_write} and path glob "/data/*" and uid != 0
+#pragma once
+
+#include <string>
+
+#include "interpose/vfs_shim.h"
+
+namespace iotaxo::frameworks {
+
+/// Compile a filter expression into a predicate over candidate VFS events.
+/// Throws FormatError with a position-annotated message on syntax errors.
+[[nodiscard]] interpose::VfsEventFilter compile_tracefs_filter(
+    const std::string& source);
+
+}  // namespace iotaxo::frameworks

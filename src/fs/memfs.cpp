@@ -1,0 +1,277 @@
+#include "fs/memfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fs/path.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::fs {
+
+const char* to_string(FsKind kind) noexcept {
+  switch (kind) {
+    case FsKind::kLocal:
+      return "local";
+    case FsKind::kNfs:
+      return "nfs";
+    case FsKind::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+const char* to_string(VfsOp op) noexcept {
+  switch (op) {
+    case VfsOp::kOpen:
+      return "open";
+    case VfsOp::kClose:
+      return "close";
+    case VfsOp::kRead:
+      return "read";
+    case VfsOp::kWrite:
+      return "write";
+    case VfsOp::kFsync:
+      return "fsync";
+    case VfsOp::kStat:
+      return "stat";
+    case VfsOp::kStatfs:
+      return "statfs";
+    case VfsOp::kMkdir:
+      return "mkdir";
+    case VfsOp::kUnlink:
+      return "unlink";
+    case VfsOp::kReaddir:
+      return "readdir";
+    case VfsOp::kMmap:
+      return "mmap";
+    case VfsOp::kMmapRead:
+      return "mmap_read";
+    case VfsOp::kMmapWrite:
+      return "mmap_write";
+  }
+  return "?";
+}
+
+MemFs::MemFs(LocalFsParams params) : params_(params) {
+  files_["/"] = File{.size = 0, .uid = 0, .gid = 0, .is_dir = true, .data = {}};
+}
+
+MemFs::File& MemFs::file_for_fd(int fd) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("bad fd %d", fd));
+  }
+  const auto fit = files_.find(it->second.path);
+  if (fit == files_.end()) {
+    throw IoError("file vanished under open handle: " + it->second.path);
+  }
+  return fit->second;
+}
+
+MemFs::Handle& MemFs::handle_for_fd(int fd) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("bad fd %d", fd));
+  }
+  return it->second;
+}
+
+SimTime MemFs::transfer_cost(Bytes n, bool is_write) const noexcept {
+  const double mbps =
+      is_write ? params_.write_bandwidth_mbps : params_.read_bandwidth_mbps;
+  const double seconds =
+      static_cast<double>(n) / (mbps * 1024.0 * 1024.0);
+  return params_.io_base_cost + from_seconds(seconds);
+}
+
+VfsResult MemFs::open(const std::string& raw_path, OpenMode mode,
+                      const OpCtx& ctx) {
+  const std::string path = normalize_path(raw_path);
+  SimTime cost = params_.open_cost;
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!mode.create) {
+      throw IoError("open: no such file: " + path);
+    }
+    File f;
+    f.uid = ctx.uid;
+    f.gid = ctx.gid;
+    files_.emplace(path, std::move(f));
+    cost = params_.create_cost;
+  } else if (it->second.is_dir) {
+    throw IoError("open: is a directory: " + path);
+  } else if (mode.truncate) {
+    it->second.size = 0;
+    it->second.data.clear();
+  }
+  const int fd = next_fd_++;
+  handles_[fd] = Handle{path, mode, false};
+  return {fd, cost};
+}
+
+VfsResult MemFs::close(int fd, const OpCtx& /*ctx*/) {
+  if (handles_.erase(fd) == 0) {
+    throw IoError(strprintf("close: bad fd %d", fd));
+  }
+  return {0, params_.close_cost};
+}
+
+VfsResult MemFs::read(int fd, Bytes offset, Bytes n, const OpCtx& /*ctx*/,
+                      std::uint8_t* out) {
+  File& f = file_for_fd(fd);
+  if (offset < 0 || n < 0) {
+    throw IoError("read: negative offset or count");
+  }
+  const Bytes avail = std::max<Bytes>(0, f.size - offset);
+  const Bytes got = std::min(n, avail);
+  if (out != nullptr && !f.data.empty() && got > 0) {
+    const Bytes stored =
+        std::min<Bytes>(got, static_cast<Bytes>(f.data.size()) - offset);
+    if (stored > 0) {
+      std::memcpy(out, f.data.data() + offset,
+                  static_cast<std::size_t>(stored));
+    }
+  }
+  return {got, transfer_cost(got, /*is_write=*/false)};
+}
+
+VfsResult MemFs::write(int fd, Bytes offset, Bytes n, const OpCtx& /*ctx*/,
+                       const std::uint8_t* data) {
+  Handle& h = handle_for_fd(fd);
+  if (!h.mode.write) {
+    throw IoError("write: fd not opened for writing");
+  }
+  File& f = file_for_fd(fd);
+  if (offset < 0 || n < 0) {
+    throw IoError("write: negative offset or count");
+  }
+  const Bytes end = offset + n;
+  f.size = std::max(f.size, end);
+  if (params_.content == ContentPolicy::kRetain && data != nullptr) {
+    if (end > params_.max_retained_bytes) {
+      throw ConfigError("MemFs content retention limit exceeded");
+    }
+    if (static_cast<Bytes>(f.data.size()) < end) {
+      f.data.resize(static_cast<std::size_t>(end), 0);
+    }
+    std::memcpy(f.data.data() + offset, data, static_cast<std::size_t>(n));
+  }
+  return {n, transfer_cost(n, /*is_write=*/true)};
+}
+
+VfsResult MemFs::fsync(int fd, const OpCtx& /*ctx*/) {
+  (void)file_for_fd(fd);
+  return {0, params_.fsync_cost};
+}
+
+VfsResult MemFs::stat(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const std::string path = normalize_path(raw_path);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError("stat: no such file: " + path);
+  }
+  return {it->second.size, params_.stat_cost};
+}
+
+VfsResult MemFs::statfs(const OpCtx& /*ctx*/) {
+  return {0, params_.statfs_cost};
+}
+
+VfsResult MemFs::mkdir(const std::string& raw_path, const OpCtx& ctx) {
+  const std::string path = normalize_path(raw_path);
+  if (files_.contains(path)) {
+    throw IoError("mkdir: exists: " + path);
+  }
+  File d;
+  d.is_dir = true;
+  d.uid = ctx.uid;
+  d.gid = ctx.gid;
+  files_.emplace(path, std::move(d));
+  return {0, params_.mkdir_cost};
+}
+
+VfsResult MemFs::unlink(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const std::string path = normalize_path(raw_path);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError("unlink: no such file: " + path);
+  }
+  if (it->second.is_dir) {
+    throw IoError("unlink: is a directory: " + path);
+  }
+  files_.erase(it);
+  return {0, params_.unlink_cost};
+}
+
+VfsResult MemFs::readdir(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const auto entries = list(raw_path);
+  const SimTime cost =
+      params_.readdir_cost_base +
+      params_.readdir_cost_per_entry * static_cast<SimTime>(entries.size());
+  return {static_cast<Bytes>(entries.size()), cost};
+}
+
+VfsResult MemFs::mmap(int fd, const OpCtx& /*ctx*/) {
+  Handle& h = handle_for_fd(fd);
+  h.mapped = true;
+  return {0, params_.mmap_cost};
+}
+
+VfsResult MemFs::mmap_read(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  const Handle& h = handle_for_fd(fd);
+  if (!h.mapped) {
+    throw IoError("mmap_read: fd not mapped");
+  }
+  return read(fd, offset, n, ctx, nullptr);
+}
+
+VfsResult MemFs::mmap_write(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  const Handle& h = handle_for_fd(fd);
+  if (!h.mapped) {
+    throw IoError("mmap_write: fd not mapped");
+  }
+  return write(fd, offset, n, ctx, nullptr);
+}
+
+bool MemFs::exists(const std::string& path) const {
+  return files_.contains(normalize_path(path));
+}
+
+StatInfo MemFs::stat_info(const std::string& path) const {
+  const auto it = files_.find(normalize_path(path));
+  if (it == files_.end()) {
+    throw IoError("stat_info: no such file: " + path);
+  }
+  return {it->second.size, it->second.uid, it->second.gid, it->second.is_dir};
+}
+
+std::vector<std::string> MemFs::list(const std::string& raw_dir) const {
+  const std::string dir = normalize_path(raw_dir);
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (path == dir || !starts_with(path, prefix)) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MemFs::content(const std::string& path) const {
+  const auto it = files_.find(normalize_path(path));
+  if (it == files_.end()) {
+    throw IoError("content: no such file: " + path);
+  }
+  return it->second.data;
+}
+
+int MemFs::open_handle_count() const noexcept {
+  return static_cast<int>(handles_.size());
+}
+
+}  // namespace iotaxo::fs

@@ -1,0 +1,106 @@
+// In-memory local file system with an ext3-like timing model.
+//
+// Metadata (sizes, ownership, directory tree) is always tracked; file
+// *content* is retained only when ContentPolicy::kRetain is selected, so
+// that benchmark runs can "write" hundreds of virtual gigabytes without
+// allocating them, while correctness tests can verify byte-exact
+// read-after-write behaviour on small files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/vfs.h"
+#include "util/types.h"
+
+namespace iotaxo::fs {
+
+struct LocalFsParams {
+  /// Per-operation latencies, loosely modelled on a 2006-era ext3 volume.
+  SimTime open_cost = from_micros(120.0);
+  SimTime create_cost = from_micros(260.0);
+  SimTime close_cost = from_micros(15.0);
+  SimTime stat_cost = from_micros(70.0);
+  SimTime statfs_cost = from_micros(60.0);
+  SimTime mkdir_cost = from_micros(300.0);
+  SimTime unlink_cost = from_micros(240.0);
+  SimTime readdir_cost_per_entry = from_micros(4.0);
+  SimTime readdir_cost_base = from_micros(90.0);
+  SimTime fsync_cost = from_millis(4.0);
+  SimTime mmap_cost = from_micros(35.0);
+
+  /// Per-I/O fixed cost plus streaming rate.
+  SimTime io_base_cost = from_micros(22.0);
+  double write_bandwidth_mbps = 58.0;
+  double read_bandwidth_mbps = 64.0;
+
+  ContentPolicy content = ContentPolicy::kMetadataOnly;
+  /// Refuse to retain more than this much content (guards tests against
+  /// accidentally materializing benchmark-scale files).
+  Bytes max_retained_bytes = 64 * kMiB;
+};
+
+class MemFs : public Vfs {
+ public:
+  explicit MemFs(LocalFsParams params = {});
+
+  [[nodiscard]] FsKind kind() const noexcept override { return FsKind::kLocal; }
+  [[nodiscard]] std::string fstype() const override { return "ext3"; }
+
+  VfsResult open(const std::string& path, OpenMode mode,
+                 const OpCtx& ctx) override;
+  VfsResult close(int fd, const OpCtx& ctx) override;
+  VfsResult read(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                 std::uint8_t* out) override;
+  VfsResult write(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                  const std::uint8_t* data) override;
+  VfsResult fsync(int fd, const OpCtx& ctx) override;
+  VfsResult stat(const std::string& path, const OpCtx& ctx) override;
+  VfsResult statfs(const OpCtx& ctx) override;
+  VfsResult mkdir(const std::string& path, const OpCtx& ctx) override;
+  VfsResult unlink(const std::string& path, const OpCtx& ctx) override;
+  VfsResult readdir(const std::string& path, const OpCtx& ctx) override;
+  VfsResult mmap(int fd, const OpCtx& ctx) override;
+  VfsResult mmap_read(int fd, Bytes offset, Bytes n, const OpCtx& ctx) override;
+  VfsResult mmap_write(int fd, Bytes offset, Bytes n,
+                       const OpCtx& ctx) override;
+
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] StatInfo stat_info(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& dir) const override;
+  [[nodiscard]] std::vector<std::uint8_t> content(
+      const std::string& path) const override;
+
+  [[nodiscard]] const LocalFsParams& params() const noexcept { return params_; }
+  [[nodiscard]] int open_handle_count() const noexcept;
+
+ private:
+  struct File {
+    Bytes size = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    bool is_dir = false;
+    std::vector<std::uint8_t> data;  // only with ContentPolicy::kRetain
+  };
+
+  struct Handle {
+    std::string path;
+    OpenMode mode;
+    bool mapped = false;
+  };
+
+  [[nodiscard]] File& file_for_fd(int fd);
+  [[nodiscard]] Handle& handle_for_fd(int fd);
+  [[nodiscard]] SimTime transfer_cost(Bytes n, bool is_write) const noexcept;
+
+  LocalFsParams params_;
+  std::map<std::string, File> files_;
+  std::map<int, Handle> handles_;
+  int next_fd_ = 3;
+};
+
+}  // namespace iotaxo::fs

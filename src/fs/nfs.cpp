@@ -1,0 +1,121 @@
+#include "fs/nfs.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace iotaxo::fs {
+
+NfsFs::NfsFs(VfsPtr inner, NfsParams params)
+    : inner_(std::move(inner)), params_(params), network_(params_.network) {
+  if (!inner_) {
+    throw ConfigError("NfsFs requires an inner file system");
+  }
+}
+
+SimTime NfsFs::rpc_cost(Bytes payload) const noexcept {
+  // request + response; payload rides on one direction.
+  return network_.transfer_time(payload, /*same_node=*/false) +
+         network_.transfer_time(128, /*same_node=*/false) +
+         params_.server_overhead;
+}
+
+VfsResult NfsFs::open(const std::string& path, OpenMode mode,
+                      const OpCtx& ctx) {
+  auto r = inner_->open(path, mode, ctx);
+  r.cost += rpc_cost(256);
+  return r;
+}
+
+VfsResult NfsFs::close(int fd, const OpCtx& ctx) {
+  auto r = inner_->close(fd, ctx);
+  r.cost += rpc_cost(64);
+  return r;
+}
+
+VfsResult NfsFs::read(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                      std::uint8_t* out) {
+  auto r = inner_->read(fd, offset, n, ctx, out);
+  r.cost += rpc_cost(r.value);
+  return r;
+}
+
+VfsResult NfsFs::write(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                       const std::uint8_t* data) {
+  auto r = inner_->write(fd, offset, n, ctx, data);
+  r.cost += rpc_cost(n);
+  return r;
+}
+
+VfsResult NfsFs::fsync(int fd, const OpCtx& ctx) {
+  auto r = inner_->fsync(fd, ctx);
+  r.cost += rpc_cost(64);
+  return r;
+}
+
+VfsResult NfsFs::stat(const std::string& path, const OpCtx& ctx) {
+  auto r = inner_->stat(path, ctx);
+  r.cost += static_cast<SimTime>(
+      static_cast<double>(rpc_cost(128)) * params_.attr_cache_discount);
+  return r;
+}
+
+VfsResult NfsFs::statfs(const OpCtx& ctx) {
+  auto r = inner_->statfs(ctx);
+  r.cost += rpc_cost(128);
+  return r;
+}
+
+VfsResult NfsFs::mkdir(const std::string& path, const OpCtx& ctx) {
+  auto r = inner_->mkdir(path, ctx);
+  r.cost += rpc_cost(256);
+  return r;
+}
+
+VfsResult NfsFs::unlink(const std::string& path, const OpCtx& ctx) {
+  auto r = inner_->unlink(path, ctx);
+  r.cost += rpc_cost(128);
+  return r;
+}
+
+VfsResult NfsFs::readdir(const std::string& path, const OpCtx& ctx) {
+  auto r = inner_->readdir(path, ctx);
+  r.cost += rpc_cost(r.value * 64);
+  return r;
+}
+
+VfsResult NfsFs::mmap(int fd, const OpCtx& ctx) {
+  auto r = inner_->mmap(fd, ctx);
+  r.cost += rpc_cost(64);
+  return r;
+}
+
+VfsResult NfsFs::mmap_read(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  auto r = inner_->mmap_read(fd, offset, n, ctx);
+  r.cost += rpc_cost(n);
+  return r;
+}
+
+VfsResult NfsFs::mmap_write(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  auto r = inner_->mmap_write(fd, offset, n, ctx);
+  r.cost += rpc_cost(n);
+  return r;
+}
+
+bool NfsFs::exists(const std::string& path) const {
+  return inner_->exists(path);
+}
+
+StatInfo NfsFs::stat_info(const std::string& path) const {
+  return inner_->stat_info(path);
+}
+
+std::vector<std::string> NfsFs::list(const std::string& dir) const {
+  return inner_->list(dir);
+}
+
+std::vector<std::uint8_t> NfsFs::content(const std::string& path) const {
+  return inner_->content(path);
+}
+
+}  // namespace iotaxo::fs

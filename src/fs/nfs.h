@@ -1,0 +1,63 @@
+// NFS-like remote file system: decorates an inner file system with
+// per-operation network round trips. Tracefs's developers validated their
+// tracer on NFS; our taxonomy experiments do the same.
+#pragma once
+
+#include <memory>
+
+#include "fs/vfs.h"
+#include "sim/network.h"
+
+namespace iotaxo::fs {
+
+struct NfsParams {
+  sim::NetworkParams network{};
+  /// Server-side request handling overhead per RPC.
+  SimTime server_overhead = from_micros(90.0);
+  /// Attribute-cache hit probability is modelled as a fixed discount on
+  /// stat-class calls instead of probabilistically, keeping runs exact.
+  double attr_cache_discount = 0.5;
+};
+
+class NfsFs : public Vfs {
+ public:
+  NfsFs(VfsPtr inner, NfsParams params = {});
+
+  [[nodiscard]] FsKind kind() const noexcept override { return FsKind::kNfs; }
+  [[nodiscard]] std::string fstype() const override { return "nfs"; }
+
+  VfsResult open(const std::string& path, OpenMode mode,
+                 const OpCtx& ctx) override;
+  VfsResult close(int fd, const OpCtx& ctx) override;
+  VfsResult read(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                 std::uint8_t* out) override;
+  VfsResult write(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                  const std::uint8_t* data) override;
+  VfsResult fsync(int fd, const OpCtx& ctx) override;
+  VfsResult stat(const std::string& path, const OpCtx& ctx) override;
+  VfsResult statfs(const OpCtx& ctx) override;
+  VfsResult mkdir(const std::string& path, const OpCtx& ctx) override;
+  VfsResult unlink(const std::string& path, const OpCtx& ctx) override;
+  VfsResult readdir(const std::string& path, const OpCtx& ctx) override;
+  VfsResult mmap(int fd, const OpCtx& ctx) override;
+  VfsResult mmap_read(int fd, Bytes offset, Bytes n, const OpCtx& ctx) override;
+  VfsResult mmap_write(int fd, Bytes offset, Bytes n,
+                       const OpCtx& ctx) override;
+
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] StatInfo stat_info(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& dir) const override;
+  [[nodiscard]] std::vector<std::uint8_t> content(
+      const std::string& path) const override;
+
+ private:
+  /// Round-trip cost for an RPC carrying `payload` bytes.
+  [[nodiscard]] SimTime rpc_cost(Bytes payload) const noexcept;
+
+  VfsPtr inner_;
+  NfsParams params_;
+  sim::Network network_;
+};
+
+}  // namespace iotaxo::fs

@@ -1,0 +1,66 @@
+#include "fs/path.h"
+
+namespace iotaxo::fs {
+
+std::vector<std::string> path_components(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      const std::string_view part = path.substr(start, i - start);
+      if (part == ".") {
+        continue;
+      }
+      if (part == "..") {
+        if (!parts.empty()) {
+          parts.pop_back();
+        }
+        continue;
+      }
+      parts.emplace_back(part);
+    }
+  }
+  return parts;
+}
+
+std::string normalize_path(std::string_view path) {
+  const auto parts = path_components(path);
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string parent_path(std::string_view path) {
+  auto parts = path_components(path);
+  if (parts.size() <= 1) {
+    return "/";
+  }
+  parts.pop_back();
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string base_name(std::string_view path) {
+  const auto parts = path_components(path);
+  return parts.empty() ? std::string{} : parts.back();
+}
+
+}  // namespace iotaxo::fs

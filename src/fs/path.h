@@ -1,0 +1,22 @@
+// Path normalization helpers for the simulated file systems.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotaxo::fs {
+
+/// Collapse "//", ".", ".." components; result always starts with '/'.
+[[nodiscard]] std::string normalize_path(std::string_view path);
+
+/// Parent directory of a normalized path ("/" for top-level entries).
+[[nodiscard]] std::string parent_path(std::string_view path);
+
+/// Final component ("" for "/").
+[[nodiscard]] std::string base_name(std::string_view path);
+
+/// Split a normalized path into components (no empty entries).
+[[nodiscard]] std::vector<std::string> path_components(std::string_view path);
+
+}  // namespace iotaxo::fs

@@ -1,0 +1,162 @@
+// The simulated Virtual File System interface.
+//
+// Every file system in the toolkit — the local ext3-like MemFs, the
+// NFS-like remote wrapper, the striped parallel file system, and the
+// Tracefs stacking shim — implements this interface. Operations return both
+// a value and the *virtual time cost* the operation consumed; the MPI
+// runtime charges that cost to the calling rank's clock.
+//
+// The interface is offset-explicit (pwrite-style). File cursors, seek
+// syscall events and fd bookkeeping live in the runtime layer so that file
+// systems stay stateless with respect to position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace iotaxo::fs {
+
+/// What family of file system this is. Frameworks declare (and the taxonomy
+/// classifier probes) which kinds they can trace.
+enum class FsKind { kLocal, kNfs, kParallel };
+
+/// Whether a file system retains written bytes (correctness tests) or only
+/// tracks metadata (benchmark-scale virtual files).
+enum class ContentPolicy { kMetadataOnly, kRetain };
+
+[[nodiscard]] const char* to_string(FsKind kind) noexcept;
+
+/// File-system level operations (the event vocabulary of a stackable
+/// tracer such as Tracefs).
+enum class VfsOp {
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kFsync,
+  kStat,
+  kStatfs,
+  kMkdir,
+  kUnlink,
+  kReaddir,
+  kMmap,
+  kMmapRead,
+  kMmapWrite,
+};
+
+[[nodiscard]] const char* to_string(VfsOp op) noexcept;
+
+struct OpenMode {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool append = false;
+
+  [[nodiscard]] static OpenMode read_only() noexcept { return {}; }
+  [[nodiscard]] static OpenMode write_create() noexcept {
+    return {.read = false, .write = true, .create = true, .truncate = true};
+  }
+  [[nodiscard]] static OpenMode read_write() noexcept {
+    return {.read = true, .write = true, .create = true};
+  }
+};
+
+/// Access-pattern hint passed down from MPI-IO so the parallel file system
+/// can model contention; ignored by local file systems.
+enum class AccessHint { kSequential, kStrided, kRandom };
+
+/// Per-call context: which node/rank issued the operation, plus identity
+/// fields that anonymizers may need to scrub. `now` carries the caller's
+/// current global virtual time so stacking shims (Tracefs) can timestamp
+/// the events they capture.
+struct OpCtx {
+  int node_id = 0;
+  int rank = 0;
+  std::uint32_t uid = 4001;
+  std::uint32_t gid = 400;
+  AccessHint hint = AccessHint::kSequential;
+  SimTime now = 0;
+};
+
+/// Result of every VFS call: the operation's return value (fd for open,
+/// byte count for read/write, size for stat, 0 otherwise) and the virtual
+/// time it consumed.
+struct VfsResult {
+  Bytes value = 0;
+  SimTime cost = 0;
+};
+
+struct StatInfo {
+  Bytes size = 0;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  bool is_dir = false;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  [[nodiscard]] virtual FsKind kind() const noexcept = 0;
+  /// e.g. "ext3", "nfs", "lanlfs". Matches what a mount table would show.
+  [[nodiscard]] virtual std::string fstype() const = 0;
+
+  /// Open `path`; returns fd in .value. Throws IoError for missing files
+  /// opened without create.
+  virtual VfsResult open(const std::string& path, OpenMode mode,
+                         const OpCtx& ctx) = 0;
+  virtual VfsResult close(int fd, const OpCtx& ctx) = 0;
+
+  /// Read up to n bytes at offset. If `out` is non-null and the file stores
+  /// content, bytes are copied there (used by correctness tests).
+  virtual VfsResult read(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                         std::uint8_t* out = nullptr) = 0;
+
+  /// Write n bytes at offset. If `data` is non-null and the file system
+  /// stores content, bytes are retained; otherwise only metadata moves.
+  virtual VfsResult write(int fd, Bytes offset, Bytes n, const OpCtx& ctx,
+                          const std::uint8_t* data = nullptr) = 0;
+
+  virtual VfsResult fsync(int fd, const OpCtx& ctx) = 0;
+  virtual VfsResult stat(const std::string& path, const OpCtx& ctx) = 0;
+  virtual VfsResult statfs(const OpCtx& ctx) = 0;
+  virtual VfsResult mkdir(const std::string& path, const OpCtx& ctx) = 0;
+  virtual VfsResult unlink(const std::string& path, const OpCtx& ctx) = 0;
+  virtual VfsResult readdir(const std::string& path, const OpCtx& ctx) = 0;
+
+  /// Map a file; subsequent mmap_read/mmap_write model paged I/O that
+  /// bypasses the read/write syscall path (invisible to syscall tracers,
+  /// visible at the VFS layer).
+  virtual VfsResult mmap(int fd, const OpCtx& ctx) = 0;
+  virtual VfsResult mmap_read(int fd, Bytes offset, Bytes n,
+                              const OpCtx& ctx) = 0;
+  virtual VfsResult mmap_write(int fd, Bytes offset, Bytes n,
+                               const OpCtx& ctx) = 0;
+
+  /// How much a tracer-induced stop of the process owning `fd` stalls
+  /// *other* processes (stripe-lock coupling on shared parallel files).
+  /// 1.0 everywhere except the parallel file system. Decorating file
+  /// systems must forward this to their inner layer.
+  [[nodiscard]] virtual double stall_amplification(int fd) const noexcept {
+    (void)fd;
+    return 1.0;
+  }
+
+  // ---- introspection (zero-cost; used by tests and analysis) ----
+  [[nodiscard]] virtual bool exists(const std::string& path) const = 0;
+  [[nodiscard]] virtual StatInfo stat_info(const std::string& path) const = 0;
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& dir) const = 0;
+  /// Retrieve stored content (empty if the fs was told not to retain data).
+  [[nodiscard]] virtual std::vector<std::uint8_t> content(
+      const std::string& path) const = 0;
+};
+
+using VfsPtr = std::shared_ptr<Vfs>;
+
+}  // namespace iotaxo::fs

@@ -1,0 +1,322 @@
+#include "mpi/program.h"
+
+#include <map>
+#include <set>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::mpi {
+
+const char* to_string(OpType type) noexcept {
+  switch (type) {
+    case OpType::kCompute:
+      return "compute";
+    case OpType::kOpen:
+      return "open";
+    case OpType::kClose:
+      return "close";
+    case OpType::kWriteBlocks:
+      return "write_blocks";
+    case OpType::kReadBlocks:
+      return "read_blocks";
+    case OpType::kFsync:
+      return "fsync";
+    case OpType::kStat:
+      return "stat";
+    case OpType::kStatfs:
+      return "statfs";
+    case OpType::kMkdir:
+      return "mkdir";
+    case OpType::kUnlink:
+      return "unlink";
+    case OpType::kReaddir:
+      return "readdir";
+    case OpType::kMmap:
+      return "mmap";
+    case OpType::kMmapWrite:
+      return "mmap_write";
+    case OpType::kMmapRead:
+      return "mmap_read";
+    case OpType::kBarrier:
+      return "barrier";
+    case OpType::kSend:
+      return "send";
+    case OpType::kRecv:
+      return "recv";
+    case OpType::kClockProbe:
+      return "clock_probe";
+    case OpType::kAnnotate:
+      return "annotate";
+  }
+  return "?";
+}
+
+ScriptBuilder& ScriptBuilder::compute(SimTime duration) {
+  Op op;
+  op.type = OpType::kCompute;
+  op.duration = duration;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::open(int slot, std::string path,
+                                   fs::OpenMode mode, fs::AccessHint hint,
+                                   Api api) {
+  Op op;
+  op.type = OpType::kOpen;
+  op.slot = slot;
+  op.path = std::move(path);
+  op.mode = mode;
+  op.hint = hint;
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::close(int slot, Api api) {
+  Op op;
+  op.type = OpType::kClose;
+  op.slot = slot;
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::write_blocks(int slot, Bytes block,
+                                           long long count, Bytes start_offset,
+                                           Bytes stride, Api api) {
+  Op op;
+  op.type = OpType::kWriteBlocks;
+  op.slot = slot;
+  op.block = block;
+  op.count = count;
+  op.start_offset = start_offset;
+  op.stride = stride;
+  op.api = api;
+  op.hint = stride > 0 && stride != block ? fs::AccessHint::kStrided
+                                          : fs::AccessHint::kSequential;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::read_blocks(int slot, Bytes block,
+                                          long long count, Bytes start_offset,
+                                          Bytes stride, Api api) {
+  Op op;
+  op.type = OpType::kReadBlocks;
+  op.slot = slot;
+  op.block = block;
+  op.count = count;
+  op.start_offset = start_offset;
+  op.stride = stride;
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::fsync(int slot, Api api) {
+  Op op;
+  op.type = OpType::kFsync;
+  op.slot = slot;
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::stat(std::string path, Api api) {
+  Op op;
+  op.type = OpType::kStat;
+  op.path = std::move(path);
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::statfs(Api api) {
+  Op op;
+  op.type = OpType::kStatfs;
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::mkdir(std::string path, Api api) {
+  Op op;
+  op.type = OpType::kMkdir;
+  op.path = std::move(path);
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::unlink(std::string path, Api api) {
+  Op op;
+  op.type = OpType::kUnlink;
+  op.path = std::move(path);
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::readdir(std::string path, Api api) {
+  Op op;
+  op.type = OpType::kReaddir;
+  op.path = std::move(path);
+  op.api = api;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::mmap(int slot) {
+  Op op;
+  op.type = OpType::kMmap;
+  op.slot = slot;
+  op.api = Api::kPosix;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::mmap_write(int slot, Bytes block,
+                                         long long count, Bytes start_offset) {
+  Op op;
+  op.type = OpType::kMmapWrite;
+  op.slot = slot;
+  op.block = block;
+  op.count = count;
+  op.start_offset = start_offset;
+  op.api = Api::kPosix;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::mmap_read(int slot, Bytes block, long long count,
+                                        Bytes start_offset) {
+  Op op;
+  op.type = OpType::kMmapRead;
+  op.slot = slot;
+  op.block = block;
+  op.count = count;
+  op.start_offset = start_offset;
+  op.api = Api::kPosix;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::barrier(std::string label) {
+  Op op;
+  op.type = OpType::kBarrier;
+  op.label = std::move(label);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::send(int peer, Bytes bytes, int tag) {
+  Op op;
+  op.type = OpType::kSend;
+  op.peer = peer;
+  op.msg_bytes = bytes;
+  op.tag = tag;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::recv(int peer, int tag) {
+  Op op;
+  op.type = OpType::kRecv;
+  op.peer = peer;
+  op.tag = tag;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::clock_probe(std::string label) {
+  Op op;
+  op.type = OpType::kClockProbe;
+  op.label = std::move(label);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::annotate(std::string text) {
+  Op op;
+  op.type = OpType::kAnnotate;
+  op.label = std::move(text);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+void validate_job(const std::vector<Program>& per_rank) {
+  if (per_rank.empty()) {
+    throw ConfigError("job has no ranks");
+  }
+  // Matching barrier counts.
+  std::size_t barriers0 = 0;
+  for (const Op& op : per_rank[0]) {
+    if (op.type == OpType::kBarrier) {
+      ++barriers0;
+    }
+  }
+  for (std::size_t r = 1; r < per_rank.size(); ++r) {
+    std::size_t b = 0;
+    for (const Op& op : per_rank[r]) {
+      if (op.type == OpType::kBarrier) {
+        ++b;
+      }
+    }
+    if (b != barriers0) {
+      throw ConfigError(
+          strprintf("rank %zu has %zu barriers, rank 0 has %zu", r, b,
+                    barriers0));
+    }
+  }
+  // Send/recv pairing by (src,dst,tag) counts.
+  std::map<std::tuple<int, int, int>, long long> balance;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    for (const Op& op : per_rank[r]) {
+      if (op.type == OpType::kSend) {
+        ++balance[{static_cast<int>(r), op.peer, op.tag}];
+      } else if (op.type == OpType::kRecv) {
+        --balance[{op.peer, static_cast<int>(r), op.tag}];
+      }
+    }
+  }
+  for (const auto& [key, v] : balance) {
+    if (v != 0) {
+      throw ConfigError("unbalanced send/recv in job");
+    }
+  }
+  // Slots must be opened before use and closed at most once per open.
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    std::set<int> open_slots;
+    for (const Op& op : per_rank[r]) {
+      switch (op.type) {
+        case OpType::kOpen:
+          open_slots.insert(op.slot);
+          break;
+        case OpType::kClose:
+          if (open_slots.erase(op.slot) == 0) {
+            throw ConfigError(
+                strprintf("rank %zu closes slot %d before opening it", r,
+                          op.slot));
+          }
+          break;
+        case OpType::kWriteBlocks:
+        case OpType::kReadBlocks:
+        case OpType::kFsync:
+        case OpType::kMmap:
+        case OpType::kMmapWrite:
+        case OpType::kMmapRead:
+          if (!open_slots.contains(op.slot)) {
+            throw ConfigError(strprintf(
+                "rank %zu uses slot %d before opening it", r, op.slot));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace iotaxo::mpi

@@ -1,0 +1,128 @@
+// Rank programs: the op-level representation of a (simulated) parallel
+// application. Workload generators build one Program per rank; the Runtime
+// executes them in virtual time, emitting trace events to whatever
+// interposition mechanisms are attached.
+//
+// This design (deterministic op scripts instead of live threads) keeps every
+// experiment in the paper bit-reproducible: identical seeds and parameters
+// give identical traces, timings and overhead percentages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/vfs.h"
+#include "util/types.h"
+
+namespace iotaxo::mpi {
+
+/// Which API family the application used for an operation. MPI-IO calls
+/// map to different library-call names (and open-time syscall sequences)
+/// than plain POSIX calls, which matters to library-level tracers.
+enum class Api { kPosix, kMpiIo };
+
+enum class OpType {
+  kCompute,     // advance local clock (CPU work)
+  kOpen,        // open/create file into a slot
+  kClose,       // close slot
+  kWriteBlocks, // `count` writes of `block` bytes (strided or contiguous)
+  kReadBlocks,  // `count` reads
+  kFsync,
+  kStat,
+  kStatfs,
+  kMkdir,
+  kUnlink,
+  kReaddir,
+  kMmap,        // map the slot's file
+  kMmapWrite,   // memory-mapped store (invisible to syscall tracers)
+  kMmapRead,
+  kBarrier,     // global barrier (labels feed bandwidth windows)
+  kSend,        // point-to-point message
+  kRecv,
+  kClockProbe,  // record node-local time (skew/drift accounting job)
+  kAnnotate,    // annotation record in the trace
+};
+
+[[nodiscard]] const char* to_string(OpType type) noexcept;
+
+struct Op {
+  OpType type{};
+  Api api = Api::kMpiIo;
+
+  std::string path;  // open/stat/mkdir/unlink/readdir
+  int slot = 0;      // program-local file handle index
+
+  Bytes block = 0;        // block size for *Blocks / Mmap* ops
+  long long count = 1;    // number of blocks
+  Bytes start_offset = -1;  // -1: continue from the slot cursor
+  Bytes stride = 0;         // 0: contiguous; else distance between blocks
+
+  SimTime duration = 0;  // kCompute
+
+  int peer = -1;       // kSend/kRecv
+  int tag = 0;
+  Bytes msg_bytes = 0;
+
+  fs::OpenMode mode{};
+  fs::AccessHint hint = fs::AccessHint::kSequential;
+
+  std::string label;  // barrier label / probe label / annotation text
+};
+
+using Program = std::vector<Op>;
+
+/// Fluent builder so examples and workloads read like application code.
+class ScriptBuilder {
+ public:
+  ScriptBuilder& compute(SimTime duration);
+  ScriptBuilder& open(int slot, std::string path, fs::OpenMode mode,
+                      fs::AccessHint hint = fs::AccessHint::kSequential,
+                      Api api = Api::kMpiIo);
+  ScriptBuilder& close(int slot, Api api = Api::kMpiIo);
+  ScriptBuilder& write_blocks(int slot, Bytes block, long long count,
+                              Bytes start_offset = -1, Bytes stride = 0,
+                              Api api = Api::kMpiIo);
+  ScriptBuilder& read_blocks(int slot, Bytes block, long long count,
+                             Bytes start_offset = -1, Bytes stride = 0,
+                             Api api = Api::kMpiIo);
+  ScriptBuilder& fsync(int slot, Api api = Api::kPosix);
+  ScriptBuilder& stat(std::string path, Api api = Api::kPosix);
+  ScriptBuilder& statfs(Api api = Api::kPosix);
+  ScriptBuilder& mkdir(std::string path, Api api = Api::kPosix);
+  ScriptBuilder& unlink(std::string path, Api api = Api::kPosix);
+  ScriptBuilder& readdir(std::string path, Api api = Api::kPosix);
+  ScriptBuilder& mmap(int slot);
+  ScriptBuilder& mmap_write(int slot, Bytes block, long long count,
+                            Bytes start_offset = 0);
+  ScriptBuilder& mmap_read(int slot, Bytes block, long long count,
+                           Bytes start_offset = 0);
+  ScriptBuilder& barrier(std::string label = {});
+  ScriptBuilder& send(int peer, Bytes bytes, int tag = 0);
+  ScriptBuilder& recv(int peer, int tag = 0);
+  ScriptBuilder& clock_probe(std::string label);
+  ScriptBuilder& annotate(std::string text);
+
+  [[nodiscard]] Program build() && { return std::move(ops_); }
+  [[nodiscard]] const Program& ops() const noexcept { return ops_; }
+
+ private:
+  Program ops_;
+};
+
+/// Static sanity checks on a job (matching barrier counts across ranks,
+/// send/recv pairing, slots opened before use). Throws ConfigError.
+void validate_job(const std::vector<Program>& per_rank);
+
+/// A complete parallel application: one program per rank plus the command
+/// line it would have been launched with (annotations and trace metadata
+/// quote it, Figure 1 style).
+struct Job {
+  std::vector<Program> programs;
+  std::string cmdline = "/app.exe";
+
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(programs.size());
+  }
+};
+
+}  // namespace iotaxo::mpi

@@ -1,0 +1,322 @@
+#include "pfs/pfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fs/path.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::pfs {
+
+using fs::AccessHint;
+using fs::OpCtx;
+using fs::OpenMode;
+using fs::VfsResult;
+
+Pfs::Pfs(PfsParams params)
+    : params_(params),
+      layout_(params_.targets, params_.stripe_unit) {
+  targets_.reserve(static_cast<std::size_t>(params_.targets));
+  for (int i = 0; i < params_.targets; ++i) {
+    targets_.emplace_back(i, params_.disk);
+  }
+  files_["/"] =
+      File{.size = 0, .uid = 0, .gid = 0, .is_dir = true,
+           .writer_ranks = {}, .data = {}};
+}
+
+Pfs::File& Pfs::file_for_fd(int fd) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("pfs: bad fd %d", fd));
+  }
+  const auto fit = files_.find(it->second.path);
+  if (fit == files_.end()) {
+    throw IoError("pfs: file vanished under open handle: " + it->second.path);
+  }
+  return fit->second;
+}
+
+const Pfs::Handle& Pfs::handle_for_fd(int fd) const {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("pfs: bad fd %d", fd));
+  }
+  return it->second;
+}
+
+SimTime Pfs::write_cost(const Handle& h, const File& f, Bytes n) const noexcept {
+  const int writers = static_cast<int>(f.writer_ranks.size());
+  const bool shared = writers > 1;
+  SimTime per_op = params_.raid_setup;
+  double mbps = params_.stream_mbps_exclusive;
+  if (shared) {
+    per_op += params_.lock_rpc +
+              params_.lock_contention_per_writer * (writers - 1);
+    mbps = params_.stream_mbps_shared;
+    if (h.hint == AccessHint::kStrided) {
+      per_op += params_.strided_placement_per_writer * (writers - 1);
+      mbps = params_.stream_mbps_shared_strided;
+    }
+  }
+  const double transfer_s =
+      static_cast<double>(n) / (mbps * 1024.0 * 1024.0);
+  return per_op + from_seconds(transfer_s);
+}
+
+SimTime Pfs::read_cost(const Handle& h, const File& f, Bytes n) const noexcept {
+  (void)h;
+  const int writers = static_cast<int>(f.writer_ranks.size());
+  const bool shared = writers > 1;
+  SimTime per_op = params_.read_setup;
+  double mbps = params_.read_mbps_exclusive;
+  if (shared) {
+    per_op += params_.read_lock_rpc +
+              params_.read_contention_per_reader * (writers - 1);
+    mbps = params_.read_mbps_shared;
+  }
+  const double transfer_s =
+      static_cast<double>(n) / (mbps * 1024.0 * 1024.0);
+  return per_op + from_seconds(transfer_s);
+}
+
+VfsResult Pfs::open(const std::string& raw_path, OpenMode mode,
+                    const OpCtx& ctx) {
+  const std::string path = fs::normalize_path(raw_path);
+  SimTime cost = params_.open_cost;
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!mode.create) {
+      throw IoError("pfs open: no such file: " + path);
+    }
+    File f;
+    f.uid = ctx.uid;
+    f.gid = ctx.gid;
+    it = files_.emplace(path, std::move(f)).first;
+    cost = params_.create_cost;
+  } else if (it->second.is_dir) {
+    throw IoError("pfs open: is a directory: " + path);
+  } else if (mode.truncate) {
+    it->second.size = 0;
+    it->second.data.clear();
+  }
+  if (mode.write || mode.append) {
+    it->second.writer_ranks.insert(ctx.rank);
+  }
+  const int fd = next_fd_++;
+  handles_[fd] = Handle{path, mode, ctx.hint, ctx.rank, false};
+  return {fd, cost};
+}
+
+VfsResult Pfs::close(int fd, const OpCtx& /*ctx*/) {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("pfs close: bad fd %d", fd));
+  }
+  const Handle& h = it->second;
+  const auto fit = files_.find(h.path);
+  if (fit != files_.end() && (h.mode.write || h.mode.append)) {
+    // Only drop the writer registration if no other handle from the same
+    // rank still writes this file.
+    bool other_writer_handle = false;
+    for (const auto& [ofd, oh] : handles_) {
+      if (ofd != fd && oh.path == h.path && oh.rank == h.rank &&
+          (oh.mode.write || oh.mode.append)) {
+        other_writer_handle = true;
+        break;
+      }
+    }
+    if (!other_writer_handle) {
+      fit->second.writer_ranks.erase(h.rank);
+    }
+  }
+  handles_.erase(it);
+  return {0, params_.close_cost};
+}
+
+VfsResult Pfs::read(int fd, Bytes offset, Bytes n, const OpCtx& /*ctx*/,
+                    std::uint8_t* out) {
+  const Handle& h = handle_for_fd(fd);
+  File& f = file_for_fd(fd);
+  if (offset < 0 || n < 0) {
+    throw IoError("pfs read: negative offset or count");
+  }
+  const Bytes avail = std::max<Bytes>(0, f.size - offset);
+  const Bytes got = std::min(n, avail);
+  if (out != nullptr && !f.data.empty() && got > 0) {
+    const Bytes stored =
+        std::min<Bytes>(got, static_cast<Bytes>(f.data.size()) - offset);
+    if (stored > 0) {
+      std::memcpy(out, f.data.data() + offset,
+                  static_cast<std::size_t>(stored));
+    }
+  }
+  return {got, read_cost(h, f, got)};
+}
+
+VfsResult Pfs::write(int fd, Bytes offset, Bytes n, const OpCtx& /*ctx*/,
+                     const std::uint8_t* data) {
+  const Handle& h = handle_for_fd(fd);
+  if (!h.mode.write && !h.mode.append) {
+    throw IoError("pfs write: fd not opened for writing");
+  }
+  File& f = file_for_fd(fd);
+  if (offset < 0 || n < 0) {
+    throw IoError("pfs write: negative offset or count");
+  }
+  const Bytes end = offset + n;
+  f.size = std::max(f.size, end);
+  if (params_.content == fs::ContentPolicy::kRetain && data != nullptr) {
+    if (end > params_.max_retained_bytes) {
+      throw ConfigError("pfs content retention limit exceeded");
+    }
+    if (static_cast<Bytes>(f.data.size()) < end) {
+      f.data.resize(static_cast<std::size_t>(end), 0);
+    }
+    std::memcpy(f.data.data() + offset, data, static_cast<std::size_t>(n));
+  }
+  // Account placement to physical targets (bookkeeping for tests/analysis).
+  const StripeLocation loc = layout_.locate(offset);
+  targets_[static_cast<std::size_t>(loc.target)].account_write(n);
+  return {n, write_cost(h, f, n)};
+}
+
+VfsResult Pfs::fsync(int fd, const OpCtx& /*ctx*/) {
+  (void)file_for_fd(fd);
+  return {0, params_.fsync_cost};
+}
+
+VfsResult Pfs::stat(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const std::string path = fs::normalize_path(raw_path);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError("pfs stat: no such file: " + path);
+  }
+  return {it->second.size, params_.stat_cost};
+}
+
+VfsResult Pfs::statfs(const OpCtx& /*ctx*/) {
+  return {0, params_.statfs_cost};
+}
+
+VfsResult Pfs::mkdir(const std::string& raw_path, const OpCtx& ctx) {
+  const std::string path = fs::normalize_path(raw_path);
+  if (files_.contains(path)) {
+    throw IoError("pfs mkdir: exists: " + path);
+  }
+  File d;
+  d.is_dir = true;
+  d.uid = ctx.uid;
+  d.gid = ctx.gid;
+  files_.emplace(path, std::move(d));
+  return {0, params_.mkdir_cost};
+}
+
+VfsResult Pfs::unlink(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const std::string path = fs::normalize_path(raw_path);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw IoError("pfs unlink: no such file: " + path);
+  }
+  if (it->second.is_dir) {
+    throw IoError("pfs unlink: is a directory: " + path);
+  }
+  files_.erase(it);
+  return {0, params_.unlink_cost};
+}
+
+VfsResult Pfs::readdir(const std::string& raw_path, const OpCtx& /*ctx*/) {
+  const auto entries = list(raw_path);
+  const SimTime cost =
+      params_.readdir_cost_base +
+      params_.readdir_cost_per_entry * static_cast<SimTime>(entries.size());
+  return {static_cast<Bytes>(entries.size()), cost};
+}
+
+VfsResult Pfs::mmap(int fd, const OpCtx& /*ctx*/) {
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    throw IoError(strprintf("pfs mmap: bad fd %d", fd));
+  }
+  it->second.mapped = true;
+  return {0, params_.mmap_cost};
+}
+
+VfsResult Pfs::mmap_read(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  const Handle& h = handle_for_fd(fd);
+  if (!h.mapped) {
+    throw IoError("pfs mmap_read: fd not mapped");
+  }
+  return read(fd, offset, n, ctx, nullptr);
+}
+
+VfsResult Pfs::mmap_write(int fd, Bytes offset, Bytes n, const OpCtx& ctx) {
+  const Handle& h = handle_for_fd(fd);
+  if (!h.mapped) {
+    throw IoError("pfs mmap_write: fd not mapped");
+  }
+  return write(fd, offset, n, ctx, nullptr);
+}
+
+bool Pfs::exists(const std::string& path) const {
+  return files_.contains(fs::normalize_path(path));
+}
+
+fs::StatInfo Pfs::stat_info(const std::string& path) const {
+  const auto it = files_.find(fs::normalize_path(path));
+  if (it == files_.end()) {
+    throw IoError("pfs stat_info: no such file: " + path);
+  }
+  return {it->second.size, it->second.uid, it->second.gid, it->second.is_dir};
+}
+
+std::vector<std::string> Pfs::list(const std::string& raw_dir) const {
+  const std::string dir = fs::normalize_path(raw_dir);
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (path == dir || !starts_with(path, prefix)) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Pfs::content(const std::string& path) const {
+  const auto it = files_.find(fs::normalize_path(path));
+  if (it == files_.end()) {
+    throw IoError("pfs content: no such file: " + path);
+  }
+  return it->second.data;
+}
+
+double Pfs::stall_amplification(int fd) const noexcept {
+  const auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    return 1.0;
+  }
+  const auto fit = files_.find(it->second.path);
+  if (fit == files_.end()) {
+    return 1.0;
+  }
+  const int writers = static_cast<int>(fit->second.writer_ranks.size());
+  if (writers <= 1 ||
+      !(it->second.mode.write || it->second.mode.append)) {
+    return 1.0;
+  }
+  return 1.0 + params_.tracer_lock_coupling * (writers - 1);
+}
+
+int Pfs::writer_count(const std::string& path) const {
+  const auto it = files_.find(fs::normalize_path(path));
+  return it == files_.end()
+             ? 0
+             : static_cast<int>(it->second.writer_ranks.size());
+}
+
+}  // namespace iotaxo::pfs

@@ -1,0 +1,48 @@
+#include "pfs/raid.h"
+
+#include "util/error.h"
+
+namespace iotaxo::pfs {
+
+Raid5Layout::Raid5Layout(int targets, Bytes stripe_unit)
+    : targets_(targets), stripe_unit_(stripe_unit) {
+  if (targets_ < 3) {
+    throw ConfigError("RAID-5 needs at least 3 targets");
+  }
+  if (stripe_unit_ <= 0) {
+    throw ConfigError("stripe unit must be positive");
+  }
+}
+
+StripeLocation Raid5Layout::locate(Bytes offset) const noexcept {
+  const Bytes data_per_row = full_stripe_bytes();
+  StripeLocation loc;
+  loc.row = offset / data_per_row;
+  loc.data_column = static_cast<int>((offset % data_per_row) / stripe_unit_);
+  // Left-symmetric: parity rotates right-to-left; data columns shift so
+  // that sequential rows use all targets evenly.
+  loc.parity_target = static_cast<int>(
+      (targets_ - 1) - (loc.row % targets_));
+  const int physical =
+      (loc.parity_target + 1 + loc.data_column) % targets_;
+  loc.target = physical;
+  return loc;
+}
+
+bool Raid5Layout::is_partial_stripe_write(Bytes offset,
+                                          Bytes n) const noexcept {
+  const Bytes data_per_row = full_stripe_bytes();
+  return (offset % data_per_row) != 0 || (n % data_per_row) != 0;
+}
+
+long long Raid5Layout::rows_touched(Bytes offset, Bytes n) const noexcept {
+  if (n <= 0) {
+    return 0;
+  }
+  const Bytes data_per_row = full_stripe_bytes();
+  const long long first = offset / data_per_row;
+  const long long last = (offset + n - 1) / data_per_row;
+  return last - first + 1;
+}
+
+}  // namespace iotaxo::pfs

@@ -1,0 +1,46 @@
+// RAID-5 layout geometry: left-symmetric parity rotation over N targets
+// with a fixed stripe unit (64 KiB in the paper's testbed: "RAID 5 with a
+// stripe width of 64 kilobytes across 252 hard drives").
+#pragma once
+
+#include "util/types.h"
+
+namespace iotaxo::pfs {
+
+struct StripeLocation {
+  long long row = 0;      // stripe row index
+  int data_column = 0;    // logical data column within the row
+  int target = 0;         // physical target holding the data unit
+  int parity_target = 0;  // physical target holding the row's parity
+};
+
+class Raid5Layout {
+ public:
+  Raid5Layout(int targets, Bytes stripe_unit);
+
+  [[nodiscard]] int targets() const noexcept { return targets_; }
+  [[nodiscard]] Bytes stripe_unit() const noexcept { return stripe_unit_; }
+
+  /// Data bytes per full stripe row ((targets-1) data units).
+  [[nodiscard]] Bytes full_stripe_bytes() const noexcept {
+    return stripe_unit_ * (targets_ - 1);
+  }
+
+  /// Map a logical byte offset to its physical placement.
+  [[nodiscard]] StripeLocation locate(Bytes offset) const noexcept;
+
+  /// True if a write of [offset, offset+n) covers only part of a stripe
+  /// row, forcing a read-modify-write of the parity unit.
+  [[nodiscard]] bool is_partial_stripe_write(Bytes offset,
+                                             Bytes n) const noexcept;
+
+  /// Number of distinct stripe rows the byte range touches (each row has an
+  /// independent lock domain in the PFS contention model).
+  [[nodiscard]] long long rows_touched(Bytes offset, Bytes n) const noexcept;
+
+ private:
+  int targets_;
+  Bytes stripe_unit_;
+};
+
+}  // namespace iotaxo::pfs

@@ -1,0 +1,47 @@
+// A single storage target (disk) behind the parallel file system.
+// Used by the RAID layout for placement bookkeeping; aggregate timing is
+// governed by PfsParams (see pfs.h) which models the measured end-to-end
+// behaviour of the paper's 252-drive RAID-5 volume.
+#pragma once
+
+#include "util/types.h"
+
+namespace iotaxo::pfs {
+
+struct DiskParams {
+  SimTime avg_seek = from_millis(8.0);
+  SimTime half_rotation = from_millis(4.1);  // 7200 RPM class
+  double stream_mbps = 72.0;
+};
+
+class StorageTarget {
+ public:
+  StorageTarget() noexcept = default;
+  explicit StorageTarget(int id, DiskParams params = {}) noexcept
+      : id_(id), params_(params) {}
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const DiskParams& params() const noexcept { return params_; }
+
+  /// Positioned access: seek + rotate + transfer.
+  [[nodiscard]] SimTime random_io_time(Bytes n) const noexcept {
+    return params_.avg_seek + params_.half_rotation + stream_time(n);
+  }
+
+  /// Streaming transfer only.
+  [[nodiscard]] SimTime stream_time(Bytes n) const noexcept {
+    const double seconds =
+        static_cast<double>(n) / (params_.stream_mbps * 1024.0 * 1024.0);
+    return from_seconds(seconds);
+  }
+
+  [[nodiscard]] Bytes bytes_written() const noexcept { return bytes_written_; }
+  void account_write(Bytes n) noexcept { bytes_written_ += n; }
+
+ private:
+  int id_ = 0;
+  DiskParams params_{};
+  Bytes bytes_written_ = 0;
+};
+
+}  // namespace iotaxo::pfs

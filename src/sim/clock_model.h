@@ -1,0 +1,52 @@
+// Per-node clock model with skew (constant offset) and drift (rate error).
+//
+// The paper's taxonomy feature "Accounts for time skew and drift" (§3.1)
+// requires trace timestamps to come from *node-local* clocks that disagree.
+// We model node n's local clock as
+//
+//     local(t) = epoch + t * (1 + drift_ppm * 1e-6) + offset
+//
+// where t is true (global simulation) time. LANL-Trace's pre/post barrier
+// job samples local clocks at known global instants, letting the analysis
+// layer (analysis/skew_drift) recover offset and drift.
+#pragma once
+
+#include "util/types.h"
+
+namespace iotaxo::sim {
+
+class ClockModel {
+ public:
+  ClockModel() noexcept = default;
+
+  /// epoch: local wall-clock value at global time 0 (lets traces print
+  /// realistic absolute timestamps). offset: skew vs true time. drift_ppm:
+  /// parts-per-million rate error.
+  ClockModel(SimTime epoch, SimTime offset, double drift_ppm) noexcept
+      : epoch_(epoch), offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// Convert a global simulation instant to this node's local clock reading.
+  [[nodiscard]] SimTime local(SimTime global) const noexcept {
+    const double skewed =
+        static_cast<double>(global) * (1.0 + drift_ppm_ * 1e-6);
+    return epoch_ + offset_ + static_cast<SimTime>(skewed);
+  }
+
+  /// Invert local() — recover the global instant for a local reading.
+  [[nodiscard]] SimTime global(SimTime local_time) const noexcept {
+    const double t = static_cast<double>(local_time - epoch_ - offset_) /
+                     (1.0 + drift_ppm_ * 1e-6);
+    return static_cast<SimTime>(t);
+  }
+
+  [[nodiscard]] SimTime epoch() const noexcept { return epoch_; }
+  [[nodiscard]] SimTime offset() const noexcept { return offset_; }
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  SimTime epoch_ = 0;
+  SimTime offset_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace iotaxo::sim

@@ -1,0 +1,45 @@
+#include "sim/cluster.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::sim {
+
+Cluster::Cluster(ClusterParams params)
+    : params_(std::move(params)), network_(params_.network) {
+  if (params_.node_count <= 0) {
+    throw ConfigError("cluster needs at least one node");
+  }
+  Rng rng(params_.seed);
+  nodes_.reserve(static_cast<std::size_t>(params_.node_count));
+  for (int id = 0; id < params_.node_count; ++id) {
+    Node n;
+    n.id = id;
+    n.hostname = strprintf("%s%d.lanl.gov", params_.hostname_stem.c_str(), id);
+    const SimTime offset =
+        rng.uniform(-params_.max_skew, params_.max_skew);
+    const double drift =
+        rng.normal(0.0, params_.max_drift_ppm / 2.0);
+    n.clock = ClockModel(params_.epoch, offset, drift);
+    n.first_pid = 10000u + static_cast<std::uint32_t>(id) * 37u;
+    double speed = rng.normal(1.0, params_.io_speed_sigma);
+    if (speed < 0.85) {
+      speed = 0.85;  // clip pathological draws
+    }
+    n.io_speed_factor = speed;
+    nodes_.push_back(std::move(n));
+  }
+}
+
+const Node& Cluster::node(int id) const {
+  if (id < 0 || id >= node_count()) {
+    throw ConfigError(strprintf("node id %d out of range", id));
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+SimTime Cluster::local_time(int node_id, SimTime global) const {
+  return node(node_id).clock.local(global);
+}
+
+}  // namespace iotaxo::sim

@@ -1,0 +1,74 @@
+// The simulated cluster: a set of compute nodes, each with its own clock
+// model, connected by an interconnect. This is the substrate every traced
+// application and every tracing framework runs on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock_model.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace iotaxo::sim {
+
+struct Node {
+  int id = 0;
+  std::string hostname;
+  ClockModel clock;
+  /// Base pid assigned to the first simulated process on this node.
+  std::uint32_t first_pid = 10000;
+  /// Per-node I/O speed multiplier (~N(1, sigma)); real clusters are never
+  /// perfectly homogeneous, and replay-fidelity experiments depend on it.
+  double io_speed_factor = 1.0;
+};
+
+struct ClusterParams {
+  int node_count = 32;
+  /// Hostname stem; nodes are named "<stem><id>.lanl.gov" like the paper's
+  /// sample output (host13.lanl.gov, ...).
+  std::string hostname_stem = "host";
+  NetworkParams network{};
+
+  /// Clock imperfection ranges. Skew offsets are drawn uniformly in
+  /// [-max_skew, +max_skew]; drift in [-max_drift_ppm, +max_drift_ppm].
+  SimTime max_skew = from_millis(250.0);
+  double max_drift_ppm = 40.0;
+
+  /// Local wall-clock epoch: 2006-10-02 ~10:59 UTC, matching the paper's
+  /// Figure 1 timestamps (1159808385.xx).
+  SimTime epoch = 1159808385LL * kSecond;
+
+  /// Relative sigma of per-node I/O speed (0 = perfectly homogeneous).
+  double io_speed_sigma = 0.02;
+
+  /// Seed controlling the skew/drift/speed draws (and nothing else).
+  std::uint64_t seed = 0x10C4;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params = {});
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const Node& node(int id) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }
+
+  /// Local clock reading of `node_id` at global instant `global`.
+  [[nodiscard]] SimTime local_time(int node_id, SimTime global) const;
+
+ private:
+  ClusterParams params_;
+  std::vector<Node> nodes_;
+  Network network_;
+};
+
+}  // namespace iotaxo::sim

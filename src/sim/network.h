@@ -1,0 +1,44 @@
+// Interconnect model: gigabit-Ethernet-class latency/bandwidth, matching the
+// paper's testbed ("gigabit ethernet-over-copper interconnect").
+#pragma once
+
+#include "util/types.h"
+
+namespace iotaxo::sim {
+
+struct NetworkParams {
+  /// One-way small-message latency (switch + stack).
+  SimTime latency = from_micros(55.0);
+  /// Link bandwidth in bytes per second (1 Gbit/s ~ 117 MiB/s effective).
+  double bandwidth_bps = 117.0 * 1024 * 1024;
+  /// Fixed per-message software overhead at each endpoint.
+  SimTime per_message_overhead = from_micros(8.0);
+};
+
+class Network {
+ public:
+  Network() noexcept = default;
+  explicit Network(NetworkParams params) noexcept : params_(params) {}
+
+  /// Time for `bytes` to travel between two distinct nodes. Messages a node
+  /// sends to itself cost only the software overhead.
+  [[nodiscard]] SimTime transfer_time(Bytes bytes, bool same_node) const noexcept {
+    if (same_node) {
+      return params_.per_message_overhead;
+    }
+    const double wire =
+        static_cast<double>(bytes) / params_.bandwidth_bps * 1e9;
+    return params_.latency + params_.per_message_overhead +
+           static_cast<SimTime>(wire);
+  }
+
+  /// Latency component only (used for barrier fan-in/fan-out estimates).
+  [[nodiscard]] SimTime latency() const noexcept { return params_.latency; }
+
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+
+ private:
+  NetworkParams params_{};
+};
+
+}  // namespace iotaxo::sim

@@ -1,0 +1,94 @@
+#include "taxonomy/classification.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace iotaxo::taxonomy {
+
+const FeatureValue& FrameworkClassification::value(FeatureId id) const {
+  const auto it = values.find(id);
+  if (it == values.end()) {
+    throw ConfigError(strprintf("classification of %s lacks feature '%s'",
+                                framework_name.c_str(), feature_name(id)));
+  }
+  return it->second;
+}
+
+void FrameworkClassification::set(FeatureId id, FeatureValue v) {
+  values[id] = std::move(v);
+}
+
+void FrameworkClassification::note(FeatureId id, std::string text) {
+  notes[id] = std::move(text);
+}
+
+std::string render_table1_template() {
+  TextTable table({"Feature", "<I/O Tracing Framework Name>"});
+  table.set_title(
+      "Table 1. An I/O Tracing Framework summary table. The classification\n"
+      "features and overhead measurements of any I/O Tracing Framework can\n"
+      "be summarized for quick reference and comparison to other Frameworks.");
+  for (const FeatureId id : all_features()) {
+    table.add_row({feature_name(id), feature_placeholder(id)});
+  }
+  return table.render();
+}
+
+std::string render_summary_table(const FrameworkClassification& c) {
+  TextTable table({"Feature", c.framework_name});
+  for (const FeatureId id : all_features()) {
+    table.add_row({feature_name(id), c.value(id).display});
+  }
+  std::string out = table.render();
+  int footnote = 1;
+  for (const FeatureId id : all_features()) {
+    const auto it = c.notes.find(id);
+    if (it != c.notes.end()) {
+      out += strprintf("%d. [%s] %s\n", footnote++, feature_name(id),
+                       it->second.c_str());
+    }
+  }
+  return out;
+}
+
+std::string render_comparison_table(
+    const std::vector<FrameworkClassification>& classifications) {
+  std::vector<std::string> headers{"Feature"};
+  for (const FrameworkClassification& c : classifications) {
+    headers.push_back(c.framework_name);
+  }
+  TextTable table(std::move(headers));
+  table.set_title("Table 2. Classification summary table for various Traces");
+
+  struct Footnote {
+    std::string framework;
+    FeatureId feature;
+    std::string text;
+  };
+  std::vector<Footnote> footnotes;
+
+  for (const FeatureId id : all_features()) {
+    std::vector<std::string> row{feature_name(id)};
+    for (const FrameworkClassification& c : classifications) {
+      std::string cell = c.value(id).display;
+      const auto it = c.notes.find(id);
+      if (it != c.notes.end()) {
+        footnotes.push_back(Footnote{c.framework_name, id, it->second});
+        cell += strprintf(" [%zu]", footnotes.size());
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::string out = table.render();
+  for (std::size_t i = 0; i < footnotes.size(); ++i) {
+    out += strprintf("[%zu] %s, %s: %s\n", i + 1,
+                     footnotes[i].framework.c_str(),
+                     feature_name(footnotes[i].feature),
+                     footnotes[i].text.c_str());
+  }
+  return out;
+}
+
+}  // namespace iotaxo::taxonomy

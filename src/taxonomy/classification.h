@@ -1,0 +1,36 @@
+// Classification records and summary-table rendering (Tables 1 and 2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "taxonomy/features.h"
+
+namespace iotaxo::taxonomy {
+
+struct FrameworkClassification {
+  std::string framework_name;
+  std::map<FeatureId, FeatureValue> values;
+  /// Footnote-style remarks keyed by feature (rendered below the table).
+  std::map<FeatureId, std::string> notes;
+
+  [[nodiscard]] const FeatureValue& value(FeatureId id) const;
+  void set(FeatureId id, FeatureValue value);
+  void note(FeatureId id, std::string text);
+};
+
+/// Table 1: the empty summary-table template with placeholder text.
+[[nodiscard]] std::string render_table1_template();
+
+/// A filled single-framework summary table (Table 2 of the case study for
+/// one column).
+[[nodiscard]] std::string render_summary_table(
+    const FrameworkClassification& c);
+
+/// Table 2: side-by-side classification of several frameworks, with
+/// numbered footnotes collected from the classifications' notes.
+[[nodiscard]] std::string render_comparison_table(
+    const std::vector<FrameworkClassification>& classifications);
+
+}  // namespace iotaxo::taxonomy

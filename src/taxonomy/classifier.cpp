@@ -1,0 +1,285 @@
+#include "taxonomy/classifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/skew_drift.h"
+#include "anon/anonymizer.h"
+#include "fs/memfs.h"
+#include "pfs/pfs.h"
+#include "replay/replayer.h"
+#include "trace/binary_format.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workload/io_intensive.h"
+#include "workload/probe_app.h"
+
+namespace iotaxo::taxonomy {
+
+using frameworks::TraceJobOptions;
+using frameworks::TraceRunResult;
+using frameworks::TracingFramework;
+
+Classifier::Classifier(const sim::Cluster& cluster, ClassifierConfig config)
+    : cluster_(cluster), config_(std::move(config)) {}
+
+fs::VfsPtr Classifier::make_local() const {
+  return std::make_shared<fs::MemFs>();
+}
+
+fs::VfsPtr Classifier::make_pfs() const {
+  return std::make_shared<pfs::Pfs>();
+}
+
+TraceRunResult Classifier::trace_canonical_local(TracingFramework& framework) {
+  workload::IoIntensiveParams params;
+  params.nranks = 2;
+  params.files_per_rank = 12;
+  params.mmap_files_per_rank = 3;
+  params.root = "/secret_project/scratch";
+  const mpi::Job job = workload::make_io_intensive(params);
+  TraceJobOptions options;
+  options.store_raw_streams = true;
+  return framework.trace(cluster_, job, make_local(), options);
+}
+
+void Classifier::classify_pfs_compatibility(TracingFramework& framework,
+                                            FrameworkClassification& c) {
+  // The experiment the paper describes: actually try to trace a parallel
+  // job on the parallel file system "out of the box".
+  workload::ProbeAppParams params;
+  params.nranks = std::min(config_.nranks, 4);
+  params.phases = 4;
+  params.blocks_per_phase = 2;
+  const mpi::Job job = workload::make_probe_app(params);
+  TraceJobOptions options;
+  options.store_raw_streams = false;
+  try {
+    (void)framework.trace(cluster_, job, make_pfs(), options);
+    c.set(FeatureId::kParallelFsCompatibility, FeatureValue::yes_no(true));
+  } catch (const UnsupportedError& err) {
+    c.set(FeatureId::kParallelFsCompatibility, FeatureValue::yes_no(false));
+    c.note(FeatureId::kParallelFsCompatibility, err.what());
+  }
+}
+
+void Classifier::classify_install(TracingFramework& framework,
+                                  FrameworkClassification& c) {
+  const frameworks::InstallProfile profile = framework.install_profile();
+  const int ease = frameworks::ease_of_install_score(profile);
+  c.set(FeatureId::kEaseOfInstall,
+        FeatureValue::scale(ease, "V. Easy", "V. Difficult"));
+  const int intrusive = frameworks::intrusiveness_score(profile);
+  c.set(FeatureId::kIntrusiveness,
+        intrusive <= 1 ? FeatureValue{"1 (Passive)", 1.0}
+                       : FeatureValue::scale(intrusive, "V. Passive",
+                                             "V. Intrusive"));
+}
+
+void Classifier::classify_event_types_and_format(
+    TracingFramework& framework, const TraceRunResult& canonical,
+    FrameworkClassification& c) {
+  const frameworks::Capabilities caps = framework.capabilities();
+
+  // Verify the claimed event classes against what the trace really holds.
+  std::set<trace::EventClass> seen;
+  bool saw_mmap_io = false;
+  for (const trace::RankStream& rs : canonical.bundle.ranks) {
+    for (const trace::TraceEvent& ev : rs.events) {
+      seen.insert(ev.cls);
+      if (ev.name.find("mmap_write") != std::string::npos ||
+          ev.name.find("mmap_read") != std::string::npos) {
+        saw_mmap_io = true;
+      }
+    }
+  }
+  FeatureValue types = FeatureValue::text(caps.event_types);
+  c.set(FeatureId::kEventTypes, types);
+  if (!caps.sees_mmap_io || !saw_mmap_io) {
+    c.note(FeatureId::kEventTypes,
+           "cannot track memory-mapped I/O (verified: workload's mmap "
+           "writes are absent from the trace)");
+  }
+
+  c.set(FeatureId::kGranularityControl,
+        caps.granularity_level <= 0
+            ? FeatureValue{"No", 0.0}
+            : FeatureValue::scale(caps.granularity_level, "Simple",
+                                  "V. Advanced"));
+
+  const std::vector<std::uint8_t> native =
+      framework.export_native(canonical.bundle);
+  const bool binary = trace::looks_binary(native);
+  c.set(FeatureId::kTraceDataFormat,
+        FeatureValue::text(binary ? "Binary" : "Human readable"));
+  if (binary != !caps.human_readable_output) {
+    c.note(FeatureId::kTraceDataFormat,
+           "claimed format disagrees with the sniffed output");
+  }
+
+  c.set(FeatureId::kAnalysisTools, FeatureValue::yes_no(caps.analysis_tools));
+}
+
+void Classifier::classify_anonymization(TracingFramework& framework,
+                                        const TraceRunResult& canonical,
+                                        FrameworkClassification& c) {
+  const frameworks::Capabilities caps = framework.capabilities();
+  const auto scrubbed = framework.anonymize_bundle(canonical.bundle);
+  if (!scrubbed.has_value() || caps.anonymization_level <= 0) {
+    c.set(FeatureId::kAnonymization, FeatureValue{"No", 0.0});
+    return;
+  }
+  c.set(FeatureId::kAnonymization,
+        FeatureValue::scale(caps.anonymization_level, "Simple", "V. Advanced"));
+  if (anon::leaks_any(*scrubbed, config_.sensitive)) {
+    c.note(FeatureId::kAnonymization,
+           "VERIFICATION FAILED: sensitive strings survive anonymization");
+  } else if (caps.anonymization_level < 5) {
+    c.note(FeatureId::kAnonymization,
+           "encryption-based: not classified 'Very advanced' because the "
+           "mapping is reversible if the key is ever compromised");
+  }
+}
+
+void Classifier::classify_replay_and_dependencies(
+    TracingFramework& framework, FrameworkClassification& c) {
+  const frameworks::Capabilities caps = framework.capabilities();
+
+  // Trace the probe app (PFS when supported — the realistic setting).
+  workload::ProbeAppParams params;
+  params.nranks = config_.nranks;
+  params.phases = config_.probe_phases;
+  const bool on_pfs = framework.supports_fs(fs::FsKind::kParallel);
+  const mpi::Job job = workload::make_probe_app(params);
+  TraceJobOptions options;
+  options.store_raw_streams = true;
+  const TraceRunResult traced = framework.trace(
+      cluster_, job, on_pfs ? make_pfs() : make_local(), options);
+
+  // Dependency discovery: edges must exist and reference valid ranks.
+  bool deps_ok = !traced.bundle.dependencies.empty();
+  for (const trace::DependencyEdge& e : traced.bundle.dependencies) {
+    deps_ok = deps_ok && e.from_rank >= 0 && e.from_rank < params.nranks &&
+              e.to_rank >= 0 && e.to_rank < params.nranks &&
+              e.from_rank != e.to_rank;
+  }
+  c.set(FeatureId::kRevealsDependencies,
+        FeatureValue::yes_no(caps.reveals_dependencies && deps_ok));
+
+  if (!caps.replayable_traces) {
+    c.set(FeatureId::kReplayableTraces, FeatureValue::yes_no(false));
+    c.set(FeatureId::kReplayFidelity, FeatureValue::not_applicable());
+    return;
+  }
+
+  // Verify replayability by generating and running the pseudo-application,
+  // then measure fidelity the paper's way (end-to-end runtime comparison
+  // plus trace-vs-trace comparison).
+  replay::ReplayOptions replay_options;
+  replay_options.pseudo.sync = caps.reveals_dependencies
+                                   ? replay::SyncStrategy::kDependencies
+                                   : replay::SyncStrategy::kBarriers;
+  try {
+    replay::Replayer replayer(cluster_, on_pfs ? make_pfs() : make_local());
+    const analysis::FidelityReport report = replayer.verify(
+        traced.bundle, traced.run.elapsed, replay_options);
+    c.set(FeatureId::kReplayableTraces, FeatureValue::yes_no(true));
+    c.set(FeatureId::kReplayFidelity,
+          FeatureValue{strprintf("runtime error %s",
+                                 format_pct(report.runtime_error).c_str()),
+                       report.runtime_error});
+    c.note(FeatureId::kReplayFidelity, report.summary());
+  } catch (const Error& err) {
+    c.set(FeatureId::kReplayableTraces, FeatureValue::yes_no(false));
+    c.set(FeatureId::kReplayFidelity, FeatureValue::not_applicable());
+    c.note(FeatureId::kReplayableTraces,
+           std::string("replay verification failed: ") + err.what());
+  }
+}
+
+void Classifier::classify_skew_drift(TracingFramework& framework,
+                                     const TraceRunResult& canonical,
+                                     FrameworkClassification& c) {
+  if (canonical.bundle.clock_probes.empty()) {
+    // A framework that can trace parallel jobs but collects no clock probes
+    // simply does not account for skew/drift ("No", //TRACE's column); a
+    // framework with no parallel awareness at all has nothing to account
+    // for ("N/A", Tracefs's column).
+    c.set(FeatureId::kSkewDriftAccounting,
+          framework.supports_fs(fs::FsKind::kParallel)
+              ? FeatureValue{"No", 0.0}
+              : FeatureValue::not_applicable());
+    return;
+  }
+  try {
+    const analysis::SkewDriftModel model =
+        analysis::SkewDriftModel::fit(canonical.bundle.clock_probes);
+    c.set(FeatureId::kSkewDriftAccounting, FeatureValue::yes_no(true));
+    c.note(FeatureId::kSkewDriftAccounting,
+           strprintf("max observed skew %s across %d ranks",
+                     format_duration(model.max_skew()).c_str(),
+                     model.rank_count()));
+  } catch (const Error&) {
+    c.set(FeatureId::kSkewDriftAccounting, FeatureValue::yes_no(false));
+  }
+}
+
+void Classifier::classify_overhead(TracingFramework& framework,
+                                   FrameworkClassification& c) {
+  if (framework.supports_fs(fs::FsKind::kParallel)) {
+    OverheadHarness harness(cluster_, [this] { return make_pfs(); });
+    workload::MpiIoTestParams base;
+    base.pattern = workload::Pattern::kNto1Strided;
+    base.nranks = config_.nranks;
+    base.total_bytes = config_.sweep_total_bytes;
+    const auto points =
+        harness.sweep_block_sizes(framework, base, config_.sweep_blocks);
+    double lo = points.front().elapsed_overhead;
+    double hi = lo;
+    for (const OverheadPoint& p : points) {
+      lo = std::min(lo, p.elapsed_overhead);
+      hi = std::max(hi, p.elapsed_overhead);
+    }
+    c.set(FeatureId::kElapsedTimeOverhead,
+          FeatureValue{strprintf("%s - %s", format_pct(lo).c_str(),
+                                 format_pct(hi).c_str()),
+                       hi});
+    c.note(FeatureId::kElapsedTimeOverhead,
+           strprintf("mpi_io_test N-1 strided, %d ranks, blocks %s..%s",
+                     config_.nranks,
+                     format_bytes(config_.sweep_blocks.front()).c_str(),
+                     format_bytes(config_.sweep_blocks.back()).c_str()));
+  } else {
+    // Framework cannot run the parallel benchmark; use the I/O-intensive
+    // local workload (the Tracefs methodology).
+    OverheadHarness harness(cluster_, [this] { return make_local(); });
+    workload::IoIntensiveParams params;
+    params.nranks = 1;
+    params.files_per_rank = 1000;
+    const OverheadPoint p =
+        harness.measure(framework, workload::make_io_intensive(params));
+    c.set(FeatureId::kElapsedTimeOverhead,
+          FeatureValue{strprintf("<= %s", format_pct(p.elapsed_overhead).c_str()),
+                       p.elapsed_overhead});
+    c.note(FeatureId::kElapsedTimeOverhead,
+           "I/O-intensive metadata workload on the local file system");
+  }
+}
+
+FrameworkClassification Classifier::classify(TracingFramework& framework) {
+  FrameworkClassification c;
+  c.framework_name = framework.name();
+
+  const TraceRunResult canonical = trace_canonical_local(framework);
+
+  classify_pfs_compatibility(framework, c);
+  classify_install(framework, c);
+  classify_event_types_and_format(framework, canonical, c);
+  classify_anonymization(framework, canonical, c);
+  classify_replay_and_dependencies(framework, c);
+  classify_skew_drift(framework, canonical, c);
+  classify_overhead(framework, c);
+  return c;
+}
+
+}  // namespace iotaxo::taxonomy

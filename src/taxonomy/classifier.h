@@ -1,0 +1,74 @@
+// The experiment-driven classifier: applies the taxonomy to a framework by
+// actually exercising it — mounting it over different file systems, tracing
+// canonical workloads, anonymizing, replaying, and measuring overheads —
+// mirroring §3.1's method ("we install and use the framework, investigate
+// documentation and published results").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frameworks/framework.h"
+#include "taxonomy/classification.h"
+#include "taxonomy/overhead.h"
+
+namespace iotaxo::taxonomy {
+
+struct ClassifierConfig {
+  /// Ranks used in classification experiments.
+  int nranks = 8;
+  /// Phases in the dependency-discovery probe (>= nranks for a full
+  /// throttling rotation).
+  int probe_phases = 16;
+  /// Total bytes for the overhead mini-sweep (kept small; the dedicated
+  /// benches run the full-scale sweeps).
+  Bytes sweep_total_bytes = 256 * kMiB;
+  /// Block sizes for the elapsed-overhead range estimate.
+  std::vector<Bytes> sweep_blocks = {64 * kKiB, 8 * kMiB};
+  /// Sensitive strings planted in workloads; anonymization must scrub them.
+  std::vector<std::string> sensitive = {"secret_project", "lanl.gov"};
+};
+
+class Classifier {
+ public:
+  explicit Classifier(const sim::Cluster& cluster,
+                      ClassifierConfig config = {});
+
+  /// Run the full classification battery against one framework.
+  [[nodiscard]] FrameworkClassification classify(
+      frameworks::TracingFramework& framework);
+
+ private:
+  void classify_pfs_compatibility(frameworks::TracingFramework& framework,
+                                  FrameworkClassification& c);
+  void classify_install(frameworks::TracingFramework& framework,
+                        FrameworkClassification& c);
+  void classify_event_types_and_format(
+      frameworks::TracingFramework& framework,
+      const frameworks::TraceRunResult& canonical,
+      FrameworkClassification& c);
+  void classify_anonymization(frameworks::TracingFramework& framework,
+                              const frameworks::TraceRunResult& canonical,
+                              FrameworkClassification& c);
+  void classify_replay_and_dependencies(
+      frameworks::TracingFramework& framework, FrameworkClassification& c);
+  void classify_skew_drift(frameworks::TracingFramework& framework,
+                           const frameworks::TraceRunResult& canonical,
+                           FrameworkClassification& c);
+  void classify_overhead(frameworks::TracingFramework& framework,
+                         FrameworkClassification& c);
+
+  /// Trace a small local-fs job with raw streams retained (input to the
+  /// event-type, anonymization and skew/drift experiments).
+  [[nodiscard]] frameworks::TraceRunResult trace_canonical_local(
+      frameworks::TracingFramework& framework);
+
+  [[nodiscard]] fs::VfsPtr make_local() const;
+  [[nodiscard]] fs::VfsPtr make_pfs() const;
+
+  const sim::Cluster& cluster_;
+  ClassifierConfig config_;
+};
+
+}  // namespace iotaxo::taxonomy

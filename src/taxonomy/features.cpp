@@ -1,0 +1,103 @@
+#include "taxonomy/features.h"
+
+#include "util/strings.h"
+
+namespace iotaxo::taxonomy {
+
+const char* feature_name(FeatureId id) noexcept {
+  switch (id) {
+    case FeatureId::kParallelFsCompatibility:
+      return "Parallel file system compatibility";
+    case FeatureId::kEaseOfInstall:
+      return "Ease of installation and use";
+    case FeatureId::kAnonymization:
+      return "Anonymization";
+    case FeatureId::kEventTypes:
+      return "Events types";
+    case FeatureId::kGranularityControl:
+      return "Control of trace granularity";
+    case FeatureId::kReplayableTraces:
+      return "Replayable trace generation";
+    case FeatureId::kReplayFidelity:
+      return "Trace replay fidelity";
+    case FeatureId::kRevealsDependencies:
+      return "Reveals dependencies";
+    case FeatureId::kIntrusiveness:
+      return "Intrusive vs. Passive";
+    case FeatureId::kAnalysisTools:
+      return "Analysis tools";
+    case FeatureId::kTraceDataFormat:
+      return "Trace data format";
+    case FeatureId::kSkewDriftAccounting:
+      return "Accounts for time skew and drift";
+    case FeatureId::kElapsedTimeOverhead:
+      return "Elapsed time overhead";
+  }
+  return "?";
+}
+
+const char* feature_placeholder(FeatureId id) noexcept {
+  switch (id) {
+    case FeatureId::kParallelFsCompatibility:
+      return "[Yes or No]";
+    case FeatureId::kEaseOfInstall:
+      return "[1 (V. Easy) thru 5 (V. Difficult)]";
+    case FeatureId::kAnonymization:
+      return "[None or 1 (Simple) thru 5 (V. Advanced)]";
+    case FeatureId::kEventTypes:
+      return "[System calls, library calls, FS events]";
+    case FeatureId::kGranularityControl:
+      return "[Yes or No]";
+    case FeatureId::kReplayableTraces:
+      return "[Yes or No]";
+    case FeatureId::kReplayFidelity:
+      return "Describe experiment results";
+    case FeatureId::kRevealsDependencies:
+      return "[Yes or No]";
+    case FeatureId::kIntrusiveness:
+      return "[1 (V. Passive) thru 5 (V. Intrusive)]";
+    case FeatureId::kAnalysisTools:
+      return "[Yes or No]";
+    case FeatureId::kTraceDataFormat:
+      return "[Binary or Human readable]";
+    case FeatureId::kSkewDriftAccounting:
+      return "[Yes or No]";
+    case FeatureId::kElapsedTimeOverhead:
+      return "Describe experiment results";
+  }
+  return "?";
+}
+
+const std::vector<FeatureId>& all_features() noexcept {
+  static const std::vector<FeatureId> kAll = {
+      FeatureId::kParallelFsCompatibility,
+      FeatureId::kEaseOfInstall,
+      FeatureId::kAnonymization,
+      FeatureId::kEventTypes,
+      FeatureId::kGranularityControl,
+      FeatureId::kReplayableTraces,
+      FeatureId::kReplayFidelity,
+      FeatureId::kRevealsDependencies,
+      FeatureId::kIntrusiveness,
+      FeatureId::kAnalysisTools,
+      FeatureId::kTraceDataFormat,
+      FeatureId::kSkewDriftAccounting,
+      FeatureId::kElapsedTimeOverhead,
+  };
+  return kAll;
+}
+
+FeatureValue FeatureValue::scale(int level, const char* low_label,
+                                 const char* high_label) {
+  if (level <= 0) {
+    return {"No", 0.0};
+  }
+  const char* label = level <= 1   ? low_label
+                      : level >= 5 ? high_label
+                      : level == 2 ? "Easy"
+                      : level == 3 ? "Moderate"
+                                   : "Advanced";
+  return {strprintf("%d (%s)", level, label), static_cast<double>(level)};
+}
+
+}  // namespace iotaxo::taxonomy

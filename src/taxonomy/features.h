@@ -1,0 +1,55 @@
+// The taxonomy's feature schema — the thirteen rows of Table 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iotaxo::taxonomy {
+
+enum class FeatureId {
+  kParallelFsCompatibility,
+  kEaseOfInstall,
+  kAnonymization,
+  kEventTypes,
+  kGranularityControl,
+  kReplayableTraces,
+  kReplayFidelity,
+  kRevealsDependencies,
+  kIntrusiveness,
+  kAnalysisTools,
+  kTraceDataFormat,
+  kSkewDriftAccounting,
+  kElapsedTimeOverhead,
+};
+
+/// Row label, e.g. "Parallel file system compatibility".
+[[nodiscard]] const char* feature_name(FeatureId id) noexcept;
+
+/// Table 1's placeholder text, e.g. "[Yes or No]" or
+/// "[1 (V. Easy) thru 5 (V. Difficult)]".
+[[nodiscard]] const char* feature_placeholder(FeatureId id) noexcept;
+
+/// All features, in Table 1 row order.
+[[nodiscard]] const std::vector<FeatureId>& all_features() noexcept;
+
+/// A classified value: the display string that goes into the summary table
+/// plus an optional numeric form for programmatic comparison.
+struct FeatureValue {
+  std::string display = "N/A";
+  std::optional<double> numeric;
+
+  [[nodiscard]] static FeatureValue yes_no(bool v) {
+    return {v ? "Yes" : "No", v ? 1.0 : 0.0};
+  }
+  [[nodiscard]] static FeatureValue scale(int level, const char* low_label,
+                                          const char* high_label);
+  [[nodiscard]] static FeatureValue text(std::string s) {
+    return {std::move(s), std::nullopt};
+  }
+  [[nodiscard]] static FeatureValue not_applicable() {
+    return {"N/A", std::nullopt};
+  }
+};
+
+}  // namespace iotaxo::taxonomy

@@ -1,0 +1,70 @@
+#include "taxonomy/overhead.h"
+
+#include <mutex>
+
+#include "analysis/bandwidth.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace iotaxo::taxonomy {
+
+OverheadHarness::OverheadHarness(const sim::Cluster& cluster,
+                                 VfsFactory vfs_factory)
+    : cluster_(cluster), vfs_factory_(std::move(vfs_factory)) {
+  if (!vfs_factory_) {
+    throw ConfigError("OverheadHarness needs a vfs factory");
+  }
+}
+
+OverheadPoint OverheadHarness::measure(
+    frameworks::TracingFramework& framework, const mpi::Job& job) {
+  OverheadPoint point;
+
+  const mpi::RunResult untraced =
+      frameworks::run_untraced(cluster_, job, vfs_factory_());
+  point.elapsed_untraced = untraced.elapsed;
+  point.bw_untraced_mibps = analysis::io_phase_bandwidth_mibps(untraced);
+
+  frameworks::TraceJobOptions options;
+  options.store_raw_streams = false;  // benchmark mode: summaries only
+  const frameworks::TraceRunResult traced =
+      framework.trace(cluster_, job, vfs_factory_(), options);
+  point.elapsed_traced = traced.apparent_elapsed;
+  point.bw_traced_mibps = analysis::io_phase_bandwidth_mibps(traced.run);
+  point.events = traced.bundle.total_events();
+
+  point.bandwidth_overhead =
+      analysis::bandwidth_overhead(point.bw_untraced_mibps,
+                                   point.bw_traced_mibps);
+  point.elapsed_overhead = analysis::elapsed_time_overhead(
+      point.elapsed_traced, point.elapsed_untraced);
+  return point;
+}
+
+std::vector<OverheadPoint> OverheadHarness::sweep_block_sizes(
+    frameworks::TracingFramework& framework, workload::MpiIoTestParams base,
+    const std::vector<Bytes>& blocks, bool parallel) {
+  std::vector<OverheadPoint> points(blocks.size());
+  auto run_one = [&](std::size_t i) {
+    workload::MpiIoTestParams params = base;
+    params.block = blocks[i];
+    const mpi::Job job = workload::make_mpi_io_test(params);
+    points[i] = measure(framework, job);
+    points[i].block = blocks[i];
+  };
+  if (parallel && blocks.size() > 1) {
+    parallel_for(blocks.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      run_one(i);
+    }
+  }
+  return points;
+}
+
+std::vector<Bytes> figure_block_sizes() {
+  return {64 * kKiB, 128 * kKiB, 256 * kKiB, 512 * kKiB,
+          1 * kMiB,  2 * kMiB,   4 * kMiB,   8 * kMiB};
+}
+
+}  // namespace iotaxo::taxonomy

@@ -1,0 +1,248 @@
+#include "trace/binary_format.h"
+
+#include <cstring>
+
+#include "util/compress.h"
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace iotaxo::trace {
+
+namespace {
+
+constexpr char kMagic[6] = {'I', 'O', 'T', 'B', '1', '\n'};
+constexpr std::uint8_t kFlagCompressed = 0x01;
+constexpr std::uint8_t kFlagEncrypted = 0x02;
+constexpr std::uint8_t kFlagChecksummed = 0x04;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(&data_[pos_]), n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw FormatError("binary trace: truncated record");
+    }
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void encode_event(Writer& w, const TraceEvent& ev) {
+  w.u8(static_cast<std::uint8_t>(ev.cls));
+  w.str(ev.name);
+  w.u32(static_cast<std::uint32_t>(ev.args.size()));
+  for (const std::string& a : ev.args) {
+    w.str(a);
+  }
+  w.i64(ev.ret);
+  w.i64(ev.local_start);
+  w.i64(ev.duration);
+  w.i32(ev.rank);
+  w.i32(ev.node);
+  w.u32(ev.pid);
+  w.str(ev.host);
+  w.str(ev.path);
+  w.i32(ev.fd);
+  w.i64(ev.bytes);
+  w.i64(ev.offset);
+  w.u32(ev.uid);
+  w.u32(ev.gid);
+}
+
+TraceEvent decode_event(Reader& r) {
+  TraceEvent ev;
+  const std::uint8_t cls = r.u8();
+  if (cls > static_cast<std::uint8_t>(EventClass::kAnnotation)) {
+    throw FormatError("binary trace: bad event class");
+  }
+  ev.cls = static_cast<EventClass>(cls);
+  ev.name = r.str();
+  const std::uint32_t argc = r.u32();
+  ev.args.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    ev.args.push_back(r.str());
+  }
+  ev.ret = r.i64();
+  ev.local_start = r.i64();
+  ev.duration = r.i64();
+  ev.rank = r.i32();
+  ev.node = r.i32();
+  ev.pid = r.u32();
+  ev.host = r.str();
+  ev.path = r.str();
+  ev.fd = r.i32();
+  ev.bytes = r.i64();
+  ev.offset = r.i64();
+  ev.uid = r.u32();
+  ev.gid = r.u32();
+  return ev;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
+                                        const BinaryOptions& options) {
+  if (options.encrypt && !options.key.has_value()) {
+    throw ConfigError("binary trace: encryption requested without a key");
+  }
+  Writer body;
+  for (const TraceEvent& ev : events) {
+    encode_event(body, ev);
+  }
+  std::vector<std::uint8_t> payload = body.take();
+  std::uint8_t flags = 0;
+  if (options.compress) {
+    payload = lz_compress(payload);
+    flags |= kFlagCompressed;
+  }
+  if (options.encrypt) {
+    payload = cbc_encrypt(payload, *options.key, options.iv_seed);
+    flags |= kFlagEncrypted;
+  }
+  if (options.checksum) {
+    flags |= kFlagChecksummed;
+  }
+
+  Writer out;
+  for (const char c : kMagic) {
+    out.u8(static_cast<std::uint8_t>(c));
+  }
+  out.u8(flags);
+  out.u64(events.size());
+  out.u64(payload.size());
+  std::vector<std::uint8_t> head = out.take();
+  head.insert(head.end(), payload.begin(), payload.end());
+  if (options.checksum) {
+    const std::uint32_t crc = crc32(payload);
+    for (int i = 0; i < 4; ++i) {
+      head.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+  }
+  return head;
+}
+
+BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
+  if (data.size() < 6 + 1 + 8 + 8 ||
+      std::memcmp(data.data(), kMagic, 6) != 0) {
+    throw FormatError("binary trace: bad magic");
+  }
+  Reader r(data.subspan(6));
+  BinaryHeader h;
+  const std::uint8_t flags = r.u8();
+  h.compressed = (flags & kFlagCompressed) != 0;
+  h.encrypted = (flags & kFlagEncrypted) != 0;
+  h.checksummed = (flags & kFlagChecksummed) != 0;
+  h.count = r.u64();
+  h.payload_length = r.u64();
+  return h;
+}
+
+std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
+                                      const std::optional<CipherKey>& key) {
+  const BinaryHeader h = peek_binary_header(data);
+  const std::size_t header_size = 6 + 1 + 8 + 8;
+  const std::size_t crc_size = h.checksummed ? 4 : 0;
+  if (data.size() != header_size + h.payload_length + crc_size) {
+    throw FormatError("binary trace: length mismatch");
+  }
+  std::span<const std::uint8_t> payload =
+      data.subspan(header_size, h.payload_length);
+
+  if (h.checksummed) {
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<std::uint32_t>(data[header_size + h.payload_length +
+                                                static_cast<std::size_t>(i)])
+                << (8 * i);
+    }
+    if (crc32(payload) != stored) {
+      throw FormatError("binary trace: checksum mismatch");
+    }
+  }
+
+  std::vector<std::uint8_t> buf(payload.begin(), payload.end());
+  if (h.encrypted) {
+    if (!key.has_value()) {
+      throw FormatError("binary trace: encrypted file requires a key");
+    }
+    buf = cbc_decrypt(buf, *key);
+  }
+  if (h.compressed) {
+    buf = lz_decompress(buf);
+  }
+
+  Reader r(buf);
+  std::vector<TraceEvent> events;
+  events.reserve(h.count);
+  for (std::uint64_t i = 0; i < h.count; ++i) {
+    events.push_back(decode_event(r));
+  }
+  if (!r.at_end()) {
+    throw FormatError("binary trace: trailing bytes after records");
+  }
+  return events;
+}
+
+bool looks_binary(std::span<const std::uint8_t> data) noexcept {
+  return data.size() >= 6 && std::memcmp(data.data(), kMagic, 6) == 0;
+}
+
+}  // namespace iotaxo::trace

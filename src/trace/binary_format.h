@@ -1,0 +1,62 @@
+// Binary trace format (the Tracefs output path): length-prefixed records
+// with optional buffering, CRC-32 integrity, LZ compression and XTEA-CBC
+// encryption — the feature set §4.2 of the paper attributes to Tracefs
+// ("Binary, with optional checksumming, compression, encryption, or
+// buffering").
+//
+// Layout:
+//   magic   "IOTB1\n"                       6 bytes
+//   flags   u8  (bit0 compressed, bit1 encrypted, bit2 checksummed)
+//   count   u64 LE   number of records
+//   paylen  u64 LE   transformed payload length
+//   payload bytes (records, then compressed, then encrypted — in that order)
+//   crc     u32 LE   CRC-32 of transformed payload (present iff bit2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "util/cipher.h"
+
+namespace iotaxo::trace {
+
+struct BinaryOptions {
+  bool compress = false;
+  bool encrypt = false;
+  bool checksum = true;
+  /// Required when encrypt is true.
+  std::optional<CipherKey> key;
+  /// IV derivation seed for encryption (vary per file).
+  std::uint64_t iv_seed = 0x1010;
+};
+
+/// Serialize events to the binary container.
+[[nodiscard]] std::vector<std::uint8_t> encode_binary(
+    const std::vector<TraceEvent>& events, const BinaryOptions& options);
+
+/// Parse a binary container; verifies CRC, decrypts, decompresses.
+/// `key` must be supplied for encrypted files. Throws FormatError on any
+/// corruption or a wrong key.
+[[nodiscard]] std::vector<TraceEvent> decode_binary(
+    std::span<const std::uint8_t> data,
+    const std::optional<CipherKey>& key = std::nullopt);
+
+/// Inspect a container's flags without decoding the payload.
+struct BinaryHeader {
+  bool compressed = false;
+  bool encrypted = false;
+  bool checksummed = false;
+  std::uint64_t count = 0;
+  std::uint64_t payload_length = 0;
+};
+[[nodiscard]] BinaryHeader peek_binary_header(
+    std::span<const std::uint8_t> data);
+
+/// Heuristic used by the taxonomy classifier to label a framework's output
+/// format: true if the buffer starts with the binary magic.
+[[nodiscard]] bool looks_binary(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iotaxo::trace

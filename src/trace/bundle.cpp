@@ -1,0 +1,181 @@
+#include "trace/bundle.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/text_format.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+
+namespace fsys = std::filesystem;
+
+long long TraceBundle::total_events() const noexcept {
+  long long n = 0;
+  for (const auto& [name, entry] : call_summary) {
+    n += entry.count;
+  }
+  return n;
+}
+
+void TraceBundle::merge_summary(const SummarySink& sink) {
+  for (const auto& [name, entry] : sink.entries()) {
+    auto& dst = call_summary[name];
+    dst.count += entry.count;
+    dst.total_duration += entry.total_duration;
+  }
+}
+
+namespace {
+
+void write_file(const fsys::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot write " + path.string());
+  }
+  out << content;
+}
+
+std::string read_file(const fsys::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read " + path.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+void TraceBundle::save(const std::string& directory) const {
+  const fsys::path dir(directory);
+  fsys::create_directories(dir);
+
+  {
+    std::string meta;
+    for (const auto& [k, v] : metadata) {
+      meta += k + "\t" + v + "\n";
+    }
+    write_file(dir / "metadata.tsv", meta);
+  }
+  for (const RankStream& rs : ranks) {
+    TextTraceWriter::StreamMeta m{rs.host, rs.rank, rs.pid};
+    write_file(dir / strprintf("rank_%04d.trace", rs.rank),
+               TextTraceWriter::render(m, rs.events));
+  }
+  if (!clock_probes.empty()) {
+    TextTraceWriter::StreamMeta m{"(probes)", -1, 0};
+    write_file(dir / "clock_probes.trace",
+               TextTraceWriter::render(m, clock_probes));
+  }
+  if (!barrier_events.empty()) {
+    TextTraceWriter::StreamMeta m{"(barriers)", -1, 0};
+    write_file(dir / "barriers.trace",
+               TextTraceWriter::render(m, barrier_events));
+  }
+  {
+    std::string sum = "name\tcount\ttotal_ns\n";
+    for (const auto& [name, entry] : call_summary) {
+      sum += strprintf("%s\t%lld\t%lld\n", name.c_str(), entry.count,
+                       static_cast<long long>(entry.total_duration));
+    }
+    write_file(dir / "call_summary.tsv", sum);
+  }
+  if (!dependencies.empty()) {
+    std::string deps = "from\tto\tvia\n";
+    for (const DependencyEdge& e : dependencies) {
+      deps += strprintf("%d\t%d\t%s\n", e.from_rank, e.to_rank, e.via.c_str());
+    }
+    write_file(dir / "dependencies.tsv", deps);
+  }
+}
+
+TraceBundle TraceBundle::load(const std::string& directory) {
+  const fsys::path dir(directory);
+  if (!fsys::is_directory(dir)) {
+    throw IoError("trace bundle directory missing: " + directory);
+  }
+  TraceBundle b;
+
+  const fsys::path meta = dir / "metadata.tsv";
+  if (fsys::exists(meta)) {
+    for (const std::string& line : split(read_file(meta), '\n')) {
+      if (line.empty()) {
+        continue;
+      }
+      const auto kv = split(line, '\t');
+      if (kv.size() >= 2) {
+        b.metadata[kv[0]] = kv[1];
+      }
+    }
+  }
+
+  std::vector<fsys::path> rank_files;
+  for (const auto& entry : fsys::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (starts_with(name, "rank_") && ends_with(name, ".trace")) {
+      rank_files.push_back(entry.path());
+    }
+  }
+  std::sort(rank_files.begin(), rank_files.end());
+  for (const fsys::path& p : rank_files) {
+    const auto parsed = TextTraceParser::parse(read_file(p));
+    RankStream rs;
+    rs.rank = parsed.meta.rank;
+    rs.host = parsed.meta.host;
+    rs.pid = parsed.meta.pid;
+    rs.events = parsed.events;
+    b.ranks.push_back(std::move(rs));
+  }
+
+  const fsys::path probes = dir / "clock_probes.trace";
+  if (fsys::exists(probes)) {
+    b.clock_probes = TextTraceParser::parse(read_file(probes)).events;
+  }
+  const fsys::path barriers = dir / "barriers.trace";
+  if (fsys::exists(barriers)) {
+    b.barrier_events = TextTraceParser::parse(read_file(barriers)).events;
+  }
+
+  const fsys::path summary = dir / "call_summary.tsv";
+  if (fsys::exists(summary)) {
+    bool first = true;
+    for (const std::string& line : split(read_file(summary), '\n')) {
+      if (line.empty() || first) {
+        first = false;
+        continue;
+      }
+      const auto cols = split(line, '\t');
+      if (cols.size() >= 3) {
+        auto& e = b.call_summary[cols[0]];
+        e.count = std::strtoll(cols[1].c_str(), nullptr, 10);
+        e.total_duration = std::strtoll(cols[2].c_str(), nullptr, 10);
+      }
+    }
+  }
+
+  const fsys::path deps = dir / "dependencies.tsv";
+  if (fsys::exists(deps)) {
+    bool first = true;
+    for (const std::string& line : split(read_file(deps), '\n')) {
+      if (line.empty() || first) {
+        first = false;
+        continue;
+      }
+      const auto cols = split(line, '\t');
+      if (cols.size() >= 3) {
+        b.dependencies.push_back(
+            DependencyEdge{static_cast<int>(std::strtol(cols[0].c_str(), nullptr, 10)),
+                           static_cast<int>(std::strtol(cols[1].c_str(), nullptr, 10)),
+                           cols[2]});
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace iotaxo::trace

@@ -1,0 +1,52 @@
+#include "trace/event.h"
+
+#include "util/error.h"
+
+namespace iotaxo::trace {
+
+const char* to_string(EventClass cls) noexcept {
+  switch (cls) {
+    case EventClass::kSyscall:
+      return "syscall";
+    case EventClass::kLibraryCall:
+      return "libcall";
+    case EventClass::kFsOperation:
+      return "fsop";
+    case EventClass::kClockProbe:
+      return "clockprobe";
+    case EventClass::kAnnotation:
+      return "annotation";
+  }
+  return "?";
+}
+
+EventClass event_class_from_string(const std::string& s) {
+  if (s == "syscall") return EventClass::kSyscall;
+  if (s == "libcall") return EventClass::kLibraryCall;
+  if (s == "fsop") return EventClass::kFsOperation;
+  if (s == "clockprobe") return EventClass::kClockProbe;
+  if (s == "annotation") return EventClass::kAnnotation;
+  throw FormatError("unknown event class: " + s);
+}
+
+TraceEvent make_syscall(std::string name, std::vector<std::string> args,
+                        long long ret) {
+  TraceEvent ev;
+  ev.cls = EventClass::kSyscall;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ret = ret;
+  return ev;
+}
+
+TraceEvent make_libcall(std::string name, std::vector<std::string> args,
+                        long long ret) {
+  TraceEvent ev;
+  ev.cls = EventClass::kLibraryCall;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ret = ret;
+  return ev;
+}
+
+}  // namespace iotaxo::trace

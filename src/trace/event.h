@@ -1,0 +1,75 @@
+// The trace event model — the common vocabulary shared by every tracing
+// framework in the toolkit (the paper's §6 "single trace-data API" future
+// work, implemented here).
+//
+// An event is one observed call: a syscall (strace view), a library call
+// (ltrace / dynamic-interposition view), a VFS operation (Tracefs view), or
+// bookkeeping records (clock probes for skew/drift accounting,
+// annotations). Timestamps are *node-local* nanoseconds — frameworks that
+// account for skew and drift must correct them via analysis::SkewDriftModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace iotaxo::trace {
+
+enum class EventClass : std::uint8_t {
+  kSyscall = 0,
+  kLibraryCall = 1,
+  kFsOperation = 2,
+  kClockProbe = 3,
+  kAnnotation = 4,
+};
+
+[[nodiscard]] const char* to_string(EventClass cls) noexcept;
+[[nodiscard]] EventClass event_class_from_string(const std::string& s);
+
+struct TraceEvent {
+  EventClass cls = EventClass::kSyscall;
+  /// Call name as a tracer prints it: "SYS_write", "MPI_File_open",
+  /// "vfs_write", "clock_probe", ...
+  std::string name;
+  /// Pre-rendered argument strings, in call order.
+  std::vector<std::string> args;
+  long long ret = 0;
+
+  /// Node-local clock at call entry (nanoseconds; includes the node's
+  /// wall-clock epoch, skew and drift).
+  SimTime local_start = 0;
+  SimTime duration = 0;
+
+  int rank = -1;
+  int node = -1;
+  std::uint32_t pid = 0;
+  std::string host;
+
+  // Semantic I/O fields (populated where applicable so that replay and
+  // anonymization do not need to re-parse args).
+  std::string path;
+  int fd = -1;
+  Bytes bytes = 0;
+  Bytes offset = -1;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+
+  [[nodiscard]] bool is_io_call() const noexcept {
+    return cls == EventClass::kSyscall || cls == EventClass::kLibraryCall ||
+           cls == EventClass::kFsOperation;
+  }
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Factory helpers used by the runtime and interposers.
+[[nodiscard]] TraceEvent make_syscall(std::string name,
+                                      std::vector<std::string> args,
+                                      long long ret);
+[[nodiscard]] TraceEvent make_libcall(std::string name,
+                                      std::vector<std::string> args,
+                                      long long ret);
+
+}  // namespace iotaxo::trace

@@ -1,0 +1,103 @@
+// Event sinks: where interposers deliver trace events.
+//
+// Sinks decouple capture from retention so that benchmark-scale runs can
+// count millions of events without materializing them, while tests and
+// examples keep full streams.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace iotaxo::trace {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+  virtual void flush() {}
+};
+
+using SinkPtr = std::shared_ptr<EventSink>;
+
+/// Retains every event (tests, replay, anonymization pipelines).
+class VectorSink : public EventSink {
+ public:
+  void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::vector<TraceEvent> take() noexcept {
+    return std::move(events_);
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Aggregates per-call-name counts and total durations — exactly the data
+/// LANL-Trace's "Call Summary" output reports (Figure 1, third block).
+class SummarySink : public EventSink {
+ public:
+  struct Entry {
+    long long count = 0;
+    SimTime total_duration = 0;
+  };
+
+  void on_event(const TraceEvent& ev) override {
+    Entry& e = entries_[ev.name];
+    ++e.count;
+    e.total_duration += ev.duration;
+    ++total_events_;
+  }
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] long long total_events() const noexcept {
+    return total_events_;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+  long long total_events_ = 0;
+};
+
+/// Counts only; the cheapest possible sink for overhead benchmarking.
+class CountingSink : public EventSink {
+ public:
+  void on_event(const TraceEvent& ev) override {
+    ++count_;
+    total_bytes_ += ev.bytes;
+  }
+  [[nodiscard]] long long count() const noexcept { return count_; }
+  [[nodiscard]] Bytes total_bytes() const noexcept { return total_bytes_; }
+
+ private:
+  long long count_ = 0;
+  Bytes total_bytes_ = 0;
+};
+
+/// Fans an event out to several sinks.
+class MultiSink : public EventSink {
+ public:
+  explicit MultiSink(std::vector<SinkPtr> sinks) : sinks_(std::move(sinks)) {}
+  void on_event(const TraceEvent& ev) override {
+    for (const auto& s : sinks_) {
+      s->on_event(ev);
+    }
+  }
+  void flush() override {
+    for (const auto& s : sinks_) {
+      s->flush();
+    }
+  }
+
+ private:
+  std::vector<SinkPtr> sinks_;
+};
+
+}  // namespace iotaxo::trace

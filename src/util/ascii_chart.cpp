@@ -1,0 +1,120 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo {
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  if (series.empty() || series.front().values.empty()) {
+    throw ConfigError("render_chart: need at least one non-empty series");
+  }
+  const std::size_t n = series.front().values.size();
+  for (const ChartSeries& s : series) {
+    if (s.values.size() != n) {
+      throw ConfigError("render_chart: series lengths differ");
+    }
+  }
+  const int width = std::max(options.width, 8);
+  const int height = std::max(options.height, 4);
+
+  double y_max = options.y_max;
+  if (y_max < 0) {
+    y_max = 0;
+    for (const ChartSeries& s : series) {
+      for (const double v : s.values) {
+        y_max = std::max(y_max, v);
+      }
+    }
+    y_max *= 1.05;
+    if (y_max <= 0) {
+      y_max = 1.0;
+    }
+  }
+  const double y_min = options.y_min;
+
+  // Canvas with a left gutter for y tick values.
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+
+  auto plot = [&](double xf, double value, char marker) {
+    const int col = static_cast<int>(std::lround(
+        xf * (width - 1)));
+    double t = (value - y_min) / (y_max - y_min);
+    t = std::clamp(t, 0.0, 1.0);
+    const int row = (height - 1) -
+                    static_cast<int>(std::lround(t * (height - 1)));
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        marker;
+  };
+
+  for (const ChartSeries& s : series) {
+    if (n == 1) {
+      plot(0.0, s.values[0], s.marker);
+      continue;
+    }
+    // Interpolate along columns so curves look continuous.
+    for (int col = 0; col < width; ++col) {
+      const double xf = static_cast<double>(col) / (width - 1);
+      const double pos = xf * static_cast<double>(n - 1);
+      const auto i = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(i);
+      const double v = i + 1 < n
+                           ? s.values[i] * (1.0 - frac) + s.values[i + 1] * frac
+                           : s.values[i];
+      plot(xf, v, s.marker);
+    }
+  }
+
+  // Assemble with axis.
+  std::string out;
+  for (int row = 0; row < height; ++row) {
+    const double frac =
+        static_cast<double>(height - 1 - row) / (height - 1);
+    const double y = y_min + frac * (y_max - y_min);
+    std::string tick;
+    if (row == 0 || row == height - 1 || row == height / 2) {
+      tick = strprintf("%8.1f", y);
+    } else {
+      tick = std::string(8, ' ');
+    }
+    out += tick + " |" + canvas[static_cast<std::size_t>(row)] + "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(width), '-') + "\n";
+
+  if (!options.x_labels.empty()) {
+    std::string labels(static_cast<std::size_t>(width) + 10, ' ');
+    const std::size_t k = options.x_labels.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::string& label = options.x_labels[i];
+      auto col = static_cast<std::size_t>(
+          10 + (k == 1 ? 0
+                       : static_cast<double>(i) * (width - 1) /
+                             static_cast<double>(k - 1)));
+      // Right-edge labels shift left so they stay fully visible.
+      if (col + label.size() > labels.size()) {
+        col = labels.size() - std::min(labels.size(), label.size());
+      }
+      for (std::size_t j = 0; j < label.size() && col + j < labels.size();
+           ++j) {
+        labels[col + j] = label[j];
+      }
+    }
+    out += labels + "\n";
+  }
+  if (!options.y_label.empty()) {
+    out += "  y: " + options.y_label + "\n";
+  }
+  std::string legend = "  ";
+  for (const ChartSeries& s : series) {
+    legend += strprintf("[%c] %s  ", s.marker, s.name.c_str());
+  }
+  out += legend + "\n";
+  return out;
+}
+
+}  // namespace iotaxo

@@ -1,0 +1,33 @@
+// Minimal ASCII line chart for terminal output — used by the figure benches
+// to draw the bandwidth-vs-blocksize curves of Figures 2-4 next to their
+// tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotaxo {
+
+struct ChartSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> values;  // one per x position
+};
+
+struct ChartOptions {
+  int width = 64;   // plot columns (excluding the axis gutter)
+  int height = 16;  // plot rows
+  std::string y_label;
+  /// Labels under the x axis (sparse; evenly spread).
+  std::vector<std::string> x_labels;
+  /// Force the y range; by default it spans [0, max(values)*1.05].
+  double y_min = 0.0;
+  double y_max = -1.0;  // negative = auto
+};
+
+/// Render one or more series sharing x positions 0..n-1. Values are linearly
+/// interpolated between points so sparse sweeps still draw as curves.
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options = {});
+
+}  // namespace iotaxo

@@ -1,0 +1,50 @@
+// XTEA block cipher with CBC mode, implemented from scratch (the toolkit
+// assumes no external crypto library). Used for Tracefs-style trace-data
+// anonymization ("secret key encryption using Cipher Block Chaining") and
+// for encrypted binary trace files.
+//
+// This is a simulation-grade cipher: XTEA is a real, published algorithm
+// (Needham & Wheeler, 1997) and our implementation is correct, but key
+// handling here is deliberately simple (passphrase -> KDF) and should not
+// be treated as production cryptography.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace iotaxo {
+
+/// 128-bit key for XTEA.
+using CipherKey = std::array<std::uint32_t, 4>;
+
+/// Derive a key from a passphrase (iterated FNV/SplitMix mixing).
+[[nodiscard]] CipherKey derive_key(std::string_view passphrase) noexcept;
+
+/// Encrypt one 64-bit block (32 rounds).
+[[nodiscard]] std::uint64_t xtea_encrypt_block(std::uint64_t block,
+                                               const CipherKey& key) noexcept;
+[[nodiscard]] std::uint64_t xtea_decrypt_block(std::uint64_t block,
+                                               const CipherKey& key) noexcept;
+
+/// CBC encrypt with PKCS#7-style padding; a fresh IV is derived from
+/// `iv_seed` and prepended to the ciphertext.
+[[nodiscard]] std::vector<std::uint8_t> cbc_encrypt(
+    std::span<const std::uint8_t> plaintext, const CipherKey& key,
+    std::uint64_t iv_seed);
+
+/// CBC decrypt; throws FormatError on bad padding or truncated input.
+[[nodiscard]] std::vector<std::uint8_t> cbc_decrypt(
+    std::span<const std::uint8_t> ciphertext, const CipherKey& key);
+
+/// Convenience: string in/out, hex-armored ciphertext (used when encrypting
+/// individual trace fields in otherwise human-readable output).
+[[nodiscard]] std::string cbc_encrypt_field(std::string_view plaintext,
+                                            const CipherKey& key,
+                                            std::uint64_t iv_seed);
+[[nodiscard]] std::string cbc_decrypt_field(std::string_view hex_ciphertext,
+                                            const CipherKey& key);
+
+}  // namespace iotaxo

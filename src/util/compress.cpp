@@ -1,0 +1,119 @@
+#include "util/compress.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace iotaxo {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 0x7F + kMinMatch;
+constexpr std::size_t kWindow = 0xFFFF;
+constexpr std::size_t kHashBits = 15;
+
+[[nodiscard]] std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+
+  std::array<std::size_t, 1u << kHashBits> head{};
+  head.fill(SIZE_MAX);
+
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t n = end - literal_start;
+    while (n > 0) {
+      const std::size_t chunk = n > 128 ? 128 : n;
+      out.push_back(static_cast<std::uint8_t>(chunk - 1));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(end - n),
+                 input.begin() + static_cast<std::ptrdiff_t>(end - n + chunk));
+      n -= chunk;
+    }
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(&input[i]);
+    const std::size_t candidate = head[h];
+    head[h] = i;
+
+    std::size_t match_len = 0;
+    if (candidate != SIZE_MAX && i - candidate <= kWindow &&
+        std::memcmp(&input[candidate], &input[i], kMinMatch) == 0) {
+      match_len = kMinMatch;
+      const std::size_t limit =
+          std::min(kMaxMatch, input.size() - i);
+      while (match_len < limit &&
+             input[candidate + match_len] == input[i + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(i);
+      const auto dist = static_cast<std::uint16_t>(i - candidate);
+      out.push_back(static_cast<std::uint8_t>(
+          0x80u | static_cast<std::uint8_t>(match_len - kMinMatch)));
+      out.push_back(static_cast<std::uint8_t>(dist & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(dist >> 8));
+      // Insert hash entries inside the match for better future matches.
+      const std::size_t stop = std::min(i + match_len, input.size() - kMinMatch);
+      for (std::size_t j = i + 1; j < stop; ++j) {
+        head[hash4(&input[j])] = j;
+      }
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() * 3);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t ctrl = input[i++];
+    if (ctrl < 0x80) {
+      const std::size_t n = static_cast<std::size_t>(ctrl) + 1;
+      if (i + n > input.size()) {
+        throw FormatError("lz: literal run past end of input");
+      }
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i + 2 > input.size()) {
+        throw FormatError("lz: truncated match");
+      }
+      const std::size_t len = static_cast<std::size_t>(ctrl & 0x7F) + kMinMatch;
+      const std::size_t dist = static_cast<std::size_t>(input[i]) |
+                               (static_cast<std::size_t>(input[i + 1]) << 8);
+      i += 2;
+      if (dist == 0 || dist > out.size()) {
+        throw FormatError("lz: invalid match distance");
+      }
+      // Overlapping copies are valid (run-length style), so copy bytewise.
+      std::size_t src = out.size() - dist;
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[src + k]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iotaxo

@@ -1,0 +1,50 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace iotaxo {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = state_;
+  for (const std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace iotaxo

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3 polynomial) for trace-file integrity checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace iotaxo {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+
+  /// Finalized checksum of everything fed so far (does not reset state).
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace iotaxo

@@ -1,0 +1,47 @@
+// Exception hierarchy for iotaxo.
+//
+// Errors that a caller can meaningfully react to are typed; programming
+// errors use assertions. Per C++ Core Guidelines E.14, we derive from
+// std::runtime_error and throw by value / catch by reference.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iotaxo {
+
+/// Base class for all iotaxo errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Simulated I/O failure (bad fd, missing path, read past EOF, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Malformed trace data, filter expressions, or on-disk formats.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what)
+      : Error("format error: " + what) {}
+};
+
+/// Requested operation is not supported by this component (e.g. mounting
+/// Tracefs over the parallel file system without the adaptation shim).
+class UnsupportedError : public Error {
+ public:
+  explicit UnsupportedError(const std::string& what)
+      : Error("unsupported: " + what) {}
+};
+
+/// Invalid configuration supplied by the caller.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
+}  // namespace iotaxo

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Quiet by default so test and benchmark output
+// stays clean; callers opt in to diagnostics via set_log_level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace iotaxo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "mounted " << path;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace iotaxo
+
+#define IOTAXO_LOG(level)                                    \
+  if (static_cast<int>(level) < static_cast<int>(::iotaxo::log_level())) { \
+  } else                                                     \
+    ::iotaxo::LogLine(level)

@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <string>
+
+namespace iotaxo {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng Rng::fork(std::string_view name) const noexcept {
+  // Combine current state with the stream name; does not disturb *this.
+  std::uint64_t h = fnv1a(name);
+  h ^= mix64(s_[0] ^ rotl(s_[2], 17));
+  return Rng{h};
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) {
+    draw = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 1e-300);
+  const double v = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * 3.14159265358979323846 * v;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::chance(double p) noexcept { return next_double() < p; }
+
+std::string Rng::token(std::size_t length) noexcept {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[uniform(0, 35)]);
+  }
+  return out;
+}
+
+}  // namespace iotaxo

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole simulator must be bit-reproducible from a seed, so we implement
+// SplitMix64 (for seeding / hashing) and xoshiro256** (for streams) rather
+// than relying on implementation-defined std::default_random_engine
+// behaviour. Distribution helpers avoid std::uniform_*_distribution for the
+// same reason: libstdc++/libc++ may produce different sequences.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iotaxo {
+
+/// SplitMix64 step: used to expand seeds and as a cheap integer hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mixing of a single value (finalizer of SplitMix64).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// FNV-1a hash of a byte string; used for stable name->seed derivation.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// xoshiro256** generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Derive an independent stream for a named subsystem. Deterministic:
+  /// fork("pfs") on equal-seeded Rngs yields equal streams.
+  [[nodiscard]] Rng fork(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Gaussian via Box-Muller (deterministic pairing).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random lower-case alphanumeric token of the given length (for
+  /// anonymization placeholders and temp names).
+  [[nodiscard]] std::string token(std::size_t length) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace iotaxo

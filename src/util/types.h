@@ -1,0 +1,46 @@
+// Core scalar types shared by every iotaxo module.
+//
+// All simulation time is carried as integer nanoseconds (`SimTime`) so that
+// discrete-event execution is exactly reproducible across platforms; doubles
+// appear only at presentation boundaries (seconds for humans, MB/s for
+// bandwidth tables).
+#pragma once
+
+#include <cstdint>
+
+namespace iotaxo {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Byte counts and file offsets.
+using Bytes = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Convert a floating-point quantity of seconds to SimTime, rounding to the
+/// nearest nanosecond.
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+[[nodiscard]] constexpr SimTime from_micros(double us) noexcept {
+  return from_seconds(us * 1e-6);
+}
+
+[[nodiscard]] constexpr SimTime from_millis(double ms) noexcept {
+  return from_seconds(ms * 1e-3);
+}
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+}  // namespace iotaxo

@@ -1,0 +1,74 @@
+#include "workload/io_intensive.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::workload {
+
+mpi::Job make_io_intensive(const IoIntensiveParams& params) {
+  if (params.nranks <= 0 || params.files_per_rank <= 0) {
+    throw ConfigError("io_intensive: nranks and files_per_rank must be > 0");
+  }
+  mpi::Job job;
+  job.cmdline = strprintf("/io_intensive.exe -files %d -block %lld",
+                          params.files_per_rank,
+                          static_cast<long long>(params.write_block));
+  job.programs.reserve(static_cast<std::size_t>(params.nranks));
+
+  for (int r = 0; r < params.nranks; ++r) {
+    mpi::ScriptBuilder b;
+    const std::string dir = strprintf("%s/rank%d", params.root.c_str(), r);
+    b.barrier("pre_open");
+    b.mkdir(dir);
+    b.barrier("io_begin");
+
+    const int read_every =
+        params.read_fraction > 0
+            ? std::max(1, static_cast<int>(1.0 / params.read_fraction))
+            : 0;
+
+    for (int f = 0; f < params.files_per_rank; ++f) {
+      const std::string path = strprintf("%s/file_%04d.dat", dir.c_str(), f);
+      b.open(0, path, fs::OpenMode::write_create(),
+             fs::AccessHint::kSequential, mpi::Api::kPosix);
+      b.write_blocks(0, params.write_block, params.writes_per_file, 0, 0,
+                     mpi::Api::kPosix);
+      b.close(0, mpi::Api::kPosix);
+      if (params.think_time > 0) {
+        b.compute(params.think_time);
+      }
+      if (read_every > 0 && f % read_every == 0) {
+        b.stat(path);
+        b.open(1, path, fs::OpenMode::read_only(),
+               fs::AccessHint::kSequential, mpi::Api::kPosix);
+        b.read_blocks(1, params.write_block, params.writes_per_file, 0, 0,
+                      mpi::Api::kPosix);
+        b.close(1, mpi::Api::kPosix);
+      }
+      // Every third file is deleted again: create/delete churn is what
+      // makes metadata tracing expensive.
+      if (f % 3 == 2) {
+        b.unlink(path);
+      }
+    }
+
+    // Memory-mapped I/O segment: invisible to syscall/library tracers,
+    // visible to a VFS-level tracer.
+    for (int m = 0; m < params.mmap_files_per_rank; ++m) {
+      const std::string path = strprintf("%s/mapped_%02d.dat", dir.c_str(), m);
+      b.open(2, path, fs::OpenMode::read_write(),
+             fs::AccessHint::kSequential, mpi::Api::kPosix);
+      b.mmap(2);
+      b.mmap_write(2, params.write_block, params.writes_per_file, 0);
+      b.close(2, mpi::Api::kPosix);
+    }
+
+    b.readdir(dir);
+    b.barrier("io_end");
+    b.barrier("post_close");
+    job.programs.push_back(std::move(b).build());
+  }
+  return job;
+}
+
+}  // namespace iotaxo::workload

@@ -1,0 +1,30 @@
+// An I/O-intensive metadata workload, in the spirit of the benchmarks the
+// Tracefs developers used for their elapsed-time overhead experiments
+// (many small files, heavy metadata traffic, plus memory-mapped I/O that
+// only a VFS-level tracer can observe).
+#pragma once
+
+#include <string>
+
+#include "mpi/program.h"
+#include "util/types.h"
+
+namespace iotaxo::workload {
+
+struct IoIntensiveParams {
+  int nranks = 1;
+  /// Files created/written/read/deleted per rank.
+  int files_per_rank = 200;
+  Bytes write_block = 4 * kKiB;
+  int writes_per_file = 4;
+  /// Fraction of files that are re-read and stat'ed.
+  double read_fraction = 0.5;
+  /// Files written through mmap instead of write() (integer count).
+  int mmap_files_per_rank = 10;
+  std::string root = "/scratch";
+  SimTime think_time = from_micros(30.0);
+};
+
+[[nodiscard]] mpi::Job make_io_intensive(const IoIntensiveParams& params);
+
+}  // namespace iotaxo::workload

@@ -1,0 +1,99 @@
+#include "workload/mpi_io_test.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::workload {
+
+const char* to_string(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::kNtoN:
+      return "N-to-N";
+    case Pattern::kNto1NonStrided:
+      return "N-to-1 non-strided";
+    case Pattern::kNto1Strided:
+      return "N-to-1 strided";
+  }
+  return "?";
+}
+
+std::string mpi_io_test_cmdline(const MpiIoTestParams& params) {
+  const int type = params.pattern == Pattern::kNtoN ? 2 : 1;
+  const int strided = params.pattern == Pattern::kNto1Strided ? 1 : 0;
+  return strprintf("/mpi_io_test.exe -type %d -strided %d -size %lld -nobj %d",
+                   type, strided, static_cast<long long>(params.block),
+                   params.nobj);
+}
+
+mpi::Job make_mpi_io_test(const MpiIoTestParams& params) {
+  if (params.nranks <= 0 || params.block <= 0 || params.total_bytes <= 0 ||
+      params.nobj <= 0) {
+    throw ConfigError("mpi_io_test: all parameters must be positive");
+  }
+  const long long blocks_per_rank_per_obj =
+      std::max<long long>(1, params.total_bytes / params.nranks /
+                                 params.nobj / params.block);
+
+  mpi::Job job;
+  job.cmdline = mpi_io_test_cmdline(params);
+  job.programs.reserve(static_cast<std::size_t>(params.nranks));
+
+  for (int r = 0; r < params.nranks; ++r) {
+    mpi::ScriptBuilder b;
+    b.barrier("pre_open");
+
+    const bool shared = params.pattern != Pattern::kNtoN;
+    const std::string path =
+        shared ? params.path : strprintf("%s.%d", params.path.c_str(), r);
+    const fs::AccessHint hint = params.pattern == Pattern::kNto1Strided
+                                    ? fs::AccessHint::kStrided
+                                    : fs::AccessHint::kSequential;
+    b.open(0, path, fs::OpenMode::write_create(), hint, mpi::Api::kMpiIo);
+    b.barrier("io_begin");
+
+    const Bytes obj_bytes_per_rank = blocks_per_rank_per_obj * params.block;
+    for (int obj = 0; obj < params.nobj; ++obj) {
+      Bytes start = 0;
+      Bytes stride = 0;
+      switch (params.pattern) {
+        case Pattern::kNtoN:
+          // Own file, sequential: object regions stack up contiguously.
+          start = static_cast<Bytes>(obj) * obj_bytes_per_rank;
+          stride = 0;
+          break;
+        case Pattern::kNto1NonStrided: {
+          // Disjoint contiguous region per rank within the object's span.
+          const Bytes obj_base = static_cast<Bytes>(obj) *
+                                 obj_bytes_per_rank * params.nranks;
+          start = obj_base + static_cast<Bytes>(r) * obj_bytes_per_rank;
+          stride = 0;
+          break;
+        }
+        case Pattern::kNto1Strided: {
+          // Round-robin interleave: rank r writes blocks r, r+N, r+2N, ...
+          const Bytes obj_base = static_cast<Bytes>(obj) *
+                                 obj_bytes_per_rank * params.nranks;
+          start = obj_base + static_cast<Bytes>(r) * params.block;
+          stride = static_cast<Bytes>(params.nranks) * params.block;
+          break;
+        }
+      }
+      if (params.think_time > 0) {
+        b.compute(params.think_time);
+      }
+      b.write_blocks(0, params.block, blocks_per_rank_per_obj, start, stride,
+                     mpi::Api::kMpiIo);
+      if (obj + 1 < params.nobj) {
+        b.barrier(strprintf("obj_%d", obj));
+      }
+    }
+
+    b.barrier("io_end");
+    b.close(0, mpi::Api::kMpiIo);
+    b.barrier("post_close");
+    job.programs.push_back(std::move(b).build());
+  }
+  return job;
+}
+
+}  // namespace iotaxo::workload

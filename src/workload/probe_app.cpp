@@ -1,0 +1,56 @@
+#include "workload/probe_app.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::workload {
+
+mpi::Job make_probe_app(const ProbeAppParams& params) {
+  if (params.nranks <= 0 || params.phases <= 0) {
+    throw ConfigError("probe_app: nranks and phases must be > 0");
+  }
+  mpi::Job job;
+  job.cmdline = strprintf("/probe_app.exe -phases %d", params.phases);
+  job.programs.reserve(static_cast<std::size_t>(params.nranks));
+
+  for (int r = 0; r < params.nranks; ++r) {
+    mpi::ScriptBuilder b;
+    b.barrier("pre_open");
+
+    // Shared MPI-IO file, strided (exercises the parallel path).
+    b.open(0, params.shared_path, fs::OpenMode::write_create(),
+           fs::AccessHint::kStrided, mpi::Api::kMpiIo);
+
+    // POSIX per-rank scratch file.
+    const std::string scratch =
+        strprintf("%s/rank%d.dat", params.scratch_root.c_str(), r);
+    b.open(1, scratch, fs::OpenMode::write_create(),
+           fs::AccessHint::kSequential, mpi::Api::kPosix);
+
+    b.barrier("io_begin");
+    for (int phase = 0; phase < params.phases; ++phase) {
+      const Bytes phase_base = static_cast<Bytes>(phase) *
+                               params.blocks_per_phase * params.nranks *
+                               params.block;
+      const Bytes start = phase_base + static_cast<Bytes>(r) * params.block;
+      b.write_blocks(0, params.block, params.blocks_per_phase, start,
+                     static_cast<Bytes>(params.nranks) * params.block,
+                     mpi::Api::kMpiIo);
+      b.write_blocks(1, params.block / 4, 2, -1, 0, mpi::Api::kPosix);
+      b.barrier(strprintf("phase_%02d", phase));
+    }
+    b.barrier("io_end");
+
+    // Metadata + mmap segment (event-type discovery).
+    b.stat(scratch);
+    b.mmap(1);
+    b.mmap_write(1, params.block / 4, 2, 0);
+    b.close(1, mpi::Api::kPosix);
+    b.close(0, mpi::Api::kMpiIo);
+    b.barrier("post_close");
+    job.programs.push_back(std::move(b).build());
+  }
+  return job;
+}
+
+}  // namespace iotaxo::workload

@@ -1,0 +1,26 @@
+// The canonical probe application the taxonomy classifier traces to
+// discover, by experiment, which event types a framework captures: it mixes
+// POSIX I/O, MPI-IO, metadata calls and memory-mapped I/O, and has a known
+// causal structure (every rank meets every barrier) for dependency-
+// discovery verification.
+#pragma once
+
+#include "mpi/program.h"
+#include "util/types.h"
+
+namespace iotaxo::workload {
+
+struct ProbeAppParams {
+  int nranks = 8;
+  /// Phases (barriers) — dependency discovery needs at least nranks of
+  /// them for a full rotation of throttling windows.
+  int phases = 16;
+  Bytes block = 256 * kKiB;
+  long long blocks_per_phase = 4;
+  std::string shared_path = "/pfs/probe_shared.out";
+  std::string scratch_root = "/scratch/probe";
+};
+
+[[nodiscard]] mpi::Job make_probe_app(const ProbeAppParams& params);
+
+}  // namespace iotaxo::workload

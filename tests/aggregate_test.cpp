@@ -1,0 +1,302 @@
+// Tests for the unified trace store (the paper's §6 "single trace-data API"
+// future work) and the replay coalescing post-pass.
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "analysis/unified_store.h"
+#include "frameworks/lanl_trace.h"
+#include "frameworks/partrace.h"
+#include "frameworks/tracefs.h"
+#include "fs/memfs.h"
+#include "pfs/pfs.h"
+#include "replay/pseudo_app.h"
+#include "sim/cluster.h"
+#include "workload/io_intensive.h"
+#include "workload/mpi_io_test.h"
+
+namespace iotaxo {
+namespace {
+
+class AggregateFixture : public ::testing::Test {
+ protected:
+  AggregateFixture() : cluster_(make_params()) {}
+
+  static sim::ClusterParams make_params() {
+    sim::ClusterParams p;
+    p.node_count = 8;
+    return p;
+  }
+
+  [[nodiscard]] frameworks::TraceRunResult lanl_capture() {
+    frameworks::LanlTrace lanl;
+    workload::MpiIoTestParams params;
+    params.nranks = 8;
+    params.block = 256 * kKiB;
+    params.total_bytes = 64 * kMiB;
+    frameworks::TraceJobOptions options;
+    options.store_raw_streams = true;
+    return lanl.trace(cluster_, workload::make_mpi_io_test(params),
+                      std::make_shared<pfs::Pfs>(), options);
+  }
+
+  sim::Cluster cluster_;
+};
+
+TEST_F(AggregateFixture, IngestsBundlesFromEveryFramework) {
+  analysis::UnifiedTraceStore store;
+
+  const auto lanl = lanl_capture();
+  store.ingest(lanl.bundle);
+
+  frameworks::Tracefs tracefs;
+  workload::IoIntensiveParams local;
+  local.nranks = 1;
+  local.files_per_rank = 10;
+  frameworks::TraceJobOptions options;
+  options.store_raw_streams = true;
+  const auto tfs = tracefs.trace(cluster_, workload::make_io_intensive(local),
+                                 std::make_shared<fs::MemFs>(), options);
+  store.ingest(tfs.bundle);
+
+  frameworks::Partrace partrace;
+  workload::MpiIoTestParams mparams;
+  mparams.nranks = 4;
+  mparams.total_bytes = 16 * kMiB;
+  const auto ptr =
+      partrace.trace(cluster_, workload::make_mpi_io_test(mparams),
+                     std::make_shared<pfs::Pfs>(), options);
+  store.ingest(ptr.bundle);
+
+  ASSERT_EQ(store.sources().size(), 3u);
+  EXPECT_EQ(store.sources()[0].framework, "LANL-Trace");
+  EXPECT_EQ(store.sources()[1].framework, "Tracefs");
+  EXPECT_EQ(store.sources()[2].framework, "//TRACE");
+  // Only LANL-Trace carries clock probes.
+  EXPECT_TRUE(store.sources()[0].time_corrected);
+  EXPECT_FALSE(store.sources()[1].time_corrected);
+  EXPECT_FALSE(store.sources()[2].time_corrected);
+  EXPECT_GT(store.total_events(), 0);
+
+  // Dependencies flow through from the //TRACE source.
+  EXPECT_EQ(store.dependencies().size(), ptr.bundle.dependencies.size());
+
+  // Call stats span vocabularies from all three capture layers.
+  const auto stats = store.call_stats();
+  EXPECT_TRUE(stats.contains("SYS_write"));    // ptrace view
+  EXPECT_TRUE(stats.contains("vfs_write"));    // VFS view
+  EXPECT_TRUE(stats.contains("MPI_Barrier"));  // library view
+}
+
+TEST_F(AggregateFixture, RankTimelineIsSorted) {
+  analysis::UnifiedTraceStore store;
+  store.ingest(lanl_capture().bundle);
+  const auto timeline = store.rank_timeline(3);
+  ASSERT_GT(timeline.size(), 10u);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_LE(timeline[i - 1]->local_start, timeline[i]->local_start);
+  }
+}
+
+TEST_F(AggregateFixture, TimeCorrectionAlignsRanks) {
+  analysis::UnifiedTraceStore store;
+  const auto capture = lanl_capture();
+  store.ingest(capture.bundle);
+
+  // After correction, every rank's first write lands within a tight window
+  // of every other's (they all start right after the same barrier), even
+  // though raw node clocks disagree by hundreds of milliseconds.
+  std::vector<SimTime> first_write(8, -1);
+  for (int r = 0; r < 8; ++r) {
+    for (const trace::TraceEvent* ev : store.rank_timeline(r)) {
+      if (ev->name == "SYS_write") {
+        first_write[static_cast<std::size_t>(r)] = ev->local_start;
+        break;
+      }
+    }
+  }
+  SimTime lo = first_write[0];
+  SimTime hi = first_write[0];
+  for (const SimTime t : first_write) {
+    ASSERT_GE(t, 0);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LT(hi - lo, from_millis(30.0));
+}
+
+TEST_F(AggregateFixture, IoRateSeriesSumsToTotalBytes) {
+  analysis::UnifiedTraceStore store;
+  const auto capture = lanl_capture();
+  store.ingest(capture.bundle);
+  const auto series = store.io_rate_series(from_seconds(1.0));
+  ASSERT_FALSE(series.empty());
+  Bytes sum = 0;
+  for (const auto& [start, bytes] : series) {
+    sum += bytes;
+  }
+  EXPECT_EQ(sum, capture.run.bytes_written + capture.run.bytes_read);
+  // Window query over the full span agrees.
+  const SimTime begin = series.front().first;
+  const SimTime end = series.back().first + from_seconds(1.0);
+  EXPECT_EQ(store.bytes_in_window(begin, end), sum);
+}
+
+TEST_F(AggregateFixture, HottestFilesFindTheSharedFile) {
+  analysis::UnifiedTraceStore store;
+  store.ingest(lanl_capture().bundle);
+  const auto hot = store.hottest_files(3);
+  ASSERT_FALSE(hot.empty());
+  EXPECT_EQ(hot[0].path, "/pfs/mpi_io_test.out");
+  EXPECT_EQ(hot[0].bytes, 64 * kMiB);
+}
+
+TEST_F(AggregateFixture, ReportContainsAllSections) {
+  analysis::UnifiedTraceStore store;
+  const auto capture = lanl_capture();
+  store.ingest(capture.bundle);
+  const std::string report = analysis::render_report(store);
+  EXPECT_NE(report.find("Sources"), std::string::npos);
+  EXPECT_NE(report.find("LANL-Trace"), std::string::npos);
+  EXPECT_NE(report.find("Call statistics"), std::string::npos);
+  EXPECT_NE(report.find("SYS_write"), std::string::npos);
+  EXPECT_NE(report.find("Hottest files"), std::string::npos);
+  EXPECT_NE(report.find("/pfs/mpi_io_test.out"), std::string::npos);
+  EXPECT_NE(report.find("I/O rate over the capture"), std::string::npos);
+  EXPECT_NE(report.find("[time-corrected]"), std::string::npos);
+}
+
+TEST(Report, EmptyStoreStillRenders) {
+  analysis::UnifiedTraceStore store;
+  const std::string report = analysis::render_report(store);
+  EXPECT_NE(report.find("total: 0 events"), std::string::npos);
+}
+
+TEST(Coalesce, MergesContiguousRuns) {
+  mpi::Program prog;
+  for (int i = 0; i < 10; ++i) {
+    mpi::Op op;
+    op.type = mpi::OpType::kWriteBlocks;
+    op.slot = 0;
+    op.block = 64 * kKiB;
+    op.count = 1;
+    op.start_offset = static_cast<Bytes>(i) * 64 * kKiB;
+    prog.push_back(op);
+  }
+  const mpi::Program merged = replay::coalesce_program(prog);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count, 10);
+  EXPECT_EQ(merged[0].stride, 0);  // contiguous
+}
+
+TEST(Coalesce, MergesStridedRuns) {
+  mpi::Program prog;
+  const Bytes stride = 8 * 64 * kKiB;
+  for (int i = 0; i < 6; ++i) {
+    mpi::Op op;
+    op.type = mpi::OpType::kWriteBlocks;
+    op.slot = 0;
+    op.block = 64 * kKiB;
+    op.count = 1;
+    op.start_offset = 3 * 64 * kKiB + static_cast<Bytes>(i) * stride;
+    op.hint = fs::AccessHint::kStrided;
+    prog.push_back(op);
+  }
+  const mpi::Program merged = replay::coalesce_program(prog);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count, 6);
+  EXPECT_EQ(merged[0].stride, stride);
+}
+
+TEST(Coalesce, StopsAtBoundaries) {
+  mpi::Program prog;
+  auto write_at = [](Bytes offset, Bytes block = 64 * kKiB) {
+    mpi::Op op;
+    op.type = mpi::OpType::kWriteBlocks;
+    op.slot = 0;
+    op.block = block;
+    op.count = 1;
+    op.start_offset = offset;
+    return op;
+  };
+  prog.push_back(write_at(0));
+  prog.push_back(write_at(64 * kKiB));
+  mpi::Op barrier;
+  barrier.type = mpi::OpType::kBarrier;
+  prog.push_back(barrier);
+  prog.push_back(write_at(128 * kKiB));
+  prog.push_back(write_at(999 * kKiB));      // irregular offset
+  prog.push_back(write_at(0, 32 * kKiB));    // different block size
+
+  const mpi::Program merged = replay::coalesce_program(prog);
+  // [0,64K) merged; barrier; 128K alone (999K breaks the run); 999K; 32K op.
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].count, 2);
+  EXPECT_EQ(merged[1].type, mpi::OpType::kBarrier);
+}
+
+TEST(Coalesce, PreservesTotalBytes) {
+  mpi::Program prog;
+  Bytes expected = 0;
+  for (int i = 0; i < 20; ++i) {
+    mpi::Op op;
+    op.type = mpi::OpType::kWriteBlocks;
+    op.slot = 0;
+    op.block = (i % 3 == 0) ? 32 * kKiB : 64 * kKiB;
+    op.count = 1;
+    op.start_offset = static_cast<Bytes>(i) * kMiB;
+    expected += op.block;
+    prog.push_back(op);
+  }
+  const mpi::Program merged = replay::coalesce_program(prog);
+  Bytes total = 0;
+  for (const mpi::Op& op : merged) {
+    total += op.block * op.count;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST_F(AggregateFixture, CoalescedReplayMatchesUncoalesced) {
+  frameworks::Partrace partrace;
+  workload::MpiIoTestParams params;
+  params.nranks = 4;
+  params.block = 128 * kKiB;
+  params.total_bytes = 32 * kMiB;
+  frameworks::TraceJobOptions options;
+  options.store_raw_streams = true;
+  const auto traced =
+      partrace.trace(cluster_, workload::make_mpi_io_test(params),
+                     std::make_shared<pfs::Pfs>(), options);
+
+  replay::PseudoAppOptions with;
+  with.coalesce = true;
+  replay::PseudoAppOptions without;
+  without.coalesce = false;
+  const auto a = replay::generate_pseudo_app(traced.bundle, with);
+  const auto b = replay::generate_pseudo_app(traced.bundle, without);
+
+  // Coalescing shrinks the program substantially...
+  std::size_t ops_a = 0;
+  std::size_t ops_b = 0;
+  Bytes bytes_a = 0;
+  Bytes bytes_b = 0;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    ops_a += a[r].size();
+    ops_b += b[r].size();
+    for (const mpi::Op& op : a[r]) {
+      if (op.type == mpi::OpType::kWriteBlocks) {
+        bytes_a += op.block * op.count;
+      }
+    }
+    for (const mpi::Op& op : b[r]) {
+      if (op.type == mpi::OpType::kWriteBlocks) {
+        bytes_b += op.block * op.count;
+      }
+    }
+  }
+  EXPECT_LT(ops_a * 2, ops_b);
+  // ...while preserving the I/O signature byte-for-byte.
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+}  // namespace
+}  // namespace iotaxo

@@ -1,0 +1,243 @@
+// Tests for the analysis tools: call summaries, aggregate timing rendering,
+// skew/drift estimation (property-tested against injected clock errors),
+// bandwidth arithmetic, trace diffing.
+#include <gtest/gtest.h>
+
+#include "analysis/aggregate_timing.h"
+#include "analysis/bandwidth.h"
+#include "analysis/call_summary.h"
+#include "analysis/skew_drift.h"
+#include "analysis/trace_diff.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::analysis {
+namespace {
+
+using trace::EventClass;
+using trace::TraceEvent;
+
+TEST(CallSummary, RendersPaperShapedTable) {
+  std::map<std::string, trace::SummarySink::Entry> summary;
+  summary["MPI_Barrier"] = {29, from_seconds(2.156431)};
+  summary["SYS_read"] = {565, from_seconds(0.022137)};
+  const std::string out = render_call_summary(summary);
+  EXPECT_NE(out.find("SUMMARY COUNT OF TRACED CALL(S)"), std::string::npos);
+  EXPECT_NE(out.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(out.find("29"), std::string::npos);
+  EXPECT_NE(out.find("2.156431"), std::string::npos);
+  EXPECT_NE(out.find("565"), std::string::npos);
+}
+
+TEST(AggregateTiming, RendersBarrierLines) {
+  std::vector<TraceEvent> barriers;
+  TraceEvent ev;
+  ev.cls = EventClass::kLibraryCall;
+  ev.name = "MPI_Barrier";
+  ev.path = "before";
+  ev.rank = 7;
+  ev.host = "host13.lanl.gov";
+  ev.pid = 10378;
+  ev.local_start = 1159808385LL * kSecond + 170918 * kMicrosecond;
+  ev.duration = 2249 * kMicrosecond;
+  barriers.push_back(ev);
+
+  const std::string out = render_aggregate_timing(
+      barriers, "/mpi_io_test.exe -type 1 -strided 1");
+  EXPECT_NE(out.find("# Barrier before /mpi_io_test.exe \"-type\" \"1\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("7: host13.lanl.gov (10378) Entered barrier at "
+                     "1159808385.170918"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Exited barrier at 1159808385.173167"),
+            std::string::npos)
+      << out;
+}
+
+[[nodiscard]] std::vector<TraceEvent> probes_for_cluster(
+    const sim::Cluster& cluster, SimTime t_pre, SimTime t_post) {
+  std::vector<TraceEvent> probes;
+  for (int r = 0; r < cluster.node_count(); ++r) {
+    for (const auto& [label, t] :
+         {std::pair<const char*, SimTime>{"pre_sync", t_pre},
+          std::pair<const char*, SimTime>{"post_sync", t_post}}) {
+      TraceEvent ev;
+      ev.cls = EventClass::kClockProbe;
+      ev.name = "clock_probe";
+      ev.rank = r;
+      ev.args = {label, "0"};
+      ev.local_start = cluster.local_time(r, t);
+      probes.push_back(ev);
+    }
+  }
+  return probes;
+}
+
+class SkewDriftRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkewDriftRecovery, RecoversInjectedClockErrors) {
+  sim::ClusterParams params;
+  params.node_count = 16;
+  params.seed = GetParam();
+  params.max_skew = from_millis(300.0);
+  params.max_drift_ppm = 50.0;
+  const sim::Cluster cluster(params);
+
+  const SimTime t_pre = 5 * kSecond;
+  const SimTime t_post = 605 * kSecond;  // 10 minutes of drift accumulation
+  const auto probes = probes_for_cluster(cluster, t_pre, t_post);
+  const SkewDriftModel model = SkewDriftModel::fit(probes);
+
+  // Relative offsets must match the *skew at the pre instant* (drift has
+  // been accumulating since t=0, which is exactly what skew-over-time is).
+  const SimTime estimated_0 = model.estimate(0).offset;
+  for (int r = 1; r < params.node_count; ++r) {
+    const SimTime injected_delta =
+        cluster.local_time(r, t_pre) - cluster.local_time(0, t_pre);
+    const SimTime estimated_delta =
+        model.estimate(r).offset - estimated_0;
+    EXPECT_NEAR(static_cast<double>(estimated_delta),
+                static_cast<double>(injected_delta),
+                static_cast<double>(from_micros(50.0)))
+        << "rank " << r;
+  }
+
+  // Relative drift must match within a couple of ppm.
+  const double drift_0 = cluster.node(0).clock.drift_ppm();
+  const double est_drift_0 = model.estimate(0).drift_ppm;
+  for (int r = 1; r < params.node_count; ++r) {
+    const double injected_delta =
+        cluster.node(r).clock.drift_ppm() - drift_0;
+    const double estimated_delta =
+        model.estimate(r).drift_ppm - est_drift_0;
+    EXPECT_NEAR(estimated_delta, injected_delta, 2.0) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkewDriftRecovery,
+                         ::testing::Values(1, 7, 42, 1234, 0xC0FFEE));
+
+TEST(SkewDrift, CorrectionAlignsConcurrentReadings) {
+  sim::ClusterParams params;
+  params.node_count = 8;
+  const sim::Cluster cluster(params);
+  const auto probes =
+      probes_for_cluster(cluster, 2 * kSecond, 400 * kSecond);
+  const SkewDriftModel model = SkewDriftModel::fit(probes);
+
+  // Two events at the same *global* instant, stamped by different nodes,
+  // must map to (nearly) the same corrected time.
+  const SimTime instant = 200 * kSecond;
+  const SimTime corrected_0 =
+      model.correct(0, cluster.local_time(0, instant));
+  for (int r = 1; r < params.node_count; ++r) {
+    const SimTime corrected_r =
+        model.correct(r, cluster.local_time(r, instant));
+    EXPECT_NEAR(static_cast<double>(corrected_r),
+                static_cast<double>(corrected_0),
+                static_cast<double>(from_micros(300.0)));
+  }
+  // Without correction they disagree by milliseconds.
+  SimTime raw_spread_min = cluster.local_time(0, instant);
+  SimTime raw_spread_max = raw_spread_min;
+  for (int r = 1; r < params.node_count; ++r) {
+    const SimTime t = cluster.local_time(r, instant);
+    raw_spread_min = std::min(raw_spread_min, t);
+    raw_spread_max = std::max(raw_spread_max, t);
+  }
+  EXPECT_GT(raw_spread_max - raw_spread_min, from_millis(1.0));
+}
+
+TEST(SkewDrift, RejectsIncompleteProbes) {
+  EXPECT_THROW((void)SkewDriftModel::fit({}), FormatError);
+  TraceEvent pre_only;
+  pre_only.cls = EventClass::kClockProbe;
+  pre_only.rank = 0;
+  pre_only.args = {"pre_sync", "0"};
+  EXPECT_THROW((void)SkewDriftModel::fit({pre_only}), FormatError);
+}
+
+TEST(Bandwidth, PaperFormula) {
+  EXPECT_DOUBLE_EQ(
+      elapsed_time_overhead(from_seconds(3.0), from_seconds(2.0)), 0.5);
+  EXPECT_DOUBLE_EQ(
+      elapsed_time_overhead(from_seconds(2.0), from_seconds(2.0)), 0.0);
+}
+
+TEST(Bandwidth, MibPerSecond) {
+  EXPECT_DOUBLE_EQ(bandwidth_mibps(100 * kMiB, from_seconds(2.0)), 50.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mibps(kMiB, 0), 0.0);
+}
+
+TEST(Bandwidth, OverheadEquivalence) {
+  // bw overhead == elapsed overhead for equal byte counts.
+  const double bw_u = bandwidth_mibps(kGiB, from_seconds(10.0));
+  const double bw_t = bandwidth_mibps(kGiB, from_seconds(15.0));
+  EXPECT_NEAR(bandwidth_overhead(bw_u, bw_t), 0.5, 1e-9);
+}
+
+TEST(Bandwidth, IoWindowNeedsLabels) {
+  mpi::RunResult run;
+  EXPECT_THROW((void)io_window(run), FormatError);
+  run.barrier_release["io_begin"] = from_seconds(1.0);
+  run.barrier_release["io_end"] = from_seconds(5.0);
+  EXPECT_EQ(io_window(run), from_seconds(4.0));
+  run.bytes_written = 400 * kMiB;
+  EXPECT_DOUBLE_EQ(io_phase_bandwidth_mibps(run), 100.0);
+}
+
+TEST(SequenceSimilarity, Basics) {
+  EXPECT_DOUBLE_EQ(sequence_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(sequence_similarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(sequence_similarity({"a", "b", "c"}, {"a", "b", "c"}), 1.0);
+  EXPECT_NEAR(sequence_similarity({"a", "b", "c", "d"}, {"a", "c"}), 0.5,
+              1e-9);
+}
+
+TEST(TraceDiff, IdenticalBundlesScoreZero) {
+  trace::TraceBundle b;
+  trace::RankStream rs;
+  rs.rank = 0;
+  TraceEvent w = trace::make_syscall("SYS_write", {"3", "64", "0"}, 64);
+  w.bytes = 64;
+  rs.events = {w, w, w};
+  b.ranks.push_back(rs);
+  b.call_summary["SYS_write"] = {3, from_millis(1.0)};
+
+  const FidelityReport r =
+      compare_traces(b, b, from_seconds(10.0), from_seconds(10.0));
+  EXPECT_DOUBLE_EQ(r.runtime_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.op_mix_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.byte_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.sequence_error, 0.0);
+}
+
+TEST(TraceDiff, DetectsRuntimeAndMixErrors) {
+  trace::TraceBundle original;
+  original.call_summary["SYS_write"] = {100, 0};
+  trace::TraceBundle replay;
+  replay.call_summary["SYS_write"] = {80, 0};
+  replay.call_summary["SYS_read"] = {10, 0};
+
+  const FidelityReport r =
+      compare_traces(original, replay, from_seconds(10.0), from_seconds(9.4));
+  EXPECT_NEAR(r.runtime_error, 0.06, 1e-9);
+  EXPECT_NEAR(r.op_mix_error, 0.30, 1e-9);  // (20 missing + 10 alien) / 100
+}
+
+TEST(TraceDiff, IgnoresSyncCallsInMix) {
+  trace::TraceBundle original;
+  original.call_summary["SYS_write"] = {10, 0};
+  original.call_summary["MPI_Barrier"] = {50, 0};
+  trace::TraceBundle replay;
+  replay.call_summary["SYS_write"] = {10, 0};
+  replay.call_summary["MPI_Send"] = {200, 0};  // dependency-sync replay
+  const FidelityReport r = compare_traces(original, replay, kSecond, kSecond);
+  EXPECT_DOUBLE_EQ(r.op_mix_error, 0.0);
+}
+
+}  // namespace
+}  // namespace iotaxo::analysis

@@ -1,0 +1,165 @@
+// Tests for trace anonymization: randomizing (irreversible, consistent) and
+// encrypting (reversible, field-selective) anonymizers, and leak detection.
+#include <gtest/gtest.h>
+
+#include "anon/anonymizer.h"
+#include "trace/bundle.h"
+#include "util/error.h"
+
+namespace iotaxo::anon {
+namespace {
+
+using trace::EventClass;
+using trace::TraceBundle;
+using trace::TraceEvent;
+
+[[nodiscard]] TraceEvent sensitive_event() {
+  TraceEvent ev;
+  ev.cls = EventClass::kSyscall;
+  ev.name = "SYS_open";
+  ev.args = {"/secret_project/input.dat", "0", "0666"};
+  ev.ret = 3;
+  ev.path = "/secret_project/input.dat";
+  ev.host = "host13.lanl.gov";
+  ev.uid = 4001;
+  ev.gid = 400;
+  ev.rank = 7;
+  return ev;
+}
+
+[[nodiscard]] TraceBundle sensitive_bundle() {
+  TraceBundle b;
+  b.metadata["application"] = "/secret_project/bin/app -in /secret_project/x";
+  trace::RankStream rs;
+  rs.rank = 7;
+  rs.host = "host13.lanl.gov";
+  rs.events = {sensitive_event(), sensitive_event()};
+  b.ranks.push_back(rs);
+  return b;
+}
+
+TEST(Randomizing, ScrubsPathEverywhere) {
+  RandomizingAnonymizer anonymizer(FieldPolicy{}, 42);
+  const TraceEvent out = anonymizer.apply(sensitive_event());
+  EXPECT_EQ(out.path.find("secret_project"), std::string::npos);
+  for (const std::string& a : out.args) {
+    EXPECT_EQ(a.find("secret_project"), std::string::npos) << a;
+  }
+  EXPECT_EQ(out.host.find("lanl"), std::string::npos);
+  EXPECT_NE(out.uid, 4001u);
+  EXPECT_NE(out.gid, 400u);
+  // Non-sensitive structure is preserved.
+  EXPECT_EQ(out.name, "SYS_open");
+  EXPECT_EQ(out.ret, 3);
+  EXPECT_EQ(out.rank, 7);
+}
+
+TEST(Randomizing, ConsistentMapping) {
+  RandomizingAnonymizer anonymizer(FieldPolicy{}, 42);
+  const TraceEvent a = anonymizer.apply(sensitive_event());
+  const TraceEvent b = anonymizer.apply(sensitive_event());
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.host, b.host);
+  EXPECT_EQ(a.uid, b.uid);
+  // The mapping is keyed: a different seed gives different tokens.
+  RandomizingAnonymizer other(FieldPolicy{}, 43);
+  EXPECT_NE(other.apply(sensitive_event()).path, a.path);
+}
+
+TEST(Randomizing, PolicyRestrictsFields) {
+  FieldPolicy only_uid;
+  only_uid.fields = {Field::kUid};
+  RandomizingAnonymizer anonymizer(only_uid, 1);
+  const TraceEvent out = anonymizer.apply(sensitive_event());
+  EXPECT_EQ(out.path, "/secret_project/input.dat");  // untouched
+  EXPECT_NE(out.uid, 4001u);
+  EXPECT_EQ(out.gid, 400u);
+}
+
+TEST(Randomizing, BundleHasNoLeaks) {
+  RandomizingAnonymizer anonymizer(FieldPolicy{}, 7);
+  const TraceBundle scrubbed = anonymizer.apply(sensitive_bundle());
+  EXPECT_FALSE(leaks_any(scrubbed, {"secret_project", "lanl.gov"}));
+  EXPECT_TRUE(leaks_any(sensitive_bundle(), {"secret_project"}));
+}
+
+class RandomizingSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizingSeeds, NeverLeaksAcrossSeeds) {
+  RandomizingAnonymizer anonymizer(FieldPolicy{}, GetParam());
+  const TraceBundle scrubbed = anonymizer.apply(sensitive_bundle());
+  EXPECT_FALSE(leaks_any(scrubbed, {"secret_project", "lanl.gov", "4001"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizingSeeds,
+                         ::testing::Values(1, 2, 3, 99, 12345, 0xDEADBEEF));
+
+TEST(Encrypting, ReversibleWithKey) {
+  EncryptingAnonymizer anonymizer(FieldPolicy{}, "secret-key");
+  const TraceEvent scrambled = anonymizer.apply(sensitive_event());
+  EXPECT_EQ(scrambled.path.find("secret_project"), std::string::npos);
+  EXPECT_TRUE(scrambled.path.starts_with("enc:"));
+
+  const TraceEvent recovered = anonymizer.reverse(scrambled);
+  EXPECT_EQ(recovered.path, "/secret_project/input.dat");
+  EXPECT_EQ(recovered.host, "host13.lanl.gov");
+}
+
+TEST(Encrypting, WrongKeyCannotReverse) {
+  EncryptingAnonymizer good(FieldPolicy{}, "right");
+  EncryptingAnonymizer bad(FieldPolicy{}, "wrong");
+  const TraceEvent scrambled = good.apply(sensitive_event());
+  try {
+    const TraceEvent recovered = bad.reverse(scrambled);
+    EXPECT_NE(recovered.path, "/secret_project/input.dat");
+  } catch (const Error&) {
+    SUCCEED();  // padding failure is equally acceptable
+  }
+}
+
+TEST(Encrypting, ScrubsArgsConsistentlyWithPath) {
+  EncryptingAnonymizer anonymizer(FieldPolicy{}, "k");
+  const TraceEvent out = anonymizer.apply(sensitive_event());
+  // The path arg carries the same ciphertext as the path field.
+  EXPECT_EQ(out.args[0], out.path);
+}
+
+TEST(Encrypting, TaxonomyGrades) {
+  EncryptingAnonymizer enc(FieldPolicy{}, "k");
+  RandomizingAnonymizer rnd(FieldPolicy{}, 1);
+  // Reversible encryption is "advanced" (4); true randomization is the only
+  // grade-5 anonymization (the paper's §4.2 distinction).
+  EXPECT_EQ(enc.taxonomy_level(), 4);
+  EXPECT_TRUE(enc.reversible());
+  EXPECT_EQ(rnd.taxonomy_level(), 5);
+  EXPECT_FALSE(rnd.reversible());
+}
+
+TEST(Encrypting, BundleMetadataScrubbed) {
+  EncryptingAnonymizer anonymizer(FieldPolicy{}, "k");
+  const TraceBundle scrubbed = anonymizer.apply(sensitive_bundle());
+  EXPECT_FALSE(leaks_any(scrubbed, {"secret_project"}));
+}
+
+TEST(LeaksAny, FindsSecretsInAllSurfaces) {
+  TraceBundle b;
+  EXPECT_FALSE(leaks_any(b, {"x"}));
+  b.metadata["cmd"] = "run /secret/x";
+  EXPECT_TRUE(leaks_any(b, {"secret"}));
+
+  TraceBundle c;
+  trace::RankStream rs;
+  rs.host = "secret-host";
+  c.ranks.push_back(rs);
+  EXPECT_TRUE(leaks_any(c, {"secret-host"}));
+
+  TraceBundle d;
+  TraceEvent ev;
+  ev.args = {"payload-with-secret-inside"};
+  d.clock_probes.push_back(ev);
+  EXPECT_TRUE(leaks_any(d, {"secret"}));
+  EXPECT_FALSE(leaks_any(d, {"absent"}));
+}
+
+}  // namespace
+}  // namespace iotaxo::anon

@@ -1,0 +1,189 @@
+// Tests for the file-system substrate: path utilities, the ext3-like
+// in-memory FS and the NFS-like wrapper.
+#include <gtest/gtest.h>
+
+#include "fs/memfs.h"
+#include "fs/nfs.h"
+#include "fs/path.h"
+#include "util/error.h"
+
+namespace iotaxo::fs {
+namespace {
+
+TEST(Path, NormalizeCollapses) {
+  EXPECT_EQ(normalize_path("/a//b/./c"), "/a/b/c");
+  EXPECT_EQ(normalize_path("a/b/../c"), "/a/c");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("///"), "/");
+  EXPECT_EQ(normalize_path("/../x"), "/x");
+}
+
+TEST(Path, ParentAndBase) {
+  EXPECT_EQ(parent_path("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(base_name("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(base_name("/"), "");
+}
+
+TEST(MemFs, CreateWriteStatReadBack) {
+  MemFs fs;
+  OpCtx ctx;
+  const auto open = fs.open("/out.dat", OpenMode::write_create(), ctx);
+  const int fd = static_cast<int>(open.value);
+  EXPECT_GE(fd, 3);
+  const auto w = fs.write(fd, 0, 4096, ctx, nullptr);
+  EXPECT_EQ(w.value, 4096);
+  EXPECT_GT(w.cost, 0);
+  EXPECT_EQ(fs.stat("/out.dat", ctx).value, 4096);
+  const auto r = fs.read(fd, 0, 8192, ctx, nullptr);
+  EXPECT_EQ(r.value, 4096);  // truncated at EOF
+  EXPECT_EQ(fs.close(fd, ctx).value, 0);
+}
+
+TEST(MemFs, ContentRetentionRoundTrip) {
+  LocalFsParams params;
+  params.content = ContentPolicy::kRetain;
+  MemFs fs(params);
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(fs.open("/c.dat", OpenMode::write_create(), ctx).value);
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  (void)fs.write(fd, 2, static_cast<Bytes>(payload.size()), ctx,
+                 payload.data());
+  std::vector<std::uint8_t> out(5, 0);
+  (void)fs.read(fd, 2, 5, ctx, out.data());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(fs.content("/c.dat").size(), 7u);  // 2 zero bytes + payload
+}
+
+TEST(MemFs, MetadataOnlyStoresNoBytes) {
+  MemFs fs;  // default: kMetadataOnly
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(fs.open("/big.dat", OpenMode::write_create(), ctx).value);
+  (void)fs.write(fd, 0, 10 * kGiB, ctx, nullptr);
+  EXPECT_EQ(fs.stat_info("/big.dat").size, 10 * kGiB);
+  EXPECT_TRUE(fs.content("/big.dat").empty());
+}
+
+TEST(MemFs, OpenMissingWithoutCreateThrows) {
+  MemFs fs;
+  OpCtx ctx;
+  EXPECT_THROW((void)fs.open("/nope", OpenMode::read_only(), ctx), IoError);
+}
+
+TEST(MemFs, WriteOnReadOnlyFdThrows) {
+  MemFs fs;
+  OpCtx ctx;
+  (void)fs.open("/f", OpenMode::write_create(), ctx);
+  const int rd =
+      static_cast<int>(fs.open("/f", OpenMode::read_only(), ctx).value);
+  EXPECT_THROW((void)fs.write(rd, 0, 10, ctx, nullptr), IoError);
+}
+
+TEST(MemFs, BadFdThrows) {
+  MemFs fs;
+  OpCtx ctx;
+  EXPECT_THROW((void)fs.read(99, 0, 1, ctx, nullptr), IoError);
+  EXPECT_THROW((void)fs.close(99, ctx), IoError);
+}
+
+TEST(MemFs, TruncateResetsSize) {
+  MemFs fs;
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(fs.open("/t", OpenMode::write_create(), ctx).value);
+  (void)fs.write(fd, 0, 1000, ctx, nullptr);
+  (void)fs.close(fd, ctx);
+  (void)fs.open("/t", OpenMode::write_create(), ctx);  // truncate
+  EXPECT_EQ(fs.stat_info("/t").size, 0);
+}
+
+TEST(MemFs, MkdirUnlinkList) {
+  MemFs fs;
+  OpCtx ctx;
+  (void)fs.mkdir("/dir", ctx);
+  (void)fs.open("/dir/a", OpenMode::write_create(), ctx);
+  (void)fs.open("/dir/b", OpenMode::write_create(), ctx);
+  (void)fs.mkdir("/dir/sub", ctx);
+  (void)fs.open("/dir/sub/deep", OpenMode::write_create(), ctx);
+  const auto entries = fs.list("/dir");
+  EXPECT_EQ(entries.size(), 3u);  // a, b, sub — not deep
+  EXPECT_EQ(fs.readdir("/dir", ctx).value, 3);
+  (void)fs.unlink("/dir/a", ctx);
+  EXPECT_FALSE(fs.exists("/dir/a"));
+  EXPECT_THROW((void)fs.unlink("/dir/sub", ctx), IoError);  // is a dir
+  EXPECT_THROW((void)fs.mkdir("/dir", ctx), IoError);       // exists
+}
+
+TEST(MemFs, MmapRequiredBeforeMappedIo) {
+  MemFs fs;
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(fs.open("/m", OpenMode::read_write(), ctx).value);
+  EXPECT_THROW((void)fs.mmap_write(fd, 0, 100, ctx), IoError);
+  (void)fs.mmap(fd, ctx);
+  EXPECT_EQ(fs.mmap_write(fd, 0, 100, ctx).value, 100);
+  EXPECT_EQ(fs.stat_info("/m").size, 100);
+}
+
+TEST(MemFs, LargerWritesCostMore) {
+  MemFs fs;
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(fs.open("/c", OpenMode::write_create(), ctx).value);
+  const SimTime small = fs.write(fd, 0, 4 * kKiB, ctx, nullptr).cost;
+  const SimTime large = fs.write(fd, 0, 4 * kMiB, ctx, nullptr).cost;
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(MemFs, UidGidRecordedFromContext) {
+  MemFs fs;
+  OpCtx ctx;
+  ctx.uid = 1234;
+  ctx.gid = 99;
+  (void)fs.open("/owned", OpenMode::write_create(), ctx);
+  const StatInfo info = fs.stat_info("/owned");
+  EXPECT_EQ(info.uid, 1234u);
+  EXPECT_EQ(info.gid, 99u);
+}
+
+TEST(Nfs, AddsNetworkCostToEveryOp) {
+  auto inner = std::make_shared<MemFs>();
+  NfsFs nfs(inner);
+  MemFs plain;
+  OpCtx ctx;
+
+  const auto nfs_open = nfs.open("/f", OpenMode::write_create(), ctx);
+  const auto local_open = plain.open("/f", OpenMode::write_create(), ctx);
+  EXPECT_GT(nfs_open.cost, local_open.cost);
+
+  const int fd = static_cast<int>(nfs_open.value);
+  const int lfd = static_cast<int>(local_open.value);
+  EXPECT_GT(nfs.write(fd, 0, 64 * kKiB, ctx, nullptr).cost,
+            plain.write(lfd, 0, 64 * kKiB, ctx, nullptr).cost);
+}
+
+TEST(Nfs, ReportsNfsKind) {
+  NfsFs nfs(std::make_shared<MemFs>());
+  EXPECT_EQ(nfs.kind(), FsKind::kNfs);
+  EXPECT_EQ(nfs.fstype(), "nfs");
+}
+
+TEST(Nfs, ForwardsSemanticState) {
+  auto inner = std::make_shared<MemFs>();
+  NfsFs nfs(inner);
+  OpCtx ctx;
+  const int fd =
+      static_cast<int>(nfs.open("/x", OpenMode::write_create(), ctx).value);
+  (void)nfs.write(fd, 0, 777, ctx, nullptr);
+  EXPECT_TRUE(inner->exists("/x"));
+  EXPECT_EQ(nfs.stat_info("/x").size, 777);
+}
+
+TEST(Nfs, RequiresInner) {
+  EXPECT_THROW(NfsFs bad(nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace iotaxo::fs

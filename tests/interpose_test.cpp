@@ -1,0 +1,261 @@
+// Tests for the interposition mechanisms: ptrace tracers (strace/ltrace
+// modes), dynamic library interposition, probe collection, and the
+// stackable VFS shim with filters and aggregation counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fs/memfs.h"
+#include "interpose/mechanism.h"
+#include "interpose/tracers.h"
+#include "interpose/vfs_shim.h"
+#include "trace/sink.h"
+#include "util/error.h"
+
+namespace iotaxo::interpose {
+namespace {
+
+using trace::EventClass;
+using trace::TraceEvent;
+
+[[nodiscard]] TraceEvent event_of(EventClass cls, const char* name) {
+  TraceEvent ev;
+  ev.cls = cls;
+  ev.name = name;
+  return ev;
+}
+
+TEST(PtraceTracer, StraceSeesOnlySyscalls) {
+  auto sink = std::make_shared<trace::VectorSink>();
+  PtraceTracer tracer(PtraceTracer::Mode::kStrace, sink);
+  EXPECT_GT(tracer.on_event(event_of(EventClass::kSyscall, "SYS_write")), 0);
+  EXPECT_EQ(tracer.on_event(event_of(EventClass::kLibraryCall, "MPI_Barrier")),
+            0);
+  EXPECT_EQ(tracer.on_event(event_of(EventClass::kFsOperation, "vfs_write")),
+            0);
+  ASSERT_EQ(sink->events().size(), 1u);
+  EXPECT_EQ(sink->events()[0].name, "SYS_write");
+  EXPECT_EQ(tracer.events_captured(), 1);
+}
+
+TEST(PtraceTracer, LtraceSeesSyscallsAndLibraryCalls) {
+  auto sink = std::make_shared<trace::VectorSink>();
+  PtraceTracer tracer(PtraceTracer::Mode::kLtrace, sink);
+  EXPECT_GT(tracer.on_event(event_of(EventClass::kSyscall, "SYS_write")), 0);
+  EXPECT_GT(tracer.on_event(event_of(EventClass::kLibraryCall, "MPI_Barrier")),
+            0);
+  EXPECT_EQ(tracer.on_event(event_of(EventClass::kClockProbe, "clock_probe")),
+            0);
+  EXPECT_EQ(sink->events().size(), 2u);
+}
+
+TEST(PtraceTracer, CostsComeFromTheCostModel) {
+  InterposeCosts costs;
+  costs.ptrace_syscall_event = from_micros(111.0);
+  costs.ptrace_library_event = from_micros(222.0);
+  auto sink = std::make_shared<trace::VectorSink>();
+  PtraceTracer strace(PtraceTracer::Mode::kStrace, sink, costs);
+  PtraceTracer ltrace(PtraceTracer::Mode::kLtrace, sink, costs);
+  EXPECT_EQ(strace.on_event(event_of(EventClass::kSyscall, "SYS_read")),
+            from_micros(111.0));
+  EXPECT_EQ(ltrace.on_event(event_of(EventClass::kLibraryCall, "write")),
+            from_micros(222.0));
+}
+
+TEST(PtraceTracer, RequiresSink) {
+  EXPECT_THROW(PtraceTracer(PtraceTracer::Mode::kStrace, nullptr),
+               ConfigError);
+}
+
+TEST(DynLib, InterposesOnlyWrappedLibraryCalls) {
+  auto sink = std::make_shared<trace::VectorSink>();
+  DynLibInterposer dyn(sink);
+  EXPECT_GT(dyn.on_event(event_of(EventClass::kLibraryCall, "write")), 0);
+  EXPECT_GT(
+      dyn.on_event(event_of(EventClass::kLibraryCall, "MPI_File_write_at")),
+      0);
+  // Syscalls happen below the library boundary.
+  EXPECT_EQ(dyn.on_event(event_of(EventClass::kSyscall, "SYS_write")), 0);
+  // Unwrapped library calls pass through.
+  EXPECT_EQ(dyn.on_event(event_of(EventClass::kLibraryCall, "gettimeofday")),
+            0);
+  EXPECT_EQ(sink->events().size(), 2u);
+}
+
+TEST(DynLib, CheaperThanPtrace) {
+  const InterposeCosts costs;
+  EXPECT_LT(costs.dynlib_event, costs.ptrace_syscall_event / 5);
+}
+
+TEST(ProbeCollector, SortsEventKinds) {
+  ProbeCollector collector;
+  TraceEvent probe = event_of(EventClass::kClockProbe, "clock_probe");
+  TraceEvent note = event_of(EventClass::kAnnotation, "Barrier before /app");
+  TraceEvent barrier = event_of(EventClass::kLibraryCall, "MPI_Barrier");
+  TraceEvent io = event_of(EventClass::kSyscall, "SYS_write");
+  EXPECT_EQ(collector.on_event(probe), 0);
+  EXPECT_EQ(collector.on_event(note), 0);
+  EXPECT_EQ(collector.on_event(barrier), 0);
+  EXPECT_EQ(collector.on_event(io), 0);
+  EXPECT_EQ(collector.probes().size(), 1u);
+  EXPECT_EQ(collector.annotations().size(), 1u);
+  EXPECT_EQ(collector.barriers().size(), 1u);
+}
+
+class VfsShimFixture : public ::testing::Test {
+ protected:
+  [[nodiscard]] std::shared_ptr<VfsShim> make_shim(
+      VfsShimOptions options = {}, VfsEventFilter filter = nullptr) {
+    inner_ = std::make_shared<fs::MemFs>();
+    sink_ = std::make_shared<trace::VectorSink>();
+    return std::make_shared<VfsShim>(inner_, sink_, options, nullptr,
+                                     std::move(filter));
+  }
+
+  std::shared_ptr<fs::MemFs> inner_;
+  std::shared_ptr<trace::VectorSink> sink_;
+  fs::OpCtx ctx_;
+};
+
+TEST_F(VfsShimFixture, CapturesEveryOpClass) {
+  auto shim = make_shim();
+  const int fd = static_cast<int>(
+      shim->open("/d.dat", fs::OpenMode::write_create(), ctx_).value);
+  (void)shim->write(fd, 0, 4096, ctx_, nullptr);
+  (void)shim->read(fd, 0, 4096, ctx_, nullptr);
+  (void)shim->stat("/d.dat", ctx_);
+  (void)shim->mmap(fd, ctx_);
+  (void)shim->mmap_write(fd, 0, 512, ctx_);
+  (void)shim->close(fd, ctx_);
+
+  std::vector<std::string> names;
+  for (const TraceEvent& ev : sink_->events()) {
+    EXPECT_EQ(ev.cls, EventClass::kFsOperation);
+    names.push_back(ev.name);
+  }
+  const std::vector<std::string> expected = {
+      "vfs_open", "vfs_write", "vfs_read", "vfs_stat",
+      "vfs_mmap", "vfs_mmap_write", "vfs_close"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(shim->events_captured(), 7);
+}
+
+TEST_F(VfsShimFixture, SeesMmapWritesUnlikeSyscallTracers) {
+  auto shim = make_shim();
+  const int fd = static_cast<int>(
+      shim->open("/m", fs::OpenMode::read_write(), ctx_).value);
+  (void)shim->mmap(fd, ctx_);
+  (void)shim->mmap_write(fd, 0, 4096, ctx_);
+  bool saw_mmap_write = false;
+  for (const TraceEvent& ev : sink_->events()) {
+    saw_mmap_write = saw_mmap_write || ev.name == "vfs_mmap_write";
+  }
+  EXPECT_TRUE(saw_mmap_write);
+}
+
+TEST_F(VfsShimFixture, ChargesCaptureCostInline) {
+  VfsShimOptions options;
+  options.record_cost = from_micros(100.0);
+  auto shim = make_shim(options);
+  fs::MemFs plain;
+  const int sfd = static_cast<int>(
+      shim->open("/x", fs::OpenMode::write_create(), ctx_).value);
+  const int pfd = static_cast<int>(
+      plain.open("/x", fs::OpenMode::write_create(), ctx_).value);
+  const SimTime with = shim->write(sfd, 0, 4096, ctx_, nullptr).cost;
+  const SimTime without = plain.write(pfd, 0, 4096, ctx_, nullptr).cost;
+  EXPECT_GE(with - without, from_micros(100.0));
+}
+
+TEST_F(VfsShimFixture, FilterLimitsCapture) {
+  auto only_writes = [](const TraceEvent& ev) { return ev.name == "vfs_write"; };
+  auto shim = make_shim({}, only_writes);
+  const int fd = static_cast<int>(
+      shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+  (void)shim->write(fd, 0, 128, ctx_, nullptr);
+  (void)shim->read(fd, 0, 128, ctx_, nullptr);
+  (void)shim->close(fd, ctx_);
+  ASSERT_EQ(sink_->events().size(), 1u);
+  EXPECT_EQ(sink_->events()[0].name, "vfs_write");
+}
+
+TEST_F(VfsShimFixture, FilteredOpsCostNothingExtra) {
+  VfsShimOptions options;
+  options.record_cost = from_millis(5.0);
+  auto none = [](const TraceEvent&) { return false; };
+  auto shim = make_shim(options, none);
+  fs::MemFs plain;
+  const int sfd = static_cast<int>(
+      shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+  const int pfd = static_cast<int>(
+      plain.open("/f", fs::OpenMode::write_create(), ctx_).value);
+  EXPECT_EQ(shim->write(sfd, 0, 64, ctx_, nullptr).cost,
+            plain.write(pfd, 0, 64, ctx_, nullptr).cost);
+}
+
+TEST_F(VfsShimFixture, AggregationModeCountsWithoutRecording) {
+  VfsShimOptions options;
+  options.aggregate_only = true;
+  auto shim = make_shim(options);
+  const int fd = static_cast<int>(
+      shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+  for (int i = 0; i < 10; ++i) {
+    (void)shim->write(fd, i * 64, 64, ctx_, nullptr);
+  }
+  EXPECT_TRUE(sink_->events().empty());  // nothing recorded...
+  EXPECT_EQ(shim->counters().at("vfs_write"), 10);  // ...but counted
+}
+
+TEST_F(VfsShimFixture, AdvancedFeaturesCostMore) {
+  VfsShimOptions base;
+  VfsShimOptions fancy;
+  fancy.checksum = true;
+  fancy.compress = true;
+  fancy.encrypt = true;
+  auto cost_of = [this](VfsShimOptions o) {
+    auto shim = make_shim(o);
+    const int fd = static_cast<int>(
+        shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+    return shim->write(fd, 0, 4096, ctx_, nullptr).cost;
+  };
+  EXPECT_GT(cost_of(fancy), cost_of(base));
+}
+
+TEST_F(VfsShimFixture, BufferingAmortizesFlushes) {
+  VfsShimOptions small_buffer;
+  small_buffer.buffer_bytes = 128;  // flushes every other record
+  VfsShimOptions big_buffer;
+  big_buffer.buffer_bytes = 4 * kMiB;
+  auto cost_of = [this](VfsShimOptions o) {
+    auto shim = make_shim(o);
+    const int fd = static_cast<int>(
+        shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+    return shim->write(fd, 0, 4096, ctx_, nullptr).cost;
+  };
+  EXPECT_GT(cost_of(small_buffer), cost_of(big_buffer));
+}
+
+TEST_F(VfsShimFixture, ForwardsInnerState) {
+  auto shim = make_shim();
+  const int fd = static_cast<int>(
+      shim->open("/f", fs::OpenMode::write_create(), ctx_).value);
+  (void)shim->write(fd, 0, 999, ctx_, nullptr);
+  EXPECT_TRUE(inner_->exists("/f"));
+  EXPECT_EQ(shim->stat_info("/f").size, 999);
+  EXPECT_EQ(shim->kind(), fs::FsKind::kLocal);
+  EXPECT_EQ(shim->fstype(), "tracefs");
+}
+
+TEST(VfsShim, RequiresInner) {
+  EXPECT_THROW(
+      VfsShim(nullptr, std::make_shared<trace::VectorSink>(), {}, nullptr),
+      ConfigError);
+}
+
+TEST(Mechanism, Names) {
+  EXPECT_STREQ(to_string(Mechanism::kPtraceSyscall), "ptrace-syscall");
+  EXPECT_STREQ(to_string(Mechanism::kVfsStack), "vfs-stack");
+}
+
+}  // namespace
+}  // namespace iotaxo::interpose

@@ -1,0 +1,418 @@
+// Tests for the SimMPI runtime: program building/validation, barrier
+// semantics, messaging, event emission, bandwidth windows, mmap opacity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fs/memfs.h"
+#include "mpi/program.h"
+#include "mpi/runtime.h"
+#include "pfs/pfs.h"
+#include "sim/cluster.h"
+#include "trace/sink.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::mpi {
+namespace {
+
+using trace::EventClass;
+using trace::TraceEvent;
+
+/// Observer that records everything at zero cost.
+class RecordingObserver : public IoObserver {
+ public:
+  SimTime on_event(const TraceEvent& ev) override {
+    events.push_back(ev);
+    return 0;
+  }
+  std::vector<TraceEvent> events;
+};
+
+/// Observer that charges a fixed cost per syscall event.
+class CostlyObserver : public IoObserver {
+ public:
+  explicit CostlyObserver(SimTime cost) : cost_(cost) {}
+  SimTime on_event(const TraceEvent& ev) override {
+    return ev.cls == EventClass::kSyscall ? cost_ : 0;
+  }
+
+ private:
+  SimTime cost_;
+};
+
+class RuntimeFixture : public ::testing::Test {
+ protected:
+  RuntimeFixture() : cluster_(make_params()) {}
+
+  static sim::ClusterParams make_params() {
+    sim::ClusterParams p;
+    p.node_count = 8;
+    return p;
+  }
+
+  [[nodiscard]] RunOptions options(fs::VfsPtr vfs = nullptr) const {
+    RunOptions o;
+    o.vfs = vfs ? std::move(vfs) : std::make_shared<fs::MemFs>();
+    o.startup = 0;
+    return o;
+  }
+
+  sim::Cluster cluster_;
+};
+
+TEST_F(RuntimeFixture, BuilderProducesExpectedOps) {
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create())
+      .write_blocks(0, 4 * kKiB, 3)
+      .barrier("sync")
+      .close(0);
+  const Program prog = std::move(b).build();
+  ASSERT_EQ(prog.size(), 4u);
+  EXPECT_EQ(prog[0].type, OpType::kOpen);
+  EXPECT_EQ(prog[1].count, 3);
+  EXPECT_EQ(prog[2].label, "sync");
+  EXPECT_EQ(prog[3].type, OpType::kClose);
+}
+
+TEST_F(RuntimeFixture, BuilderInfersStridedHint) {
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create());
+  b.write_blocks(0, 64 * kKiB, 4, 0, 32 * 64 * kKiB);
+  EXPECT_EQ(b.ops()[1].hint, fs::AccessHint::kStrided);
+  ScriptBuilder c;
+  c.open(0, "/f", fs::OpenMode::write_create());
+  c.write_blocks(0, 64 * kKiB, 4, 0, 0);
+  EXPECT_EQ(c.ops()[1].hint, fs::AccessHint::kSequential);
+}
+
+TEST_F(RuntimeFixture, ValidateRejectsMismatchedBarriers) {
+  ScriptBuilder a;
+  a.barrier("x");
+  ScriptBuilder b;  // no barrier
+  std::vector<Program> job{std::move(a).build(), std::move(b).build()};
+  EXPECT_THROW(validate_job(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, ValidateRejectsUnopenedSlot) {
+  ScriptBuilder a;
+  a.write_blocks(3, kKiB, 1);
+  std::vector<Program> job{std::move(a).build()};
+  EXPECT_THROW(validate_job(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, ValidateRejectsUnbalancedSendRecv) {
+  ScriptBuilder a;
+  a.send(1, 64);
+  ScriptBuilder b;  // never receives
+  std::vector<Program> job{std::move(a).build(), std::move(b).build()};
+  EXPECT_THROW(validate_job(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, BarrierSynchronizesClocks) {
+  // Rank 1 computes much longer; after the barrier both proceed together.
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  std::vector<Program> job;
+  {
+    ScriptBuilder b;
+    b.compute(from_millis(1.0)).barrier("meet");
+    job.push_back(std::move(b).build());
+  }
+  {
+    ScriptBuilder b;
+    b.compute(from_millis(500.0)).barrier("meet");
+    job.push_back(std::move(b).build());
+  }
+  Runtime rt(cluster_, o);
+  const RunResult result = rt.run(job);
+  ASSERT_TRUE(result.barrier_release.contains("meet"));
+  EXPECT_GT(result.barrier_release.at("meet"), from_millis(500.0));
+  // Rank 0 waited ~499ms in the barrier.
+  SimTime wait0 = 0;
+  for (const TraceEvent& ev : rec->events) {
+    if (ev.name == "MPI_Barrier" && ev.rank == 0) {
+      wait0 = ev.duration;
+    }
+  }
+  EXPECT_GT(wait0, from_millis(400.0));
+}
+
+TEST_F(RuntimeFixture, EventsPerWriteBlockIsThree) {
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create());
+  b.write_blocks(0, 4 * kKiB, 5);
+  b.close(0);
+  Runtime rt(cluster_, o);
+  (void)rt.run({std::move(b).build()});
+
+  int lib_writes = 0;
+  int sys_writes = 0;
+  int sys_seeks = 0;
+  for (const TraceEvent& ev : rec->events) {
+    if (ev.name == "MPI_File_write_at") ++lib_writes;
+    if (ev.name == "SYS_write") ++sys_writes;
+    if (ev.name == "SYS_lseek") ++sys_seeks;
+  }
+  EXPECT_EQ(lib_writes, 5);
+  EXPECT_EQ(sys_writes, 5);
+  EXPECT_EQ(sys_seeks, 5);
+}
+
+TEST_F(RuntimeFixture, MpiOpenEmitsStatfsOpenFcntl) {
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create(), fs::AccessHint::kSequential,
+         Api::kMpiIo);
+  b.close(0);
+  Runtime rt(cluster_, o);
+  (void)rt.run({std::move(b).build()});
+  std::vector<std::string> names;
+  for (const TraceEvent& ev : rec->events) {
+    names.push_back(ev.name);
+  }
+  EXPECT_EQ(names[0], "MPI_File_open");
+  EXPECT_EQ(names[1], "SYS_statfs64");
+  EXPECT_EQ(names[2], "SYS_open");
+  EXPECT_EQ(names[3], "SYS_fcntl64");
+}
+
+TEST_F(RuntimeFixture, MmapIoEmitsNoSyscallEvents) {
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  ScriptBuilder b;
+  b.open(0, "/m", fs::OpenMode::read_write(), fs::AccessHint::kSequential,
+         Api::kPosix);
+  b.mmap(0);
+  b.mmap_write(0, 4 * kKiB, 8, 0);
+  b.close(0);
+  Runtime rt(cluster_, o);
+  const RunResult r = rt.run({std::move(b).build()});
+  EXPECT_EQ(r.bytes_written, 8 * 4 * kKiB);
+  for (const TraceEvent& ev : rec->events) {
+    EXPECT_EQ(ev.name.find("mmap_write"), std::string::npos)
+        << "mmap stores must not surface as syscall/library events";
+  }
+}
+
+TEST_F(RuntimeFixture, ObserverCostSlowsTheRun) {
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create());
+  b.write_blocks(0, 4 * kKiB, 100);
+  b.close(0);
+  const Program prog = std::move(b).build();
+
+  Runtime plain(cluster_, options());
+  const SimTime untraced = plain.run({prog}).elapsed;
+
+  RunOptions o = options();
+  o.observers = {std::make_shared<CostlyObserver>(from_micros(300.0))};
+  Runtime traced(cluster_, o);
+  const SimTime traced_elapsed = traced.run({prog}).elapsed;
+
+  EXPECT_GT(traced_elapsed, untraced + 100 * 2 * from_micros(250.0));
+}
+
+TEST_F(RuntimeFixture, SharedFileAmplifiesTracerCost) {
+  // The same per-event observer cost inflates *absolute* job time far more
+  // on a shared parallel file: a stopped writer holds stripe locks and
+  // stalls its peers (this is why the paper's N-to-1 numbers dwarf N-to-N).
+  auto extra_time_with = [&](bool shared) {
+    std::vector<Program> job;
+    for (int r = 0; r < 8; ++r) {
+      ScriptBuilder b;
+      const std::string path = shared ? "/pfs/all.out"
+                                      : strprintf("/pfs/own%d.out", r);
+      b.open(0, path, fs::OpenMode::write_create());
+      b.write_blocks(0, 64 * kKiB, 50, shared ? r * 64 * kKiB : 0,
+                     shared ? 8 * 64 * kKiB : 0);
+      b.close(0);
+      job.push_back(std::move(b).build());
+    }
+    RunOptions o = options(std::make_shared<pfs::Pfs>());
+    Runtime plain(cluster_, o);
+    const SimTime untraced = plain.run(job).elapsed;
+    o.vfs = std::make_shared<pfs::Pfs>();
+    o.observers = {std::make_shared<CostlyObserver>(from_micros(300.0))};
+    Runtime traced(cluster_, o);
+    return traced.run(job).elapsed - untraced;
+  };
+  const SimTime shared_extra = extra_time_with(true);
+  const SimTime own_extra = extra_time_with(false);
+  // Amplification with 8 writers is 1 + 0.5*7 = 4.5x.
+  EXPECT_GT(shared_extra, 3 * own_extra);
+}
+
+TEST_F(RuntimeFixture, SendRecvTransfersAndBlocks) {
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  std::vector<Program> job;
+  {
+    ScriptBuilder b;
+    b.compute(from_millis(50.0)).send(1, 1 * kMiB);
+    job.push_back(std::move(b).build());
+  }
+  {
+    ScriptBuilder b;
+    b.recv(0).compute(from_millis(1.0));
+    job.push_back(std::move(b).build());
+  }
+  Runtime rt(cluster_, o);
+  const RunResult r = rt.run(job);
+  // Receiver could not finish before the sender's 50ms compute + transfer.
+  EXPECT_GT(r.rank_end[1], from_millis(50.0));
+}
+
+TEST_F(RuntimeFixture, RecvDeadlockDetected) {
+  std::vector<Program> job;
+  {
+    ScriptBuilder b;
+    b.recv(1, 7).send(1, 8, 7);
+    job.push_back(std::move(b).build());
+  }
+  {
+    ScriptBuilder b;
+    b.recv(0, 7).send(0, 8, 7);
+    job.push_back(std::move(b).build());
+  }
+  Runtime rt(cluster_, options());
+  EXPECT_THROW((void)rt.run(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, BarrierDeadlockDetected) {
+  // One rank finishes without the barrier the other waits on — the job
+  // validates only barrier *counts*, so craft it via recv mismatch-free ops.
+  std::vector<Program> job;
+  {
+    ScriptBuilder b;
+    b.barrier("only_rank0_reaches_this");
+    job.push_back(std::move(b).build());
+  }
+  {
+    ScriptBuilder b;
+    b.barrier("x");
+    Program p = std::move(b).build();
+    p.clear();  // rank 1 does nothing but validate counted before clearing
+    job.push_back(std::move(p));
+  }
+  Runtime rt(cluster_, options());
+  EXPECT_THROW((void)rt.run(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, ClockProbesCarryNodeLocalTime) {
+  auto rec = std::make_shared<RecordingObserver>();
+  RunOptions o = options();
+  o.observers = {rec};
+  std::vector<Program> job;
+  for (int r = 0; r < 4; ++r) {
+    ScriptBuilder b;
+    b.clock_probe("pre_free").barrier("sync").clock_probe("pre_sync");
+    job.push_back(std::move(b).build());
+  }
+  Runtime rt(cluster_, o);
+  (void)rt.run(job);
+
+  std::vector<SimTime> sync_readings;
+  for (const TraceEvent& ev : rec->events) {
+    if (ev.cls == EventClass::kClockProbe && !ev.args.empty() &&
+        ev.args[0] == "pre_sync") {
+      sync_readings.push_back(ev.local_start);
+    }
+  }
+  ASSERT_EQ(sync_readings.size(), 4u);
+  // Probes fire at nearly the same global instant but local clocks differ
+  // by the injected skew (hundreds of ms >> barrier staggering).
+  SimTime min = sync_readings[0];
+  SimTime max = sync_readings[0];
+  for (const SimTime t : sync_readings) {
+    min = std::min(min, t);
+    max = std::max(max, t);
+  }
+  EXPECT_GT(max - min, from_millis(1.0));
+}
+
+TEST_F(RuntimeFixture, BytesAccounting) {
+  ScriptBuilder b;
+  b.open(0, "/f", fs::OpenMode::write_create());
+  b.write_blocks(0, 64 * kKiB, 10);
+  b.close(0);
+  ScriptBuilder r;
+  r.open(0, "/f", fs::OpenMode::read_only(), fs::AccessHint::kSequential,
+         Api::kPosix);
+  r.read_blocks(0, 64 * kKiB, 10, 0);
+  r.close(0, Api::kPosix);
+  Program prog = std::move(b).build();
+  const Program reader = std::move(r).build();
+  prog.insert(prog.end(), reader.begin(), reader.end());
+
+  Runtime rt(cluster_, options());
+  const RunResult result = rt.run({prog});
+  EXPECT_EQ(result.bytes_written, 10 * 64 * kKiB);
+  EXPECT_EQ(result.bytes_read, 10 * 64 * kKiB);
+}
+
+TEST_F(RuntimeFixture, StartupDelaysEverything) {
+  ScriptBuilder b;
+  b.compute(from_millis(1.0));
+  const Program prog = std::move(b).build();
+
+  RunOptions o = options();
+  o.startup = from_seconds(2.0);
+  Runtime rt(cluster_, o);
+  EXPECT_GT(rt.run({prog}).elapsed, from_seconds(2.0));
+}
+
+TEST_F(RuntimeFixture, DeterministicAcrossRuns) {
+  std::vector<Program> job;
+  for (int r = 0; r < 4; ++r) {
+    ScriptBuilder b;
+    b.open(0, strprintf("/f%d", r), fs::OpenMode::write_create());
+    b.write_blocks(0, 16 * kKiB, 20);
+    b.barrier("m");
+    b.close(0);
+    job.push_back(std::move(b).build());
+  }
+  Runtime a(cluster_, options());
+  Runtime b2(cluster_, options());
+  EXPECT_EQ(a.run(job).elapsed, b2.run(job).elapsed);
+}
+
+TEST_F(RuntimeFixture, TooManyRanksRejected) {
+  std::vector<Program> job(20);  // cluster has 8 nodes, ppn 1
+  Runtime rt(cluster_, options());
+  EXPECT_THROW((void)rt.run(job), ConfigError);
+}
+
+TEST_F(RuntimeFixture, ProcsPerNodePacksRanks) {
+  RunOptions o = options();
+  o.procs_per_node = 4;
+  auto rec = std::make_shared<RecordingObserver>();
+  o.observers = {rec};
+  std::vector<Program> job;
+  for (int r = 0; r < 16; ++r) {
+    ScriptBuilder b;
+    b.open(0, strprintf("/f%d", r), fs::OpenMode::write_create());
+    b.close(0);
+    job.push_back(std::move(b).build());
+  }
+  Runtime rt(cluster_, o);
+  (void)rt.run(job);
+  // Rank 5 lives on node 1.
+  for (const TraceEvent& ev : rec->events) {
+    if (ev.rank == 5) {
+      EXPECT_EQ(ev.node, 1);
+      EXPECT_EQ(ev.host, "host1.lanl.gov");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotaxo::mpi

@@ -1,0 +1,239 @@
+// Tests for the parallel file system: RAID-5 geometry, writer tracking,
+// the contention cost model behind Figures 2-4, and stall amplification.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pfs/pfs.h"
+#include "pfs/raid.h"
+#include "util/error.h"
+
+namespace iotaxo::pfs {
+namespace {
+
+TEST(Raid5, RejectsDegenerateGeometry) {
+  EXPECT_THROW(Raid5Layout(2, 64 * kKiB), ConfigError);
+  EXPECT_THROW(Raid5Layout(4, 0), ConfigError);
+}
+
+TEST(Raid5, FullStripeBytes) {
+  Raid5Layout layout(5, 64 * kKiB);
+  EXPECT_EQ(layout.full_stripe_bytes(), 4 * 64 * kKiB);
+}
+
+TEST(Raid5, DataNeverLandsOnParityTarget) {
+  Raid5Layout layout(7, 64 * kKiB);
+  for (Bytes off = 0; off < 200 * 64 * kKiB; off += 64 * kKiB) {
+    const StripeLocation loc = layout.locate(off);
+    EXPECT_NE(loc.target, loc.parity_target) << "offset " << off;
+    EXPECT_GE(loc.target, 0);
+    EXPECT_LT(loc.target, 7);
+  }
+}
+
+TEST(Raid5, ParityRotatesAcrossRows) {
+  Raid5Layout layout(5, 64 * kKiB);
+  std::set<int> parity_targets;
+  for (long long row = 0; row < 5; ++row) {
+    const StripeLocation loc =
+        layout.locate(row * layout.full_stripe_bytes());
+    parity_targets.insert(loc.parity_target);
+  }
+  EXPECT_EQ(parity_targets.size(), 5u);  // every target takes a parity turn
+}
+
+TEST(Raid5, SequentialUnitsSpreadOverTargets) {
+  Raid5Layout layout(6, 64 * kKiB);
+  std::set<int> targets;
+  for (int unit = 0; unit < 5; ++unit) {
+    targets.insert(layout.locate(unit * 64 * kKiB).target);
+  }
+  EXPECT_EQ(targets.size(), 5u);  // five data units land on five disks
+}
+
+TEST(Raid5, PartialStripeDetection) {
+  Raid5Layout layout(5, 64 * kKiB);
+  const Bytes full = layout.full_stripe_bytes();
+  EXPECT_FALSE(layout.is_partial_stripe_write(0, full));
+  EXPECT_TRUE(layout.is_partial_stripe_write(0, 64 * kKiB));
+  EXPECT_TRUE(layout.is_partial_stripe_write(64 * kKiB, full));
+  EXPECT_FALSE(layout.is_partial_stripe_write(full, 2 * full));
+}
+
+TEST(Raid5, RowsTouched) {
+  Raid5Layout layout(5, 64 * kKiB);
+  const Bytes full = layout.full_stripe_bytes();
+  EXPECT_EQ(layout.rows_touched(0, full), 1);
+  EXPECT_EQ(layout.rows_touched(0, full + 1), 2);
+  EXPECT_EQ(layout.rows_touched(full - 1, 2), 2);
+  EXPECT_EQ(layout.rows_touched(0, 0), 0);
+}
+
+class PfsFixture : public ::testing::Test {
+ protected:
+  [[nodiscard]] fs::OpCtx ctx(int rank,
+                              fs::AccessHint hint = fs::AccessHint::kSequential)
+      const {
+    fs::OpCtx c;
+    c.rank = rank;
+    c.hint = hint;
+    return c;
+  }
+  Pfs pfs_{};
+};
+
+TEST_F(PfsFixture, PaperGeometryDefaults) {
+  EXPECT_EQ(pfs_.params().targets, 252);
+  EXPECT_EQ(pfs_.params().stripe_unit, 64 * kKiB);
+  EXPECT_EQ(pfs_.kind(), fs::FsKind::kParallel);
+  EXPECT_EQ(pfs_.fstype(), "lanlfs");
+}
+
+TEST_F(PfsFixture, WriterTrackingAcrossOpenClose) {
+  const std::string path = "/pfs/shared.out";
+  std::vector<int> fds;
+  for (int r = 0; r < 4; ++r) {
+    fds.push_back(static_cast<int>(
+        pfs_.open(path, fs::OpenMode::write_create(), ctx(r)).value));
+  }
+  EXPECT_EQ(pfs_.writer_count(path), 4);
+  (void)pfs_.close(fds[0], ctx(0));
+  EXPECT_EQ(pfs_.writer_count(path), 3);
+  for (int r = 1; r < 4; ++r) {
+    (void)pfs_.close(fds[static_cast<std::size_t>(r)], ctx(r));
+  }
+  EXPECT_EQ(pfs_.writer_count(path), 0);
+}
+
+TEST_F(PfsFixture, ReadersAreNotWriters) {
+  const std::string path = "/pfs/ro.out";
+  (void)pfs_.open(path, fs::OpenMode::write_create(), ctx(0));
+  (void)pfs_.open(path, fs::OpenMode::read_only(), ctx(1));
+  EXPECT_EQ(pfs_.writer_count(path), 1);
+}
+
+TEST_F(PfsFixture, SharedWritesCostMoreThanExclusive) {
+  // Exclusive file.
+  const int solo = static_cast<int>(
+      pfs_.open("/pfs/solo.out", fs::OpenMode::write_create(), ctx(0)).value);
+  const SimTime solo_cost = pfs_.write(solo, 0, 64 * kKiB, ctx(0)).cost;
+
+  // Shared file with 32 writers.
+  std::vector<int> fds;
+  for (int r = 0; r < 32; ++r) {
+    fds.push_back(static_cast<int>(
+        pfs_.open("/pfs/shared.out", fs::OpenMode::write_create(), ctx(r))
+            .value));
+  }
+  const SimTime shared_cost = pfs_.write(fds[0], 0, 64 * kKiB, ctx(0)).cost;
+  EXPECT_GT(shared_cost, 10 * solo_cost);
+}
+
+TEST_F(PfsFixture, StridedCostsMoreThanSequentialWhenShared) {
+  std::vector<int> seq_fds;
+  std::vector<int> str_fds;
+  for (int r = 0; r < 32; ++r) {
+    seq_fds.push_back(static_cast<int>(
+        pfs_.open("/pfs/seq.out", fs::OpenMode::write_create(),
+                  ctx(r, fs::AccessHint::kSequential))
+            .value));
+    str_fds.push_back(static_cast<int>(
+        pfs_.open("/pfs/str.out", fs::OpenMode::write_create(),
+                  ctx(r, fs::AccessHint::kStrided))
+            .value));
+  }
+  const SimTime seq = pfs_
+                          .write(seq_fds[0], 0, 64 * kKiB,
+                                 ctx(0, fs::AccessHint::kSequential))
+                          .cost;
+  const SimTime str = pfs_
+                          .write(str_fds[0], 0, 64 * kKiB,
+                                 ctx(0, fs::AccessHint::kStrided))
+                          .cost;
+  EXPECT_GT(str, seq);
+}
+
+TEST_F(PfsFixture, StallAmplificationMatchesWriterCount) {
+  const int solo = static_cast<int>(
+      pfs_.open("/pfs/one.out", fs::OpenMode::write_create(), ctx(0)).value);
+  EXPECT_DOUBLE_EQ(pfs_.stall_amplification(solo), 1.0);
+
+  std::vector<int> fds;
+  for (int r = 0; r < 32; ++r) {
+    fds.push_back(static_cast<int>(
+        pfs_.open("/pfs/many.out", fs::OpenMode::write_create(), ctx(r))
+            .value));
+  }
+  // 1 + 0.5 * (32 - 1) = 16.5 with default coupling.
+  EXPECT_DOUBLE_EQ(pfs_.stall_amplification(fds[0]), 16.5);
+
+  // Readers of a shared-write file don't amplify.
+  const int reader = static_cast<int>(
+      pfs_.open("/pfs/many.out", fs::OpenMode::read_only(), ctx(40)).value);
+  EXPECT_DOUBLE_EQ(pfs_.stall_amplification(reader), 1.0);
+
+  // Unknown fd degrades gracefully.
+  EXPECT_DOUBLE_EQ(pfs_.stall_amplification(12345), 1.0);
+}
+
+TEST_F(PfsFixture, ReadAfterWriteSeesSize) {
+  const int fd = static_cast<int>(
+      pfs_.open("/pfs/rw.out", fs::OpenMode::write_create(), ctx(0)).value);
+  (void)pfs_.write(fd, 1 * kMiB, 64 * kKiB, ctx(0));
+  EXPECT_EQ(pfs_.stat_info("/pfs/rw.out").size, 1 * kMiB + 64 * kKiB);
+  EXPECT_EQ(pfs_.read(fd, 0, 10 * kMiB, ctx(0)).value, 1 * kMiB + 64 * kKiB);
+}
+
+TEST_F(PfsFixture, CostModelAnchors) {
+  // With default parameters the per-op latencies reproduce the calibration
+  // in DESIGN.md §4: a(N-N) ~ 0.16 ms, a(N-1 seq) ~ 23.6 ms,
+  // a(N-1 strided) ~ 29.8 ms at 32 writers.
+  const int solo = static_cast<int>(
+      pfs_.open("/pfs/a.out", fs::OpenMode::write_create(), ctx(0)).value);
+  const double a_nn =
+      to_seconds(pfs_.write(solo, 0, 1, ctx(0)).cost) * 1e3;  // ms
+  EXPECT_NEAR(a_nn, 0.159, 0.02);
+
+  std::vector<int> seq;
+  std::vector<int> str;
+  for (int r = 0; r < 32; ++r) {
+    seq.push_back(static_cast<int>(
+        pfs_.open("/pfs/b.out", fs::OpenMode::write_create(),
+                  ctx(r, fs::AccessHint::kSequential))
+            .value));
+    str.push_back(static_cast<int>(
+        pfs_.open("/pfs/c.out", fs::OpenMode::write_create(),
+                  ctx(r, fs::AccessHint::kStrided))
+            .value));
+  }
+  const double a_seq = to_seconds(
+      pfs_.write(seq[0], 0, 1, ctx(0, fs::AccessHint::kSequential)).cost) * 1e3;
+  const double a_str = to_seconds(
+      pfs_.write(str[0], 0, 1, ctx(0, fs::AccessHint::kStrided)).cost) * 1e3;
+  EXPECT_NEAR(a_seq, 23.6, 0.5);
+  EXPECT_NEAR(a_str, 29.8, 0.5);
+}
+
+TEST_F(PfsFixture, MetadataOpsWork) {
+  (void)pfs_.mkdir("/pfs/dir", ctx(0));
+  (void)pfs_.open("/pfs/dir/x", fs::OpenMode::write_create(), ctx(0));
+  EXPECT_EQ(pfs_.readdir("/pfs/dir", ctx(0)).value, 1);
+  (void)pfs_.unlink("/pfs/dir/x", ctx(0));
+  EXPECT_FALSE(pfs_.exists("/pfs/dir/x"));
+  EXPECT_GT(pfs_.statfs(ctx(0)).cost, 0);
+}
+
+TEST_F(PfsFixture, StorageTargetAccounting) {
+  const int fd = static_cast<int>(
+      pfs_.open("/pfs/acct.out", fs::OpenMode::write_create(), ctx(0)).value);
+  for (int i = 0; i < 8; ++i) {
+    (void)pfs_.write(fd, static_cast<Bytes>(i) * 64 * kKiB, 64 * kKiB, ctx(0));
+  }
+  // The layout spread those writes over multiple physical targets; total
+  // accounted bytes must match what was written.
+  // (Accounting is internal; verified indirectly through file size.)
+  EXPECT_EQ(pfs_.stat_info("/pfs/acct.out").size, 8 * 64 * kKiB);
+}
+
+}  // namespace
+}  // namespace iotaxo::pfs

@@ -1,0 +1,142 @@
+// Tests for the cluster substrate: clock models (skew + drift), network
+// timing, node generation determinism.
+#include <gtest/gtest.h>
+
+#include "sim/clock_model.h"
+#include "sim/cluster.h"
+#include "sim/network.h"
+#include "util/error.h"
+
+namespace iotaxo::sim {
+namespace {
+
+TEST(ClockModel, IdentityWhenPerfect) {
+  ClockModel clock;
+  EXPECT_EQ(clock.local(0), 0);
+  EXPECT_EQ(clock.local(kSecond), kSecond);
+}
+
+TEST(ClockModel, AppliesEpochAndOffset) {
+  ClockModel clock(/*epoch=*/1000 * kSecond, /*offset=*/5 * kMillisecond,
+                   /*drift_ppm=*/0.0);
+  EXPECT_EQ(clock.local(0), 1000 * kSecond + 5 * kMillisecond);
+}
+
+TEST(ClockModel, DriftAccumulates) {
+  ClockModel clock(0, 0, /*drift_ppm=*/100.0);  // 100 us per second
+  const SimTime local = clock.local(kSecond);
+  EXPECT_NEAR(static_cast<double>(local - kSecond),
+              static_cast<double>(100 * kMicrosecond), 10.0);
+}
+
+class ClockInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockInverse, GlobalInvertsLocal) {
+  ClockModel clock(1159808385LL * kSecond, 17 * kMillisecond, GetParam());
+  for (const SimTime t : {SimTime{0}, kSecond, 3600 * kSecond}) {
+    const SimTime recovered = clock.global(clock.local(t));
+    EXPECT_NEAR(static_cast<double>(recovered), static_cast<double>(t), 4.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drifts, ClockInverse,
+                         ::testing::Values(-80.0, -12.5, 0.0, 3.0, 55.0));
+
+TEST(Network, SmallMessageDominatedByLatency) {
+  Network net;
+  const SimTime t = net.transfer_time(64, /*same_node=*/false);
+  EXPECT_GT(t, net.latency());
+  EXPECT_LT(t, 2 * net.latency());
+}
+
+TEST(Network, LargeMessageDominatedByBandwidth) {
+  NetworkParams p;
+  Network net(p);
+  const Bytes big = 100 * kMiB;
+  const SimTime t = net.transfer_time(big, false);
+  const double expected_s = static_cast<double>(big) / p.bandwidth_bps;
+  EXPECT_NEAR(to_seconds(t), expected_s, expected_s * 0.05);
+}
+
+TEST(Network, SameNodeSkipsWire) {
+  Network net;
+  EXPECT_LT(net.transfer_time(kMiB, true), net.latency());
+}
+
+TEST(Cluster, GeneratesRequestedNodes) {
+  ClusterParams params;
+  params.node_count = 32;
+  Cluster cluster(params);
+  EXPECT_EQ(cluster.node_count(), 32);
+  EXPECT_EQ(cluster.node(13).hostname, "host13.lanl.gov");
+  EXPECT_THROW((void)cluster.node(32), ConfigError);
+  EXPECT_THROW((void)cluster.node(-1), ConfigError);
+}
+
+TEST(Cluster, RejectsEmpty) {
+  ClusterParams params;
+  params.node_count = 0;
+  EXPECT_THROW(Cluster c(params), ConfigError);
+}
+
+TEST(Cluster, SkewWithinConfiguredBounds) {
+  ClusterParams params;
+  params.node_count = 64;
+  params.max_skew = from_millis(100.0);
+  Cluster cluster(params);
+  for (const Node& n : cluster.nodes()) {
+    EXPECT_LE(std::abs(n.clock.offset()), from_millis(100.0));
+  }
+}
+
+TEST(Cluster, ClocksActuallyDisagree) {
+  Cluster cluster{};
+  // At the same global instant, at least two nodes read different times.
+  const SimTime t = 10 * kSecond;
+  bool disagreement = false;
+  const SimTime first = cluster.local_time(0, t);
+  for (int i = 1; i < cluster.node_count(); ++i) {
+    if (cluster.local_time(i, t) != first) {
+      disagreement = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(disagreement);
+}
+
+TEST(Cluster, DeterministicForSeed) {
+  ClusterParams params;
+  params.seed = 777;
+  Cluster a(params);
+  Cluster b(params);
+  for (int i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(i).clock.offset(), b.node(i).clock.offset());
+    EXPECT_EQ(a.node(i).io_speed_factor, b.node(i).io_speed_factor);
+  }
+  params.seed = 778;
+  Cluster c(params);
+  bool any_different = false;
+  for (int i = 0; i < a.node_count(); ++i) {
+    any_different =
+        any_different || a.node(i).clock.offset() != c.node(i).clock.offset();
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Cluster, SpeedFactorsNearUnity) {
+  Cluster cluster{};
+  for (const Node& n : cluster.nodes()) {
+    EXPECT_GT(n.io_speed_factor, 0.84);
+    EXPECT_LT(n.io_speed_factor, 1.16);
+  }
+}
+
+TEST(Cluster, EpochMatchesPaperTimestamps) {
+  Cluster cluster{};
+  // Figure 1's aggregate timing stamps are around 1159808385.x seconds.
+  const SimTime local = cluster.local_time(0, 0);
+  EXPECT_NEAR(to_seconds(local), 1159808385.0, 1.0);
+}
+
+}  // namespace
+}  // namespace iotaxo::sim

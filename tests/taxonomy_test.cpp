@@ -1,0 +1,209 @@
+// Tests for the taxonomy: feature schema, summary-table rendering (Tables 1
+// and 2), the overhead harness, and the experiment-driven classifier.
+#include <gtest/gtest.h>
+
+#include "frameworks/lanl_trace.h"
+#include "frameworks/partrace.h"
+#include "frameworks/tracefs.h"
+#include "pfs/pfs.h"
+#include "taxonomy/classification.h"
+#include "taxonomy/classifier.h"
+#include "taxonomy/features.h"
+#include "taxonomy/overhead.h"
+#include "util/error.h"
+
+namespace iotaxo::taxonomy {
+namespace {
+
+TEST(Features, ThirteenRowsInTableOrder) {
+  EXPECT_EQ(all_features().size(), 13u);
+  EXPECT_EQ(all_features().front(), FeatureId::kParallelFsCompatibility);
+  EXPECT_EQ(all_features().back(), FeatureId::kElapsedTimeOverhead);
+}
+
+TEST(Features, NamesAndPlaceholders) {
+  EXPECT_STREQ(feature_name(FeatureId::kSkewDriftAccounting),
+               "Accounts for time skew and drift");
+  EXPECT_STREQ(feature_placeholder(FeatureId::kEaseOfInstall),
+               "[1 (V. Easy) thru 5 (V. Difficult)]");
+}
+
+TEST(Features, ScaleValues) {
+  EXPECT_EQ(FeatureValue::scale(0, "a", "b").display, "No");
+  EXPECT_EQ(FeatureValue::scale(2, "V. Easy", "V. Difficult").display,
+            "2 (Easy)");
+  EXPECT_EQ(FeatureValue::scale(5, "Simple", "V. Advanced").display,
+            "5 (V. Advanced)");
+  EXPECT_EQ(FeatureValue::yes_no(true).display, "Yes");
+  EXPECT_EQ(FeatureValue::not_applicable().display, "N/A");
+}
+
+TEST(Classification, MissingFeatureThrows) {
+  FrameworkClassification c;
+  c.framework_name = "X";
+  EXPECT_THROW((void)c.value(FeatureId::kAnonymization), ConfigError);
+  c.set(FeatureId::kAnonymization, FeatureValue::yes_no(false));
+  EXPECT_EQ(c.value(FeatureId::kAnonymization).display, "No");
+}
+
+TEST(Classification, Table1TemplateHasAllRows) {
+  const std::string table = render_table1_template();
+  for (const FeatureId id : all_features()) {
+    EXPECT_NE(table.find(feature_name(id)), std::string::npos)
+        << feature_name(id);
+  }
+  EXPECT_NE(table.find("[Yes or No]"), std::string::npos);
+  EXPECT_NE(table.find("<I/O Tracing Framework Name>"), std::string::npos);
+}
+
+TEST(Classification, ComparisonTableWithFootnotes) {
+  FrameworkClassification a;
+  a.framework_name = "A";
+  FrameworkClassification b;
+  b.framework_name = "B";
+  for (const FeatureId id : all_features()) {
+    a.set(id, FeatureValue::yes_no(true));
+    b.set(id, FeatureValue::yes_no(false));
+  }
+  a.note(FeatureId::kElapsedTimeOverhead, "high variance");
+  const std::string table = render_comparison_table({a, b});
+  EXPECT_NE(table.find("Table 2"), std::string::npos);
+  EXPECT_NE(table.find("[1]"), std::string::npos);
+  EXPECT_NE(table.find("high variance"), std::string::npos);
+}
+
+class TaxonomyFixture : public ::testing::Test {
+ protected:
+  TaxonomyFixture() : cluster_(make_params()) {}
+
+  static sim::ClusterParams make_params() {
+    sim::ClusterParams p;
+    p.node_count = 8;
+    return p;
+  }
+
+  [[nodiscard]] ClassifierConfig small_config() const {
+    ClassifierConfig config;
+    config.nranks = 8;
+    config.probe_phases = 16;
+    config.sweep_total_bytes = 64 * kMiB;
+    return config;
+  }
+
+  sim::Cluster cluster_;
+};
+
+TEST_F(TaxonomyFixture, OverheadHarnessBasics) {
+  OverheadHarness harness(cluster_,
+                          [] { return std::make_shared<pfs::Pfs>(); });
+  frameworks::LanlTrace lanl;
+  workload::MpiIoTestParams params;
+  params.nranks = 8;
+  params.block = 256 * kKiB;
+  params.total_bytes = 64 * kMiB;
+  const OverheadPoint p =
+      harness.measure(lanl, workload::make_mpi_io_test(params));
+  EXPECT_GT(p.bw_untraced_mibps, 0.0);
+  EXPECT_GT(p.bw_traced_mibps, 0.0);
+  EXPECT_GT(p.bandwidth_overhead, 0.0);
+  EXPECT_GT(p.elapsed_overhead, 0.0);
+  EXPECT_GT(p.events, 0);
+}
+
+TEST_F(TaxonomyFixture, OverheadDecreasesWithBlockSize) {
+  OverheadHarness harness(cluster_,
+                          [] { return std::make_shared<pfs::Pfs>(); });
+  frameworks::LanlTrace lanl;
+  workload::MpiIoTestParams base;
+  base.nranks = 8;
+  base.total_bytes = 128 * kMiB;
+  base.pattern = workload::Pattern::kNto1Strided;
+  const auto points = harness.sweep_block_sizes(
+      lanl, base, {64 * kKiB, 512 * kKiB, 4 * kMiB});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].bandwidth_overhead, points[1].bandwidth_overhead);
+  EXPECT_GT(points[1].bandwidth_overhead, points[2].bandwidth_overhead);
+}
+
+TEST_F(TaxonomyFixture, ClassifierReproducesTable2ForLanlTrace) {
+  Classifier classifier(cluster_, small_config());
+  frameworks::LanlTrace lanl;
+  const FrameworkClassification c = classifier.classify(lanl);
+
+  EXPECT_EQ(c.value(FeatureId::kParallelFsCompatibility).display, "Yes");
+  EXPECT_EQ(c.value(FeatureId::kEaseOfInstall).display, "2 (Easy)");
+  EXPECT_EQ(c.value(FeatureId::kAnonymization).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kEventTypes).display,
+            "System calls, library calls");
+  EXPECT_EQ(c.value(FeatureId::kGranularityControl).display, "1 (Simple)");
+  EXPECT_EQ(c.value(FeatureId::kReplayableTraces).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kReplayFidelity).display, "N/A");
+  EXPECT_EQ(c.value(FeatureId::kRevealsDependencies).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kIntrusiveness).display, "1 (Passive)");
+  EXPECT_EQ(c.value(FeatureId::kAnalysisTools).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kTraceDataFormat).display, "Human readable");
+  EXPECT_EQ(c.value(FeatureId::kSkewDriftAccounting).display, "Yes");
+  EXPECT_GT(c.value(FeatureId::kElapsedTimeOverhead).numeric.value_or(0), 0.1);
+}
+
+TEST_F(TaxonomyFixture, ClassifierReproducesTable2ForTracefs) {
+  Classifier classifier(cluster_, small_config());
+  frameworks::Tracefs tracefs;
+  const FrameworkClassification c = classifier.classify(tracefs);
+
+  EXPECT_EQ(c.value(FeatureId::kParallelFsCompatibility).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kEaseOfInstall).display, "4 (Advanced)");
+  EXPECT_EQ(c.value(FeatureId::kAnonymization).display, "4 (Advanced)");
+  EXPECT_EQ(c.value(FeatureId::kEventTypes).display,
+            "File system operations");
+  EXPECT_EQ(c.value(FeatureId::kGranularityControl).display,
+            "5 (V. Advanced)");
+  EXPECT_EQ(c.value(FeatureId::kReplayableTraces).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kTraceDataFormat).display, "Binary");
+  // Tracefs has no skew/drift story because it is not parallel-aware.
+  EXPECT_EQ(c.value(FeatureId::kSkewDriftAccounting).display, "N/A");
+  // Paper: <= 12.4% elapsed-time overhead on the I/O-intensive workload.
+  EXPECT_LT(c.value(FeatureId::kElapsedTimeOverhead).numeric.value_or(1.0),
+            0.2);
+}
+
+TEST_F(TaxonomyFixture, ClassifierReproducesTable2ForPartrace) {
+  Classifier classifier(cluster_, small_config());
+  frameworks::Partrace partrace;
+  const FrameworkClassification c = classifier.classify(partrace);
+
+  EXPECT_EQ(c.value(FeatureId::kParallelFsCompatibility).display, "Yes");
+  EXPECT_EQ(c.value(FeatureId::kEaseOfInstall).display, "2 (Easy)");
+  EXPECT_EQ(c.value(FeatureId::kAnonymization).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kGranularityControl).display, "No");
+  EXPECT_EQ(c.value(FeatureId::kReplayableTraces).display, "Yes");
+  EXPECT_EQ(c.value(FeatureId::kRevealsDependencies).display, "Yes");
+  EXPECT_EQ(c.value(FeatureId::kTraceDataFormat).display, "Human readable");
+  // //TRACE is parallel-aware but does not account for skew/drift: "No".
+  EXPECT_EQ(c.value(FeatureId::kSkewDriftAccounting).display, "No");
+  // Replay fidelity is measured, and should be a small error.
+  const double fidelity =
+      c.value(FeatureId::kReplayFidelity).numeric.value_or(1.0);
+  EXPECT_LT(fidelity, 0.25);
+}
+
+TEST_F(TaxonomyFixture, FullComparisonTableRenders) {
+  Classifier classifier(cluster_, small_config());
+  frameworks::LanlTrace lanl;
+  frameworks::Tracefs tracefs;
+  frameworks::Partrace partrace;
+  const std::string table = render_comparison_table({
+      classifier.classify(lanl),
+      classifier.classify(tracefs),
+      classifier.classify(partrace),
+  });
+  EXPECT_NE(table.find("LANL-Trace"), std::string::npos);
+  EXPECT_NE(table.find("Tracefs"), std::string::npos);
+  EXPECT_NE(table.find("//TRACE"), std::string::npos);
+  for (const FeatureId id : all_features()) {
+    EXPECT_NE(table.find(feature_name(id)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace iotaxo::taxonomy

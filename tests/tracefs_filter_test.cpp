@@ -1,0 +1,143 @@
+// Tests for Tracefs's declarative granularity filter language.
+#include <gtest/gtest.h>
+
+#include "frameworks/tracefs_filter.h"
+#include "util/error.h"
+
+namespace iotaxo::frameworks {
+namespace {
+
+using trace::EventClass;
+using trace::TraceEvent;
+
+[[nodiscard]] TraceEvent vfs_event(const char* op, const char* path = "/f",
+                                   Bytes bytes = 0, std::uint32_t uid = 4001,
+                                   int rank = 0) {
+  TraceEvent ev;
+  ev.cls = EventClass::kFsOperation;
+  ev.name = std::string("vfs_") + op;
+  ev.path = path;
+  ev.bytes = bytes;
+  ev.uid = uid;
+  ev.gid = 400;
+  ev.rank = rank;
+  return ev;
+}
+
+TEST(FilterLang, EmptyMeansTraceAll) {
+  const auto f = compile_tracefs_filter("");
+  EXPECT_TRUE(f(vfs_event("write")));
+  EXPECT_TRUE(f(vfs_event("stat")));
+}
+
+TEST(FilterLang, AllAndNone) {
+  EXPECT_TRUE(compile_tracefs_filter("all")(vfs_event("open")));
+  EXPECT_FALSE(compile_tracefs_filter("none")(vfs_event("open")));
+}
+
+TEST(FilterLang, OpEquality) {
+  const auto f = compile_tracefs_filter("op == write");
+  EXPECT_TRUE(f(vfs_event("write")));
+  EXPECT_FALSE(f(vfs_event("read")));
+}
+
+TEST(FilterLang, OpInSet) {
+  const auto f = compile_tracefs_filter("op in {open, unlink, mkdir}");
+  EXPECT_TRUE(f(vfs_event("open")));
+  EXPECT_TRUE(f(vfs_event("unlink")));
+  EXPECT_FALSE(f(vfs_event("write")));
+}
+
+TEST(FilterLang, MetadataAndDataClasses) {
+  const auto meta = compile_tracefs_filter("metadata");
+  EXPECT_TRUE(meta(vfs_event("stat")));
+  EXPECT_TRUE(meta(vfs_event("open")));
+  EXPECT_FALSE(meta(vfs_event("write")));
+  const auto data = compile_tracefs_filter("data");
+  EXPECT_TRUE(data(vfs_event("write")));
+  EXPECT_TRUE(data(vfs_event("mmap_write")));
+  EXPECT_FALSE(data(vfs_event("close")));
+}
+
+TEST(FilterLang, PathGlob) {
+  const auto f = compile_tracefs_filter("path glob \"/data/*\"");
+  EXPECT_TRUE(f(vfs_event("write", "/data/x.out")));
+  EXPECT_FALSE(f(vfs_event("write", "/scratch/x.out")));
+}
+
+TEST(FilterLang, UidGidRankComparisons) {
+  EXPECT_TRUE(compile_tracefs_filter("uid == 4001")(vfs_event("write")));
+  EXPECT_FALSE(compile_tracefs_filter("uid != 4001")(vfs_event("write")));
+  EXPECT_TRUE(compile_tracefs_filter("uid != 0")(vfs_event("write")));
+  EXPECT_TRUE(compile_tracefs_filter("rank == 3")(
+      vfs_event("write", "/f", 0, 4001, 3)));
+  EXPECT_TRUE(compile_tracefs_filter("gid == 400")(vfs_event("write")));
+}
+
+TEST(FilterLang, BytesComparisons) {
+  const auto big = compile_tracefs_filter("bytes >= 65536");
+  EXPECT_TRUE(big(vfs_event("write", "/f", 65536)));
+  EXPECT_FALSE(big(vfs_event("write", "/f", 4096)));
+  EXPECT_TRUE(compile_tracefs_filter("bytes < 100")(vfs_event("write", "/f", 99)));
+  EXPECT_TRUE(compile_tracefs_filter("bytes == 64")(vfs_event("write", "/f", 64)));
+}
+
+TEST(FilterLang, BooleanCombinators) {
+  const auto f = compile_tracefs_filter(
+      "op in {write, mmap_write} and path glob \"/data/*\" and uid != 0");
+  EXPECT_TRUE(f(vfs_event("write", "/data/a", 1, 4001)));
+  EXPECT_FALSE(f(vfs_event("write", "/other/a", 1, 4001)));
+  EXPECT_FALSE(f(vfs_event("stat", "/data/a", 1, 4001)));
+  EXPECT_FALSE(f(vfs_event("write", "/data/a", 1, 0)));
+
+  const auto g = compile_tracefs_filter("metadata or bytes > 1048576");
+  EXPECT_TRUE(g(vfs_event("stat")));
+  EXPECT_TRUE(g(vfs_event("write", "/f", 2 * kMiB)));
+  EXPECT_FALSE(g(vfs_event("write", "/f", 4096)));
+
+  const auto h = compile_tracefs_filter("not (op == read or op == write)");
+  EXPECT_TRUE(h(vfs_event("open")));
+  EXPECT_FALSE(h(vfs_event("read")));
+}
+
+TEST(FilterLang, PrecedenceAndOverOr) {
+  // a or b and c  ==  a or (b and c)
+  const auto f = compile_tracefs_filter(
+      "op == stat or op == write and bytes > 100");
+  EXPECT_TRUE(f(vfs_event("stat", "/f", 0)));
+  EXPECT_TRUE(f(vfs_event("write", "/f", 200)));
+  EXPECT_FALSE(f(vfs_event("write", "/f", 50)));
+}
+
+TEST(FilterLang, Parentheses) {
+  const auto f = compile_tracefs_filter(
+      "(op == stat or op == write) and bytes == 0");
+  EXPECT_TRUE(f(vfs_event("stat", "/f", 0)));
+  EXPECT_FALSE(f(vfs_event("write", "/f", 10)));
+}
+
+TEST(FilterLang, CaseInsensitiveKeywords) {
+  const auto f = compile_tracefs_filter("OP == WRITE AND uid != 0");
+  EXPECT_TRUE(f(vfs_event("write")));
+}
+
+struct BadSource {
+  const char* source;
+};
+
+class FilterLangErrors : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(FilterLangErrors, Rejected) {
+  EXPECT_THROW((void)compile_tracefs_filter(GetParam().source), FormatError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, FilterLangErrors,
+    ::testing::Values(BadSource{"op =="}, BadSource{"op in {}"},
+                      BadSource{"path glob"}, BadSource{"path glob \"x"},
+                      BadSource{"uid > 5"}, BadSource{"bogus == 1"},
+                      BadSource{"(op == read"}, BadSource{"op == read extra"},
+                      BadSource{"and"}, BadSource{"uid == abc"}));
+
+}  // namespace
+}  // namespace iotaxo::frameworks

@@ -1,0 +1,237 @@
+// Tests for the workload generators: mpi_io_test access-pattern geometry,
+// the I/O-intensive metadata workload, and the classifier probe app.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fs/memfs.h"
+#include "mpi/runtime.h"
+#include "pfs/pfs.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+#include "workload/io_intensive.h"
+#include "workload/mpi_io_test.h"
+#include "workload/probe_app.h"
+
+namespace iotaxo::workload {
+namespace {
+
+TEST(MpiIoTest, CmdlineMatchesRealTool) {
+  MpiIoTestParams params;
+  params.pattern = Pattern::kNto1Strided;
+  params.block = 32768;
+  params.nobj = 1;
+  EXPECT_EQ(mpi_io_test_cmdline(params),
+            "/mpi_io_test.exe -type 1 -strided 1 -size 32768 -nobj 1");
+  params.pattern = Pattern::kNtoN;
+  EXPECT_EQ(mpi_io_test_cmdline(params),
+            "/mpi_io_test.exe -type 2 -strided 0 -size 32768 -nobj 1");
+}
+
+TEST(MpiIoTest, RejectsBadParams) {
+  MpiIoTestParams params;
+  params.nranks = 0;
+  EXPECT_THROW((void)make_mpi_io_test(params), ConfigError);
+  params.nranks = 4;
+  params.block = 0;
+  EXPECT_THROW((void)make_mpi_io_test(params), ConfigError);
+}
+
+/// Collect per-rank (offset, bytes) write extents from a job's programs.
+[[nodiscard]] std::vector<std::vector<std::pair<Bytes, Bytes>>> write_extents(
+    const mpi::Job& job) {
+  std::vector<std::vector<std::pair<Bytes, Bytes>>> per_rank;
+  for (const mpi::Program& prog : job.programs) {
+    std::vector<std::pair<Bytes, Bytes>> extents;
+    for (const mpi::Op& op : prog) {
+      if (op.type != mpi::OpType::kWriteBlocks) {
+        continue;
+      }
+      const Bytes stride = op.stride == 0 ? op.block : op.stride;
+      for (long long i = 0; i < op.count; ++i) {
+        extents.emplace_back(op.start_offset + i * stride, op.block);
+      }
+    }
+    per_rank.push_back(std::move(extents));
+  }
+  return per_rank;
+}
+
+TEST(MpiIoTest, Nto1StridedInterleavesDisjointly) {
+  MpiIoTestParams params;
+  params.pattern = Pattern::kNto1Strided;
+  params.nranks = 4;
+  params.block = 64 * kKiB;
+  params.total_bytes = 4 * 64 * kKiB * 8;  // 8 blocks per rank
+  const mpi::Job job = make_mpi_io_test(params);
+  const auto extents = write_extents(job);
+
+  // All extents across all ranks must be pairwise disjoint and together
+  // cover [0, total) contiguously.
+  std::set<Bytes> starts;
+  Bytes total = 0;
+  for (const auto& rank_extents : extents) {
+    for (const auto& [offset, len] : rank_extents) {
+      EXPECT_TRUE(starts.insert(offset).second) << "overlap at " << offset;
+      EXPECT_EQ(offset % params.block, 0);
+      total += len;
+    }
+  }
+  EXPECT_EQ(total, params.total_bytes);
+  // Strided: rank r's first block sits at r * block.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(extents[static_cast<std::size_t>(r)].front().first,
+              static_cast<Bytes>(r) * params.block);
+  }
+  // Consecutive blocks of one rank are nranks*block apart.
+  EXPECT_EQ(extents[0][1].first - extents[0][0].first,
+            static_cast<Bytes>(4) * params.block);
+}
+
+TEST(MpiIoTest, Nto1NonStridedGivesContiguousRegions) {
+  MpiIoTestParams params;
+  params.pattern = Pattern::kNto1NonStrided;
+  params.nranks = 4;
+  params.block = 64 * kKiB;
+  params.total_bytes = 4 * 64 * kKiB * 8;
+  const mpi::Job job = make_mpi_io_test(params);
+  const auto extents = write_extents(job);
+  for (const auto& rank_extents : extents) {
+    for (std::size_t i = 1; i < rank_extents.size(); ++i) {
+      EXPECT_EQ(rank_extents[i].first,
+                rank_extents[i - 1].first + rank_extents[i - 1].second)
+          << "non-strided writes must be contiguous";
+    }
+  }
+}
+
+TEST(MpiIoTest, NtoNUsesDistinctFiles) {
+  MpiIoTestParams params;
+  params.pattern = Pattern::kNtoN;
+  params.nranks = 4;
+  params.total_bytes = 16 * kMiB;
+  const mpi::Job job = make_mpi_io_test(params);
+  std::set<std::string> paths;
+  for (const mpi::Program& prog : job.programs) {
+    for (const mpi::Op& op : prog) {
+      if (op.type == mpi::OpType::kOpen) {
+        paths.insert(op.path);
+      }
+    }
+  }
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(MpiIoTest, ObjectsAddBarriers) {
+  MpiIoTestParams params;
+  params.nranks = 2;
+  params.nobj = 4;
+  params.total_bytes = 32 * kMiB;
+  const mpi::Job job = make_mpi_io_test(params);
+  int barriers = 0;
+  for (const mpi::Op& op : job.programs[0]) {
+    if (op.type == mpi::OpType::kBarrier) {
+      ++barriers;
+    }
+  }
+  // pre_open, io_begin, 3 inter-object, io_end, post_close.
+  EXPECT_EQ(barriers, 7);
+}
+
+TEST(MpiIoTest, RunsOnPfs) {
+  sim::ClusterParams cparams;
+  cparams.node_count = 4;
+  const sim::Cluster cluster(cparams);
+  MpiIoTestParams params;
+  params.nranks = 4;
+  params.block = 256 * kKiB;
+  params.total_bytes = 16 * kMiB;
+  mpi::RunOptions options;
+  options.vfs = std::make_shared<pfs::Pfs>();
+  mpi::Runtime runtime(cluster, options);
+  const mpi::RunResult result = runtime.run(make_mpi_io_test(params).programs);
+  EXPECT_EQ(result.bytes_written, 16 * kMiB);
+  EXPECT_TRUE(result.barrier_release.contains("io_begin"));
+  EXPECT_TRUE(result.barrier_release.contains("io_end"));
+}
+
+TEST(IoIntensive, GeneratesChurn) {
+  IoIntensiveParams params;
+  params.nranks = 1;
+  params.files_per_rank = 30;
+  const mpi::Job job = make_io_intensive(params);
+  int creates = 0;
+  int unlinks = 0;
+  int mmaps = 0;
+  for (const mpi::Op& op : job.programs[0]) {
+    if (op.type == mpi::OpType::kOpen && op.mode.create) {
+      ++creates;
+    }
+    if (op.type == mpi::OpType::kUnlink) {
+      ++unlinks;
+    }
+    if (op.type == mpi::OpType::kMmapWrite) {
+      ++mmaps;
+    }
+  }
+  EXPECT_GE(creates, 30);
+  EXPECT_EQ(unlinks, 10);  // every third file deleted
+  EXPECT_EQ(mmaps, params.mmap_files_per_rank);
+}
+
+TEST(IoIntensive, RunsOnLocalFs) {
+  sim::ClusterParams cparams;
+  cparams.node_count = 2;
+  const sim::Cluster cluster(cparams);
+  IoIntensiveParams params;
+  params.nranks = 2;
+  params.files_per_rank = 10;
+  mpi::RunOptions options;
+  options.vfs = std::make_shared<fs::MemFs>();
+  mpi::Runtime runtime(cluster, options);
+  const mpi::RunResult result =
+      runtime.run(make_io_intensive(params).programs);
+  EXPECT_GT(result.bytes_written, 0);
+  EXPECT_GT(result.bytes_read, 0);
+}
+
+TEST(ProbeApp, HasKnownCausalStructure) {
+  ProbeAppParams params;
+  params.nranks = 4;
+  params.phases = 8;
+  const mpi::Job job = make_probe_app(params);
+  ASSERT_EQ(job.programs.size(), 4u);
+  int phase_barriers = 0;
+  bool has_mmap = false;
+  bool has_posix = false;
+  bool has_mpiio = false;
+  for (const mpi::Op& op : job.programs[0]) {
+    if (op.type == mpi::OpType::kBarrier &&
+        op.label.starts_with("phase_")) {
+      ++phase_barriers;
+    }
+    if (op.type == mpi::OpType::kMmapWrite) {
+      has_mmap = true;
+    }
+    if (op.type == mpi::OpType::kWriteBlocks) {
+      if (op.api == mpi::Api::kPosix) {
+        has_posix = true;
+      } else {
+        has_mpiio = true;
+      }
+    }
+  }
+  EXPECT_EQ(phase_barriers, 8);
+  EXPECT_TRUE(has_mmap);
+  EXPECT_TRUE(has_posix);
+  EXPECT_TRUE(has_mpiio);
+}
+
+TEST(ProbeApp, ValidatesAsAJob) {
+  ProbeAppParams params;
+  params.nranks = 8;
+  EXPECT_NO_THROW(mpi::validate_job(make_probe_app(params).programs));
+}
+
+}  // namespace
+}  // namespace iotaxo::workload

@@ -1,0 +1,279 @@
+// iotaxo — command-line front end to the toolkit.
+//
+//   iotaxo trace    --framework lanl|tracefs|partrace --workload mpiio|meta
+//                   [--pattern strided|nonstrided|nn] [--ranks N]
+//                   [--block BYTES] [--total BYTES] [--out DIR]
+//   iotaxo classify [--ranks N]
+//   iotaxo replay   --in DIR [--sync barriers|deps|none]
+//   iotaxo analyze  --in DIR [DIR...]
+//   iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]
+//
+// Bundles are the on-disk trace format (one text trace per rank plus TSV
+// sidecars) produced by `trace --out` and consumed by replay/analyze/
+// anonymize — the full LANL trace-distribution workflow from one binary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/aggregate_timing.h"
+#include "analysis/call_summary.h"
+#include "analysis/report.h"
+#include "analysis/unified_store.h"
+#include "anon/anonymizer.h"
+#include "frameworks/lanl_trace.h"
+#include "frameworks/partrace.h"
+#include "frameworks/tracefs.h"
+#include "fs/memfs.h"
+#include "pfs/pfs.h"
+#include "replay/replayer.h"
+#include "sim/cluster.h"
+#include "taxonomy/classifier.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/io_intensive.h"
+#include "workload/mpi_io_test.h"
+
+using namespace iotaxo;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw ConfigError(strprintf("expected --option, got '%s'", argv[i]));
+    }
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  iotaxo trace     --framework lanl|tracefs|partrace --workload "
+      "mpiio|meta\n"
+      "                   [--pattern strided|nonstrided|nn] [--ranks N]\n"
+      "                   [--block BYTES] [--total BYTES] [--out DIR]\n"
+      "  iotaxo classify  [--ranks N]\n"
+      "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
+      "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
+      "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n",
+      stderr);
+  return 2;
+}
+
+[[nodiscard]] frameworks::FrameworkPtr make_framework(const std::string& name) {
+  if (name == "lanl") {
+    return std::make_shared<frameworks::LanlTrace>();
+  }
+  if (name == "tracefs") {
+    return std::make_shared<frameworks::Tracefs>();
+  }
+  if (name == "partrace") {
+    return std::make_shared<frameworks::Partrace>();
+  }
+  throw ConfigError("unknown framework: " + name + " (lanl|tracefs|partrace)");
+}
+
+[[nodiscard]] mpi::Job make_workload(const Args& args, int ranks) {
+  const std::string kind = args.get("workload", "mpiio");
+  if (kind == "mpiio") {
+    workload::MpiIoTestParams params;
+    params.nranks = ranks;
+    const std::string pattern = args.get("pattern", "strided");
+    params.pattern = pattern == "nn"           ? workload::Pattern::kNtoN
+                     : pattern == "nonstrided" ? workload::Pattern::kNto1NonStrided
+                                               : workload::Pattern::kNto1Strided;
+    params.block = args.get_int("block", 256 * kKiB);
+    params.total_bytes = args.get_int("total", 256 * kMiB);
+    return workload::make_mpi_io_test(params);
+  }
+  if (kind == "meta") {
+    workload::IoIntensiveParams params;
+    params.nranks = std::min(ranks, 4);
+    params.files_per_rank = static_cast<int>(args.get_int("files", 200));
+    return workload::make_io_intensive(params);
+  }
+  throw ConfigError("unknown workload: " + kind + " (mpiio|meta)");
+}
+
+int cmd_trace(const Args& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  sim::ClusterParams cparams;
+  cparams.node_count = ranks;
+  const sim::Cluster cluster(cparams);
+
+  const auto framework = make_framework(args.get("framework", "lanl"));
+  const mpi::Job job = make_workload(args, ranks);
+
+  // Tracefs cannot mount the parallel FS out of the box; route metadata
+  // workloads (and tracefs) to the local FS, everything else to the PFS.
+  fs::VfsPtr vfs;
+  if (framework->supports_fs(fs::FsKind::kParallel) &&
+      args.get("workload", "mpiio") == "mpiio") {
+    vfs = std::make_shared<pfs::Pfs>();
+  } else {
+    vfs = std::make_shared<fs::MemFs>();
+  }
+
+  frameworks::TraceJobOptions options;
+  options.store_raw_streams = true;
+  const frameworks::TraceRunResult result =
+      framework->trace(cluster, job, vfs, options);
+
+  std::printf("framework        : %s\n", framework->name().c_str());
+  std::printf("application      : %s\n", job.cmdline.c_str());
+  std::printf("events captured  : %lld\n", result.bundle.total_events());
+  std::printf("app elapsed      : %s\n",
+              format_duration(result.run.elapsed).c_str());
+  std::printf("apparent elapsed : %s\n",
+              format_duration(result.apparent_elapsed).c_str());
+  std::printf("bytes written    : %s\n",
+              format_bytes(result.run.bytes_written).c_str());
+  if (!result.bundle.dependencies.empty()) {
+    std::printf("dependency edges : %zu\n", result.bundle.dependencies.size());
+  }
+
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    result.bundle.save(out);
+    std::printf("bundle saved to  : %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  sim::ClusterParams cparams;
+  cparams.node_count = static_cast<int>(args.get_int("ranks", 8));
+  const sim::Cluster cluster(cparams);
+  taxonomy::Classifier classifier(cluster, {});
+
+  frameworks::LanlTrace lanl;
+  frameworks::Tracefs tracefs;
+  frameworks::Partrace partrace;
+  const std::string table = taxonomy::render_comparison_table({
+      classifier.classify(lanl),
+      classifier.classify(tracefs),
+      classifier.classify(partrace),
+  });
+  std::fputs(table.c_str(), stdout);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string in = args.get("in");
+  if (in.empty()) {
+    return usage();
+  }
+  const trace::TraceBundle bundle = trace::TraceBundle::load(in);
+  int max_rank = 0;
+  for (const trace::RankStream& rs : bundle.ranks) {
+    max_rank = std::max(max_rank, rs.rank);
+  }
+  sim::ClusterParams cparams;
+  cparams.node_count = max_rank + 1;
+  const sim::Cluster cluster(cparams);
+
+  replay::ReplayOptions options;
+  const std::string sync = args.get("sync", "barriers");
+  options.pseudo.sync = sync == "deps"  ? replay::SyncStrategy::kDependencies
+                        : sync == "none" ? replay::SyncStrategy::kNone
+                                         : replay::SyncStrategy::kBarriers;
+  replay::Replayer replayer(cluster, std::make_shared<pfs::Pfs>());
+  const replay::ReplayResult result = replayer.replay(bundle, options);
+  std::printf("replayed %zu ranks, %s written, elapsed %s (sync: %s)\n",
+              bundle.ranks.size(),
+              format_bytes(result.run.bytes_written).c_str(),
+              format_duration(result.run.elapsed).c_str(), sync.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  analysis::UnifiedTraceStore store;
+  for (const char* key : {"in", "in2", "in3"}) {
+    const std::string dir = args.get(key);
+    if (!dir.empty()) {
+      store.ingest(trace::TraceBundle::load(dir));
+    }
+  }
+  if (store.sources().empty()) {
+    return usage();
+  }
+  std::fputs(analysis::render_report(store).c_str(), stdout);
+  return 0;
+}
+
+int cmd_anonymize(const Args& args) {
+  const std::string in = args.get("in");
+  const std::string out = args.get("out");
+  if (in.empty() || out.empty()) {
+    return usage();
+  }
+  const trace::TraceBundle bundle = trace::TraceBundle::load(in);
+  trace::TraceBundle scrubbed;
+  if (args.get("mode", "random") == "encrypt") {
+    anon::EncryptingAnonymizer anonymizer(
+        anon::FieldPolicy{}, args.get("key", "iotaxo-default-key"));
+    scrubbed = anonymizer.apply(bundle);
+  } else {
+    anon::RandomizingAnonymizer anonymizer(
+        anon::FieldPolicy{},
+        static_cast<std::uint64_t>(args.get_int("seed", 0x5EED)));
+    scrubbed = anonymizer.apply(bundle);
+  }
+  scrubbed.save(out);
+  std::printf("anonymized bundle written to %s (%lld events)\n", out.c_str(),
+              scrubbed.total_events());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "trace") {
+      return cmd_trace(args);
+    }
+    if (args.command == "classify") {
+      return cmd_classify(args);
+    }
+    if (args.command == "replay") {
+      return cmd_replay(args);
+    }
+    if (args.command == "analyze") {
+      return cmd_analyze(args);
+    }
+    if (args.command == "anonymize") {
+      return cmd_anonymize(args);
+    }
+    return usage();
+  } catch (const Error& err) {
+    std::fprintf(stderr, "iotaxo: %s\n", err.what());
+    return 1;
+  }
+}
