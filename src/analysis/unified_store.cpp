@@ -6,83 +6,178 @@
 
 namespace iotaxo::analysis {
 
-std::size_t UnifiedTraceStore::ingest(const trace::TraceBundle& bundle) {
-  StoreSourceInfo info;
-  const auto framework_it = bundle.metadata.find("framework");
-  info.framework = framework_it == bundle.metadata.end()
-                       ? "(unknown)"
-                       : framework_it->second;
-  const auto app_it = bundle.metadata.find("application");
-  info.application =
-      app_it == bundle.metadata.end() ? "(unknown)" : app_it->second;
+namespace {
 
-  std::optional<SkewDriftModel> model;
-  if (!bundle.clock_probes.empty()) {
-    try {
-      model = SkewDriftModel::fit(bundle.clock_probes);
-      info.time_corrected = true;
-    } catch (const Error&) {
-      model.reset();  // incomplete probe sets: fall back to raw stamps
-    }
+/// Interned ids of the transfer syscalls a batch may contain; id 0 (the
+/// empty string) marks "not present in this pool" because no event has an
+/// empty name.
+struct IoCallIds {
+  trace::StrId sys_write = 0;
+  trace::StrId sys_read = 0;
+
+  explicit IoCallIds(const trace::StringPool& pool) {
+    sys_write = pool.find("SYS_write").value_or(0);
+    sys_read = pool.find("SYS_read").value_or(0);
   }
 
+  [[nodiscard]] bool is_transfer(const trace::EventRecord& rec) const noexcept {
+    return rec.cls == trace::EventClass::kSyscall &&
+           ((sys_write != 0 && rec.name == sys_write) ||
+            (sys_read != 0 && rec.name == sys_read));
+  }
+};
+
+}  // namespace
+
+namespace {
+
+[[nodiscard]] StoreSourceInfo parse_source_info(
+    const std::map<std::string, std::string>& metadata) {
+  StoreSourceInfo info;
+  const auto framework_it = metadata.find("framework");
+  info.framework =
+      framework_it == metadata.end() ? "(unknown)" : framework_it->second;
+  const auto app_it = metadata.find("application");
+  info.application = app_it == metadata.end() ? "(unknown)" : app_it->second;
+  return info;
+}
+
+/// Rewrite one record's local_start onto the common timeline; ranks the
+/// probe set does not cover keep their raw stamps.
+void correct_record(trace::EventBatch& batch, std::size_t i,
+                    const SkewDriftModel& model) {
+  const trace::EventRecord& rec = batch.record(i);
+  if (rec.rank < 0) {
+    return;
+  }
+  try {
+    batch.set_local_start(i, model.correct(rec.rank, rec.local_start));
+  } catch (const Error&) {
+    // rank missing from the probe set; keep the raw stamp
+  }
+}
+
+}  // namespace
+
+std::optional<SkewDriftModel> UnifiedTraceStore::fit_model(
+    const std::vector<trace::TraceEvent>& clock_probes,
+    StoreSourceInfo& info) const {
+  if (clock_probes.empty()) {
+    return std::nullopt;
+  }
+  try {
+    SkewDriftModel model = SkewDriftModel::fit(clock_probes);
+    info.time_corrected = true;
+    return model;
+  } catch (const Error&) {
+    return std::nullopt;  // incomplete probe sets: fall back to raw stamps
+  }
+}
+
+std::size_t UnifiedTraceStore::ingest_source(
+    StoreSourceInfo info, trace::EventBatch batch,
+    const std::optional<SkewDriftModel>& model,
+    const std::vector<trace::DependencyEdge>& dependencies) {
+  if (model.has_value()) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      correct_record(batch, i, *model);
+    }
+  }
+  info.events = static_cast<long long>(batch.size());
+  total_events_ += info.events;
+  dependencies_.insert(dependencies_.end(), dependencies.begin(),
+                       dependencies.end());
   const std::size_t source_index = sources_.size();
+  sources_.push_back(std::move(info));
+  batches_.push_back(std::move(batch));
+  return source_index;
+}
+
+std::size_t UnifiedTraceStore::ingest(const trace::TraceBundle& bundle) {
+  StoreSourceInfo info = parse_source_info(bundle.metadata);
+  const std::optional<SkewDriftModel> model =
+      fit_model(bundle.clock_probes, info);
+
+  trace::EventBatch batch;
   for (const trace::RankStream& rs : bundle.ranks) {
     for (const trace::TraceEvent& ev : rs.events) {
-      StoredEvent stored{ev, source_index};
-      if (model.has_value() && ev.rank >= 0) {
-        try {
-          stored.event.local_start = model->correct(ev.rank, ev.local_start);
-        } catch (const Error&) {
-          // rank missing from the probe set; keep the raw stamp
-        }
-      }
-      ++info.events;
-      events_.push_back(std::move(stored));
+      batch.append(ev);
     }
   }
-  dependencies_.insert(dependencies_.end(), bundle.dependencies.begin(),
-                       bundle.dependencies.end());
-  sources_.push_back(std::move(info));
-  return source_index;
+  return ingest_source(std::move(info), std::move(batch), model,
+                       bundle.dependencies);
+}
+
+std::size_t UnifiedTraceStore::ingest(
+    const trace::EventBatch& batch,
+    const std::map<std::string, std::string>& metadata,
+    const std::vector<trace::TraceEvent>& clock_probes,
+    const std::vector<trace::DependencyEdge>& dependencies) {
+  StoreSourceInfo info = parse_source_info(metadata);
+  const std::optional<SkewDriftModel> model = fit_model(clock_probes, info);
+
+  trace::EventBatch stored;
+  stored.append(batch);  // re-intern into the store's own pool
+  return ingest_source(std::move(info), std::move(stored), model,
+                       dependencies);
+}
+
+const trace::EventBatch& UnifiedTraceStore::source_batch(
+    std::size_t source) const {
+  if (source >= batches_.size()) {
+    throw ConfigError("unified store: source index out of range");
+  }
+  return batches_[source];
 }
 
 std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
   std::map<std::string, CallStats> stats;
-  for (const StoredEvent& stored : events_) {
-    CallStats& s = stats[stored.event.name];
-    ++s.count;
-    s.total_time += stored.event.duration;
-    if (stored.event.is_io_call()) {
-      s.total_bytes += stored.event.bytes;
+  std::vector<CallStats*> scratch;
+  for (const trace::EventBatch& batch : batches_) {
+    // One map lookup per distinct name per source; flat hits otherwise.
+    scratch.assign(batch.pool().size(), nullptr);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const trace::EventRecord& rec = batch.record(i);
+      CallStats*& slot = scratch[rec.name];
+      if (slot == nullptr) {
+        slot = &stats[std::string(batch.name(i))];
+      }
+      ++slot->count;
+      slot->total_time += rec.duration;
+      if (rec.is_io_call()) {
+        slot->total_bytes += rec.bytes;
+      }
     }
   }
   return stats;
 }
 
-std::vector<const trace::TraceEvent*> UnifiedTraceStore::rank_timeline(
+std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
     int rank) const {
-  std::vector<const trace::TraceEvent*> out;
-  for (const StoredEvent& stored : events_) {
-    if (stored.event.rank == rank) {
-      out.push_back(&stored.event);
+  std::vector<trace::TraceEvent> out;
+  for (const trace::EventBatch& batch : batches_) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.record(i).rank == rank) {
+        out.push_back(batch.materialize(i));
+      }
     }
   }
   std::sort(out.begin(), out.end(),
-            [](const trace::TraceEvent* a, const trace::TraceEvent* b) {
-              return a->local_start < b->local_start;
+            [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+              return a.local_start < b.local_start;
             });
   return out;
 }
 
 Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
   Bytes total = 0;
-  for (const StoredEvent& stored : events_) {
-    const trace::TraceEvent& ev = stored.event;
-    if (ev.cls == trace::EventClass::kSyscall &&
-        (ev.name == "SYS_write" || ev.name == "SYS_read") &&
-        ev.local_start >= begin && ev.local_start < end) {
-      total += ev.bytes;
+  for (const trace::EventBatch& batch : batches_) {
+    const IoCallIds ids(batch.pool());
+    for (const trace::EventRecord& rec : batch.records()) {
+      if (ids.is_transfer(rec) && rec.local_start >= begin &&
+          rec.local_start < end) {
+        total += rec.bytes;
+      }
     }
   }
   return total;
@@ -91,24 +186,35 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
 std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
     SimTime bucket_width) const {
   std::vector<std::pair<SimTime, Bytes>> series;
-  if (events_.empty() || bucket_width <= 0) {
+  if (total_events_ == 0 || bucket_width <= 0) {
     return series;
   }
-  SimTime lo = events_.front().event.local_start;
-  SimTime hi = lo;
-  for (const StoredEvent& stored : events_) {
-    lo = std::min(lo, stored.event.local_start);
-    hi = std::max(hi, stored.event.local_start);
+  bool any = false;
+  SimTime lo = 0;
+  SimTime hi = 0;
+  for (const trace::EventBatch& batch : batches_) {
+    for (const trace::EventRecord& rec : batch.records()) {
+      if (!any) {
+        lo = hi = rec.local_start;
+        any = true;
+      } else {
+        lo = std::min(lo, rec.local_start);
+        hi = std::max(hi, rec.local_start);
+      }
+    }
   }
-  const auto buckets =
-      static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
+  if (!any) {
+    return series;
+  }
+  const auto buckets = static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
   std::vector<Bytes> sums(buckets, 0);
-  for (const StoredEvent& stored : events_) {
-    const trace::TraceEvent& ev = stored.event;
-    if (ev.cls == trace::EventClass::kSyscall &&
-        (ev.name == "SYS_write" || ev.name == "SYS_read")) {
-      sums[static_cast<std::size_t>((ev.local_start - lo) / bucket_width)] +=
-          ev.bytes;
+  for (const trace::EventBatch& batch : batches_) {
+    const IoCallIds ids(batch.pool());
+    for (const trace::EventRecord& rec : batch.records()) {
+      if (ids.is_transfer(rec)) {
+        sums[static_cast<std::size_t>((rec.local_start - lo) / bucket_width)] +=
+            rec.bytes;
+      }
     }
   }
   series.reserve(buckets);
@@ -127,34 +233,37 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
   };
   std::map<std::string, Tally> by_path;
   std::map<int, std::string> fd_paths;  // best-effort fd -> path
-  for (const StoredEvent& stored : events_) {
-    const trace::TraceEvent& ev = stored.event;
-    if (!ev.path.empty() && ev.fd >= 0) {
-      fd_paths[ev.fd] = ev.path;
-    }
-    if (!ev.is_io_call() || ev.bytes <= 0) {
-      continue;
-    }
-    std::string path = ev.path;
-    if (path.empty() && ev.fd >= 0) {
-      const auto it = fd_paths.find(ev.fd);
-      if (it != fd_paths.end()) {
-        path = it->second;
+  for (const trace::EventBatch& batch : batches_) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const trace::EventRecord& rec = batch.record(i);
+      const std::string_view rec_path = batch.path(i);
+      if (!rec_path.empty() && rec.fd >= 0) {
+        fd_paths[rec.fd] = std::string(rec_path);
       }
-    }
-    if (path.empty()) {
-      path = "(unknown)";
-    }
-    Tally& tally = by_path[path];
-    tally.heat.path = path;
-    ++tally.heat.ops;
-    // Library wrappers and the syscalls beneath them report the same
-    // transfer; take whichever view saw more (captures lib-only traces
-    // like //TRACE's without double counting ltrace's dual view).
-    if (ev.cls == trace::EventClass::kLibraryCall) {
-      tally.lib_bytes += ev.bytes;
-    } else {
-      tally.lower_bytes += ev.bytes;
+      if (!rec.is_io_call() || rec.bytes <= 0) {
+        continue;
+      }
+      std::string path(rec_path);
+      if (path.empty() && rec.fd >= 0) {
+        const auto it = fd_paths.find(rec.fd);
+        if (it != fd_paths.end()) {
+          path = it->second;
+        }
+      }
+      if (path.empty()) {
+        path = "(unknown)";
+      }
+      Tally& tally = by_path[path];
+      tally.heat.path = path;
+      ++tally.heat.ops;
+      // Library wrappers and the syscalls beneath them report the same
+      // transfer; take whichever view saw more (captures lib-only traces
+      // like //TRACE's without double counting ltrace's dual view).
+      if (rec.cls == trace::EventClass::kLibraryCall) {
+        tally.lib_bytes += rec.bytes;
+      } else {
+        tally.lower_bytes += rec.bytes;
+      }
     }
   }
   std::vector<FileHeat> out;

@@ -95,7 +95,8 @@ TraceRunResult LanlTrace::trace(const sim::Cluster& cluster,
     sinks.push_back(raw);
   }
   auto tracer = std::make_shared<PtraceTracer>(
-      params_.mode, std::make_shared<trace::MultiSink>(sinks), params_.costs);
+      params_.mode, std::make_shared<trace::MultiSink>(sinks), params_.costs,
+      params_.batch_capacity);
   auto collector = std::make_shared<interpose::ProbeCollector>();
 
   mpi::RunOptions run_options;

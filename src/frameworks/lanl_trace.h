@@ -27,6 +27,8 @@ struct LanlTraceParams {
   /// (single-threaded Perl — the dominant elapsed-time cost for small
   /// block sizes).
   SimTime postprocess_per_event = from_micros(24.0);
+  /// Per-rank sink-delivery batch size (1 = per-event delivery).
+  std::size_t batch_capacity = 256;
 };
 
 class LanlTrace : public TracingFramework {

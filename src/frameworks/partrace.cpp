@@ -133,7 +133,8 @@ TraceRunResult Partrace::trace(const sim::Cluster& cluster,
     sinks.push_back(raw);
   }
   auto interposer = std::make_shared<interpose::DynLibInterposer>(
-      std::make_shared<trace::MultiSink>(sinks), params_.costs);
+      std::make_shared<trace::MultiSink>(sinks), params_.costs,
+      params_.batch_capacity);
   auto engine = std::make_shared<ThrottleEngine>(
       job.nranks(), params_.sampling, params_.throttle_delay);
 

@@ -31,6 +31,8 @@ struct PartraceParams {
   SimTime preload_setup = from_millis(250.0);
   /// Per-event dependency analysis after the run.
   SimTime analysis_per_event = from_micros(5.0);
+  /// Per-rank sink-delivery batch size (1 = per-event delivery).
+  std::size_t batch_capacity = 256;
 };
 
 /// The throttling engine: acts as the runtime Throttler (injecting delays)

@@ -80,6 +80,8 @@ TraceRunResult Tracefs::trace(const sim::Cluster& cluster, const mpi::Job& job,
   mpi::Runtime runtime(cluster, run_options);
   TraceRunResult result;
   result.run = runtime.run(job.programs);
+  // Unmount: drain the shim's per-rank batch buffers before reading sinks.
+  shim->flush();
   result.apparent_elapsed = result.run.elapsed + params_.mount_setup;
 
   trace::TraceBundle& b = result.bundle;
@@ -113,9 +115,11 @@ trace::TraceBundle Tracefs::anonymize(const trace::TraceBundle& bundle) const {
 
 std::vector<std::uint8_t> Tracefs::encode_output(
     const trace::TraceBundle& bundle) const {
-  std::vector<trace::TraceEvent> events;
+  trace::EventBatch batch;
   for (const trace::RankStream& rs : bundle.ranks) {
-    events.insert(events.end(), rs.events.begin(), rs.events.end());
+    for (const trace::TraceEvent& ev : rs.events) {
+      batch.append(ev);
+    }
   }
   trace::BinaryOptions opts;
   opts.compress = params_.shim.compress;
@@ -124,7 +128,9 @@ std::vector<std::uint8_t> Tracefs::encode_output(
   if (opts.encrypt) {
     opts.key = derive_key(params_.passphrase);
   }
-  return trace::encode_binary(events, opts);
+  // IOTB2: the batch's string table is serialized once instead of repeating
+  // every name/path/host per record.
+  return trace::encode_binary_v2(batch, opts);
 }
 
 }  // namespace iotaxo::frameworks

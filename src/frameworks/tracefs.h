@@ -20,7 +20,10 @@ namespace iotaxo::frameworks {
 struct TracefsParams {
   /// Granularity filter source; empty traces everything.
   std::string filter = "";
-  interpose::VfsShimOptions shim{};
+  /// Shim cost/feature model. The framework default delivers to its sinks
+  /// in per-rank batches of 256 (direct VfsShim construction stays
+  /// per-event unless asked otherwise).
+  interpose::VfsShimOptions shim{.batch_capacity = 256};
   /// Per-run mount/unmount and module bookkeeping.
   SimTime mount_setup = from_millis(100.0);
   /// Fields to encrypt when anonymizing, and the secret.

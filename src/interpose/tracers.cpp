@@ -37,18 +37,30 @@ SimTime event_cost(const InterposeCosts& costs, Mechanism m) noexcept {
   return 0;
 }
 
-PtraceTracer::PtraceTracer(Mode mode, trace::SinkPtr sink,
-                           InterposeCosts costs)
-    : mode_(mode), sink_(std::move(sink)), costs_(costs) {
-  if (!sink_) {
-    throw ConfigError("PtraceTracer needs a sink");
+namespace {
+
+[[nodiscard]] trace::SinkPtr require_sink(trace::SinkPtr sink,
+                                          const char* who) {
+  if (!sink) {
+    throw ConfigError(std::string(who) + " needs a sink");
   }
+  return sink;
 }
+
+}  // namespace
+
+PtraceTracer::PtraceTracer(Mode mode, trace::SinkPtr sink,
+                           InterposeCosts costs, std::size_t batch_capacity)
+    : mode_(mode),
+      batcher_(require_sink(std::move(sink), "PtraceTracer"), batch_capacity),
+      costs_(costs) {}
+
+void PtraceTracer::flush() { batcher_.flush(); }
 
 SimTime PtraceTracer::on_event(const TraceEvent& ev) {
   switch (ev.cls) {
     case EventClass::kSyscall: {
-      sink_->on_event(ev);
+      batcher_.add(ev);
       ++events_captured_;
       return mode_ == Mode::kStrace ? costs_.ptrace_syscall_event
                                     : costs_.ptrace_library_event;
@@ -57,7 +69,7 @@ SimTime PtraceTracer::on_event(const TraceEvent& ev) {
       if (mode_ == Mode::kStrace) {
         return 0;  // strace does not see library calls
       }
-      sink_->on_event(ev);
+      batcher_.add(ev);
       ++events_captured_;
       return costs_.ptrace_library_event;
     }
@@ -69,12 +81,13 @@ SimTime PtraceTracer::on_event(const TraceEvent& ev) {
   return 0;
 }
 
-DynLibInterposer::DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs)
-    : sink_(std::move(sink)), costs_(costs) {
-  if (!sink_) {
-    throw ConfigError("DynLibInterposer needs a sink");
-  }
-}
+DynLibInterposer::DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs,
+                                   std::size_t batch_capacity)
+    : batcher_(require_sink(std::move(sink), "DynLibInterposer"),
+               batch_capacity),
+      costs_(costs) {}
+
+void DynLibInterposer::flush() { batcher_.flush(); }
 
 const std::set<std::string>& DynLibInterposer::wrapped_calls() {
   static const std::set<std::string> kCalls = {
@@ -95,7 +108,7 @@ SimTime DynLibInterposer::on_event(const TraceEvent& ev) {
   if (!wrapped_calls().contains(ev.name)) {
     return 0;
   }
-  sink_->on_event(ev);
+  batcher_.add(ev);
   ++events_captured_;
   return costs_.dynlib_event;
 }

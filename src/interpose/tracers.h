@@ -2,6 +2,14 @@
 // dynamic library interposition. These attach to the MPI runtime's event
 // stream, forward matching events to a sink, and charge the mechanism's
 // per-event cost to the traced rank.
+//
+// Delivery to the sink goes through per-rank batch buffers (trace::
+// RankBatcher): with batch_capacity > 1 a rank's events are interned into
+// an EventBatch and handed to the sink in bulk via on_batch — the capture
+// hot path stops paying per-event heap and virtual-call costs. The runtime
+// calls flush() at end of run; manual drivers (tests) call it explicitly.
+// batch_capacity == 1 (the default for direct construction) delivers each
+// event immediately, preserving interleaved observation order.
 #pragma once
 
 #include <memory>
@@ -23,9 +31,11 @@ class PtraceTracer : public mpi::IoObserver {
  public:
   enum class Mode { kStrace, kLtrace };
 
-  PtraceTracer(Mode mode, trace::SinkPtr sink, InterposeCosts costs = {});
+  PtraceTracer(Mode mode, trace::SinkPtr sink, InterposeCosts costs = {},
+               std::size_t batch_capacity = 1);
 
   [[nodiscard]] SimTime on_event(const trace::TraceEvent& ev) override;
+  void flush() override;
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
   [[nodiscard]] long long events_captured() const noexcept {
@@ -34,7 +44,7 @@ class PtraceTracer : public mpi::IoObserver {
 
  private:
   Mode mode_;
-  trace::SinkPtr sink_;
+  trace::RankBatcher batcher_;
   InterposeCosts costs_;
   long long events_captured_ = 0;
 };
@@ -44,9 +54,11 @@ class PtraceTracer : public mpi::IoObserver {
 /// ptrace tracers it cannot observe memory-mapped I/O.
 class DynLibInterposer : public mpi::IoObserver {
  public:
-  explicit DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs = {});
+  explicit DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs = {},
+                            std::size_t batch_capacity = 1);
 
   [[nodiscard]] SimTime on_event(const trace::TraceEvent& ev) override;
+  void flush() override;
 
   [[nodiscard]] long long events_captured() const noexcept {
     return events_captured_;
@@ -56,7 +68,7 @@ class DynLibInterposer : public mpi::IoObserver {
   [[nodiscard]] static const std::set<std::string>& wrapped_calls();
 
  private:
-  trace::SinkPtr sink_;
+  trace::RankBatcher batcher_;
   InterposeCosts costs_;
   long long events_captured_ = 0;
 };

@@ -16,12 +16,20 @@ using trace::TraceEvent;
 VfsShim::VfsShim(fs::VfsPtr inner, trace::SinkPtr sink, VfsShimOptions options,
                  const sim::Cluster* cluster, VfsEventFilter filter)
     : inner_(std::move(inner)),
-      sink_(std::move(sink)),
       options_(options),
       cluster_(cluster),
       filter_(std::move(filter)) {
   if (!inner_) {
     throw ConfigError("VfsShim needs an inner file system");
+  }
+  if (sink) {
+    batcher_.emplace(std::move(sink), options_.batch_capacity);
+  }
+}
+
+void VfsShim::flush() {
+  if (batcher_.has_value()) {
+    batcher_->flush();
   }
 }
 
@@ -79,8 +87,8 @@ SimTime VfsShim::capture(VfsOp op, const std::string& path, int fd,
   if (options_.aggregate_only) {
     return options_.counter_cost;
   }
-  if (sink_) {
-    sink_->on_event(ev);
+  if (batcher_.has_value()) {
+    batcher_->add(ev);
   }
   return per_record_cost();
 }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "fs/vfs.h"
@@ -44,6 +45,11 @@ struct VfsShimOptions {
   /// Aggregation mode: count events per op type instead of recording them.
   bool aggregate_only = false;
   SimTime counter_cost = from_micros(0.5);
+
+  /// Sink delivery granularity: events buffer into per-rank EventBatches
+  /// and reach the sink via on_batch once a rank accumulates this many
+  /// (remainders on flush()). 1 delivers each event immediately.
+  std::size_t batch_capacity = 1;
 };
 
 class VfsShim : public fs::Vfs {
@@ -106,6 +112,10 @@ class VfsShim : public fs::Vfs {
     return counters_;
   }
 
+  /// Drain buffered per-rank batches to the sink (an unmount barrier; the
+  /// Tracefs framework calls this after the traced job completes).
+  void flush();
+
  private:
   /// Build the candidate event, filter it, charge capture cost.
   [[nodiscard]] SimTime capture(fs::VfsOp op, const std::string& path, int fd,
@@ -115,7 +125,7 @@ class VfsShim : public fs::Vfs {
   [[nodiscard]] SimTime per_record_cost() const noexcept;
 
   fs::VfsPtr inner_;
-  trace::SinkPtr sink_;
+  std::optional<trace::RankBatcher> batcher_;  // absent when sink is null
   VfsShimOptions options_;
   const sim::Cluster* cluster_;
   VfsEventFilter filter_;

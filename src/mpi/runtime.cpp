@@ -622,6 +622,11 @@ RunResult Runtime::run(const std::vector<Program>& per_rank) {
     stalled_rounds = 0;
   }
 
+  // Drain batch buffers first: on_run_end handlers (post-processing,
+  // dependency finalization) must observe fully delivered sinks.
+  for (const auto& obs : options_.observers) {
+    obs->flush();
+  }
   for (const auto& obs : options_.observers) {
     obs->on_run_end();
   }

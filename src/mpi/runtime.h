@@ -34,11 +34,19 @@ struct RunContext {
 /// Interposition hook. on_event returns the extra virtual-time cost charged
 /// to the calling rank (zero for mechanisms that don't intercept that event
 /// class).
+///
+/// Observers that buffer events into per-rank batches (the ptrace tracers
+/// and the dynamic interposer do) drain them in flush(). The runtime calls
+/// flush() on every observer after the last rank finishes and *before* any
+/// on_run_end(), so end-of-run processing always sees fully delivered
+/// sinks.
 class IoObserver {
  public:
   virtual ~IoObserver() = default;
   virtual void on_run_begin(const RunContext& ctx) { (void)ctx; }
   [[nodiscard]] virtual SimTime on_event(const trace::TraceEvent& ev) = 0;
+  /// Drain any buffered batches to the observer's sink.
+  virtual void flush() {}
   virtual void on_run_end() {}
 };
 

@@ -20,6 +20,7 @@
 
 #include "mpi/program.h"
 #include "trace/bundle.h"
+#include "trace/event_batch.h"
 
 namespace iotaxo::replay {
 
@@ -44,6 +45,15 @@ struct PseudoAppOptions {
 /// streams (throws FormatError otherwise).
 [[nodiscard]] std::vector<mpi::Program> generate_pseudo_app(
     const trace::TraceBundle& bundle, const PseudoAppOptions& options = {});
+
+/// Generate straight from a capture batch (records grouped by rank,
+/// within-rank order preserved): the batched pipeline's events are read
+/// through string views and never exploded back into per-event heap
+/// objects. Throws FormatError on an empty batch.
+[[nodiscard]] std::vector<mpi::Program> generate_pseudo_app(
+    const trace::EventBatch& batch,
+    const std::vector<trace::DependencyEdge>& dependencies,
+    const PseudoAppOptions& options = {});
 
 /// Coalescing post-pass (exposed for tests): merges adjacent kWriteBlocks /
 /// kReadBlocks ops with identical slot/block/api whose offsets advance by a

@@ -17,9 +17,20 @@ Replayer::Replayer(const sim::Cluster& cluster, fs::VfsPtr vfs)
 
 ReplayResult Replayer::replay(const trace::TraceBundle& original,
                               const ReplayOptions& options) {
-  const std::vector<mpi::Program> programs =
-      generate_pseudo_app(original, options.pseudo);
+  return run_programs(generate_pseudo_app(original, options.pseudo), options);
+}
 
+ReplayResult Replayer::replay(
+    const trace::EventBatch& original,
+    const std::vector<trace::DependencyEdge>& dependencies,
+    const ReplayOptions& options) {
+  return run_programs(generate_pseudo_app(original, dependencies,
+                                          options.pseudo),
+                      options);
+}
+
+ReplayResult Replayer::run_programs(const std::vector<mpi::Program>& programs,
+                                    const ReplayOptions& options) {
   mpi::RunOptions run_options;
   run_options.vfs = vfs_;
   run_options.startup = options.startup;
@@ -31,7 +42,8 @@ ReplayResult Replayer::replay(const trace::TraceBundle& original,
   if (options.capture_trace) {
     auto multi = std::make_shared<trace::MultiSink>(
         std::vector<trace::SinkPtr>{vec_sink, sum_sink});
-    capture = std::make_shared<interpose::DynLibInterposer>(multi);
+    capture = std::make_shared<interpose::DynLibInterposer>(
+        multi, interpose::InterposeCosts{}, options.batch_capacity);
     run_options.observers.push_back(capture);
   }
 

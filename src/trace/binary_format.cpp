@@ -10,10 +10,12 @@ namespace iotaxo::trace {
 
 namespace {
 
-constexpr char kMagic[6] = {'I', 'O', 'T', 'B', '1', '\n'};
+constexpr char kMagicV1[6] = {'I', 'O', 'T', 'B', '1', '\n'};
+constexpr char kMagicV2[6] = {'I', 'O', 'T', 'B', '2', '\n'};
 constexpr std::uint8_t kFlagCompressed = 0x01;
 constexpr std::uint8_t kFlagEncrypted = 0x02;
 constexpr std::uint8_t kFlagChecksummed = 0x04;
+constexpr std::size_t kHeaderSize = 6 + 1 + 8 + 8;
 
 class Writer {
  public:
@@ -30,7 +32,7 @@ class Writer {
   }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void str(const std::string& s) {
+  void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -107,13 +109,16 @@ void encode_event(Writer& w, const TraceEvent& ev) {
   w.u32(ev.gid);
 }
 
-TraceEvent decode_event(Reader& r) {
-  TraceEvent ev;
-  const std::uint8_t cls = r.u8();
+[[nodiscard]] EventClass decode_class(std::uint8_t cls) {
   if (cls > static_cast<std::uint8_t>(EventClass::kAnnotation)) {
     throw FormatError("binary trace: bad event class");
   }
-  ev.cls = static_cast<EventClass>(cls);
+  return static_cast<EventClass>(cls);
+}
+
+TraceEvent decode_event(Reader& r) {
+  TraceEvent ev;
+  ev.cls = decode_class(r.u8());
   ev.name = r.str();
   const std::uint32_t argc = r.u32();
   ev.args.reserve(argc);
@@ -136,18 +141,35 @@ TraceEvent decode_event(Reader& r) {
   return ev;
 }
 
-}  // namespace
+void encode_record(Writer& w, const EventRecord& rec) {
+  w.u8(static_cast<std::uint8_t>(rec.cls));
+  w.u32(rec.name);
+  // args_begin is not written: batch arg slices are contiguous in record
+  // order, so the decoder reconstructs it as a running sum.
+  w.u32(rec.args_count);
+  w.i64(rec.ret);
+  w.i64(rec.local_start);
+  w.i64(rec.duration);
+  w.i32(rec.rank);
+  w.i32(rec.node);
+  w.u32(rec.pid);
+  w.u32(rec.host);
+  w.u32(rec.path);
+  w.i32(rec.fd);
+  w.i64(rec.bytes);
+  w.i64(rec.offset);
+  w.u32(rec.uid);
+  w.u32(rec.gid);
+}
 
-std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
-                                        const BinaryOptions& options) {
+/// Wrap a finished body in the shared container envelope (compress /
+/// encrypt / checksum, then magic + flags + counts).
+[[nodiscard]] std::vector<std::uint8_t> seal_container(
+    const char (&magic)[6], std::vector<std::uint8_t> payload,
+    std::uint64_t count, const BinaryOptions& options) {
   if (options.encrypt && !options.key.has_value()) {
     throw ConfigError("binary trace: encryption requested without a key");
   }
-  Writer body;
-  for (const TraceEvent& ev : events) {
-    encode_event(body, ev);
-  }
-  std::vector<std::uint8_t> payload = body.take();
   std::uint8_t flags = 0;
   if (options.compress) {
     payload = lz_compress(payload);
@@ -162,11 +184,11 @@ std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
   }
 
   Writer out;
-  for (const char c : kMagic) {
+  for (const char c : magic) {
     out.u8(static_cast<std::uint8_t>(c));
   }
   out.u8(flags);
-  out.u64(events.size());
+  out.u64(count);
   out.u64(payload.size());
   std::vector<std::uint8_t> head = out.take();
   head.insert(head.end(), payload.begin(), payload.end());
@@ -179,37 +201,22 @@ std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
   return head;
 }
 
-BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
-  if (data.size() < 6 + 1 + 8 + 8 ||
-      std::memcmp(data.data(), kMagic, 6) != 0) {
-    throw FormatError("binary trace: bad magic");
-  }
-  Reader r(data.subspan(6));
-  BinaryHeader h;
-  const std::uint8_t flags = r.u8();
-  h.compressed = (flags & kFlagCompressed) != 0;
-  h.encrypted = (flags & kFlagEncrypted) != 0;
-  h.checksummed = (flags & kFlagChecksummed) != 0;
-  h.count = r.u64();
-  h.payload_length = r.u64();
-  return h;
-}
-
-std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
-                                      const std::optional<CipherKey>& key) {
-  const BinaryHeader h = peek_binary_header(data);
-  const std::size_t header_size = 6 + 1 + 8 + 8;
+/// Validate the envelope, verify the CRC, decrypt and decompress; returns
+/// the raw body bytes.
+[[nodiscard]] std::vector<std::uint8_t> open_container(
+    std::span<const std::uint8_t> data, const BinaryHeader& h,
+    const std::optional<CipherKey>& key) {
   const std::size_t crc_size = h.checksummed ? 4 : 0;
-  if (data.size() != header_size + h.payload_length + crc_size) {
+  if (data.size() != kHeaderSize + h.payload_length + crc_size) {
     throw FormatError("binary trace: length mismatch");
   }
   std::span<const std::uint8_t> payload =
-      data.subspan(header_size, h.payload_length);
+      data.subspan(kHeaderSize, h.payload_length);
 
   if (h.checksummed) {
     std::uint32_t stored = 0;
     for (int i = 0; i < 4; ++i) {
-      stored |= static_cast<std::uint32_t>(data[header_size + h.payload_length +
+      stored |= static_cast<std::uint32_t>(data[kHeaderSize + h.payload_length +
                                                 static_cast<std::size_t>(i)])
                 << (8 * i);
     }
@@ -228,8 +235,142 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
   if (h.compressed) {
     buf = lz_decompress(buf);
   }
+  return buf;
+}
 
-  Reader r(buf);
+[[nodiscard]] EventBatch decode_batch_body(std::span<const std::uint8_t> body,
+                                           std::uint64_t count) {
+  Reader r(body);
+  EventBatch batch;
+
+  const std::uint32_t nstrings = r.u32();
+  if (nstrings == 0) {
+    throw FormatError("binary trace v2: empty string table");
+  }
+  StringPool& pool = batch.pool();
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    const std::string s = r.str();
+    const StrId id = pool.intern(s);
+    if (id != i) {
+      // Duplicate or misordered table entries can only come from a writer
+      // bug or corruption the CRC did not cover.
+      throw FormatError("binary trace v2: string table is not interned");
+    }
+  }
+
+  const std::uint64_t nargids = r.u64();
+  // Each arg id occupies 4 payload bytes; a count the body cannot hold is
+  // corruption, and must not reach reserve() as a giant allocation.
+  if (nargids > body.size() / 4) {
+    throw FormatError("binary trace v2: arg-id table exceeds payload");
+  }
+  std::vector<StrId> arg_ids;
+  arg_ids.reserve(static_cast<std::size_t>(nargids));
+  for (std::uint64_t i = 0; i < nargids; ++i) {
+    arg_ids.push_back(r.u32());
+  }
+
+  std::uint64_t next_args_begin = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EventRecord rec;
+    rec.cls = decode_class(r.u8());
+    rec.name = r.u32();
+    const std::uint64_t args_begin = next_args_begin;
+    const std::uint32_t args_count = r.u32();
+    next_args_begin += args_count;
+    rec.ret = r.i64();
+    rec.local_start = r.i64();
+    rec.duration = r.i64();
+    rec.rank = r.i32();
+    rec.node = r.i32();
+    rec.pid = r.u32();
+    rec.host = r.u32();
+    rec.path = r.u32();
+    rec.fd = r.i32();
+    rec.bytes = r.i64();
+    rec.offset = r.i64();
+    rec.uid = r.u32();
+    rec.gid = r.u32();
+    if (args_begin + args_count > nargids) {
+      throw FormatError("binary trace v2: record args out of range");
+    }
+    batch.append_raw(rec, std::span<const StrId>(arg_ids).subspan(
+                              static_cast<std::size_t>(args_begin),
+                              args_count));
+  }
+  if (!r.at_end()) {
+    throw FormatError("binary trace: trailing bytes after records");
+  }
+  return batch;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
+                                        const BinaryOptions& options) {
+  Writer body;
+  for (const TraceEvent& ev : events) {
+    encode_event(body, ev);
+  }
+  return seal_container(kMagicV1, body.take(), events.size(), options);
+}
+
+std::vector<std::uint8_t> encode_binary_v2(const EventBatch& batch,
+                                           const BinaryOptions& options) {
+  Writer body;
+  body.u32(static_cast<std::uint32_t>(batch.pool().size()));
+  batch.pool().for_each(
+      [&body](StrId /*id*/, std::string_view s) { body.str(s); });
+  body.u64(batch.arg_ids().size());
+  for (const StrId a : batch.arg_ids()) {
+    body.u32(a);
+  }
+  for (const EventRecord& rec : batch.records()) {
+    encode_record(body, rec);
+  }
+  return seal_container(kMagicV2, body.take(), batch.size(), options);
+}
+
+std::vector<std::uint8_t> encode_binary_v2(
+    const std::vector<TraceEvent>& events, const BinaryOptions& options) {
+  return encode_binary_v2(EventBatch::from_events(events), options);
+}
+
+BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderSize) {
+    throw FormatError("binary trace: bad magic");
+  }
+  BinaryHeader h;
+  if (std::memcmp(data.data(), kMagicV1, 6) == 0) {
+    h.version = 1;
+  } else if (std::memcmp(data.data(), kMagicV2, 6) == 0) {
+    h.version = 2;
+  } else {
+    throw FormatError("binary trace: bad magic");
+  }
+  Reader r(data.subspan(6));
+  const std::uint8_t flags = r.u8();
+  h.compressed = (flags & kFlagCompressed) != 0;
+  h.encrypted = (flags & kFlagEncrypted) != 0;
+  h.checksummed = (flags & kFlagChecksummed) != 0;
+  h.count = r.u64();
+  h.payload_length = r.u64();
+  return h;
+}
+
+std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
+                                      const std::optional<CipherKey>& key) {
+  const BinaryHeader h = peek_binary_header(data);
+  const std::vector<std::uint8_t> body = open_container(data, h, key);
+  if (h.version == 2) {
+    return decode_batch_body(body, h.count).to_events();
+  }
+  // A v1 record occupies well over one body byte; a count the body cannot
+  // hold is corruption and must not reach reserve() as a giant allocation.
+  if (h.count > body.size()) {
+    throw FormatError("binary trace: record count exceeds payload");
+  }
+  Reader r(body);
   std::vector<TraceEvent> events;
   events.reserve(h.count);
   for (std::uint64_t i = 0; i < h.count; ++i) {
@@ -241,8 +382,27 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
   return events;
 }
 
+EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
+                               const std::optional<CipherKey>& key) {
+  const BinaryHeader h = peek_binary_header(data);
+  const std::vector<std::uint8_t> body = open_container(data, h, key);
+  if (h.version == 2) {
+    return decode_batch_body(body, h.count);
+  }
+  Reader r(body);
+  EventBatch batch;
+  for (std::uint64_t i = 0; i < h.count; ++i) {
+    batch.append(decode_event(r));
+  }
+  if (!r.at_end()) {
+    throw FormatError("binary trace: trailing bytes after records");
+  }
+  return batch;
+}
+
 bool looks_binary(std::span<const std::uint8_t> data) noexcept {
-  return data.size() >= 6 && std::memcmp(data.data(), kMagic, 6) == 0;
+  return data.size() >= 6 && (std::memcmp(data.data(), kMagicV1, 6) == 0 ||
+                              std::memcmp(data.data(), kMagicV2, 6) == 0);
 }
 
 }  // namespace iotaxo::trace

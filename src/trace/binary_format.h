@@ -1,16 +1,41 @@
-// Binary trace format (the Tracefs output path): length-prefixed records
+// Binary trace formats (the Tracefs output path): length-prefixed records
 // with optional buffering, CRC-32 integrity, LZ compression and XTEA-CBC
 // encryption — the feature set §4.2 of the paper attributes to Tracefs
 // ("Binary, with optional checksumming, compression, encryption, or
 // buffering").
 //
-// Layout:
-//   magic   "IOTB1\n"                       6 bytes
+// Two container versions share one outer layout:
+//   magic   "IOTB1\n" or "IOTB2\n"             6 bytes
 //   flags   u8  (bit0 compressed, bit1 encrypted, bit2 checksummed)
-//   count   u64 LE   number of records
+//   count   u64 LE   number of event records
 //   paylen  u64 LE   transformed payload length
-//   payload bytes (records, then compressed, then encrypted — in that order)
+//   payload bytes (body, then compressed, then encrypted — in that order)
 //   crc     u32 LE   CRC-32 of transformed payload (present iff bit2)
+//
+// v1 body (IOTB1): `count` self-delimiting records, each repeating every
+// string it carries (name, args, host, path) inline.
+//
+// v2 body (IOTB2): the batch container. Strings are serialized exactly once
+// in an interned table, records are fixed-size and reference the table by
+// id — for repetitive traces this shrinks the body and makes decoding an
+// EventBatch allocation-light:
+//   nstrings  u32 LE                     string-table size (id 0 = "")
+//   strings   nstrings x (u32 len + bytes), in id order
+//   nargids   u64 LE                     length of the argument-id table
+//   argids    nargids x u32 LE           interned ids, all records' args
+//   records   count x fixed record:
+//             u8  cls
+//             u32 name-id
+//             u32 args-count   (args slices are contiguous in record
+//                              order; begin = running sum of counts)
+//             i64 ret          i64 local_start  i64 duration
+//             i32 rank         i32 node         u32 pid
+//             u32 host-id      u32 path-id      i32 fd
+//             i64 bytes        i64 offset
+//             u32 uid          u32 gid
+//
+// encode_binary writes v1 (kept for compatibility), encode_binary_v2 writes
+// the batch container; decode_binary and decode_binary_batch accept both.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +43,7 @@
 #include <string>
 #include <vector>
 
-#include "trace/event.h"
+#include "trace/event_batch.h"
 #include "util/cipher.h"
 
 namespace iotaxo::trace {
@@ -33,19 +58,36 @@ struct BinaryOptions {
   std::uint64_t iv_seed = 0x1010;
 };
 
-/// Serialize events to the binary container.
+/// Serialize events to the v1 (IOTB1) container.
 [[nodiscard]] std::vector<std::uint8_t> encode_binary(
     const std::vector<TraceEvent>& events, const BinaryOptions& options);
 
-/// Parse a binary container; verifies CRC, decrypts, decompresses.
+/// Serialize a batch to the v2 (IOTB2) container: string table once,
+/// fixed-size records referencing it.
+[[nodiscard]] std::vector<std::uint8_t> encode_binary_v2(
+    const EventBatch& batch, const BinaryOptions& options);
+
+/// Convenience: intern `events` into a batch, then encode as v2.
+[[nodiscard]] std::vector<std::uint8_t> encode_binary_v2(
+    const std::vector<TraceEvent>& events, const BinaryOptions& options);
+
+/// Parse a v1 or v2 container; verifies CRC, decrypts, decompresses.
 /// `key` must be supplied for encrypted files. Throws FormatError on any
 /// corruption or a wrong key.
 [[nodiscard]] std::vector<TraceEvent> decode_binary(
     std::span<const std::uint8_t> data,
     const std::optional<CipherKey>& key = std::nullopt);
 
+/// Parse a container straight into batch form. v2 payloads decode without
+/// rebuilding per-event heap objects; v1 payloads are decoded per-event and
+/// re-interned.
+[[nodiscard]] EventBatch decode_binary_batch(
+    std::span<const std::uint8_t> data,
+    const std::optional<CipherKey>& key = std::nullopt);
+
 /// Inspect a container's flags without decoding the payload.
 struct BinaryHeader {
+  int version = 1;  // 1 = IOTB1, 2 = IOTB2
   bool compressed = false;
   bool encrypted = false;
   bool checksummed = false;
@@ -56,7 +98,7 @@ struct BinaryHeader {
     std::span<const std::uint8_t> data);
 
 /// Heuristic used by the taxonomy classifier to label a framework's output
-/// format: true if the buffer starts with the binary magic.
+/// format: true if the buffer starts with either binary magic.
 [[nodiscard]] bool looks_binary(std::span<const std::uint8_t> data) noexcept;
 
 }  // namespace iotaxo::trace

@@ -1,0 +1,129 @@
+#include "trace/event_batch.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+
+void EventBatch::append(const TraceEvent& ev) {
+  EventRecord rec;
+  rec.cls = ev.cls;
+  rec.name = pool_.intern(ev.name);
+  rec.args_begin = static_cast<std::uint32_t>(arg_ids_.size());
+  rec.args_count = static_cast<std::uint32_t>(ev.args.size());
+  for (const std::string& a : ev.args) {
+    arg_ids_.push_back(pool_.intern(a));
+  }
+  rec.ret = ev.ret;
+  rec.local_start = ev.local_start;
+  rec.duration = ev.duration;
+  rec.rank = ev.rank;
+  rec.node = ev.node;
+  rec.pid = ev.pid;
+  rec.host = pool_.intern(ev.host);
+  rec.path = pool_.intern(ev.path);
+  rec.fd = ev.fd;
+  rec.bytes = ev.bytes;
+  rec.offset = ev.offset;
+  rec.uid = ev.uid;
+  rec.gid = ev.gid;
+  records_.push_back(rec);
+}
+
+void EventBatch::append(const EventBatch& other) {
+  if (&other == this) {
+    // Appending a batch to itself would grow the containers it iterates;
+    // duplicate through a copy instead.
+    const EventBatch copy = other;
+    append(copy);
+    return;
+  }
+  // Translate ids lazily: other's pool is dense, so a flat vector works as
+  // the remap cache (StrId(-1) = not yet translated).
+  constexpr StrId kUnmapped = static_cast<StrId>(-1);
+  std::vector<StrId> remap(other.pool_.size(), kUnmapped);
+  const auto xlat = [&](StrId id) {
+    StrId& slot = remap[id];
+    if (slot == kUnmapped) {
+      slot = pool_.intern(other.pool_.view(id));
+    }
+    return slot;
+  };
+
+  records_.reserve(records_.size() + other.records_.size());
+  for (std::size_t i = 0; i < other.records_.size(); ++i) {
+    EventRecord rec = other.records_[i];
+    rec.name = xlat(rec.name);
+    rec.host = xlat(rec.host);
+    rec.path = xlat(rec.path);
+    const std::uint32_t begin = static_cast<std::uint32_t>(arg_ids_.size());
+    for (const StrId a : other.args(i)) {
+      arg_ids_.push_back(xlat(a));
+    }
+    rec.args_begin = begin;
+    records_.push_back(rec);
+  }
+}
+
+void EventBatch::append_raw(EventRecord rec, std::span<const StrId> args) {
+  const auto check = [this](StrId id) {
+    if (id >= pool_.size()) {
+      throw FormatError(strprintf("event batch: string id %u out of range", id));
+    }
+  };
+  check(rec.name);
+  check(rec.host);
+  check(rec.path);
+  rec.args_begin = static_cast<std::uint32_t>(arg_ids_.size());
+  rec.args_count = static_cast<std::uint32_t>(args.size());
+  for (const StrId a : args) {
+    check(a);
+    arg_ids_.push_back(a);
+  }
+  records_.push_back(rec);
+}
+
+TraceEvent EventBatch::materialize(std::size_t i) const {
+  const EventRecord& rec = records_[i];
+  TraceEvent ev;
+  ev.cls = rec.cls;
+  ev.name = pool_.str(rec.name);
+  ev.args.reserve(rec.args_count);
+  for (const StrId a : args(i)) {
+    ev.args.push_back(pool_.str(a));
+  }
+  ev.ret = rec.ret;
+  ev.local_start = rec.local_start;
+  ev.duration = rec.duration;
+  ev.rank = rec.rank;
+  ev.node = rec.node;
+  ev.pid = rec.pid;
+  ev.host = pool_.str(rec.host);
+  ev.path = pool_.str(rec.path);
+  ev.fd = rec.fd;
+  ev.bytes = rec.bytes;
+  ev.offset = rec.offset;
+  ev.uid = rec.uid;
+  ev.gid = rec.gid;
+  return ev;
+}
+
+std::vector<TraceEvent> EventBatch::to_events() const {
+  std::vector<TraceEvent> events;
+  events.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    events.push_back(materialize(i));
+  }
+  return events;
+}
+
+EventBatch EventBatch::from_events(const std::vector<TraceEvent>& events) {
+  EventBatch batch;
+  batch.records_.reserve(events.size());
+  for (const TraceEvent& ev : events) {
+    batch.append(ev);
+  }
+  return batch;
+}
+
+}  // namespace iotaxo::trace

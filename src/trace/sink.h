@@ -3,14 +3,23 @@
 // Sinks decouple capture from retention so that benchmark-scale runs can
 // count millions of events without materializing them, while tests and
 // examples keep full streams.
+//
+// Delivery comes in two granularities: per-event (on_event) and batched
+// (on_batch, an EventBatch of interned records). on_batch's default
+// implementation falls back to per-event delivery, so existing sinks keep
+// working; the built-in sinks override it natively so the batched pipeline
+// never rebuilds per-event heap objects it does not need.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/event.h"
+#include "trace/event_batch.h"
 
 namespace iotaxo::trace {
 
@@ -18,6 +27,13 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void on_event(const TraceEvent& ev) = 0;
+  /// Batched delivery. Default: explode into per-event delivery so sinks
+  /// that only implement on_event observe an identical stream.
+  virtual void on_batch(const EventBatch& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      on_event(batch.materialize(i));
+    }
+  }
   virtual void flush() {}
 };
 
@@ -27,6 +43,13 @@ using SinkPtr = std::shared_ptr<EventSink>;
 class VectorSink : public EventSink {
  public:
   void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
+  void on_batch(const EventBatch& batch) override {
+    // No reserve: an exact-size reserve per delivery would defeat
+    // push_back's geometric growth across repeated batch flushes.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      events_.push_back(batch.materialize(i));
+    }
+  }
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
@@ -36,6 +59,23 @@ class VectorSink : public EventSink {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+/// Retains batches in interned form — the columnar twin of VectorSink for
+/// consumers (unified store, binary v2 writers) that stay batched.
+class BatchSink : public EventSink {
+ public:
+  void on_event(const TraceEvent& ev) override { batch_.append(ev); }
+  void on_batch(const EventBatch& batch) override { batch_.append(batch); }
+  [[nodiscard]] const EventBatch& batch() const noexcept { return batch_; }
+  /// Hand the accumulated batch over and start a fresh one (a moved-from
+  /// batch's pool would lack the id-0-is-empty invariant).
+  [[nodiscard]] EventBatch take() {
+    return std::exchange(batch_, EventBatch{});
+  }
+
+ private:
+  EventBatch batch_;
 };
 
 /// Aggregates per-call-name counts and total durations — exactly the data
@@ -54,6 +94,29 @@ class SummarySink : public EventSink {
     ++total_events_;
   }
 
+  void on_batch(const EventBatch& batch) override {
+    // One map lookup per *distinct* name per batch; every other record is
+    // a flat-array hit. The scratch is grow-only and epoch-stamped so a
+    // delivery costs O(batch), never O(largest name id) — string ids are
+    // pool-local, so the epoch bump also invalidates slots left by batches
+    // from other pools.
+    ++scratch_epoch_;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const EventRecord& rec = batch.record(i);
+      if (rec.name >= scratch_.size()) {
+        scratch_.resize(static_cast<std::size_t>(rec.name) + 1);
+      }
+      Slot& slot = scratch_[rec.name];
+      if (slot.epoch != scratch_epoch_) {
+        slot.entry = &entries_[std::string(batch.name(i))];
+        slot.epoch = scratch_epoch_;
+      }
+      ++slot.entry->count;
+      slot.entry->total_duration += rec.duration;
+    }
+    total_events_ += static_cast<long long>(batch.size());
+  }
+
   [[nodiscard]] const std::map<std::string, Entry>& entries() const noexcept {
     return entries_;
   }
@@ -62,7 +125,14 @@ class SummarySink : public EventSink {
   }
 
  private:
+  struct Slot {
+    Entry* entry = nullptr;
+    std::uint64_t epoch = 0;  // valid iff == scratch_epoch_
+  };
+
   std::map<std::string, Entry> entries_;
+  std::vector<Slot> scratch_;  // indexed by StrId, grow-only
+  std::uint64_t scratch_epoch_ = 0;
   long long total_events_ = 0;
 };
 
@@ -72,6 +142,12 @@ class CountingSink : public EventSink {
   void on_event(const TraceEvent& ev) override {
     ++count_;
     total_bytes_ += ev.bytes;
+  }
+  void on_batch(const EventBatch& batch) override {
+    count_ += static_cast<long long>(batch.size());
+    for (const EventRecord& rec : batch.records()) {
+      total_bytes_ += rec.bytes;
+    }
   }
   [[nodiscard]] long long count() const noexcept { return count_; }
   [[nodiscard]] Bytes total_bytes() const noexcept { return total_bytes_; }
@@ -90,6 +166,11 @@ class MultiSink : public EventSink {
       s->on_event(ev);
     }
   }
+  void on_batch(const EventBatch& batch) override {
+    for (const auto& s : sinks_) {
+      s->on_batch(batch);
+    }
+  }
   void flush() override {
     for (const auto& s : sinks_) {
       s->flush();
@@ -98,6 +179,67 @@ class MultiSink : public EventSink {
 
  private:
   std::vector<SinkPtr> sinks_;
+};
+
+/// Per-rank batch buffering in front of a sink — the building block every
+/// capture layer (ptrace tracers, dynamic interposition, the VFS shim)
+/// threads its events through. Events accumulate into one EventBatch per
+/// rank; a rank's batch is delivered via on_batch when it reaches
+/// `capacity` and any remainder on flush(). With capacity <= 1 events skip
+/// the buffer entirely and go straight to on_event, preserving the
+/// interleaved per-event observation order for direct/manual use.
+class RankBatcher {
+ public:
+  RankBatcher(SinkPtr sink, std::size_t capacity)
+      : sink_(std::move(sink)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void add(const TraceEvent& ev) {
+    if (capacity_ <= 1) {
+      sink_->on_event(ev);  // unbuffered: no intern/materialize detour
+      return;
+    }
+    EventBatch& batch = per_rank_[ev.rank];
+    batch.append(ev);
+    if (batch.size() >= capacity_) {
+      deliver(batch);
+    }
+  }
+
+  /// Deliver every non-empty rank buffer (ascending rank order) and the
+  /// sink's own flush.
+  void flush() {
+    for (auto& [rank, batch] : per_rank_) {
+      if (!batch.empty()) {
+        deliver(batch);
+      }
+    }
+    sink_->flush();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const SinkPtr& sink() const noexcept { return sink_; }
+
+ private:
+  void deliver(EventBatch& batch) {
+    sink_->on_batch(batch);
+    // Keeping the pool lets repeated names intern once per rank — but
+    // high-cardinality strings (per-I/O offset args) would grow it without
+    // bound, so start over once it gets big.
+    if (batch.pool().size() > kPoolResetThreshold) {
+      batch.reset();
+    } else {
+      batch.clear();
+    }
+  }
+
+  /// ~64k distinct strings per rank buffer before the pool is rebuilt;
+  /// bounds memory at a few MiB per rank while keeping the common
+  /// (low-cardinality) vocabulary interned across flushes.
+  static constexpr std::size_t kPoolResetThreshold = 1 << 16;
+
+  SinkPtr sink_;
+  std::size_t capacity_;
+  std::map<int, EventBatch> per_rank_;
 };
 
 }  // namespace iotaxo::trace

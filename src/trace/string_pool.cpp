@@ -1,0 +1,64 @@
+#include "trace/string_pool.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+
+StringPool::StringPool() { (void)intern(std::string_view{}); }
+
+StringPool::StringPool(const StringPool& other) : index_(other.index_) {
+  by_id_.assign(other.by_id_.size(), nullptr);
+  for (const auto& [s, id] : index_) {
+    by_id_[id] = &s;
+  }
+}
+
+StringPool& StringPool::operator=(const StringPool& other) {
+  if (this != &other) {
+    index_ = other.index_;
+    by_id_.assign(other.by_id_.size(), nullptr);
+    for (const auto& [s, id] : index_) {
+      by_id_[id] = &s;
+    }
+  }
+  return *this;
+}
+
+StrId StringPool::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const StrId id = static_cast<StrId>(by_id_.size());
+  const auto [inserted, ok] = index_.emplace(std::string(s), id);
+  (void)ok;
+  by_id_.push_back(&inserted->first);
+  return id;
+}
+
+std::optional<StrId> StringPool::find(std::string_view s) const {
+  const auto it = index_.find(s);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string_view StringPool::view(StrId id) const { return str(id); }
+
+const std::string& StringPool::str(StrId id) const {
+  if (id >= by_id_.size()) {
+    throw FormatError(strprintf("string pool: id %u out of range (size %zu)",
+                                id, by_id_.size()));
+  }
+  return *by_id_[id];
+}
+
+void StringPool::clear() {
+  index_.clear();
+  by_id_.clear();
+  (void)intern(std::string_view{});
+}
+
+}  // namespace iotaxo::trace

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 namespace iotaxo {
 
@@ -15,6 +16,16 @@ using SimTime = std::int64_t;
 
 /// Byte counts and file offsets.
 using Bytes = std::int64_t;
+
+// TraceEvent uses `offset = -1` (and tools compare `offset < 0`) as the
+// "unknown offset" sentinel; SimTime arithmetic relies on negative
+// intermediate values too. Neither convention survives an unsigned
+// redefinition silently, so pin it down here.
+static_assert(std::is_signed_v<Bytes>,
+              "Bytes must stay signed: -1 is the 'unknown offset' sentinel");
+static_assert(std::is_signed_v<SimTime>,
+              "SimTime must stay signed: durations/gaps go through negative "
+              "intermediates");
 
 inline constexpr SimTime kNanosecond = 1;
 inline constexpr SimTime kMicrosecond = 1'000;

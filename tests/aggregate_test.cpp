@@ -93,7 +93,7 @@ TEST_F(AggregateFixture, RankTimelineIsSorted) {
   const auto timeline = store.rank_timeline(3);
   ASSERT_GT(timeline.size(), 10u);
   for (std::size_t i = 1; i < timeline.size(); ++i) {
-    EXPECT_LE(timeline[i - 1]->local_start, timeline[i]->local_start);
+    EXPECT_LE(timeline[i - 1].local_start, timeline[i].local_start);
   }
 }
 
@@ -107,9 +107,9 @@ TEST_F(AggregateFixture, TimeCorrectionAlignsRanks) {
   // though raw node clocks disagree by hundreds of milliseconds.
   std::vector<SimTime> first_write(8, -1);
   for (int r = 0; r < 8; ++r) {
-    for (const trace::TraceEvent* ev : store.rank_timeline(r)) {
-      if (ev->name == "SYS_write") {
-        first_write[static_cast<std::size_t>(r)] = ev->local_start;
+    for (const trace::TraceEvent& ev : store.rank_timeline(r)) {
+      if (ev.name == "SYS_write") {
+        first_write[static_cast<std::size_t>(r)] = ev.local_start;
         break;
       }
     }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate: configure, build everything, run the full test suite.
+# Exits nonzero on the first failure so CI and pre-PR checks can use it as a
+# one-command gate:  ./tools/check_build.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
