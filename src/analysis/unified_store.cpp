@@ -1,8 +1,10 @@
 #include "analysis/unified_store.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace iotaxo::analysis {
 
@@ -130,23 +132,62 @@ const trace::EventBatch& UnifiedTraceStore::source_batch(
   return batches_[source];
 }
 
+std::size_t UnifiedTraceStore::query_chunks() const {
+  const std::size_t threads =
+      query_threads_ == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                          : query_threads_;
+  return std::max<std::size_t>(std::min(threads, batches_.size()), 1);
+}
+
+void UnifiedTraceStore::for_each_source_chunk(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+    const {
+  const std::size_t n = batches_.size();
+  const std::size_t chunks = query_chunks();
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  parallel_for(
+      chunks,
+      [&](std::size_t c) { fn(c, n * c / chunks, n * (c + 1) / chunks); },
+      chunks);
+}
+
 std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
+  // Per-worker partials, merged in chunk (== source) order: sums commute,
+  // so the result matches the serial single-map scan exactly.
+  const std::size_t chunks = query_chunks();
+  std::vector<std::map<std::string, CallStats>> partials(chunks);
+  for_each_source_chunk([&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+    std::map<std::string, CallStats>& stats = partials[c];
+    std::vector<CallStats*> scratch;
+    for (std::size_t s = begin; s < end; ++s) {
+      const trace::EventBatch& batch = batches_[s];
+      // One map lookup per distinct name per source; flat hits otherwise.
+      scratch.assign(batch.pool().size(), nullptr);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const trace::EventRecord& rec = batch.record(i);
+        CallStats*& slot = scratch[rec.name];
+        if (slot == nullptr) {
+          slot = &stats[std::string(batch.name(i))];
+        }
+        ++slot->count;
+        slot->total_time += rec.duration;
+        if (rec.is_io_call()) {
+          slot->total_bytes += rec.bytes;
+        }
+      }
+    }
+  });
   std::map<std::string, CallStats> stats;
-  std::vector<CallStats*> scratch;
-  for (const trace::EventBatch& batch : batches_) {
-    // One map lookup per distinct name per source; flat hits otherwise.
-    scratch.assign(batch.pool().size(), nullptr);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const trace::EventRecord& rec = batch.record(i);
-      CallStats*& slot = scratch[rec.name];
-      if (slot == nullptr) {
-        slot = &stats[std::string(batch.name(i))];
-      }
-      ++slot->count;
-      slot->total_time += rec.duration;
-      if (rec.is_io_call()) {
-        slot->total_bytes += rec.bytes;
-      }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (const auto& [name, s] : partials[c]) {
+      CallStats& merged = stats[name];
+      merged.count += s.count;
+      merged.total_time += s.total_time;
+      merged.total_bytes += s.total_bytes;
     }
   }
   return stats;
@@ -170,15 +211,25 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
 }
 
 Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
+  std::vector<Bytes> partials(query_chunks(), 0);
+  for_each_source_chunk(
+      [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
+        Bytes total = 0;
+        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+          const trace::EventBatch& batch = batches_[s];
+          const IoCallIds ids(batch.pool());
+          for (const trace::EventRecord& rec : batch.records()) {
+            if (ids.is_transfer(rec) && rec.local_start >= begin &&
+                rec.local_start < end) {
+              total += rec.bytes;
+            }
+          }
+        }
+        partials[c] = total;
+      });
   Bytes total = 0;
-  for (const trace::EventBatch& batch : batches_) {
-    const IoCallIds ids(batch.pool());
-    for (const trace::EventRecord& rec : batch.records()) {
-      if (ids.is_transfer(rec) && rec.local_start >= begin &&
-          rec.local_start < end) {
-        total += rec.bytes;
-      }
-    }
+  for (const Bytes b : partials) {
+    total += b;
   }
   return total;
 }
@@ -189,32 +240,66 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
   if (total_events_ == 0 || bucket_width <= 0) {
     return series;
   }
+  struct Span {
+    bool any = false;
+    SimTime lo = 0;
+    SimTime hi = 0;
+  };
+  const std::size_t chunks = query_chunks();
+  std::vector<Span> spans(chunks);
+  for_each_source_chunk(
+      [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
+        Span& span = spans[c];
+        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+          for (const trace::EventRecord& rec : batches_[s].records()) {
+            if (!span.any) {
+              span.lo = span.hi = rec.local_start;
+              span.any = true;
+            } else {
+              span.lo = std::min(span.lo, rec.local_start);
+              span.hi = std::max(span.hi, rec.local_start);
+            }
+          }
+        }
+      });
   bool any = false;
   SimTime lo = 0;
   SimTime hi = 0;
-  for (const trace::EventBatch& batch : batches_) {
-    for (const trace::EventRecord& rec : batch.records()) {
-      if (!any) {
-        lo = hi = rec.local_start;
-        any = true;
-      } else {
-        lo = std::min(lo, rec.local_start);
-        hi = std::max(hi, rec.local_start);
-      }
+  for (const Span& span : spans) {
+    if (!span.any) {
+      continue;
     }
+    lo = any ? std::min(lo, span.lo) : span.lo;
+    hi = any ? std::max(hi, span.hi) : span.hi;
+    any = true;
   }
   if (!any) {
     return series;
   }
+  // One buckets-length partial per worker chunk (not per source), so peak
+  // memory stays bounded by thread count even for fine buckets over many
+  // sources; bucket additions commute, so the merge is exact.
   const auto buckets = static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
+  std::vector<std::vector<Bytes>> partial_sums(chunks);
+  for_each_source_chunk(
+      [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
+        std::vector<Bytes>& sums = partial_sums[c];
+        sums.assign(buckets, 0);
+        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+          const trace::EventBatch& batch = batches_[s];
+          const IoCallIds ids(batch.pool());
+          for (const trace::EventRecord& rec : batch.records()) {
+            if (ids.is_transfer(rec)) {
+              sums[static_cast<std::size_t>((rec.local_start - lo) /
+                                            bucket_width)] += rec.bytes;
+            }
+          }
+        }
+      });
   std::vector<Bytes> sums(buckets, 0);
-  for (const trace::EventBatch& batch : batches_) {
-    const IoCallIds ids(batch.pool());
-    for (const trace::EventRecord& rec : batch.records()) {
-      if (ids.is_transfer(rec)) {
-        sums[static_cast<std::size_t>((rec.local_start - lo) / bucket_width)] +=
-            rec.bytes;
-      }
+  for (const std::vector<Bytes>& partial : partial_sums) {
+    for (std::size_t i = 0; i < buckets; ++i) {
+      sums[i] += partial[i];
     }
   }
   series.reserve(buckets);
@@ -227,50 +312,104 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
 std::vector<FileHeat> UnifiedTraceStore::hottest_files(
     std::size_t limit) const {
   struct Tally {
-    FileHeat heat;
+    long long ops = 0;
     Bytes lib_bytes = 0;
     Bytes lower_bytes = 0;  // syscall + VFS views of the same transfers
   };
-  std::map<std::string, Tally> by_path;
-  std::map<int, std::string> fd_paths;  // best-effort fd -> path
-  for (const trace::EventBatch& batch : batches_) {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const trace::EventRecord& rec = batch.record(i);
-      const std::string_view rec_path = batch.path(i);
-      if (!rec_path.empty() && rec.fd >= 0) {
-        fd_paths[rec.fd] = std::string(rec_path);
-      }
-      if (!rec.is_io_call() || rec.bytes <= 0) {
-        continue;
-      }
-      std::string path(rec_path);
-      if (path.empty() && rec.fd >= 0) {
-        const auto it = fd_paths.find(rec.fd);
-        if (it != fd_paths.end()) {
+  // The best-effort fd -> path map threads serially through the sources (an
+  // fd opened in source k resolves path-less transfers in source k+1), so
+  // the scan runs in two phases: a parallel per-source pass that resolves
+  // what it can locally and records (a) its unresolved transfers and (b)
+  // the fd -> path writes it would leave behind, then a serial fold over
+  // sources that resolves the leftovers against the carried map. Within a
+  // source the local map always wins (it holds the most recent write),
+  // which is exactly the state the serial single-map scan would have seen.
+  struct SourceScan {
+    std::map<std::string, Tally> by_path;
+    std::map<int, std::string> fd_delta;  // last fd -> path write per fd
+    struct Unresolved {
+      int fd = -1;
+      bool lib = false;
+      Bytes bytes = 0;
+    };
+    std::vector<Unresolved> unresolved;
+  };
+  // Unlike the bucket scans, the partials here must stay per-source (the
+  // serial fold below needs each source's fd delta separately); they hold
+  // only what the source actually references, so that stays cheap.
+  std::vector<SourceScan> scans(batches_.size());
+  for_each_source_chunk([&](std::size_t, std::size_t chunk_begin,
+                            std::size_t chunk_end) {
+    for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+      const trace::EventBatch& batch = batches_[s];
+      SourceScan& scan = scans[s];
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const trace::EventRecord& rec = batch.record(i);
+        const std::string_view rec_path = batch.path(i);
+        if (!rec_path.empty() && rec.fd >= 0) {
+          scan.fd_delta[rec.fd] = std::string(rec_path);
+        }
+        if (!rec.is_io_call() || rec.bytes <= 0) {
+          continue;
+        }
+        const bool lib = rec.cls == trace::EventClass::kLibraryCall;
+        std::string path(rec_path);
+        if (path.empty() && rec.fd >= 0) {
+          const auto it = scan.fd_delta.find(rec.fd);
+          if (it == scan.fd_delta.end()) {
+            scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+            continue;
+          }
           path = it->second;
         }
-      }
-      if (path.empty()) {
-        path = "(unknown)";
-      }
-      Tally& tally = by_path[path];
-      tally.heat.path = path;
-      ++tally.heat.ops;
-      // Library wrappers and the syscalls beneath them report the same
-      // transfer; take whichever view saw more (captures lib-only traces
-      // like //TRACE's without double counting ltrace's dual view).
-      if (rec.cls == trace::EventClass::kLibraryCall) {
-        tally.lib_bytes += rec.bytes;
-      } else {
-        tally.lower_bytes += rec.bytes;
+        if (path.empty()) {
+          path = "(unknown)";
+        }
+        Tally& tally = scan.by_path[path];
+        ++tally.ops;
+        // Library wrappers and the syscalls beneath them report the same
+        // transfer; take whichever view saw more (captures lib-only traces
+        // like //TRACE's without double counting ltrace's dual view).
+        if (lib) {
+          tally.lib_bytes += rec.bytes;
+        } else {
+          tally.lower_bytes += rec.bytes;
+        }
       }
     }
+  });
+
+  std::map<std::string, Tally> by_path;
+  std::map<int, std::string> carried;  // fd -> path state across sources
+  for (SourceScan& scan : scans) {
+    for (const SourceScan::Unresolved& u : scan.unresolved) {
+      const auto it = carried.find(u.fd);
+      const std::string path =
+          it == carried.end() ? std::string("(unknown)") : it->second;
+      Tally& tally = scan.by_path[path];
+      ++tally.ops;
+      if (u.lib) {
+        tally.lib_bytes += u.bytes;
+      } else {
+        tally.lower_bytes += u.bytes;
+      }
+    }
+    for (const auto& [path, tally] : scan.by_path) {
+      Tally& merged = by_path[path];
+      merged.ops += tally.ops;
+      merged.lib_bytes += tally.lib_bytes;
+      merged.lower_bytes += tally.lower_bytes;
+    }
+    for (auto& [fd, path] : scan.fd_delta) {
+      carried[fd] = std::move(path);
+    }
   }
+
   std::vector<FileHeat> out;
   out.reserve(by_path.size());
-  for (auto& [path, tally] : by_path) {
-    tally.heat.bytes = std::max(tally.lib_bytes, tally.lower_bytes);
-    out.push_back(std::move(tally.heat));
+  for (const auto& [path, tally] : by_path) {
+    out.push_back(
+        {path, tally.ops, std::max(tally.lib_bytes, tally.lower_bytes)});
   }
   std::sort(out.begin(), out.end(), [](const FileHeat& a, const FileHeat& b) {
     return a.bytes > b.bytes;

@@ -15,8 +15,16 @@
 // and compare interned ids instead of strings, so aggregate scans stay
 // cheap at millions of events (the columnar bulk-iteration the DFG
 // syscall-inspection line of work depends on).
+//
+// Aggregate queries (call_stats, bytes_in_window, io_rate_series,
+// hottest_files) scan sources in parallel when set_query_threads allows:
+// each worker chunk builds a partial and the partials are merged in source
+// order, so results are bit-identical to the serial scan. Queries remain
+// const and safe to issue concurrently; ingest and set_query_threads are
+// configuration and must not race with them.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -46,6 +54,7 @@ struct FileHeat {
   std::string path;
   long long ops = 0;
   Bytes bytes = 0;
+  bool operator==(const FileHeat&) const = default;
 };
 
 class UnifiedTraceStore {
@@ -65,6 +74,16 @@ class UnifiedTraceStore {
       const std::map<std::string, std::string>& metadata = {},
       const std::vector<trace::TraceEvent>& clock_probes = {},
       const std::vector<trace::DependencyEdge>& dependencies = {});
+
+  /// Worker threads aggregate scans may use: 0 = auto (hardware
+  /// concurrency), 1 = serial. Scans go parallel only when several sources
+  /// are ingested; partial merges keep results identical either way.
+  void set_query_threads(std::size_t threads) noexcept {
+    query_threads_ = threads;
+  }
+  [[nodiscard]] std::size_t query_threads() const noexcept {
+    return query_threads_;
+  }
 
   [[nodiscard]] const std::vector<StoreSourceInfo>& sources() const noexcept {
     return sources_;
@@ -114,11 +133,25 @@ class UnifiedTraceStore {
       const std::optional<SkewDriftModel>& model,
       const std::vector<trace::DependencyEdge>& dependencies);
 
+  /// Number of contiguous source chunks a scan will use: min(threads,
+  /// sources), at least 1. Callers size per-worker partials by this.
+  [[nodiscard]] std::size_t query_chunks() const;
+
+  /// Partition sources into query_chunks() contiguous chunks and run
+  /// fn(chunk, begin, end) for each — in parallel when more than one chunk,
+  /// else inline. The worker pool is per-call (parallel_for); queries are
+  /// orders of magnitude rarer than captures, so pool spin-up has not
+  /// earned resident threads here yet.
+  void for_each_source_chunk(
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      const;
+
   std::vector<StoreSourceInfo> sources_;
   /// One normalized batch per source (parallel to sources_).
   std::vector<trace::EventBatch> batches_;
   std::vector<trace::DependencyEdge> dependencies_;
   long long total_events_ = 0;
+  std::size_t query_threads_ = 0;  // 0 = auto
 };
 
 }  // namespace iotaxo::analysis

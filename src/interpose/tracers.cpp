@@ -50,9 +50,12 @@ namespace {
 }  // namespace
 
 PtraceTracer::PtraceTracer(Mode mode, trace::SinkPtr sink,
-                           InterposeCosts costs, std::size_t batch_capacity)
+                           InterposeCosts costs, std::size_t batch_capacity,
+                           trace::AsyncFlushMode async)
     : mode_(mode),
-      batcher_(require_sink(std::move(sink), "PtraceTracer"), batch_capacity),
+      batcher_(trace::maybe_async(
+                   require_sink(std::move(sink), "PtraceTracer"), async),
+               batch_capacity),
       costs_(costs) {}
 
 void PtraceTracer::flush() { batcher_.flush(); }
@@ -82,8 +85,10 @@ SimTime PtraceTracer::on_event(const TraceEvent& ev) {
 }
 
 DynLibInterposer::DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs,
-                                   std::size_t batch_capacity)
-    : batcher_(require_sink(std::move(sink), "DynLibInterposer"),
+                                   std::size_t batch_capacity,
+                                   trace::AsyncFlushMode async)
+    : batcher_(trace::maybe_async(
+                   require_sink(std::move(sink), "DynLibInterposer"), async),
                batch_capacity),
       costs_(costs) {}
 

@@ -10,6 +10,13 @@
 // calls flush() at end of run; manual drivers (tests) call it explicitly.
 // batch_capacity == 1 (the default for direct construction) delivers each
 // event immediately, preserving interleaved observation order.
+//
+// Async-flush mode (off by default): when AsyncFlushMode.enabled, the sink
+// is wrapped in a trace::AsyncBatchSink, so full batches move onto flush
+// workers instead of being delivered inline — benchmark-scale runs hide
+// delivery cost entirely behind the traced job. flush() then doubles as the
+// drain barrier: it blocks until the async queue is empty, so results stay
+// deterministic by the time the runtime calls on_run_end().
 #pragma once
 
 #include <memory>
@@ -19,6 +26,7 @@
 
 #include "interpose/mechanism.h"
 #include "mpi/runtime.h"
+#include "trace/async_sink.h"
 #include "trace/event.h"
 #include "trace/sink.h"
 
@@ -32,7 +40,8 @@ class PtraceTracer : public mpi::IoObserver {
   enum class Mode { kStrace, kLtrace };
 
   PtraceTracer(Mode mode, trace::SinkPtr sink, InterposeCosts costs = {},
-               std::size_t batch_capacity = 1);
+               std::size_t batch_capacity = 1,
+               trace::AsyncFlushMode async = {});
 
   [[nodiscard]] SimTime on_event(const trace::TraceEvent& ev) override;
   void flush() override;
@@ -55,7 +64,8 @@ class PtraceTracer : public mpi::IoObserver {
 class DynLibInterposer : public mpi::IoObserver {
  public:
   explicit DynLibInterposer(trace::SinkPtr sink, InterposeCosts costs = {},
-                            std::size_t batch_capacity = 1);
+                            std::size_t batch_capacity = 1,
+                            trace::AsyncFlushMode async = {});
 
   [[nodiscard]] SimTime on_event(const trace::TraceEvent& ev) override;
   void flush() override;

@@ -23,7 +23,8 @@ VfsShim::VfsShim(fs::VfsPtr inner, trace::SinkPtr sink, VfsShimOptions options,
     throw ConfigError("VfsShim needs an inner file system");
   }
   if (sink) {
-    batcher_.emplace(std::move(sink), options_.batch_capacity);
+    batcher_.emplace(trace::maybe_async(std::move(sink), options_.async_flush),
+                     options_.batch_capacity);
   }
 }
 

@@ -1,0 +1,213 @@
+#include "trace/async_sink.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace iotaxo::trace {
+
+AsyncBatchSink::AsyncBatchSink(SinkPtr downstream, AsyncOptions options)
+    : downstream_(std::move(downstream)),
+      options_(options),
+      pool_(options.workers == 0 ? 1 : options.workers) {
+  if (!downstream_) {
+    throw ConfigError("AsyncBatchSink needs a downstream sink");
+  }
+  if (options_.queue_capacity == 0) {
+    options_.queue_capacity = 1;
+  }
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_.post([this] { drain_loop(); });
+  }
+}
+
+AsyncBatchSink::~AsyncBatchSink() {
+  try {
+    flush();
+  } catch (...) {
+    // Destruction is not allowed to throw; flush() callers get the error.
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  // pool_ (last member) joins the drained workers on destruction.
+}
+
+void AsyncBatchSink::on_event(const TraceEvent& ev) {
+  // Unbatched producers still get async delivery, one-event batches; the
+  // batch path is the one built for throughput.
+  EventBatch batch;
+  batch.append(ev);
+  enqueue(std::move(batch));
+}
+
+void AsyncBatchSink::on_batch(const EventBatch& batch) {
+  EventBatch owned;
+  owned.append(batch);
+  enqueue(std::move(owned));
+}
+
+void AsyncBatchSink::on_batch_owned(EventBatch&& batch) {
+  enqueue(std::move(batch));
+}
+
+void AsyncBatchSink::enqueue(EventBatch&& batch) {
+  if (batch.empty()) {
+    return;
+  }
+  bool was_empty = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return in_flight_ < options_.queue_capacity;
+    });
+    was_empty = queue_.empty();
+    queue_.push_back(std::move(batch));
+    ++in_flight_;
+  }
+  // Only the empty -> non-empty transition needs a wakeup: busy workers
+  // re-check the queue after every chunk, so skipping the notify (a futex
+  // syscall under contention) keeps the producer's handoff near-free.
+  if (was_empty) {
+    queue_cv_.notify_one();
+  }
+}
+
+void AsyncBatchSink::drain_loop() {
+  // Pop in bounded chunks: workers touch the producer's mutex a couple of
+  // times per kDrainChunk batches instead of per batch, and wake a sibling
+  // when work remains so the producer's single notify fans out.
+  constexpr std::size_t kDrainChunk = 16;
+  for (;;) {
+    std::vector<EventBatch> chunk;
+    bool more = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      const std::size_t take = std::min(queue_.size(), kDrainChunk);
+      chunk.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        chunk.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      more = !queue_.empty();
+    }
+    if (more) {
+      queue_cv_.notify_one();
+    }
+    for (EventBatch& batch : chunk) {
+      try {
+        if (options_.concurrent_downstream) {
+          downstream_->on_batch(batch);
+        } else {
+          const std::lock_guard<std::mutex> lock(delivery_mu_);
+          downstream_->on_batch(batch);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) {
+          first_error_ = std::current_exception();
+        }
+      }
+    }
+    bool drained = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= chunk.size();
+      drained = in_flight_ == 0;
+    }
+    space_cv_.notify_all();
+    if (drained) {
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+void AsyncBatchSink::flush() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  const std::lock_guard<std::mutex> lock(delivery_mu_);
+  downstream_->flush();
+}
+
+std::size_t AsyncBatchSink::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+ShardedSummarySink::ShardedSummarySink(std::size_t shards) {
+  if (shards == 0) {
+    shards = 1;
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedSummarySink::Shard& ShardedSummarySink::shard_for(int rank) noexcept {
+  // Cheap integer mix so consecutive ranks spread even when N shares
+  // factors with the rank stride; negative ranks land somewhere stable too.
+  std::uint32_t h = static_cast<std::uint32_t>(rank);
+  h ^= h >> 16;
+  h *= 0x45d9f3bu;
+  h ^= h >> 16;
+  return *shards_[h % shards_.size()];
+}
+
+void ShardedSummarySink::on_event(const TraceEvent& ev) {
+  Shard& shard = shard_for(ev.rank);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sink.on_event(ev);
+}
+
+void ShardedSummarySink::on_batch(const EventBatch& batch) {
+  if (batch.empty()) {
+    return;
+  }
+  Shard& shard = shard_for(batch.record(0).rank);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sink.on_batch(batch);
+}
+
+void ShardedSummarySink::flush() {
+  merged_.clear();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, entry] : shard->sink.entries()) {
+      SummarySink::Entry& merged = merged_[name];
+      merged.count += entry.count;
+      merged.total_duration += entry.total_duration;
+    }
+  }
+}
+
+long long ShardedSummarySink::total_events() const {
+  long long total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->sink.total_events();
+  }
+  return total;
+}
+
+SinkPtr maybe_async(SinkPtr sink, const AsyncFlushMode& mode) {
+  if (!mode.enabled || !sink) {
+    return sink;
+  }
+  return std::make_shared<AsyncBatchSink>(std::move(sink), mode.options);
+}
+
+}  // namespace iotaxo::trace

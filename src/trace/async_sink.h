@@ -1,0 +1,149 @@
+// Concurrent sink layer: asynchronous batch flush and sharded aggregation.
+//
+// AsyncBatchSink takes full EventBatches off the capture hot path: the
+// producer moves a batch into a bounded queue (backpressure when full) and
+// util::ThreadPool workers deliver it to the wrapped sink off-thread. This
+// is the Recorder-style "per-process buffering + deferred aggregation"
+// split — the traced application pays only the handoff, not the
+// aggregation — and flush() is the drain barrier that makes end-of-run
+// observation deterministic again (mpi::Runtime flushes every observer
+// before on_run_end()).
+//
+// ShardedSummarySink removes the remaining contention point: batches route
+// to hash(rank) % N independent SummarySink shards (each behind its own
+// mutex), so concurrent flush workers never serialize on one map. flush()
+// merges the shard tables into a single summary identical to what one
+// SummarySink fed the same stream would hold.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/event_batch.h"
+#include "trace/sink.h"
+#include "util/thread_pool.h"
+
+namespace iotaxo::trace {
+
+struct AsyncOptions {
+  /// Batches buffered between producer and workers; producers block
+  /// (backpressure) once this many are queued or in delivery.
+  std::size_t queue_capacity = 64;
+  /// Flush worker threads. 1 preserves downstream delivery order (FIFO);
+  /// with more workers delivery order is indeterminate, which only
+  /// order-insensitive (aggregating) sinks tolerate.
+  std::size_t workers = 1;
+  /// The wrapped sink is internally synchronized (e.g. ShardedSummarySink),
+  /// so workers may deliver concurrently instead of serializing on the
+  /// delivery lock.
+  bool concurrent_downstream = false;
+};
+
+/// Moves batches onto pool workers; see file comment. Producer-side calls
+/// (on_event / on_batch / on_batch_owned / flush) may come from one thread
+/// at a time — the *downstream* work is what goes concurrent.
+class AsyncBatchSink : public EventSink {
+ public:
+  explicit AsyncBatchSink(SinkPtr downstream, AsyncOptions options = {});
+  /// Drains outstanding batches (best effort; delivery errors are dropped
+  /// here — call flush() first if you need them).
+  ~AsyncBatchSink() override;
+
+  void on_event(const TraceEvent& ev) override;
+  /// Copying entry point for producers that keep their batch.
+  void on_batch(const EventBatch& batch) override;
+  /// Ownership-transfer entry point: the batch moves into the queue and the
+  /// caller is left with a consumed (empty) batch.
+  void on_batch_owned(EventBatch&& batch) override;
+
+  /// Drain barrier: blocks until every queued batch has been delivered,
+  /// rethrows the first delivery error, then flushes the wrapped sink.
+  void flush() override;
+
+  /// Batches queued or in delivery right now (0 after flush()).
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const SinkPtr& downstream() const noexcept {
+    return downstream_;
+  }
+
+ private:
+  void enqueue(EventBatch&& batch);
+  /// Long-lived per-worker drain loop (one pool task each, started at
+  /// construction): pop, deliver, repeat until stopped and drained. Keeping
+  /// workers resident makes the producer-side handoff a queue push plus one
+  /// notify — no per-batch task allocation on the capture path.
+  void drain_loop();
+
+  SinkPtr downstream_;
+  AsyncOptions options_;
+  mutable std::mutex mu_;  // queue_, in_flight_, stop_, first_error_
+  std::condition_variable queue_cv_;    // workers wait for batches / stop
+  std::condition_variable space_cv_;    // producers wait for queue room
+  std::condition_variable drained_cv_;  // flush waits for in_flight_ == 0
+  std::deque<EventBatch> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently delivering
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::mutex delivery_mu_;  // serializes downstream unless concurrent
+  // Last member: destroyed (joined) first, while the state above is alive.
+  ThreadPool pool_;
+};
+
+/// hash(rank) % N routing over independent SummarySink shards; see file
+/// comment. on_event / on_batch / on_batch_owned are safe to call from any
+/// number of threads concurrently. Batches are routed whole by their first
+/// record's rank — per-rank batches (what RankBatcher emits) land on a
+/// stable shard, and any routing is correct because flush() sums all
+/// shards. Call flush() (or query through an AsyncBatchSink, whose flush
+/// cascades) before reading entries().
+class ShardedSummarySink : public EventSink {
+ public:
+  explicit ShardedSummarySink(std::size_t shards = 8);
+
+  void on_event(const TraceEvent& ev) override;
+  void on_batch(const EventBatch& batch) override;
+
+  /// Merge shard tables into the entries() view.
+  void flush() override;
+
+  /// Merged per-call summary as of the last flush().
+  [[nodiscard]] const std::map<std::string, SummarySink::Entry>& entries()
+      const noexcept {
+    return merged_;
+  }
+  /// Live total across shards (locks each shard briefly).
+  [[nodiscard]] long long total_events() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    SummarySink sink;
+  };
+
+  [[nodiscard]] Shard& shard_for(int rank) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, SummarySink::Entry> merged_;
+};
+
+/// Capture-layer knob: interposers wrap their sink in an AsyncBatchSink
+/// when enabled (off by default; benchmark-scale runs turn it on to hide
+/// delivery cost behind flush workers).
+struct AsyncFlushMode {
+  bool enabled = false;
+  AsyncOptions options;
+};
+
+/// The wrapping helper the capture layers share.
+[[nodiscard]] SinkPtr maybe_async(SinkPtr sink, const AsyncFlushMode& mode);
+
+}  // namespace iotaxo::trace

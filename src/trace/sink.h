@@ -8,7 +8,24 @@
 // (on_batch, an EventBatch of interned records). on_batch's default
 // implementation falls back to per-event delivery, so existing sinks keep
 // working; the built-in sinks override it natively so the batched pipeline
-// never rebuilds per-event heap objects it does not need.
+// never rebuilds per-event heap objects it does not need. on_batch_owned is
+// the ownership-transfer variant: async consumers (trace::AsyncBatchSink)
+// move the batch into their flush queue instead of copying it.
+//
+// Thread-safety contract: sinks are single-threaded by default — nothing
+// in this header takes a lock, and the capture layers deliver from the
+// (single-threaded) simulation loop. Concurrency is layered on top:
+//   - Any sink is data-race-safe behind an AsyncBatchSink, which serializes
+//     downstream delivery. Order-sensitive sinks (VectorSink, BatchSink)
+//     additionally need AsyncOptions::workers == 1 — with more workers the
+//     arrival order at the sink is indeterminate.
+//   - Aggregating sinks (SummarySink, CountingSink) tolerate any worker
+//     count but still must not be shared by two AsyncBatchSinks (each
+//     serializes only its own deliveries).
+//   - Sinks that must absorb *concurrent* deliveries (AsyncOptions::
+//     concurrent_downstream) have to synchronize internally; ShardedSummary-
+//     Sink in trace/async_sink.h is the built-in one — it shards the
+//     summary map by hash(rank) so concurrent flush workers do not contend.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +51,12 @@ class EventSink {
       on_event(batch.materialize(i));
     }
   }
+  /// Ownership-transfer delivery. The default observes the batch by const
+  /// reference and leaves it intact, so inline sinks cost nothing extra and
+  /// producers (RankBatcher) can keep reusing the buffer's string pool.
+  /// Consuming overrides (AsyncBatchSink) move the batch out, leaving the
+  /// caller an empty one.
+  virtual void on_batch_owned(EventBatch&& batch) { on_batch(batch); }
   virtual void flush() {}
 };
 
@@ -85,6 +108,7 @@ class SummarySink : public EventSink {
   struct Entry {
     long long count = 0;
     SimTime total_duration = 0;
+    bool operator==(const Entry&) const = default;
   };
 
   void on_event(const TraceEvent& ev) override {
@@ -190,6 +214,16 @@ class MultiSink : public EventSink {
 /// interleaved per-event observation order for direct/manual use.
 class RankBatcher {
  public:
+  /// ~64k distinct strings per rank buffer before the pool is rebuilt;
+  /// bounds memory at a few MiB per rank while keeping the common
+  /// (low-cardinality) vocabulary interned across flushes.
+  static constexpr std::size_t kPoolResetThreshold = 1 << 16;
+
+  /// Ranks below this index their buffer straight out of a dense vector —
+  /// one bounds-check on the hot path instead of a map walk. Negative or
+  /// larger ranks (sentinel ranks, pathological inputs) fall back to a map.
+  static constexpr int kDenseRankLimit = 1 << 16;
+
   RankBatcher(SinkPtr sink, std::size_t capacity)
       : sink_(std::move(sink)), capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -198,20 +232,27 @@ class RankBatcher {
       sink_->on_event(ev);  // unbuffered: no intern/materialize detour
       return;
     }
-    EventBatch& batch = per_rank_[ev.rank];
+    EventBatch& batch = bucket(ev.rank);
     batch.append(ev);
     if (batch.size() >= capacity_) {
       deliver(batch);
     }
   }
 
-  /// Deliver every non-empty rank buffer (ascending rank order) and the
-  /// sink's own flush.
+  /// Deliver every non-empty rank buffer (ascending rank order: sparse
+  /// negatives, dense, sparse overflow) and the sink's own flush.
   void flush() {
-    for (auto& [rank, batch] : per_rank_) {
-      if (!batch.empty()) {
-        deliver(batch);
+    const auto non_negative = sparse_.lower_bound(0);
+    for (auto it = sparse_.begin(); it != non_negative; ++it) {
+      deliver_non_empty(it->second);
+    }
+    for (const auto& slot : dense_) {
+      if (slot) {
+        deliver_non_empty(*slot);
       }
+    }
+    for (auto it = non_negative; it != sparse_.end(); ++it) {
+      deliver_non_empty(it->second);
     }
     sink_->flush();
   }
@@ -220,26 +261,46 @@ class RankBatcher {
   [[nodiscard]] const SinkPtr& sink() const noexcept { return sink_; }
 
  private:
+  [[nodiscard]] EventBatch& bucket(int rank) {
+    if (rank >= 0 && rank < kDenseRankLimit) {
+      const auto i = static_cast<std::size_t>(rank);
+      if (i >= dense_.size()) {
+        dense_.resize(i + 1);
+      }
+      if (!dense_[i]) {
+        // unique_ptr slots keep never-seen ranks at pointer cost instead of
+        // a default EventBatch (whose pool owns an index) per gap.
+        dense_[i] = std::make_unique<EventBatch>();
+      }
+      return *dense_[i];
+    }
+    return sparse_[rank];
+  }
+
+  void deliver_non_empty(EventBatch& batch) {
+    if (!batch.empty()) {
+      deliver(batch);
+    }
+  }
+
   void deliver(EventBatch& batch) {
-    sink_->on_batch(batch);
-    // Keeping the pool lets repeated names intern once per rank — but
-    // high-cardinality strings (per-I/O offset args) would grow it without
-    // bound, so start over once it gets big.
-    if (batch.pool().size() > kPoolResetThreshold) {
+    sink_->on_batch_owned(std::move(batch));
+    // A consuming sink (async flush queue) leaves the batch moved-from and
+    // empty: reset() restores the pool's id-0 invariant. An observing sink
+    // leaves it intact: keep the pool so repeated names intern once per
+    // rank — unless high-cardinality strings (per-I/O offset args) have
+    // grown it past the bound, then start over.
+    if (batch.empty() || batch.pool().size() > kPoolResetThreshold) {
       batch.reset();
     } else {
       batch.clear();
     }
   }
 
-  /// ~64k distinct strings per rank buffer before the pool is rebuilt;
-  /// bounds memory at a few MiB per rank while keeping the common
-  /// (low-cardinality) vocabulary interned across flushes.
-  static constexpr std::size_t kPoolResetThreshold = 1 << 16;
-
   SinkPtr sink_;
   std::size_t capacity_;
-  std::map<int, EventBatch> per_rank_;
+  std::vector<std::unique_ptr<EventBatch>> dense_;  // index == rank
+  std::map<int, EventBatch> sparse_;
 };
 
 }  // namespace iotaxo::trace

@@ -1,7 +1,11 @@
-// Fixed-size worker pool used to run independent simulations in parallel
-// (benchmark parameter sweeps, classification experiments). The simulator
-// itself is single-threaded and deterministic; parallelism lives only at the
-// whole-simulation granularity where runs share no state.
+// Fixed-size worker pool behind every concurrent layer of the pipeline:
+// whole-simulation fan-out (benchmark parameter sweeps, classification
+// experiments), capture-side async batch flush (trace::AsyncBatchSink moves
+// EventBatches onto pool workers so delivery leaves the traced path), and
+// parallel aggregation scans in analysis::UnifiedTraceStore (per-source
+// partials merged deterministically). The simulator core itself remains
+// single-threaded and deterministic; concurrency enters only where state is
+// sharded or handed off whole.
 #pragma once
 
 #include <condition_variable>
@@ -39,6 +43,11 @@ class ThreadPool {
     cv_.notify_one();
     return result;
   }
+
+  /// Enqueue fire-and-forget work: no future, so the task must not throw
+  /// (callers that need errors propagated own that, e.g. AsyncBatchSink
+  /// captures the first exception and rethrows it from flush()).
+  void post(std::function<void()> fn);
 
  private:
   void worker_loop();

@@ -1,12 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 verify gate: configure, build everything, run the full test suite.
 # Exits nonzero on the first failure so CI and pre-PR checks can use it as a
-# one-command gate:  ./tools/check_build.sh [build-dir]
+# one-command gate:
+#   ./tools/check_build.sh [build-dir]          # full build + full ctest
+#   ./tools/check_build.sh --tsan [build-dir]   # ThreadSanitizer build, then
+#                                               # the concurrency suites only
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-${REPO_ROOT}/build}"
 
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-cmake --build "${BUILD_DIR}" -j
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+TSAN=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
+
+if [[ ${TSAN} -eq 1 ]]; then
+  BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_TSAN=ON
+  cmake --build "${BUILD_DIR}" -j
+  # The suites that exercise the concurrent pipeline (async flush, sharded
+  # sinks, parallel store scans, batched capture) under TSan.
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+    -R 'concurrency_test|batch_test|util_test'
+else
+  BUILD_DIR="${1:-${REPO_ROOT}/build}"
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+  cmake --build "${BUILD_DIR}" -j
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+fi
