@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lock_coupling.dir/bench/bench_ablation_lock_coupling.cpp.o"
+  "CMakeFiles/bench_ablation_lock_coupling.dir/bench/bench_ablation_lock_coupling.cpp.o.d"
+  "bench_ablation_lock_coupling"
+  "bench_ablation_lock_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lock_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anchor_overheads.dir/bench/bench_anchor_overheads.cpp.o"
+  "CMakeFiles/bench_anchor_overheads.dir/bench/bench_anchor_overheads.cpp.o.d"
+  "bench_anchor_overheads"
+  "bench_anchor_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anchor_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_flush.dir/bench/bench_async_flush.cpp.o"
+  "CMakeFiles/bench_async_flush.dir/bench/bench_async_flush.cpp.o.d"
+  "bench_async_flush"
+  "bench_async_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

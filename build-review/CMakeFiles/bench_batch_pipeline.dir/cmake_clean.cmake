@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_pipeline.dir/bench/bench_batch_pipeline.cpp.o"
+  "CMakeFiles/bench_batch_pipeline.dir/bench/bench_batch_pipeline.cpp.o.d"
+  "bench_batch_pipeline"
+  "bench_batch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

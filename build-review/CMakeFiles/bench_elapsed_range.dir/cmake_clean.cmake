@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elapsed_range.dir/bench/bench_elapsed_range.cpp.o"
+  "CMakeFiles/bench_elapsed_range.dir/bench/bench_elapsed_range.cpp.o.d"
+  "bench_elapsed_range"
+  "bench_elapsed_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elapsed_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_sample_output.dir/bench/bench_fig1_sample_output.cpp.o"
+  "CMakeFiles/bench_fig1_sample_output.dir/bench/bench_fig1_sample_output.cpp.o.d"
+  "bench_fig1_sample_output"
+  "bench_fig1_sample_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_sample_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_n1_strided.dir/bench/bench_fig2_n1_strided.cpp.o"
+  "CMakeFiles/bench_fig2_n1_strided.dir/bench/bench_fig2_n1_strided.cpp.o.d"
+  "bench_fig2_n1_strided"
+  "bench_fig2_n1_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_n1_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_n1_nonstrided.dir/bench/bench_fig3_n1_nonstrided.cpp.o"
+  "CMakeFiles/bench_fig3_n1_nonstrided.dir/bench/bench_fig3_n1_nonstrided.cpp.o.d"
+  "bench_fig3_n1_nonstrided"
+  "bench_fig3_n1_nonstrided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_n1_nonstrided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

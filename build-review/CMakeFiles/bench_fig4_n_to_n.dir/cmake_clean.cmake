@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_n_to_n.dir/bench/bench_fig4_n_to_n.cpp.o"
+  "CMakeFiles/bench_fig4_n_to_n.dir/bench/bench_fig4_n_to_n.cpp.o.d"
+  "bench_fig4_n_to_n"
+  "bench_fig4_n_to_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_n_to_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partrace_fidelity.dir/bench/bench_partrace_fidelity.cpp.o"
+  "CMakeFiles/bench_partrace_fidelity.dir/bench/bench_partrace_fidelity.cpp.o.d"
+  "bench_partrace_fidelity"
+  "bench_partrace_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partrace_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

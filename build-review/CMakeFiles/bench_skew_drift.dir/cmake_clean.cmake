@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skew_drift.dir/bench/bench_skew_drift.cpp.o"
+  "CMakeFiles/bench_skew_drift.dir/bench/bench_skew_drift.cpp.o.d"
+  "bench_skew_drift"
+  "bench_skew_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

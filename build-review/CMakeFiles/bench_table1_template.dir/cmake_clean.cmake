@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_template.dir/bench/bench_table1_template.cpp.o"
+  "CMakeFiles/bench_table1_template.dir/bench/bench_table1_template.cpp.o.d"
+  "bench_table1_template"
+  "bench_table1_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracefs_granularity.dir/bench/bench_tracefs_granularity.cpp.o"
+  "CMakeFiles/bench_tracefs_granularity.dir/bench/bench_tracefs_granularity.cpp.o.d"
+  "bench_tracefs_granularity"
+  "bench_tracefs_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracefs_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_test.dir/tests/calibration_test.cpp.o"
+  "CMakeFiles/calibration_test.dir/tests/calibration_test.cpp.o.d"
+  "calibration_test"
+  "calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anonymize_and_distribute.dir/examples/anonymize_and_distribute.cpp.o"
+  "CMakeFiles/example_anonymize_and_distribute.dir/examples/anonymize_and_distribute.cpp.o.d"
+  "example_anonymize_and_distribute"
+  "example_anonymize_and_distribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anonymize_and_distribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_anonymize_and_distribute.
+# This may be replaced when dependencies are built.

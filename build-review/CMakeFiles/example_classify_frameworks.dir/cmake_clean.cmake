@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classify_frameworks.dir/examples/classify_frameworks.cpp.o"
+  "CMakeFiles/example_classify_frameworks.dir/examples/classify_frameworks.cpp.o.d"
+  "example_classify_frameworks"
+  "example_classify_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classify_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

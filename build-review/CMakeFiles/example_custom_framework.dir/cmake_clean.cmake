@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_framework.dir/examples/custom_framework.cpp.o"
+  "CMakeFiles/example_custom_framework.dir/examples/custom_framework.cpp.o.d"
+  "example_custom_framework"
+  "example_custom_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

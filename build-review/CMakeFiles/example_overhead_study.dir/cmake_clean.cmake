@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_overhead_study.dir/examples/overhead_study.cpp.o"
+  "CMakeFiles/example_overhead_study.dir/examples/overhead_study.cpp.o.d"
+  "example_overhead_study"
+  "example_overhead_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_overhead_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replay_workflow.dir/examples/replay_workflow.cpp.o"
+  "CMakeFiles/example_replay_workflow.dir/examples/replay_workflow.cpp.o.d"
+  "example_replay_workflow"
+  "example_replay_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replay_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

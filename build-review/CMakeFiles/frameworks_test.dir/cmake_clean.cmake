@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frameworks_test.dir/tests/frameworks_test.cpp.o"
+  "CMakeFiles/frameworks_test.dir/tests/frameworks_test.cpp.o.d"
+  "frameworks_test"
+  "frameworks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frameworks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate_timing.cpp" "CMakeFiles/iotaxo.dir/src/analysis/aggregate_timing.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/aggregate_timing.cpp.o.d"
+  "/root/repo/src/analysis/bandwidth.cpp" "CMakeFiles/iotaxo.dir/src/analysis/bandwidth.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/call_summary.cpp" "CMakeFiles/iotaxo.dir/src/analysis/call_summary.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/call_summary.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "CMakeFiles/iotaxo.dir/src/analysis/report.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/skew_drift.cpp" "CMakeFiles/iotaxo.dir/src/analysis/skew_drift.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/skew_drift.cpp.o.d"
+  "/root/repo/src/analysis/trace_diff.cpp" "CMakeFiles/iotaxo.dir/src/analysis/trace_diff.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/trace_diff.cpp.o.d"
+  "/root/repo/src/analysis/unified_store.cpp" "CMakeFiles/iotaxo.dir/src/analysis/unified_store.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/analysis/unified_store.cpp.o.d"
+  "/root/repo/src/anon/anonymizer.cpp" "CMakeFiles/iotaxo.dir/src/anon/anonymizer.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/anon/anonymizer.cpp.o.d"
+  "/root/repo/src/frameworks/framework.cpp" "CMakeFiles/iotaxo.dir/src/frameworks/framework.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/frameworks/framework.cpp.o.d"
+  "/root/repo/src/frameworks/lanl_trace.cpp" "CMakeFiles/iotaxo.dir/src/frameworks/lanl_trace.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/frameworks/lanl_trace.cpp.o.d"
+  "/root/repo/src/frameworks/partrace.cpp" "CMakeFiles/iotaxo.dir/src/frameworks/partrace.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/frameworks/partrace.cpp.o.d"
+  "/root/repo/src/frameworks/tracefs.cpp" "CMakeFiles/iotaxo.dir/src/frameworks/tracefs.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/frameworks/tracefs.cpp.o.d"
+  "/root/repo/src/frameworks/tracefs_filter.cpp" "CMakeFiles/iotaxo.dir/src/frameworks/tracefs_filter.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/frameworks/tracefs_filter.cpp.o.d"
+  "/root/repo/src/fs/memfs.cpp" "CMakeFiles/iotaxo.dir/src/fs/memfs.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/fs/memfs.cpp.o.d"
+  "/root/repo/src/fs/nfs.cpp" "CMakeFiles/iotaxo.dir/src/fs/nfs.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/fs/nfs.cpp.o.d"
+  "/root/repo/src/fs/path.cpp" "CMakeFiles/iotaxo.dir/src/fs/path.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/fs/path.cpp.o.d"
+  "/root/repo/src/interpose/tracers.cpp" "CMakeFiles/iotaxo.dir/src/interpose/tracers.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/interpose/tracers.cpp.o.d"
+  "/root/repo/src/interpose/vfs_shim.cpp" "CMakeFiles/iotaxo.dir/src/interpose/vfs_shim.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/interpose/vfs_shim.cpp.o.d"
+  "/root/repo/src/mpi/program.cpp" "CMakeFiles/iotaxo.dir/src/mpi/program.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/mpi/program.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "CMakeFiles/iotaxo.dir/src/mpi/runtime.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/mpi/runtime.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "CMakeFiles/iotaxo.dir/src/pfs/pfs.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/pfs/pfs.cpp.o.d"
+  "/root/repo/src/pfs/raid.cpp" "CMakeFiles/iotaxo.dir/src/pfs/raid.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/pfs/raid.cpp.o.d"
+  "/root/repo/src/replay/pseudo_app.cpp" "CMakeFiles/iotaxo.dir/src/replay/pseudo_app.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/replay/pseudo_app.cpp.o.d"
+  "/root/repo/src/replay/replayer.cpp" "CMakeFiles/iotaxo.dir/src/replay/replayer.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/replay/replayer.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "CMakeFiles/iotaxo.dir/src/sim/cluster.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/sim/cluster.cpp.o.d"
+  "/root/repo/src/taxonomy/classification.cpp" "CMakeFiles/iotaxo.dir/src/taxonomy/classification.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/taxonomy/classification.cpp.o.d"
+  "/root/repo/src/taxonomy/classifier.cpp" "CMakeFiles/iotaxo.dir/src/taxonomy/classifier.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/taxonomy/classifier.cpp.o.d"
+  "/root/repo/src/taxonomy/features.cpp" "CMakeFiles/iotaxo.dir/src/taxonomy/features.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/taxonomy/features.cpp.o.d"
+  "/root/repo/src/taxonomy/overhead.cpp" "CMakeFiles/iotaxo.dir/src/taxonomy/overhead.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/taxonomy/overhead.cpp.o.d"
+  "/root/repo/src/trace/async_sink.cpp" "CMakeFiles/iotaxo.dir/src/trace/async_sink.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/async_sink.cpp.o.d"
+  "/root/repo/src/trace/binary_format.cpp" "CMakeFiles/iotaxo.dir/src/trace/binary_format.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/binary_format.cpp.o.d"
+  "/root/repo/src/trace/bundle.cpp" "CMakeFiles/iotaxo.dir/src/trace/bundle.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/bundle.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "CMakeFiles/iotaxo.dir/src/trace/event.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/event.cpp.o.d"
+  "/root/repo/src/trace/event_batch.cpp" "CMakeFiles/iotaxo.dir/src/trace/event_batch.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/event_batch.cpp.o.d"
+  "/root/repo/src/trace/string_pool.cpp" "CMakeFiles/iotaxo.dir/src/trace/string_pool.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/string_pool.cpp.o.d"
+  "/root/repo/src/trace/text_format.cpp" "CMakeFiles/iotaxo.dir/src/trace/text_format.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/trace/text_format.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "CMakeFiles/iotaxo.dir/src/util/ascii_chart.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/cipher.cpp" "CMakeFiles/iotaxo.dir/src/util/cipher.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/cipher.cpp.o.d"
+  "/root/repo/src/util/compress.cpp" "CMakeFiles/iotaxo.dir/src/util/compress.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/compress.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "CMakeFiles/iotaxo.dir/src/util/crc32.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/crc32.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/iotaxo.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/iotaxo.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/iotaxo.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/iotaxo.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/iotaxo.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/io_intensive.cpp" "CMakeFiles/iotaxo.dir/src/workload/io_intensive.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/workload/io_intensive.cpp.o.d"
+  "/root/repo/src/workload/mpi_io_test.cpp" "CMakeFiles/iotaxo.dir/src/workload/mpi_io_test.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/workload/mpi_io_test.cpp.o.d"
+  "/root/repo/src/workload/probe_app.cpp" "CMakeFiles/iotaxo.dir/src/workload/probe_app.cpp.o" "gcc" "CMakeFiles/iotaxo.dir/src/workload/probe_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

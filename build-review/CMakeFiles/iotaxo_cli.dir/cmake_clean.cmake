@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotaxo_cli.dir/tools/iotaxo_cli.cpp.o"
+  "CMakeFiles/iotaxo_cli.dir/tools/iotaxo_cli.cpp.o.d"
+  "iotaxo_cli"
+  "iotaxo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotaxo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

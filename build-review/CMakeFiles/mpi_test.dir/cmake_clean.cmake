@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test.dir/tests/mpi_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/tests/mpi_test.cpp.o.d"
+  "mpi_test"
+  "mpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

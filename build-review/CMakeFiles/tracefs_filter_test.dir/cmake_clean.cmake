@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracefs_filter_test.dir/tests/tracefs_filter_test.cpp.o"
+  "CMakeFiles/tracefs_filter_test.dir/tests/tracefs_filter_test.cpp.o.d"
+  "tracefs_filter_test"
+  "tracefs_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracefs_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
