@@ -10,28 +10,84 @@ namespace iotaxo::analysis {
 
 namespace {
 
-/// Interned ids of the transfer syscalls a batch may contain; id 0 (the
-/// empty string) marks "not present in this pool" because no event has an
-/// empty name.
-struct IoCallIds {
-  trace::StrId sys_write = 0;
-  trace::StrId sys_read = 0;
+// Queries see every pool through one of two accessors with the same shape:
+// BatchAccess over an owned EventBatch, ViewAccess over a zero-copy
+// BatchView. Both are cheap value types; the dispatch happens once per
+// pool (with_access), so the per-record loops stay monomorphized.
 
-  explicit IoCallIds(const trace::StringPool& pool) {
-    sys_write = pool.find("SYS_write").value_or(0);
-    sys_read = pool.find("SYS_read").value_or(0);
+struct BatchAccess {
+  const trace::EventBatch* b;
+
+  [[nodiscard]] std::size_t size() const noexcept { return b->size(); }
+  [[nodiscard]] const trace::EventRecord& record(std::size_t i) const {
+    return b->record(i);
   }
-
-  [[nodiscard]] bool is_transfer(const trace::EventRecord& rec) const noexcept {
-    return rec.cls == trace::EventClass::kSyscall &&
-           ((sys_write != 0 && rec.name == sys_write) ||
-            (sys_read != 0 && rec.name == sys_read));
+  [[nodiscard]] std::string_view name(std::size_t i) const {
+    return b->name(i);
+  }
+  [[nodiscard]] std::string_view path(std::size_t i) const {
+    return b->path(i);
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return b->pool().size();
+  }
+  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
+    return b->pool().find(s);
+  }
+  /// args_begin is carried by the owned record itself; the parameter keeps
+  /// the signature uniform with ViewAccess.
+  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
+                                              std::uint32_t /*args_begin*/)
+      const {
+    return b->materialize(i);
   }
 };
 
-}  // namespace
+struct ViewAccess {
+  const trace::BatchView* v;
 
-namespace {
+  [[nodiscard]] std::size_t size() const noexcept { return v->size(); }
+  [[nodiscard]] trace::EventRecord record(std::size_t i) const noexcept {
+    return v->record(i).to_record();
+  }
+  [[nodiscard]] std::string_view name(std::size_t i) const {
+    return v->string(v->record(i).name());
+  }
+  [[nodiscard]] std::string_view path(std::size_t i) const {
+    return v->string(v->record(i).path());
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return v->string_count();
+  }
+  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
+    return v->find_string(s);
+  }
+  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
+                                              std::uint32_t args_begin) const {
+    return v->materialize(i, args_begin);
+  }
+};
+
+template <class Fn>
+decltype(auto) with_access(const trace::EventBatch& batch,
+                           const std::optional<trace::BatchView>& view,
+                           Fn&& fn) {
+  if (view.has_value()) {
+    return fn(ViewAccess{&*view});
+  }
+  return fn(BatchAccess{&batch});
+}
+
+/// Transfer-syscall test against the pool's cached ids (PoolIndex); id 0
+/// (the empty string) marks "not interned in this pool" because no event
+/// has an empty name.
+[[nodiscard]] bool is_transfer(const trace::EventRecord& rec,
+                               trace::StrId sys_write,
+                               trace::StrId sys_read) noexcept {
+  return rec.cls == trace::EventClass::kSyscall &&
+         ((sys_write != 0 && rec.name == sys_write) ||
+          (sys_read != 0 && rec.name == sys_read));
+}
 
 [[nodiscard]] StoreSourceInfo parse_source_info(
     const std::map<std::string, std::string>& metadata) {
@@ -59,7 +115,46 @@ void correct_record(trace::EventBatch& batch, std::size_t i,
   }
 }
 
+/// Approximate resident footprint of an owned pool — the quantity
+/// compact() sizes eras by.
+[[nodiscard]] std::size_t approx_batch_bytes(const trace::EventBatch& batch) {
+  std::size_t strings = 0;
+  batch.pool().for_each([&strings](trace::StrId, std::string_view s) {
+    strings += s.size() + sizeof(std::string);
+  });
+  return batch.size() * sizeof(trace::EventRecord) +
+         batch.arg_ids().size() * sizeof(trace::StrId) + strings;
+}
+
 }  // namespace
+
+void UnifiedTraceStore::index_pool(StorePool& pool) {
+  PoolIndex idx;
+  with_access(pool.batch, pool.view, [&idx](const auto& acc) {
+    idx.sys_write_id = acc.find("SYS_write").value_or(0);
+    idx.sys_read_id = acc.find("SYS_read").value_or(0);
+    idx.name_present.assign(acc.string_count(), false);
+    const std::size_t n = acc.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& rec = acc.record(i);
+      idx.name_present[rec.name] = true;
+      if (!idx.any) {
+        idx.min_time = idx.max_time = rec.local_start;
+        idx.any = true;
+      } else {
+        idx.min_time = std::min(idx.min_time, rec.local_start);
+        idx.max_time = std::max(idx.max_time, rec.local_start);
+      }
+      if (rec.path != 0 && rec.fd >= 0) {
+        idx.has_fd_path = true;
+      }
+      if (rec.is_io_call() && rec.bytes > 0) {
+        idx.has_io_bytes = true;
+      }
+    }
+  });
+  pool.index = std::move(idx);
+}
 
 std::optional<SkewDriftModel> UnifiedTraceStore::fit_model(
     const std::vector<trace::TraceEvent>& clock_probes,
@@ -91,7 +186,11 @@ std::size_t UnifiedTraceStore::ingest_source(
                        dependencies.end());
   const std::size_t source_index = sources_.size();
   sources_.push_back(std::move(info));
-  batches_.push_back(std::move(batch));
+  StorePool pool;
+  pool.batch = std::move(batch);
+  pool.first_source = source_index;
+  index_pool(pool);
+  pools_.push_back(std::move(pool));
   return source_index;
 }
 
@@ -124,25 +223,110 @@ std::size_t UnifiedTraceStore::ingest(
                        dependencies);
 }
 
+std::size_t UnifiedTraceStore::ingest_view(
+    trace::MappedTraceFile file,
+    const std::map<std::string, std::string>& metadata) {
+  StorePool pool;
+  // The view borrows the mapped bytes; MappedTraceFile guarantees they do
+  // not relocate when the file object itself is moved into the pool.
+  pool.view.emplace(file.bytes());
+  pool.file = std::move(file);
+
+  StoreSourceInfo info = parse_source_info(metadata);
+  info.events = static_cast<long long>(pool.view->size());
+  info.view_backed = true;
+  total_events_ += info.events;
+
+  const std::size_t source_index = sources_.size();
+  pool.first_source = source_index;
+  index_pool(pool);
+  sources_.push_back(std::move(info));
+  pools_.push_back(std::move(pool));
+  return source_index;
+}
+
+std::size_t UnifiedTraceStore::ingest_view(
+    const std::string& path,
+    const std::map<std::string, std::string>& metadata) {
+  return ingest_view(trace::MappedTraceFile(path), metadata);
+}
+
+std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
+  std::vector<StorePool> merged;
+  merged.reserve(pools_.size());
+  std::size_t i = 0;
+  while (i < pools_.size()) {
+    StorePool era = std::move(pools_[i]);
+    ++i;
+    if (era.view.has_value()) {
+      merged.push_back(std::move(era));  // views are never re-materialized
+      continue;
+    }
+    std::size_t era_size = approx_batch_bytes(era.batch);
+    bool grew = false;
+    while (i < pools_.size() && !pools_[i].view.has_value()) {
+      const std::size_t next = approx_batch_bytes(pools_[i].batch);
+      if (era_size + next > era_bytes) {
+        break;
+      }
+      // Record order within the era stays source order, so every query
+      // (including hottest_files' cross-source fd carryover fold) sees
+      // exactly the records the uncompacted pools would have produced.
+      era.batch.append(pools_[i].batch);
+      era.source_count += pools_[i].source_count;
+      era_size += next;
+      grew = true;
+      ++i;
+    }
+    if (grew) {
+      index_pool(era);  // ids were re-interned; rebuild the presence filter
+    }
+    merged.push_back(std::move(era));
+  }
+  pools_ = std::move(merged);
+  return pools_.size();
+}
+
+const UnifiedTraceStore::StorePool& UnifiedTraceStore::pool_for(
+    std::size_t source) const {
+  // Pools are sorted by first_source; find the last pool starting at or
+  // before `source`.
+  const auto it = std::upper_bound(
+      pools_.begin(), pools_.end(), source,
+      [](std::size_t s, const StorePool& p) { return s < p.first_source; });
+  return *(it - 1);
+}
+
 const trace::EventBatch& UnifiedTraceStore::source_batch(
     std::size_t source) const {
-  if (source >= batches_.size()) {
+  if (source >= sources_.size()) {
     throw ConfigError("unified store: source index out of range");
   }
-  return batches_[source];
+  const StorePool& pool = pool_for(source);
+  if (pool.view.has_value()) {
+    throw ConfigError(
+        "unified store: source is view-backed; its records live in the "
+        "mapped container, not an owned batch");
+  }
+  if (pool.source_count != 1) {
+    throw ConfigError(
+        "unified store: source was merged into an era by compact(); "
+        "per-source batches no longer exist");
+  }
+  return pool.batch;
 }
 
 std::size_t UnifiedTraceStore::query_chunks() const {
   const std::size_t threads =
       query_threads_ == 0 ? std::max(1u, std::thread::hardware_concurrency())
                           : query_threads_;
-  return std::max<std::size_t>(std::min(threads, batches_.size()), 1);
+  return std::max<std::size_t>(std::min(threads, pools_.size()), 1);
 }
 
-void UnifiedTraceStore::for_each_source_chunk(
+void UnifiedTraceStore::for_each_pool_chunk(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
     const {
-  const std::size_t n = batches_.size();
+  const std::size_t n = pools_.size();
   const std::size_t chunks = query_chunks();
   if (chunks <= 1) {
     fn(0, 0, n);
@@ -155,30 +339,35 @@ void UnifiedTraceStore::for_each_source_chunk(
 }
 
 std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
-  // Per-worker partials, merged in chunk (== source) order: sums commute,
-  // so the result matches the serial single-map scan exactly.
+  // Per-worker partials, merged in chunk (== pool == source) order: sums
+  // commute, so the result matches the serial single-map scan exactly.
   const std::size_t chunks = query_chunks();
   std::vector<std::map<std::string, CallStats>> partials(chunks);
-  for_each_source_chunk([&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+  for_each_pool_chunk([&](std::size_t c, std::size_t begin, std::size_t end) {
     std::map<std::string, CallStats>& stats = partials[c];
     std::vector<CallStats*> scratch;
     for (std::size_t s = begin; s < end; ++s) {
-      const trace::EventBatch& batch = batches_[s];
-      // One map lookup per distinct name per source; flat hits otherwise.
-      scratch.assign(batch.pool().size(), nullptr);
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        const trace::EventRecord& rec = batch.record(i);
-        CallStats*& slot = scratch[rec.name];
-        if (slot == nullptr) {
-          slot = &stats[std::string(batch.name(i))];
-        }
-        ++slot->count;
-        slot->total_time += rec.duration;
-        if (rec.is_io_call()) {
-          slot->total_bytes += rec.bytes;
-        }
+      const StorePool& pool = pools_[s];
+      if (use_indexes_ && !pool.index.any) {
+        continue;
       }
+      with_access(pool.batch, pool.view, [&](const auto& acc) {
+        // One map lookup per distinct name per pool; flat hits otherwise.
+        scratch.assign(acc.string_count(), nullptr);
+        const std::size_t n = acc.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& rec = acc.record(i);
+          CallStats*& slot = scratch[rec.name];
+          if (slot == nullptr) {
+            slot = &stats[std::string(acc.name(i))];
+          }
+          ++slot->count;
+          slot->total_time += rec.duration;
+          if (rec.is_io_call()) {
+            slot->total_bytes += rec.bytes;
+          }
+        }
+      });
     }
   });
   std::map<std::string, CallStats> stats;
@@ -196,12 +385,18 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
 std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
     int rank) const {
   std::vector<trace::TraceEvent> out;
-  for (const trace::EventBatch& batch : batches_) {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (batch.record(i).rank == rank) {
-        out.push_back(batch.materialize(i));
+  for (const StorePool& pool : pools_) {
+    with_access(pool.batch, pool.view, [&](const auto& acc) {
+      const std::size_t n = acc.size();
+      std::uint32_t args_begin = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& rec = acc.record(i);
+        if (rec.rank == rank) {
+          out.push_back(acc.materialize(i, args_begin));
+        }
+        args_begin += rec.args_count;
       }
-    }
+    });
   }
   std::sort(out.begin(), out.end(),
             [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
@@ -212,18 +407,31 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
 
 Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
   std::vector<Bytes> partials(query_chunks(), 0);
-  for_each_source_chunk(
+  for_each_pool_chunk(
       [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
         Bytes total = 0;
         for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
-          const trace::EventBatch& batch = batches_[s];
-          const IoCallIds ids(batch.pool());
-          for (const trace::EventRecord& rec : batch.records()) {
-            if (ids.is_transfer(rec) && rec.local_start >= begin &&
-                rec.local_start < end) {
-              total += rec.bytes;
-            }
+          const StorePool& pool = pools_[s];
+          if (use_indexes_ &&
+              (!pool.index.any || pool.index.max_time < begin ||
+               pool.index.min_time >= end)) {
+            continue;  // no record can fall inside the window
           }
+          const PoolIndex& idx = pool.index;
+          if (use_indexes_ && !idx.has_name(idx.sys_write_id) &&
+              !idx.has_name(idx.sys_read_id)) {
+            continue;  // neither transfer call appears as a record name
+          }
+          with_access(pool.batch, pool.view, [&](const auto& acc) {
+            const std::size_t n = acc.size();
+            for (std::size_t i = 0; i < n; ++i) {
+              const auto& rec = acc.record(i);
+              if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id) &&
+                  rec.local_start >= begin && rec.local_start < end) {
+                total += rec.bytes;
+              }
+            }
+          });
         }
         partials[c] = total;
       });
@@ -240,66 +448,96 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
   if (total_events_ == 0 || bucket_width <= 0) {
     return series;
   }
-  struct Span {
-    bool any = false;
-    SimTime lo = 0;
-    SimTime hi = 0;
-  };
-  const std::size_t chunks = query_chunks();
-  std::vector<Span> spans(chunks);
-  for_each_source_chunk(
-      [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
-        Span& span = spans[c];
-        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
-          for (const trace::EventRecord& rec : batches_[s].records()) {
-            if (!span.any) {
-              span.lo = span.hi = rec.local_start;
-              span.any = true;
-            } else {
-              span.lo = std::min(span.lo, rec.local_start);
-              span.hi = std::max(span.hi, rec.local_start);
-            }
-          }
-        }
-      });
   bool any = false;
   SimTime lo = 0;
   SimTime hi = 0;
-  for (const Span& span : spans) {
-    if (!span.any) {
-      continue;
+  if (use_indexes_) {
+    // The pool indexes already hold each pool's min/max corrected stamp —
+    // the whole span phase collapses to a pool-count loop.
+    for (const StorePool& pool : pools_) {
+      if (!pool.index.any) {
+        continue;
+      }
+      lo = any ? std::min(lo, pool.index.min_time) : pool.index.min_time;
+      hi = any ? std::max(hi, pool.index.max_time) : pool.index.max_time;
+      any = true;
     }
-    lo = any ? std::min(lo, span.lo) : span.lo;
-    hi = any ? std::max(hi, span.hi) : span.hi;
-    any = true;
+  } else {
+    struct Span {
+      bool any = false;
+      SimTime lo = 0;
+      SimTime hi = 0;
+    };
+    std::vector<Span> spans(query_chunks());
+    for_each_pool_chunk(
+        [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
+          Span& span = spans[c];
+          for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+            with_access(pools_[s].batch, pools_[s].view, [&](const auto& acc) {
+              const std::size_t n = acc.size();
+              for (std::size_t i = 0; i < n; ++i) {
+                const SimTime t = acc.record(i).local_start;
+                if (!span.any) {
+                  span.lo = span.hi = t;
+                  span.any = true;
+                } else {
+                  span.lo = std::min(span.lo, t);
+                  span.hi = std::max(span.hi, t);
+                }
+              }
+            });
+          }
+        });
+    for (const Span& span : spans) {
+      if (!span.any) {
+        continue;
+      }
+      lo = any ? std::min(lo, span.lo) : span.lo;
+      hi = any ? std::max(hi, span.hi) : span.hi;
+      any = true;
+    }
   }
   if (!any) {
     return series;
   }
-  // One buckets-length partial per worker chunk (not per source), so peak
+  // One buckets-length partial per worker chunk (not per pool), so peak
   // memory stays bounded by thread count even for fine buckets over many
-  // sources; bucket additions commute, so the merge is exact.
+  // pools; bucket additions commute, so the merge is exact.
   const auto buckets = static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
+  const std::size_t chunks = query_chunks();
   std::vector<std::vector<Bytes>> partial_sums(chunks);
-  for_each_source_chunk(
+  for_each_pool_chunk(
       [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
         std::vector<Bytes>& sums = partial_sums[c];
         sums.assign(buckets, 0);
         for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
-          const trace::EventBatch& batch = batches_[s];
-          const IoCallIds ids(batch.pool());
-          for (const trace::EventRecord& rec : batch.records()) {
-            if (ids.is_transfer(rec)) {
-              sums[static_cast<std::size_t>((rec.local_start - lo) /
-                                            bucket_width)] += rec.bytes;
-            }
+          const StorePool& pool = pools_[s];
+          if (use_indexes_ && !pool.index.any) {
+            continue;
           }
+          const PoolIndex& idx = pool.index;
+          if (use_indexes_ && !idx.has_name(idx.sys_write_id) &&
+              !idx.has_name(idx.sys_read_id)) {
+            continue;
+          }
+          with_access(pool.batch, pool.view, [&](const auto& acc) {
+            const std::size_t n = acc.size();
+            for (std::size_t i = 0; i < n; ++i) {
+              const auto& rec = acc.record(i);
+              if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
+                sums[static_cast<std::size_t>((rec.local_start - lo) /
+                                              bucket_width)] += rec.bytes;
+              }
+            }
+          });
         }
       });
   std::vector<Bytes> sums(buckets, 0);
   for (const std::vector<Bytes>& partial : partial_sums) {
-    for (std::size_t i = 0; i < buckets; ++i) {
-      sums[i] += partial[i];
+    if (!partial.empty()) {
+      for (std::size_t i = 0; i < buckets; ++i) {
+        sums[i] += partial[i];
+      }
     }
   }
   series.reserve(buckets);
@@ -316,15 +554,15 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
     Bytes lib_bytes = 0;
     Bytes lower_bytes = 0;  // syscall + VFS views of the same transfers
   };
-  // The best-effort fd -> path map threads serially through the sources (an
-  // fd opened in source k resolves path-less transfers in source k+1), so
-  // the scan runs in two phases: a parallel per-source pass that resolves
-  // what it can locally and records (a) its unresolved transfers and (b)
-  // the fd -> path writes it would leave behind, then a serial fold over
-  // sources that resolves the leftovers against the carried map. Within a
-  // source the local map always wins (it holds the most recent write),
-  // which is exactly the state the serial single-map scan would have seen.
-  struct SourceScan {
+  // The best-effort fd -> path map threads serially through the pools (an
+  // fd opened in pool k resolves path-less transfers in pool k+1), so the
+  // scan runs in two phases: a parallel per-pool pass that resolves what
+  // it can locally and records (a) its unresolved transfers and (b) the
+  // fd -> path writes it would leave behind, then a serial fold over pools
+  // that resolves the leftovers against the carried map. Within a pool the
+  // local map always wins (it holds the most recent write), which is
+  // exactly the state the serial single-map scan would have seen.
+  struct PoolScan {
     std::map<std::string, Tally> by_path;
     std::map<int, std::string> fd_delta;  // last fd -> path write per fd
     struct Unresolved {
@@ -334,55 +572,66 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
     };
     std::vector<Unresolved> unresolved;
   };
-  // Unlike the bucket scans, the partials here must stay per-source (the
-  // serial fold below needs each source's fd delta separately); they hold
-  // only what the source actually references, so that stays cheap.
-  std::vector<SourceScan> scans(batches_.size());
-  for_each_source_chunk([&](std::size_t, std::size_t chunk_begin,
-                            std::size_t chunk_end) {
+  // Unlike the bucket scans, the partials here must stay per-pool (the
+  // serial fold below needs each pool's fd delta separately); they hold
+  // only what the pool actually references, so that stays cheap.
+  std::vector<PoolScan> scans(pools_.size());
+  for_each_pool_chunk([&](std::size_t, std::size_t chunk_begin,
+                          std::size_t chunk_end) {
     for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
-      const trace::EventBatch& batch = batches_[s];
-      SourceScan& scan = scans[s];
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        const trace::EventRecord& rec = batch.record(i);
-        const std::string_view rec_path = batch.path(i);
-        if (!rec_path.empty() && rec.fd >= 0) {
-          scan.fd_delta[rec.fd] = std::string(rec_path);
-        }
-        if (!rec.is_io_call() || rec.bytes <= 0) {
-          continue;
-        }
-        const bool lib = rec.cls == trace::EventClass::kLibraryCall;
-        std::string path(rec_path);
-        if (path.empty() && rec.fd >= 0) {
-          const auto it = scan.fd_delta.find(rec.fd);
-          if (it == scan.fd_delta.end()) {
-            scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+      const StorePool& pool = pools_[s];
+      // A pool with neither fd/path records nor byte-moving I/O calls
+      // contributes no tallies, no fd deltas and no unresolved transfers.
+      if (use_indexes_ && !pool.index.has_fd_path &&
+          !pool.index.has_io_bytes) {
+        continue;
+      }
+      PoolScan& scan = scans[s];
+      with_access(pool.batch, pool.view, [&](const auto& acc) {
+        const std::size_t n = acc.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& rec = acc.record(i);
+          const std::string_view rec_path =
+              rec.path == 0 ? std::string_view{} : acc.path(i);
+          if (!rec_path.empty() && rec.fd >= 0) {
+            scan.fd_delta[rec.fd] = std::string(rec_path);
+          }
+          if (!rec.is_io_call() || rec.bytes <= 0) {
             continue;
           }
-          path = it->second;
+          const bool lib = rec.cls == trace::EventClass::kLibraryCall;
+          std::string path(rec_path);
+          if (path.empty() && rec.fd >= 0) {
+            const auto it = scan.fd_delta.find(rec.fd);
+            if (it == scan.fd_delta.end()) {
+              scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+              continue;
+            }
+            path = it->second;
+          }
+          if (path.empty()) {
+            path = "(unknown)";
+          }
+          Tally& tally = scan.by_path[path];
+          ++tally.ops;
+          // Library wrappers and the syscalls beneath them report the same
+          // transfer; take whichever view saw more (captures lib-only
+          // traces like //TRACE's without double counting ltrace's dual
+          // view).
+          if (lib) {
+            tally.lib_bytes += rec.bytes;
+          } else {
+            tally.lower_bytes += rec.bytes;
+          }
         }
-        if (path.empty()) {
-          path = "(unknown)";
-        }
-        Tally& tally = scan.by_path[path];
-        ++tally.ops;
-        // Library wrappers and the syscalls beneath them report the same
-        // transfer; take whichever view saw more (captures lib-only traces
-        // like //TRACE's without double counting ltrace's dual view).
-        if (lib) {
-          tally.lib_bytes += rec.bytes;
-        } else {
-          tally.lower_bytes += rec.bytes;
-        }
-      }
+      });
     }
   });
 
   std::map<std::string, Tally> by_path;
-  std::map<int, std::string> carried;  // fd -> path state across sources
-  for (SourceScan& scan : scans) {
-    for (const SourceScan::Unresolved& u : scan.unresolved) {
+  std::map<int, std::string> carried;  // fd -> path state across pools
+  for (PoolScan& scan : scans) {
+    for (const PoolScan::Unresolved& u : scan.unresolved) {
       const auto it = carried.find(u.fd);
       const std::string path =
           it == carried.end() ? std::string("(unknown)") : it->second;

@@ -5,23 +5,34 @@
 //
 // The store ingests bundles captured by *any* framework (ptrace text
 // traces, Tracefs binary VFS streams, //TRACE interposition traces) — or
-// raw EventBatches straight off the batched capture pipeline — normalizes
-// timestamps onto a common timeline when skew/drift probes are available,
-// and answers the queries analysis tools need: per-call statistics,
-// per-rank activity, time-windowed I/O rates, and file heat.
+// raw EventBatches straight off the batched capture pipeline, or IOTB2
+// files opened zero-copy through trace::BatchView — normalizes timestamps
+// onto a common timeline when skew/drift probes are available, and answers
+// the queries analysis tools need: per-call statistics, per-rank activity,
+// time-windowed I/O rates, and file heat.
 //
-// Internally each source is kept as one trace::EventBatch: fixed-size
-// records plus an interned string pool. Queries iterate the flat records
-// and compare interned ids instead of strings, so aggregate scans stay
-// cheap at millions of events (the columnar bulk-iteration the DFG
+// Internally every source lives in a *pool*: either one owned
+// trace::EventBatch (fixed-size records plus an interned string pool) or a
+// view-backed pool (a MappedTraceFile plus the BatchView into it — records
+// are scanned in place, never decoded). Queries iterate flat records and
+// compare interned ids instead of strings, so aggregate scans stay cheap
+// at millions of events (the columnar bulk-iteration the DFG
 // syscall-inspection line of work depends on).
 //
+// Each pool carries an index built once at ingest — min/max corrected
+// timestamp and a name-id presence filter — that lets the windowed and
+// transfer-oriented queries skip whole pools before scanning a record
+// (set_use_indexes(false) disables the skips for benchmarking; results are
+// identical either way). compact(era_bytes) merges runs of small owned
+// pools into era-sized batches (re-interned once, source infos preserved)
+// so pool count stays bounded in long-lived aggregation services.
+//
 // Aggregate queries (call_stats, bytes_in_window, io_rate_series,
-// hottest_files) scan sources in parallel when set_query_threads allows:
-// each worker chunk builds a partial and the partials are merged in source
-// order, so results are bit-identical to the serial scan. Queries remain
-// const and safe to issue concurrently; ingest and set_query_threads are
-// configuration and must not race with them.
+// hottest_files) scan pools in parallel when set_query_threads allows:
+// each worker chunk builds a partial and the partials are merged in pool
+// (== source) order, so results are bit-identical to the serial scan.
+// Queries remain const and safe to issue concurrently; ingest, compact and
+// the setters are configuration and must not race with them.
 #pragma once
 
 #include <functional>
@@ -33,6 +44,7 @@
 #include "analysis/skew_drift.h"
 #include "trace/bundle.h"
 #include "trace/event_batch.h"
+#include "trace/record_view.h"
 
 namespace iotaxo::analysis {
 
@@ -41,6 +53,8 @@ struct StoreSourceInfo {
   std::string application;
   long long events = 0;
   bool time_corrected = false;
+  /// True when the source is served zero-copy from a mapped IOTB2 file.
+  bool view_backed = false;
 };
 
 struct CallStats {
@@ -75,6 +89,32 @@ class UnifiedTraceStore {
       const std::vector<trace::TraceEvent>& clock_probes = {},
       const std::vector<trace::DependencyEdge>& dependencies = {});
 
+  /// Ingest an uncompressed, unencrypted IOTB2 container zero-copy: the
+  /// store takes ownership of the mapped file and serves the source
+  /// straight from the view — records are scanned once at ingest to build
+  /// the pool index but never decoded into an EventBatch. View sources use
+  /// raw node-local stamps (no timeline correction; decode to a batch and
+  /// use the batch overload when probes must be applied). Throws
+  /// FormatError if the container is not view-able.
+  std::size_t ingest_view(trace::MappedTraceFile file,
+                          const std::map<std::string, std::string>& metadata = {});
+  /// Convenience: map `path` and ingest it zero-copy.
+  std::size_t ingest_view(const std::string& path,
+                          const std::map<std::string, std::string>& metadata = {});
+
+  /// Merge runs of adjacent small *owned* pools into era-sized batches of
+  /// at most ~era_bytes each (approximate in-memory footprint). Source
+  /// infos, source indexing and every query result are preserved exactly;
+  /// view-backed pools are never touched. Bounds pool count for long-lived
+  /// aggregation services. Returns the pool count after compaction.
+  std::size_t compact(std::size_t era_bytes);
+
+  /// Number of internal storage pools (== sources until compact() merges
+  /// some).
+  [[nodiscard]] std::size_t pool_count() const noexcept {
+    return pools_.size();
+  }
+
   /// Worker threads aggregate scans may use: 0 = auto (hardware
   /// concurrency), 1 = serial. Scans go parallel only when several sources
   /// are ingested; partial merges keep results identical either way.
@@ -85,6 +125,11 @@ class UnifiedTraceStore {
     return query_threads_;
   }
 
+  /// Pool-index skips on/off (default on). Results are identical either
+  /// way; the off position exists so bench_zero_copy can measure the win.
+  void set_use_indexes(bool use) noexcept { use_indexes_ = use; }
+  [[nodiscard]] bool use_indexes() const noexcept { return use_indexes_; }
+
   [[nodiscard]] const std::vector<StoreSourceInfo>& sources() const noexcept {
     return sources_;
   }
@@ -93,7 +138,10 @@ class UnifiedTraceStore {
   }
 
   /// A source's events in normalized columnar form (local_start already on
-  /// the common timeline).
+  /// the common timeline). Only available while the source still has its
+  /// own owned pool: throws ConfigError for view-backed sources (their
+  /// records live in the mapped file, not an EventBatch) and for sources
+  /// merged away by compact().
   [[nodiscard]] const trace::EventBatch& source_batch(
       std::size_t source) const;
 
@@ -122,36 +170,78 @@ class UnifiedTraceStore {
   }
 
  private:
+  /// Built once per pool at ingest (and rebuilt on compaction merge): the
+  /// facts that let queries skip a pool without touching its records.
+  struct PoolIndex {
+    bool any = false;          // pool has at least one record
+    SimTime min_time = 0;      // min/max corrected local_start (valid iff any)
+    SimTime max_time = 0;
+    bool has_fd_path = false;  // some record carries fd >= 0 with a path
+    bool has_io_bytes = false; // some I/O-class record moved bytes > 0
+    /// Interned ids of the transfer syscalls in this pool's string table
+    /// (0 = not interned), resolved once at ingest so windowed queries
+    /// never re-search the table (linear for view-backed pools).
+    trace::StrId sys_write_id = 0;
+    trace::StrId sys_read_id = 0;
+    /// name_present[id]: some record's *name* is string id `id` (ids that
+    /// only appear as args/paths/hosts stay false).
+    std::vector<bool> name_present;
+
+    /// True when string id `id` appears as some record's name (id 0 means
+    /// "string not interned in this pool": always false).
+    [[nodiscard]] bool has_name(trace::StrId id) const noexcept {
+      return id != 0 && id < name_present.size() && name_present[id];
+    }
+  };
+
+  /// One storage unit: an owned batch (view disengaged) or a view-backed
+  /// mapped file. Covers sources [first_source, first_source +
+  /// source_count) — more than one only after compact().
+  struct StorePool {
+    trace::EventBatch batch;
+    trace::MappedTraceFile file;
+    std::optional<trace::BatchView> view;
+    PoolIndex index;
+    std::size_t first_source = 0;
+    std::size_t source_count = 1;
+  };
+
   [[nodiscard]] std::optional<SkewDriftModel> fit_model(
       const std::vector<trace::TraceEvent>& clock_probes,
       StoreSourceInfo& info) const;
 
-  /// Shared tail of both ingest overloads: timeline-correct the batch,
-  /// account it, and file it as a new source.
+  /// Shared tail of the owned-batch ingest overloads: timeline-correct the
+  /// batch, account it, index it, and file it as a new source.
   std::size_t ingest_source(
       StoreSourceInfo info, trace::EventBatch batch,
       const std::optional<SkewDriftModel>& model,
       const std::vector<trace::DependencyEdge>& dependencies);
 
-  /// Number of contiguous source chunks a scan will use: min(threads,
-  /// sources), at least 1. Callers size per-worker partials by this.
+  [[nodiscard]] const StorePool& pool_for(std::size_t source) const;
+
+  /// (Re)build a pool's skip index from its records.
+  static void index_pool(StorePool& pool);
+
+  /// Number of contiguous pool chunks a scan will use: min(threads,
+  /// pools), at least 1. Callers size per-worker partials by this.
   [[nodiscard]] std::size_t query_chunks() const;
 
-  /// Partition sources into query_chunks() contiguous chunks and run
+  /// Partition pools into query_chunks() contiguous chunks and run
   /// fn(chunk, begin, end) for each — in parallel when more than one chunk,
   /// else inline. The worker pool is per-call (parallel_for); queries are
   /// orders of magnitude rarer than captures, so pool spin-up has not
   /// earned resident threads here yet.
-  void for_each_source_chunk(
+  void for_each_pool_chunk(
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
       const;
 
   std::vector<StoreSourceInfo> sources_;
-  /// One normalized batch per source (parallel to sources_).
-  std::vector<trace::EventBatch> batches_;
+  /// Storage pools in source order (each covering >= 1 source).
+  std::vector<StorePool> pools_;
   std::vector<trace::DependencyEdge> dependencies_;
   long long total_events_ = 0;
   std::size_t query_threads_ = 0;  // 0 = auto
+  bool use_indexes_ = true;
 };
 
 }  // namespace iotaxo::analysis

@@ -1,7 +1,10 @@
 #include "trace/binary_format.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
 
+#include "trace/record_view.h"
 #include "util/compress.h"
 #include "util/crc32.h"
 #include "util/error.h"
@@ -15,7 +18,11 @@ constexpr char kMagicV2[6] = {'I', 'O', 'T', 'B', '2', '\n'};
 constexpr std::uint8_t kFlagCompressed = 0x01;
 constexpr std::uint8_t kFlagEncrypted = 0x02;
 constexpr std::uint8_t kFlagChecksummed = 0x04;
-constexpr std::size_t kHeaderSize = 6 + 1 + 8 + 8;
+constexpr std::size_t kHeaderSize = kContainerHeaderSize;
+// Fixed fields plus the four (possibly zero-length) string length prefixes
+// of a v1 record — the minimum body bytes one record can occupy. Corrupt
+// counts are bounded by this before any reserve() sees them.
+constexpr std::size_t kV1MinRecordSize = 81;
 
 class Writer {
  public:
@@ -68,12 +75,15 @@ class Reader {
   }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  std::string str() {
+  std::string str() { return std::string(str_view()); }
+  /// Like str(), but borrowing the body bytes — the decoder fast paths
+  /// intern straight from the view without a temporary std::string.
+  std::string_view str_view() {
     const std::uint32_t n = u32();
     need(n);
-    std::string s(reinterpret_cast<const char*>(&data_[pos_]), n);
+    const auto* p = reinterpret_cast<const char*>(&data_[pos_]);
     pos_ += n;
-    return s;
+    return {p, n};
   }
   [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
 
@@ -206,8 +216,12 @@ void encode_record(Writer& w, const EventRecord& rec) {
 [[nodiscard]] std::vector<std::uint8_t> open_container(
     std::span<const std::uint8_t> data, const BinaryHeader& h,
     const std::optional<CipherKey>& key) {
+  // Subtract-and-compare instead of add-and-compare: a hostile
+  // payload_length near 2^64 must not wrap the right-hand side into a
+  // passing equality.
   const std::size_t crc_size = h.checksummed ? 4 : 0;
-  if (data.size() != kHeaderSize + h.payload_length + crc_size) {
+  const std::size_t avail = data.size() - kHeaderSize;  // header was peeked
+  if (avail < crc_size || h.payload_length != avail - crc_size) {
     throw FormatError("binary trace: length mismatch");
   }
   std::span<const std::uint8_t> payload =
@@ -247,9 +261,16 @@ void encode_record(Writer& w, const EventRecord& rec) {
   if (nstrings == 0) {
     throw FormatError("binary trace v2: empty string table");
   }
+  // Each table entry occupies at least its 4-byte length prefix; a count
+  // the body cannot hold is corruption, and must not reach reserve() as a
+  // giant allocation.
+  if (nstrings > body.size() / 4) {
+    throw FormatError("binary trace v2: string table exceeds payload");
+  }
   StringPool& pool = batch.pool();
+  pool.reserve(nstrings);
   for (std::uint32_t i = 0; i < nstrings; ++i) {
-    const std::string s = r.str();
+    const std::string_view s = r.str_view();
     const StrId id = pool.intern(s);
     if (id != i) {
       // Duplicate or misordered table entries can only come from a writer
@@ -270,6 +291,14 @@ void encode_record(Writer& w, const EventRecord& rec) {
     arg_ids.push_back(r.u32());
   }
 
+  // A v2 record occupies a fixed stride of body bytes; a count the body
+  // cannot hold is corruption, and must not reach reserve() as a giant
+  // allocation.
+  if (count > body.size() / v2layout::kStride) {
+    throw FormatError("binary trace: record count exceeds payload");
+  }
+  batch.reserve(static_cast<std::size_t>(count),
+                static_cast<std::size_t>(nargids));
   std::uint64_t next_args_begin = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     EventRecord rec;
@@ -365,9 +394,9 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
   if (h.version == 2) {
     return decode_batch_body(body, h.count).to_events();
   }
-  // A v1 record occupies well over one body byte; a count the body cannot
-  // hold is corruption and must not reach reserve() as a giant allocation.
-  if (h.count > body.size()) {
+  // A count the body cannot hold is corruption and must not reach
+  // reserve() as a giant allocation.
+  if (h.count > body.size() / kV1MinRecordSize) {
     throw FormatError("binary trace: record count exceeds payload");
   }
   Reader r(body);
@@ -389,10 +418,42 @@ EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
   if (h.version == 2) {
     return decode_batch_body(body, h.count);
   }
+  // v1 interop fast path: intern each record's strings straight from the
+  // body into the output batch — no per-event TraceEvent round-trip, no
+  // temporary std::strings (mirrors decode_event's field order exactly).
+  if (h.count > body.size() / kV1MinRecordSize) {
+    throw FormatError("binary trace: record count exceeds payload");
+  }
   Reader r(body);
   EventBatch batch;
+  batch.reserve(static_cast<std::size_t>(h.count), 0);
+  std::vector<std::string_view> args;
   for (std::uint64_t i = 0; i < h.count; ++i) {
-    batch.append(decode_event(r));
+    EventRecord rec;
+    rec.cls = decode_class(r.u8());
+    const std::string_view name = r.str_view();
+    const std::uint32_t argc = r.u32();
+    args.clear();
+    // Cap the hint: a corrupt argc must not become a giant allocation (the
+    // reader throws on the first truncated arg regardless).
+    args.reserve(std::min<std::uint32_t>(argc, 64));
+    for (std::uint32_t j = 0; j < argc; ++j) {
+      args.push_back(r.str_view());
+    }
+    rec.ret = r.i64();
+    rec.local_start = r.i64();
+    rec.duration = r.i64();
+    rec.rank = r.i32();
+    rec.node = r.i32();
+    rec.pid = r.u32();
+    const std::string_view host = r.str_view();
+    const std::string_view path = r.str_view();
+    rec.fd = r.i32();
+    rec.bytes = r.i64();
+    rec.offset = r.i64();
+    rec.uid = r.u32();
+    rec.gid = r.u32();
+    batch.append_interning(rec, name, host, path, args);
   }
   if (!r.at_end()) {
     throw FormatError("binary trace: trailing bytes after records");

@@ -23,7 +23,7 @@
 //   strings   nstrings x (u32 len + bytes), in id order
 //   nargids   u64 LE                     length of the argument-id table
 //   argids    nargids x u32 LE           interned ids, all records' args
-//   records   count x fixed record:
+//   records   count x fixed record (81 bytes, offsets in record_view.h):
 //             u8  cls
 //             u32 name-id
 //             u32 args-count   (args slices are contiguous in record
@@ -36,6 +36,16 @@
 //
 // encode_binary writes v1 (kept for compatibility), encode_binary_v2 writes
 // the batch container; decode_binary and decode_binary_batch accept both.
+//
+// Zero-copy view compatibility (PR 3): because the v2 record section is
+// fixed-stride and the string table is length-prefixed in id order, an
+// IOTB2 container whose compressed (bit0) and encrypted (bit1) flags are
+// BOTH clear can be read in place through trace::BatchView (record_view.h)
+// without decoding into an EventBatch. The checksummed flag (bit2) is
+// view-compatible — the CRC is verified once when the view opens. Any
+// other combination (compressed, encrypted, or a v1 body, whose records
+// are self-delimiting and variable-length) is not view-able and must go
+// through decode_binary_batch.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +57,11 @@
 #include "util/cipher.h"
 
 namespace iotaxo::trace {
+
+/// Size of the shared container envelope header: magic + flags + count +
+/// paylen. The payload starts at this offset (the CRC, when present, sits
+/// after the payload). Shared by the codec and the zero-copy view layer.
+inline constexpr std::size_t kContainerHeaderSize = 6 + 1 + 8 + 8;
 
 struct BinaryOptions {
   bool compress = false;

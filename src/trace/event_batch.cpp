@@ -50,7 +50,9 @@ void EventBatch::append(const EventBatch& other) {
     return slot;
   };
 
+  pool_.reserve(pool_.size() + other.pool_.size());
   records_.reserve(records_.size() + other.records_.size());
+  arg_ids_.reserve(arg_ids_.size() + other.arg_ids_.size());
   for (std::size_t i = 0; i < other.records_.size(); ++i) {
     EventRecord rec = other.records_[i];
     rec.name = xlat(rec.name);
@@ -80,6 +82,20 @@ void EventBatch::append_raw(EventRecord rec, std::span<const StrId> args) {
     check(a);
     arg_ids_.push_back(a);
   }
+  records_.push_back(rec);
+}
+
+void EventBatch::append_interning(EventRecord rec, std::string_view name,
+                                  std::string_view host, std::string_view path,
+                                  std::span<const std::string_view> args) {
+  rec.name = pool_.intern(name);
+  rec.args_begin = static_cast<std::uint32_t>(arg_ids_.size());
+  rec.args_count = static_cast<std::uint32_t>(args.size());
+  for (const std::string_view a : args) {
+    arg_ids_.push_back(pool_.intern(a));
+  }
+  rec.host = pool_.intern(host);
+  rec.path = pool_.intern(path);
   records_.push_back(rec);
 }
 

@@ -45,6 +45,8 @@ struct EventRecord {
     return cls == EventClass::kSyscall || cls == EventClass::kLibraryCall ||
            cls == EventClass::kFsOperation;
   }
+
+  bool operator==(const EventRecord&) const = default;
 };
 
 class EventBatch {
@@ -59,6 +61,21 @@ class EventBatch {
   /// Append a record whose string ids already refer to *this* batch's pool
   /// (decoder / builder path). Throws FormatError on out-of-range ids.
   void append_raw(EventRecord rec, std::span<const StrId> args);
+
+  /// Append a record by interning the given string fields into this batch's
+  /// pool (decoder fast path: no TraceEvent materialization). String-id
+  /// fields of `rec` are overwritten; args_begin/args_count are set from
+  /// `args`.
+  void append_interning(EventRecord rec, std::string_view name,
+                        std::string_view host, std::string_view path,
+                        std::span<const std::string_view> args);
+
+  /// Pre-size the record and arg-id containers (decode / merge paths that
+  /// know the incoming sizes).
+  void reserve(std::size_t records, std::size_t args) {
+    records_.reserve(records_.size() + records);
+    arg_ids_.reserve(arg_ids_.size() + args);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   [[nodiscard]] bool empty() const noexcept { return records_.empty(); }

@@ -1,0 +1,263 @@
+// Zero-copy read path over the IOTB2 container (the "mmap-able v2"
+// follow-on of the batched pipeline): a BatchView validates an
+// uncompressed, unencrypted container exactly once — envelope bounds, CRC,
+// string-table walk, and a pass over the fixed-stride record section that
+// checks every class byte, string id and args slice — and then exposes the
+// records and string table *in place*. No EventBatch is allocated and no
+// string is copied; scanning a view is a sequence of little-endian loads
+// out of the original buffer, which is what makes multi-million-event
+// analysis over on-disk stores run at hardware speed (Recorder-style
+// compact storage read back without materialization).
+//
+// Compressed or encrypted containers, and v1 (IOTB1) bodies, cannot be
+// viewed — they must go through decode_binary_batch. The checksummed flag
+// is fine: the CRC is verified once at open.
+//
+// MappedTraceFile owns the backing bytes for file-based views: it mmaps
+// the file read-only where the platform allows and falls back to reading
+// the bytes into an owned buffer otherwise. Moving a MappedTraceFile never
+// relocates the bytes, so views into it stay valid across moves (the
+// unified store relies on this when it files view-backed sources).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/binary_format.h"
+#include "trace/event_batch.h"
+
+namespace iotaxo::trace {
+
+/// Byte layout of one fixed-stride v2 record (little-endian, matching
+/// encode_binary_v2's writer; see the container comment in
+/// binary_format.h). Offsets are within the record, not the payload.
+namespace v2layout {
+inline constexpr std::size_t kCls = 0;          // u8
+inline constexpr std::size_t kName = 1;         // u32
+inline constexpr std::size_t kArgsCount = 5;    // u32
+inline constexpr std::size_t kRet = 9;          // i64
+inline constexpr std::size_t kLocalStart = 17;  // i64
+inline constexpr std::size_t kDuration = 25;    // i64
+inline constexpr std::size_t kRank = 33;        // i32
+inline constexpr std::size_t kNode = 37;        // i32
+inline constexpr std::size_t kPid = 41;         // u32
+inline constexpr std::size_t kHost = 45;        // u32
+inline constexpr std::size_t kPath = 49;        // u32
+inline constexpr std::size_t kFd = 53;          // i32
+inline constexpr std::size_t kBytes = 57;       // i64
+inline constexpr std::size_t kOffset = 65;      // i64
+inline constexpr std::size_t kUid = 73;         // u32
+inline constexpr std::size_t kGid = 77;         // u32
+inline constexpr std::size_t kStride = 81;      // total record size
+}  // namespace v2layout
+
+/// One record read in place from a v2 record section. Field accessors are
+/// unchecked single loads; the owning BatchView validated class bytes and
+/// string ids at open, so accessors cannot observe malformed values.
+class RecordView {
+ public:
+  explicit RecordView(const std::uint8_t* p) noexcept : p_(p) {}
+
+  [[nodiscard]] EventClass cls() const noexcept {
+    return static_cast<EventClass>(p_[v2layout::kCls]);
+  }
+  [[nodiscard]] StrId name() const noexcept { return u32(v2layout::kName); }
+  [[nodiscard]] std::uint32_t args_count() const noexcept {
+    return u32(v2layout::kArgsCount);
+  }
+  [[nodiscard]] long long ret() const noexcept { return i64(v2layout::kRet); }
+  [[nodiscard]] SimTime local_start() const noexcept {
+    return i64(v2layout::kLocalStart);
+  }
+  [[nodiscard]] SimTime duration() const noexcept {
+    return i64(v2layout::kDuration);
+  }
+  [[nodiscard]] std::int32_t rank() const noexcept {
+    return i32(v2layout::kRank);
+  }
+  [[nodiscard]] std::int32_t node() const noexcept {
+    return i32(v2layout::kNode);
+  }
+  [[nodiscard]] std::uint32_t pid() const noexcept {
+    return u32(v2layout::kPid);
+  }
+  [[nodiscard]] StrId host() const noexcept { return u32(v2layout::kHost); }
+  [[nodiscard]] StrId path() const noexcept { return u32(v2layout::kPath); }
+  [[nodiscard]] std::int32_t fd() const noexcept { return i32(v2layout::kFd); }
+  [[nodiscard]] Bytes bytes() const noexcept { return i64(v2layout::kBytes); }
+  [[nodiscard]] Bytes offset() const noexcept {
+    return i64(v2layout::kOffset);
+  }
+  [[nodiscard]] std::uint32_t uid() const noexcept {
+    return u32(v2layout::kUid);
+  }
+  [[nodiscard]] std::uint32_t gid() const noexcept {
+    return u32(v2layout::kGid);
+  }
+
+  [[nodiscard]] bool is_io_call() const noexcept {
+    const EventClass c = cls();
+    return c == EventClass::kSyscall || c == EventClass::kLibraryCall ||
+           c == EventClass::kFsOperation;
+  }
+
+  /// Flat copy into the owned-record form. `args_begin` is the running sum
+  /// of preceding records' args_count (the serialized form omits it; see
+  /// the layout comment in binary_format.h). Inline like the accessors —
+  /// store scans call this per record.
+  [[nodiscard]] EventRecord to_record(std::uint32_t args_begin = 0)
+      const noexcept {
+    EventRecord rec;
+    rec.cls = cls();
+    rec.name = name();
+    rec.args_begin = args_begin;
+    rec.args_count = args_count();
+    rec.ret = ret();
+    rec.local_start = local_start();
+    rec.duration = duration();
+    rec.rank = rank();
+    rec.node = node();
+    rec.pid = pid();
+    rec.host = host();
+    rec.path = path();
+    rec.fd = fd();
+    rec.bytes = bytes();
+    rec.offset = offset();
+    rec.uid = uid();
+    rec.gid = gid();
+    return rec;
+  }
+
+ private:
+  // The payload is not alignment-guaranteed within the container, so the
+  // loads assemble bytes explicitly. The fully unrolled little-endian
+  // OR-of-shifts is the idiom compilers fold into one unaligned mov; these
+  // must stay inline — field accessors run millions of times per scan.
+  [[nodiscard]] std::uint32_t u32(std::size_t off) const noexcept {
+    const std::uint8_t* p = p_ + off;
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  [[nodiscard]] std::uint64_t u64(std::size_t off) const noexcept {
+    return static_cast<std::uint64_t>(u32(off)) |
+           (static_cast<std::uint64_t>(u32(off + 4)) << 32);
+  }
+  [[nodiscard]] std::int32_t i32(std::size_t off) const noexcept {
+    return static_cast<std::int32_t>(u32(off));
+  }
+  [[nodiscard]] std::int64_t i64(std::size_t off) const noexcept {
+    return static_cast<std::int64_t>(u64(off));
+  }
+
+  const std::uint8_t* p_;
+};
+
+/// A validated window onto one IOTB2 container. The constructor does all
+/// the checking (throws FormatError on anything decode_binary_batch would
+/// reject, plus on compressed/encrypted/v1 containers, which cannot be
+/// viewed); every accessor after that is cheap. The view borrows `data` —
+/// the caller keeps the buffer alive (MappedTraceFile, or the store's
+/// view-backed source) for the view's lifetime.
+class BatchView {
+ public:
+  explicit BatchView(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const BinaryHeader& header() const noexcept {
+    return header_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] RecordView record(std::size_t i) const noexcept {
+    return RecordView(records_.data() + i * v2layout::kStride);
+  }
+
+  /// Number of interned strings (id 0 = "").
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return strings_.size();
+  }
+  /// Total payload bytes of the string table (excluding length prefixes).
+  [[nodiscard]] std::size_t string_table_bytes() const noexcept {
+    return string_bytes_;
+  }
+  /// The string for an id, pointing into the container buffer. Throws
+  /// FormatError on an out-of-range id.
+  [[nodiscard]] std::string_view string(StrId id) const;
+  /// Id for `s` if the table holds it (linear scan — the table is small
+  /// relative to the record section).
+  [[nodiscard]] std::optional<StrId> find_string(
+      std::string_view s) const noexcept;
+
+  [[nodiscard]] std::size_t arg_id_count() const noexcept {
+    return args_.size() / 4;
+  }
+  /// The j-th entry of the argument-id table. Throws FormatError on an
+  /// out-of-range index.
+  [[nodiscard]] StrId arg_id(std::size_t j) const;
+
+  /// Visit records in order: fn(index, RecordView, args_begin). The only
+  /// way to address a record's args slice without materializing a prefix
+  /// sum — the visitor carries the running args_begin for free.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::uint32_t args_begin = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      const RecordView rec = record(i);
+      fn(i, rec, args_begin);
+      args_begin += rec.args_count();
+    }
+  }
+
+  /// Rebuild record `i` as a heap-owning TraceEvent (`args_begin` as for
+  /// for_each / RecordView::to_record).
+  [[nodiscard]] TraceEvent materialize(std::size_t i,
+                                       std::uint32_t args_begin) const;
+
+ private:
+  BinaryHeader header_;
+  std::span<const std::uint8_t> records_;  // count_ * kStride bytes
+  std::span<const std::uint8_t> args_;     // nargids * 4 bytes
+  std::vector<std::string_view> strings_;  // id -> bytes in the buffer
+  std::size_t string_bytes_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Read-only bytes of a trace file, mmapped when possible. Move-only; the
+/// mapped (or owned) bytes never move, so spans into bytes() survive moves
+/// of the MappedTraceFile itself.
+class MappedTraceFile {
+ public:
+  MappedTraceFile() = default;
+  /// Opens and maps `path`; falls back to reading the file into an owned
+  /// buffer when mmap is unavailable. Throws IoError when the file cannot
+  /// be opened or read.
+  explicit MappedTraceFile(const std::string& path);
+  ~MappedTraceFile();
+
+  MappedTraceFile(MappedTraceFile&& other) noexcept;
+  MappedTraceFile& operator=(MappedTraceFile&& other) noexcept;
+  MappedTraceFile(const MappedTraceFile&) = delete;
+  MappedTraceFile& operator=(const MappedTraceFile&) = delete;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return bytes().size(); }
+  /// True when the bytes come from an mmap (false: read fallback).
+  [[nodiscard]] bool is_mapped() const noexcept { return map_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void release() noexcept;
+
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::vector<std::uint8_t> owned_;
+};
+
+}  // namespace iotaxo::trace

@@ -43,6 +43,14 @@ class StringPool {
   /// Number of distinct strings (including the implicit empty string).
   [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
 
+  /// Pre-size for ~n distinct strings. The re-intern paths (batch append,
+  /// container decode) know the incoming pool size up front; reserving
+  /// avoids the rehash cascade that otherwise shows up in ingest profiles.
+  void reserve(std::size_t n) {
+    index_.reserve(n);
+    by_id_.reserve(n);
+  }
+
   /// Visit every interned string in id order (serialization).
   template <class Fn>
   void for_each(Fn&& fn) const {

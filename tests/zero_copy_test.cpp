@@ -1,0 +1,511 @@
+// Tests for the zero-copy IOTB2 read path (PR 3): BatchView/RecordView
+// equivalence with the decoding path, hostile-input rejection (truncated
+// and oversized record sections, out-of-range string ids, flipped CRCs,
+// compressed/encrypted containers), MappedTraceFile, view-backed and
+// compacted unified-store sources, and the pool-index query skips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/unified_store.h"
+#include "trace/binary_format.h"
+#include "trace/event_batch.h"
+#include "trace/record_view.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+namespace {
+
+[[nodiscard]] std::vector<TraceEvent> sample_stream() {
+  std::vector<TraceEvent> events;
+
+  TraceEvent open_ev = make_syscall("SYS_open", {"/etc/hosts", "0", "0666"}, 3);
+  open_ev.local_start = 1159808387LL * kSecond;
+  open_ev.duration = 34 * kMicrosecond;
+  open_ev.rank = 7;
+  open_ev.node = 3;
+  open_ev.pid = 10378;
+  open_ev.host = "host13.lanl.gov";
+  open_ev.path = "/etc/hosts";
+  open_ev.fd = 3;
+  events.push_back(open_ev);
+
+  for (int i = 0; i < 24; ++i) {
+    TraceEvent w = make_syscall(
+        "SYS_write", {"5", "65536", strprintf("%d", i * 65536)}, 65536);
+    w.local_start = 1159808388LL * kSecond + i * kMillisecond;
+    w.duration = from_millis(3.0);
+    w.rank = i % 4;
+    w.pid = 10378;
+    w.host = i % 2 == 0 ? "host13.lanl.gov" : "host14.lanl.gov";
+    w.path = i % 3 == 0 ? "/pfs/out.dat" : "";
+    w.fd = 5;
+    w.bytes = 65536;
+    w.offset = static_cast<Bytes>(i) * 65536;
+    events.push_back(w);
+  }
+
+  TraceEvent note;
+  note.cls = EventClass::kAnnotation;
+  note.name = "Barrier before /app.exe";
+  note.rank = 0;
+  events.push_back(note);
+
+  TraceEvent unknown = make_syscall("SYS_read", {"9", "4096"}, 4096);
+  unknown.bytes = 4096;
+  unknown.offset = -1;
+  events.push_back(unknown);
+  return events;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sample(
+    const BinaryOptions& options = {}) {
+  return encode_binary_v2(EventBatch::from_events(sample_stream()), options);
+}
+
+// Header field offsets of the shared container envelope (binary_format.h):
+// magic 0..6, flags 6, count 7..15, paylen 15..23.
+constexpr std::size_t kFlagsOff = 6;
+constexpr std::size_t kCountOff = 7;
+constexpr std::size_t kPaylenOff = 15;
+
+void put_u64(std::vector<std::uint8_t>& buf, std::size_t off,
+             std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::vector<std::uint8_t>& buf,
+                                    std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf[off + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+TEST(BatchView, MatchesDecodedBatch) {
+  const std::vector<std::uint8_t> bytes = encode_sample();
+  const EventBatch decoded = decode_binary_batch(bytes);
+  const BatchView view(bytes);
+
+  ASSERT_EQ(view.size(), decoded.size());
+  ASSERT_EQ(view.string_count(), decoded.pool().size());
+  for (StrId id = 0; id < view.string_count(); ++id) {
+    EXPECT_EQ(view.string(id), decoded.pool().view(id));
+  }
+  ASSERT_EQ(view.arg_id_count(), decoded.arg_ids().size());
+
+  view.for_each([&](std::size_t i, const RecordView& rec,
+                    std::uint32_t args_begin) {
+    const EventRecord& want = decoded.record(i);
+    EXPECT_EQ(rec.to_record(args_begin), want) << "record " << i;
+    EXPECT_EQ(args_begin, want.args_begin) << "record " << i;
+    EXPECT_EQ(view.materialize(i, args_begin), decoded.materialize(i))
+        << "record " << i;
+  });
+}
+
+TEST(BatchView, HeaderAndStringTableAccessors) {
+  const std::vector<std::uint8_t> bytes = encode_sample();
+  const BatchView view(bytes);
+  EXPECT_EQ(view.header().version, 2);
+  EXPECT_TRUE(view.header().checksummed);
+  EXPECT_FALSE(view.header().compressed);
+  EXPECT_EQ(view.string(0), "");
+  EXPECT_GT(view.string_table_bytes(), 0u);
+  ASSERT_TRUE(view.find_string("SYS_write").has_value());
+  EXPECT_EQ(view.string(*view.find_string("SYS_write")), "SYS_write");
+  EXPECT_FALSE(view.find_string("not-in-table").has_value());
+  EXPECT_THROW((void)view.string(static_cast<StrId>(view.string_count())),
+               FormatError);
+  EXPECT_THROW((void)view.arg_id(view.arg_id_count()), FormatError);
+}
+
+TEST(BatchView, RejectsV1Containers) {
+  const std::vector<std::uint8_t> v1 = encode_binary(sample_stream(), {});
+  EXPECT_THROW((void)BatchView(v1), FormatError);
+  // ... while the decoding path still accepts them.
+  EXPECT_EQ(decode_binary_batch(v1).size(), sample_stream().size());
+}
+
+TEST(BatchView, RejectsCompressedAndEncryptedContainers) {
+  BinaryOptions compressed;
+  compressed.compress = true;
+  EXPECT_THROW((void)BatchView(encode_sample(compressed)), FormatError);
+
+  BinaryOptions encrypted;
+  encrypted.encrypt = true;
+  encrypted.key = CipherKey{0x1111, 0x2222, 0x3333, 0x4444};
+  const std::vector<std::uint8_t> bytes = encode_sample(encrypted);
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  // The same payload decodes fine through the decrypting path.
+  EXPECT_EQ(decode_binary_batch(bytes, encrypted.key).size(),
+            sample_stream().size());
+}
+
+TEST(BatchView, RejectsFlippedCrc) {
+  std::vector<std::uint8_t> bytes = encode_sample();
+  bytes.back() ^= 0x01;  // CRC trails the payload
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsFlippedPayloadByte) {
+  std::vector<std::uint8_t> bytes = encode_sample();
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsTruncatedBuffer) {
+  const std::vector<std::uint8_t> bytes = encode_sample();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, std::size_t{22}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)BatchView(cut), FormatError) << "keep=" << keep;
+  }
+}
+
+TEST(BatchView, RejectsTruncatedRecordSection) {
+  BinaryOptions plain;
+  plain.checksum = false;  // reach the structural checks, not the CRC
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // Drop half a record's bytes off the end and fix up paylen so the
+  // envelope stays self-consistent: the record section is no longer
+  // count * stride.
+  const std::size_t cut = v2layout::kStride / 2;
+  bytes.resize(bytes.size() - cut);
+  put_u64(bytes, kPaylenOff, get_u64(bytes, kPaylenOff) - cut);
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsOversizedRecordSection) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // Trailing garbage after the records, paylen patched to cover it.
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbe, 0xef});
+  put_u64(bytes, kPaylenOff, get_u64(bytes, kPaylenOff) + 4);
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsOverstatedRecordCount) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  put_u64(bytes, kCountOff, get_u64(bytes, kCountOff) + 3);
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+  // A wildly corrupt count must be rejected up front, not fed to reserve().
+  put_u64(bytes, kCountOff, ~0ULL);
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsOverflowingPayloadLength) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // A paylen chosen so header + paylen (+ crc) wraps around 2^64 to the
+  // true buffer size must not pass the envelope length check.
+  put_u64(bytes, kPaylenOff,
+          ~std::uint64_t{0} - kContainerHeaderSize + 1 +
+              (bytes.size() - kContainerHeaderSize));
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsDuplicateStringTableEntries) {
+  // Hand-build a v2 body whose string table interns "dup" twice; the
+  // decoder rejects it ("not interned") and the view must too — records
+  // could otherwise reference the second copy and dodge id-equality scans.
+  std::vector<std::uint8_t> body;
+  const auto u32 = [&body](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  const auto u64 = [&body](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      body.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  u32(3);  // nstrings: "", "dup", "dup"
+  u32(0);
+  u32(3);
+  body.insert(body.end(), {'d', 'u', 'p'});
+  u32(3);
+  body.insert(body.end(), {'d', 'u', 'p'});
+  u64(0);  // nargids
+  // zero records
+
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), {'I', 'O', 'T', 'B', '2', '\n'});
+  bytes.push_back(0);  // flags: plain
+  bytes.resize(kContainerHeaderSize, 0);
+  put_u64(bytes, kCountOff, 0);
+  put_u64(bytes, kPaylenOff, body.size());
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, HugeStringTableCountIsFormatErrorNotBadAlloc) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // nstrings is the first u32 of the body; a wildly corrupt count must be
+  // rejected up front, never fed to reserve() as a giant allocation.
+  constexpr std::size_t kNstringsOff = kContainerHeaderSize;
+  for (std::size_t i = 0; i < 4; ++i) {
+    bytes[kNstringsOff + i] = 0xff;
+  }
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsOutOfRangeStringId) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // Clobber the last record's name id (offset 1 within the record) with an
+  // id far beyond the string table.
+  const std::size_t name_off =
+      bytes.size() - v2layout::kStride + v2layout::kName;
+  bytes[name_off] = 0xff;
+  bytes[name_off + 1] = 0xff;
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, RejectsArgSliceOverrun) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  const std::size_t argc_off =
+      bytes.size() - v2layout::kStride + v2layout::kArgsCount;
+  bytes[argc_off] = 0xff;  // args_count far beyond the arg-id table
+  bytes[argc_off + 1] = 0xff;
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
+TEST(BatchView, EmptyBatchViews) {
+  const std::vector<std::uint8_t> bytes = encode_binary_v2(EventBatch{}, {});
+  const BatchView view(bytes);
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.string_count(), 1u);  // the implicit empty string
+}
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] std::string temp_path() const {
+    return strprintf("/tmp/iotaxo_zero_copy_%d_%s.iotb", ::testing::UnitTest::
+                         GetInstance()->random_seed(),
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name());
+  }
+
+  void write_bytes(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  void TearDown() override { std::remove(temp_path().c_str()); }
+};
+
+TEST_F(MappedFileTest, MapsAndViewsRoundTrip) {
+  const std::vector<std::uint8_t> bytes = encode_sample();
+  write_bytes(temp_path(), bytes);
+
+  MappedTraceFile file(temp_path());
+  ASSERT_EQ(file.size(), bytes.size());
+  EXPECT_EQ(std::memcmp(file.bytes().data(), bytes.data(), bytes.size()), 0);
+
+  const BatchView view(file.bytes());
+  EXPECT_EQ(view.size(), sample_stream().size());
+
+  // Views must survive moves of the backing file object.
+  MappedTraceFile moved = std::move(file);
+  EXPECT_EQ(view.materialize(0, 0), sample_stream()[0]);
+  EXPECT_EQ(moved.size(), bytes.size());
+}
+
+TEST_F(MappedFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)MappedTraceFile("/nonexistent/iotaxo.iotb"), IoError);
+}
+
+}  // namespace
+}  // namespace iotaxo::trace
+
+namespace iotaxo::analysis {
+namespace {
+
+using trace::EventBatch;
+using trace::TraceEvent;
+
+[[nodiscard]] std::vector<TraceEvent> era_events(int era, int count) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < count; ++i) {
+    TraceEvent ev = trace::make_syscall(
+        i % 3 == 0 ? "SYS_read" : "SYS_write",
+        {"5", "4096", strprintf("%d", i)}, 4096);
+    ev.rank = i % 4;
+    ev.host = "host00";
+    ev.path = i % 2 == 0 ? strprintf("/pfs/era%d.dat", era) : "";
+    ev.fd = 5;
+    ev.bytes = 4096;
+    ev.local_start = static_cast<SimTime>(era) * kSecond +
+                     static_cast<SimTime>(i) * kMillisecond;
+    ev.duration = 10 * kMicrosecond;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+[[nodiscard]] auto all_queries(const UnifiedTraceStore& store) {
+  return std::tuple{store.call_stats(), store.bytes_in_window(kSecond / 2,
+                                                              5 * kSecond / 2),
+                    store.io_rate_series(from_millis(25.0)),
+                    store.hottest_files(8)};
+}
+
+TEST(StoreZeroCopy, ViewBackedSourceMatchesOwnedIngest) {
+  const std::vector<TraceEvent> events = era_events(0, 60);
+  const EventBatch batch = EventBatch::from_events(events);
+  const std::vector<std::uint8_t> bytes = trace::encode_binary_v2(batch, {});
+  const std::string path = "/tmp/iotaxo_store_view_test.iotb";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  UnifiedTraceStore owned;
+  owned.ingest(batch, {{"framework", "test"}, {"application", "a"}});
+  UnifiedTraceStore viewed;
+  viewed.ingest_view(path, {{"framework", "test"}, {"application", "a"}});
+  std::remove(path.c_str());
+
+  ASSERT_EQ(viewed.sources().size(), 1u);
+  EXPECT_TRUE(viewed.sources()[0].view_backed);
+  EXPECT_FALSE(owned.sources()[0].view_backed);
+  EXPECT_EQ(viewed.total_events(), owned.total_events());
+  EXPECT_EQ(all_queries(viewed), all_queries(owned));
+  EXPECT_EQ(viewed.rank_timeline(1), owned.rank_timeline(1));
+  // The view-backed source has no owned batch to hand out.
+  EXPECT_THROW((void)viewed.source_batch(0), ConfigError);
+  EXPECT_EQ(owned.source_batch(0).size(), events.size());
+}
+
+TEST(StoreZeroCopy, IndexSkipsKeepResultsIdentical) {
+  UnifiedTraceStore store;
+  for (int era = 0; era < 6; ++era) {
+    store.ingest(EventBatch::from_events(era_events(era, 40)),
+                 {{"framework", "test"},
+                  {"application", strprintf("era%d", era)}});
+  }
+  // One source with no I/O at all (annotations only) — the index must let
+  // every query skip it without changing any result.
+  TraceEvent note;
+  note.cls = trace::EventClass::kAnnotation;
+  note.name = "checkpoint";
+  note.rank = 0;
+  note.local_start = 10 * kSecond;
+  store.ingest(EventBatch::from_events({note}), {{"framework", "test"}});
+
+  ASSERT_TRUE(store.use_indexes());
+  const auto indexed = all_queries(store);
+  store.set_use_indexes(false);
+  const auto unindexed = all_queries(store);
+  EXPECT_EQ(indexed, unindexed);
+}
+
+TEST(StoreZeroCopy, CompactMergesOwnedPoolsAndPreservesResults) {
+  UnifiedTraceStore store;
+  for (int era = 0; era < 8; ++era) {
+    store.ingest(EventBatch::from_events(era_events(era, 50)),
+                 {{"framework", "test"},
+                  {"application", strprintf("era%d", era)}});
+  }
+  ASSERT_EQ(store.pool_count(), 8u);
+  const auto before = all_queries(store);
+  const auto timeline_before = store.rank_timeline(2);
+  const auto sources_before = store.sources();
+
+  const std::size_t pools = store.compact(1u << 20);
+  EXPECT_LT(pools, 8u);
+  EXPECT_EQ(store.pool_count(), pools);
+
+  // Source infos survive compaction verbatim; query results are identical
+  // serial and parallel.
+  ASSERT_EQ(store.sources().size(), sources_before.size());
+  for (std::size_t s = 0; s < sources_before.size(); ++s) {
+    EXPECT_EQ(store.sources()[s].application, sources_before[s].application);
+    EXPECT_EQ(store.sources()[s].events, sources_before[s].events);
+  }
+  store.set_query_threads(1);
+  EXPECT_EQ(all_queries(store), before);
+  store.set_query_threads(4);
+  EXPECT_EQ(all_queries(store), before);
+  EXPECT_EQ(store.rank_timeline(2), timeline_before);
+  // Per-source batches are gone once merged into an era.
+  EXPECT_THROW((void)store.source_batch(0), ConfigError);
+}
+
+TEST(StoreZeroCopy, CompactLeavesViewPoolsAlone) {
+  const EventBatch batch = EventBatch::from_events(era_events(1, 30));
+  const std::vector<std::uint8_t> bytes = trace::encode_binary_v2(batch, {});
+  const std::string path = "/tmp/iotaxo_store_compact_view_test.iotb";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  UnifiedTraceStore store;
+  store.ingest(EventBatch::from_events(era_events(0, 30)),
+               {{"framework", "test"}});
+  store.ingest_view(path, {{"framework", "test"}});
+  store.ingest(EventBatch::from_events(era_events(2, 30)),
+               {{"framework", "test"}});
+  std::remove(path.c_str());
+
+  const auto before = all_queries(store);
+  // The view pool splits the owned run, so nothing can merge across it.
+  EXPECT_EQ(store.compact(1u << 30), 3u);
+  EXPECT_EQ(all_queries(store), before);
+  // The view source still refuses to hand out an owned batch.
+  EXPECT_THROW((void)store.source_batch(1), ConfigError);
+}
+
+TEST(StoreZeroCopy, CompactRespectsEraBudget) {
+  UnifiedTraceStore store;
+  for (int era = 0; era < 4; ++era) {
+    store.ingest(EventBatch::from_events(era_events(era, 50)),
+                 {{"framework", "test"}});
+  }
+  // A budget smaller than any single pool merges nothing.
+  EXPECT_EQ(store.compact(1), 4u);
+  // An unbounded budget merges everything into one era.
+  EXPECT_EQ(store.compact(static_cast<std::size_t>(-1)), 1u);
+  EXPECT_EQ(store.total_events(), 200);
+}
+
+}  // namespace
+}  // namespace iotaxo::analysis

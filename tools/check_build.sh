@@ -5,27 +5,93 @@
 #   ./tools/check_build.sh [build-dir]          # full build + full ctest
 #   ./tools/check_build.sh --tsan [build-dir]   # ThreadSanitizer build, then
 #                                               # the concurrency suites only
+#   ./tools/check_build.sh --bench [build-dir]  # build, run the gated
+#                                               # benches, and fail if any
+#                                               # BENCH_*.json gate field
+#                                               # regresses below its floor
+#
+# Bench gating convention: a bench that wants a regression gate emits a pair
+# of JSON keys, "<metric>" and "<metric>_floor". The floors live in the JSON
+# artifact itself (written by the bench), so thresholds are declared exactly
+# once — this script only compares measured >= floor. Benches also exit
+# nonzero on their own hard gates (result-identity checks etc.).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-TSAN=0
+MODE=build
 if [[ "${1:-}" == "--tsan" ]]; then
-  TSAN=1
+  MODE=tsan
+  shift
+elif [[ "${1:-}" == "--bench" ]]; then
+  MODE=bench
   shift
 fi
 
-if [[ ${TSAN} -eq 1 ]]; then
-  BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
-  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_TSAN=ON
-  cmake --build "${BUILD_DIR}" -j
-  # The suites that exercise the concurrent pipeline (async flush, sharded
-  # sinks, parallel store scans, batched capture) under TSan.
-  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-    -R 'concurrency_test|batch_test|util_test'
-else
-  BUILD_DIR="${1:-${REPO_ROOT}/build}"
-  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-  cmake --build "${BUILD_DIR}" -j
-  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
-fi
+# Verify every "<metric>_floor" key in a BENCH_*.json has a matching
+# "<metric>" measured at or above it.
+check_json_gates() {
+  local json="$1"
+  local status=0
+  local -A vals floors
+  while read -r key val; do
+    [[ -z "${key}" ]] && continue
+    if [[ "${key}" == *_floor ]]; then
+      floors["${key%_floor}"]="${val}"
+    else
+      vals["${key}"]="${val}"
+    fi
+  done < <(sed -nE 's/.*"([A-Za-z0-9_]+)"[[:space:]]*:[[:space:]]*(-?[0-9]+\.?[0-9]*).*/\1 \2/p' "${json}")
+  for metric in "${!floors[@]}"; do
+    local floor="${floors[${metric}]}" measured="${vals[${metric}]:-}"
+    if [[ -z "${measured}" ]]; then
+      echo "GATE FAIL: ${json}: '${metric}_floor' has no measured '${metric}'"
+      status=1
+    elif ! awk -v m="${measured}" -v f="${floor}" 'BEGIN { exit !(m >= f) }'; then
+      echo "GATE FAIL: ${json}: ${metric} = ${measured} < floor ${floor}"
+      status=1
+    else
+      echo "gate ok: ${json}: ${metric} = ${measured} >= ${floor}"
+    fi
+  done
+  return "${status}"
+}
+
+case "${MODE}" in
+  tsan)
+    BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_TSAN=ON
+    cmake --build "${BUILD_DIR}" -j
+    # The suites that exercise the concurrent pipeline (async flush, sharded
+    # sinks, parallel store scans, batched capture, zero-copy view sources)
+    # under TSan.
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -R 'concurrency_test|batch_test|zero_copy_test|util_test'
+    ;;
+  bench)
+    BUILD_DIR="${1:-${REPO_ROOT}/build}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+    cmake --build "${BUILD_DIR}" -j
+    STATUS=0
+    # Gate only this run's artifacts, not JSONs left by renamed or removed
+    # benches.
+    rm -f "${BUILD_DIR}"/BENCH_*.json
+    # The gated benches: each writes BENCH_<name>.json next to itself and
+    # exits nonzero when its hard gates fail.
+    for bench in bench_batch_pipeline bench_async_flush bench_zero_copy; do
+      echo "--- ${bench}"
+      (cd "${BUILD_DIR}" && "./${bench}") || STATUS=1
+    done
+    for json in "${BUILD_DIR}"/BENCH_*.json; do
+      [[ -e "${json}" ]] || continue
+      check_json_gates "${json}" || STATUS=1
+    done
+    exit "${STATUS}"
+    ;;
+  build)
+    BUILD_DIR="${1:-${REPO_ROOT}/build}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+    cmake --build "${BUILD_DIR}" -j
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+    ;;
+esac

@@ -3,19 +3,27 @@
 //   iotaxo trace    --framework lanl|tracefs|partrace --workload mpiio|meta
 //                   [--pattern strided|nonstrided|nn] [--ranks N]
 //                   [--block BYTES] [--total BYTES] [--out DIR]
+//                   [--binary-out FILE.iotb]
 //   iotaxo classify [--ranks N]
 //   iotaxo replay   --in DIR [--sync barriers|deps|none]
 //   iotaxo analyze  --in DIR [DIR...]
 //   iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]
+//   iotaxo stat     FILE.iotb
 //
 // Bundles are the on-disk trace format (one text trace per rank plus TSV
 // sidecars) produced by `trace --out` and consumed by replay/analyze/
 // anonymize — the full LANL trace-distribution workflow from one binary.
+// `trace --binary-out` additionally writes the run as one IOTB2 container,
+// which `stat` inspects through the zero-copy reader (mmap + BatchView —
+// no decode).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/aggregate_timing.h"
 #include "analysis/call_summary.h"
@@ -30,6 +38,9 @@
 #include "replay/replayer.h"
 #include "sim/cluster.h"
 #include "taxonomy/classifier.h"
+#include "trace/binary_format.h"
+#include "trace/event_batch.h"
+#include "trace/record_view.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -42,6 +53,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::vector<std::string> positional;
   std::map<std::string, std::string> options;
 
   [[nodiscard]] std::string get(const std::string& key,
@@ -62,11 +74,16 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) {
     args.command = argv[1];
   }
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      throw ConfigError(strprintf("expected --option, got '%s'", argv[i]));
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (i + 1 >= argc) {
+        throw ConfigError(strprintf("missing value for '%s'", argv[i]));
+      }
+      args.options[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      args.positional.emplace_back(argv[i]);
     }
-    args.options[argv[i] + 2] = argv[i + 1];
   }
   return args;
 }
@@ -78,10 +95,12 @@ int usage() {
       "mpiio|meta\n"
       "                   [--pattern strided|nonstrided|nn] [--ranks N]\n"
       "                   [--block BYTES] [--total BYTES] [--out DIR]\n"
+      "                   [--binary-out FILE.iotb]\n"
       "  iotaxo classify  [--ranks N]\n"
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
-      "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n",
+      "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n"
+      "  iotaxo stat      FILE.iotb\n",
       stderr);
   return 2;
 }
@@ -163,6 +182,93 @@ int cmd_trace(const Args& args) {
     result.bundle.save(out);
     std::printf("bundle saved to  : %s\n", out.c_str());
   }
+  const std::string binary_out = args.get("binary-out");
+  if (!binary_out.empty()) {
+    trace::EventBatch batch;
+    for (const trace::RankStream& rs : result.bundle.ranks) {
+      for (const trace::TraceEvent& ev : rs.events) {
+        batch.append(ev);
+      }
+    }
+    const std::vector<std::uint8_t> bytes =
+        trace::encode_binary_v2(batch, trace::BinaryOptions{});
+    std::FILE* f = std::fopen(binary_out.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      throw IoError("cannot write binary trace: " + binary_out);
+    }
+    std::fclose(f);
+    std::printf("binary trace     : %s (%s, viewable zero-copy)\n",
+                binary_out.c_str(), format_bytes(
+                    static_cast<Bytes>(bytes.size())).c_str());
+  }
+  return 0;
+}
+
+// `stat` prints a container's shape through the zero-copy reader: the file
+// is mmapped and the per-call table is computed straight off the
+// fixed-stride records — no EventBatch is ever built.
+int cmd_stat(const Args& args) {
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const std::string& path = args.positional.front();
+  const trace::MappedTraceFile file(path);
+  const trace::BatchView view(file.bytes());
+
+  std::printf("file             : %s (%s, %s)\n", path.c_str(),
+              format_bytes(static_cast<Bytes>(file.size())).c_str(),
+              file.is_mapped() ? "mmapped" : "read");
+  std::printf("container        : IOTB2%s\n",
+              view.header().checksummed ? ", checksummed (CRC ok)" : "");
+  std::printf("records          : %zu\n", view.size());
+  std::printf("string table     : %zu distinct strings, %s\n",
+              view.string_count(),
+              format_bytes(
+                  static_cast<Bytes>(view.string_table_bytes())).c_str());
+  std::printf("argument ids     : %zu\n", view.arg_id_count());
+
+  // Per-call tallies keyed by interned name id — one flat vector, no maps.
+  struct CallTally {
+    long long count = 0;
+    Bytes bytes = 0;
+    SimTime time = 0;
+  };
+  std::vector<CallTally> tallies(view.string_count());
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::RecordView rec = view.record(i);
+    CallTally& tally = tallies[rec.name()];
+    ++tally.count;
+    tally.time += rec.duration();
+    if (rec.is_io_call()) {
+      tally.bytes += rec.bytes();
+    }
+  }
+  std::vector<trace::StrId> order;
+  for (trace::StrId id = 0; id < tallies.size(); ++id) {
+    if (tallies[id].count > 0) {
+      order.push_back(id);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](trace::StrId a, trace::StrId b) {
+    return tallies[a].count > tallies[b].count;
+  });
+
+  TextTable table({"Call", "Events", "Bytes", "Total time"});
+  for (std::size_t c = 1; c < 4; ++c) {
+    table.set_align(c, Align::kRight);
+  }
+  for (const trace::StrId id : order) {
+    const CallTally& tally = tallies[id];
+    table.add_row({std::string(view.string(id)),
+                   strprintf("%lld", tally.count), format_bytes(tally.bytes),
+                   format_duration(tally.time)});
+  }
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }
 
@@ -256,6 +362,12 @@ int cmd_anonymize(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    // Only `stat` takes positional arguments; anywhere else a stray token
+    // means the user dropped an --option and must not be silently ignored.
+    if (args.command != "stat" && !args.positional.empty()) {
+      throw ConfigError(
+          strprintf("expected --option, got '%s'", args.positional[0].c_str()));
+    }
     if (args.command == "trace") {
       return cmd_trace(args);
     }
@@ -270,6 +382,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "anonymize") {
       return cmd_anonymize(args);
+    }
+    if (args.command == "stat") {
+      return cmd_stat(args);
     }
     return usage();
   } catch (const Error& err) {
