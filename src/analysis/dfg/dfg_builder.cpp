@@ -1,0 +1,258 @@
+#include "analysis/dfg/dfg.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "util/thread_pool.h"
+
+namespace iotaxo::analysis::dfg {
+
+namespace {
+
+/// One pool's contribution, keyed by *pool-local* string ids: built in
+/// isolation (so pools can run in parallel), remapped to Dfg-global ids by
+/// the serial merge. first/last are kept regardless of keep_sequences —
+/// the merge stitches them across pool boundaries.
+struct RankPartial {
+  bool any = false;
+  SeqEvent first;
+  SeqEvent last;
+  std::map<trace::StrId, NodeStats> nodes;
+  std::map<EdgeKey, EdgeStats> edges;
+  std::vector<SeqEvent> sequence;
+};
+
+struct PoolPartial {
+  std::map<int, RankPartial> ranks;
+};
+
+void add_transition(EdgeStats& edge, SimTime gap, Bytes bytes) {
+  if (edge.count == 0) {
+    edge.gap_min = edge.gap_max = gap;
+  } else {
+    edge.gap_min = std::min(edge.gap_min, gap);
+    edge.gap_max = std::max(edge.gap_max, gap);
+  }
+  edge.gap_sum += gap;
+  ++edge.count;
+  edge.bytes += bytes;
+}
+
+void merge_edge(EdgeStats& into, const EdgeStats& from) {
+  if (from.count == 0) {
+    return;
+  }
+  if (into.count == 0) {
+    into.gap_min = from.gap_min;
+    into.gap_max = from.gap_max;
+  } else {
+    into.gap_min = std::min(into.gap_min, from.gap_min);
+    into.gap_max = std::max(into.gap_max, from.gap_max);
+  }
+  into.count += from.count;
+  into.bytes += from.bytes;
+  into.gap_sum += from.gap_sum;
+}
+
+/// Stream one pool through the store's accessor seam into a partial.
+[[nodiscard]] PoolPartial build_pool_partial(const UnifiedTraceStore& store,
+                                             std::size_t pool,
+                                             const DfgOptions& options) {
+  PoolPartial partial;
+  store.with_pool_access(pool, [&](const auto& acc) {
+    const std::size_t n = acc.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& rec = acc.record(i);
+      if (!rec.is_io_call() || rec.rank < 0) {
+        continue;  // probes, annotations, rank-less bookkeeping
+      }
+      if (options.rank.has_value() && rec.rank != *options.rank) {
+        continue;
+      }
+      SeqEvent ev;
+      ev.name = rec.name;  // pool-local id; the merge remaps it
+      ev.start = rec.local_start;
+      ev.end = rec.local_start + rec.duration;
+      ev.bytes = rec.bytes > 0 ? rec.bytes : 0;
+
+      RankPartial& rp = partial.ranks[rec.rank];
+      NodeStats& node = rp.nodes[ev.name];
+      ++node.count;
+      node.total_duration += rec.duration;
+      node.bytes += ev.bytes;
+      if (rp.any) {
+        add_transition(rp.edges[{rp.last.name, ev.name}],
+                       ev.start - rp.last.end, ev.bytes);
+      } else {
+        rp.first = ev;
+        rp.any = true;
+      }
+      rp.last = ev;
+      if (options.keep_sequences) {
+        rp.sequence.push_back(ev);
+      }
+    }
+  });
+  return partial;
+}
+
+/// Interns Dfg-global name ids during the merge. Owns copies of the pool
+/// strings (pool tables use per-pool ids that cannot be shared).
+class NameTable {
+ public:
+  NameTable() : names_{""} { index_.emplace("", 0); }
+
+  [[nodiscard]] trace::StrId intern(std::string_view s) {
+    const auto it = index_.find(std::string(s));
+    if (it != index_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<trace::StrId>(names_.size());
+    names_.emplace_back(s);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  [[nodiscard]] std::vector<std::string> take() { return std::move(names_); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, trace::StrId> index_;
+};
+
+/// Re-key the graph onto ids assigned in sorted-name order. Merge-time ids
+/// are handed out first-seen, which depends on how records are split into
+/// pools; sorting detaches the table from pooling so graphs mined from the
+/// same events are identical (==) across ingest splits, view vs owned
+/// sources, and compact().
+void canonicalize(Dfg& dfg) {
+  std::vector<trace::StrId> order(dfg.names.size());
+  for (trace::StrId id = 0; id < order.size(); ++id) {
+    order[id] = id;
+  }
+  // Id 0 stays the empty string; everything else sorts by name.
+  std::sort(order.begin() + 1, order.end(),
+            [&](trace::StrId a, trace::StrId b) {
+              return dfg.names[a] < dfg.names[b];
+            });
+  std::vector<trace::StrId> remap(dfg.names.size(), 0);
+  std::vector<std::string> sorted_names(dfg.names.size());
+  for (trace::StrId pos = 0; pos < order.size(); ++pos) {
+    remap[order[pos]] = pos;
+    sorted_names[pos] = std::move(dfg.names[order[pos]]);
+  }
+  dfg.names = std::move(sorted_names);
+  for (RankDfg& graph : dfg.ranks) {
+    std::map<trace::StrId, NodeStats> nodes;
+    for (const auto& [id, stats] : graph.nodes) {
+      nodes.emplace(remap[id], stats);
+    }
+    graph.nodes = std::move(nodes);
+    std::map<EdgeKey, EdgeStats> edges;
+    for (const auto& [key, stats] : graph.edges) {
+      edges.emplace(EdgeKey{remap[key.first], remap[key.second]}, stats);
+    }
+    graph.edges = std::move(edges);
+    for (SeqEvent& ev : graph.sequence) {
+      ev.name = remap[ev.name];
+    }
+  }
+}
+
+}  // namespace
+
+Dfg DfgBuilder::build(const DfgOptions& options) const {
+  const UnifiedTraceStore& store = *store_;
+  const std::size_t npools = store.pool_count();
+
+  // --- phase 1: per-pool partials, embarrassingly parallel ---------------
+  std::vector<PoolPartial> partials(npools);
+  const std::size_t threads =
+      options.threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : options.threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      std::min(threads, npools), 1);
+  const auto build_chunk = [&](std::size_t c) {
+    const std::size_t begin = npools * c / chunks;
+    const std::size_t end = npools * (c + 1) / chunks;
+    for (std::size_t p = begin; p < end; ++p) {
+      partials[p] = build_pool_partial(store, p, options);
+    }
+  };
+  if (chunks <= 1) {
+    build_chunk(0);
+  } else {
+    parallel_for(chunks, build_chunk, chunks);
+  }
+
+  // --- phase 2: serial merge in pool (== source) order -------------------
+  // Global ids are interned first-seen over pools in order, so the table —
+  // like the graphs — is identical no matter how phase 1 was chunked, and
+  // invariant to pool boundaries (ingest splits, compact() merges).
+  NameTable names;
+  std::map<int, RankDfg> merged;          // rank -> accumulating graph
+  std::map<int, SeqEvent> last_by_rank;   // global-id boundary state
+  for (std::size_t p = 0; p < npools; ++p) {
+    PoolPartial& partial = partials[p];
+    // Lazy pool-local -> global remap table, shared by this pool's ranks.
+    std::vector<trace::StrId> remap;
+    store.with_pool_access(p, [&](const auto& acc) {
+      remap.assign(acc.string_count(), 0);
+      for (auto& [rank, rp] : partial.ranks) {
+        for (const auto& [local, stats] : rp.nodes) {
+          if (remap[local] == 0) {
+            remap[local] = names.intern(acc.string(local));
+          }
+        }
+      }
+    });
+    for (auto& [rank, rp] : partial.ranks) {
+      if (!rp.any) {
+        continue;
+      }
+      RankDfg& graph = merged[rank];
+      graph.rank = rank;
+      for (const auto& [local, stats] : rp.nodes) {
+        NodeStats& node = graph.nodes[remap[local]];
+        node.count += stats.count;
+        node.total_duration += stats.total_duration;
+        node.bytes += stats.bytes;
+      }
+      for (const auto& [key, stats] : rp.edges) {
+        merge_edge(graph.edges[{remap[key.first], remap[key.second]}], stats);
+      }
+      // Stitch the pool boundary: the rank's previous pool tail directly
+      // precedes this pool's head, exactly as a single concatenated pool
+      // would have counted it.
+      const auto carried = last_by_rank.find(rank);
+      if (carried != last_by_rank.end()) {
+        add_transition(
+            graph.edges[{carried->second.name, remap[rp.first.name]}],
+            rp.first.start - carried->second.end, rp.first.bytes);
+      }
+      SeqEvent tail = rp.last;
+      tail.name = remap[tail.name];
+      last_by_rank[rank] = tail;
+      if (options.keep_sequences) {
+        graph.sequence.reserve(graph.sequence.size() + rp.sequence.size());
+        for (SeqEvent ev : rp.sequence) {
+          ev.name = remap[ev.name];
+          graph.sequence.push_back(ev);
+        }
+      }
+    }
+  }
+
+  Dfg out;
+  out.names = names.take();
+  out.ranks.reserve(merged.size());
+  for (auto& [rank, graph] : merged) {
+    out.ranks.push_back(std::move(graph));
+  }
+  canonicalize(out);
+  return out;
+}
+
+}  // namespace iotaxo::analysis::dfg

@@ -1,0 +1,191 @@
+#include "analysis/dfg/dfg_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace iotaxo::analysis::dfg {
+
+namespace {
+
+/// Edge key by call-name strings, so distributions from different Dfgs
+/// (different name tables) line up.
+using NamedEdge = std::pair<std::string_view, std::string_view>;
+
+struct EdgeCount {
+  long long a = 0;
+  long long b = 0;
+};
+
+[[nodiscard]] std::map<NamedEdge, long long> named_counts(
+    const Dfg& dfg, const RankDfg* graph) {
+  std::map<NamedEdge, long long> counts;
+  if (graph != nullptr) {
+    for (const auto& [key, stats] : graph->edges) {
+      counts[{dfg.name(key.first), dfg.name(key.second)}] = stats.count;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+RankDelta compare_ranks(const Dfg& a, int rank_a, const Dfg& b, int rank_b,
+                        const CompareOptions& options) {
+  RankDelta delta;
+  delta.rank_a = rank_a;
+  delta.rank_b = rank_b;
+
+  std::map<NamedEdge, EdgeCount> joined;
+  for (const auto& [edge, count] : named_counts(a, a.find_rank(rank_a))) {
+    joined[edge].a = count;
+  }
+  for (const auto& [edge, count] : named_counts(b, b.find_rank(rank_b))) {
+    joined[edge].b = count;
+  }
+  long long total_a = 0;
+  long long total_b = 0;
+  for (const auto& [edge, count] : joined) {
+    total_a += count.a;
+    total_b += count.b;
+  }
+
+  // Borrowed views until after the truncation below — the joined union can
+  // be edge-count sized, and only top_edges survivors earn owned strings.
+  struct ViewDelta {
+    NamedEdge edge;
+    EdgeCount count;
+    double divergence = 0;
+  };
+  std::vector<ViewDelta> deltas;
+  deltas.reserve(joined.size());
+  double distance = 0;
+  for (const auto& [edge, count] : joined) {
+    const double fa =
+        total_a > 0 ? static_cast<double>(count.a) / total_a : 0.0;
+    const double fb =
+        total_b > 0 ? static_cast<double>(count.b) / total_b : 0.0;
+    const double d = std::abs(fa - fb);
+    distance += d;
+    deltas.push_back({edge, count, d});
+  }
+  delta.divergence = distance / 2.0;
+  // A mined graph against a missing/empty one is fully divergent, not
+  // half: an absent rank is no distribution at all, and callers threshold
+  // on 1.0 to spot missing behavior (see the header contract).
+  if ((total_a == 0) != (total_b == 0)) {
+    delta.divergence = 1.0;
+  }
+  // Descending divergence; ties break on names so the order (and thus the
+  // CLI output) is deterministic.
+  std::sort(deltas.begin(), deltas.end(),
+            [](const ViewDelta& x, const ViewDelta& y) {
+              if (x.divergence != y.divergence) {
+                return x.divergence > y.divergence;
+              }
+              return x.edge < y.edge;
+            });
+  if (deltas.size() > options.top_edges) {
+    deltas.resize(options.top_edges);
+  }
+  delta.edges.reserve(deltas.size());
+  for (const ViewDelta& vd : deltas) {
+    EdgeDelta ed;
+    ed.from = std::string(vd.edge.first);
+    ed.to = std::string(vd.edge.second);
+    ed.count_a = vd.count.a;
+    ed.count_b = vd.count.b;
+    ed.divergence = vd.divergence;
+    delta.edges.push_back(std::move(ed));
+  }
+  return delta;
+}
+
+DfgComparison compare_dfgs(const Dfg& a, const Dfg& b,
+                           const CompareOptions& options) {
+  DfgComparison out;
+  for (const RankDfg& graph : a.ranks) {
+    if (b.find_rank(graph.rank) == nullptr) {
+      out.only_in_a.push_back(graph.rank);
+    }
+  }
+  for (const RankDfg& graph : b.ranks) {
+    if (a.find_rank(graph.rank) == nullptr) {
+      out.only_in_b.push_back(graph.rank);
+    }
+  }
+  double sum = 0;
+  for (const RankDfg& graph : a.ranks) {
+    if (b.find_rank(graph.rank) == nullptr) {
+      continue;
+    }
+    out.ranks.push_back(
+        compare_ranks(a, graph.rank, b, graph.rank, options));
+    sum += out.ranks.back().divergence;
+  }
+  if (!out.ranks.empty()) {
+    out.divergence = sum / static_cast<double>(out.ranks.size());
+  }
+  return out;
+}
+
+std::vector<int> outlier_ranks(const Dfg& dfg, double sigma) {
+  if (dfg.ranks.size() < 3) {
+    return {};  // no population to diverge from
+  }
+  // Edge frequency vectors over the shared name table (ids suffice within
+  // one Dfg), then each rank's total variation distance to the centroid.
+  std::map<EdgeKey, std::vector<double>> freqs;
+  const std::size_t nranks = dfg.ranks.size();
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const RankDfg& graph = dfg.ranks[r];
+    const long long total = graph.transitions();
+    if (total == 0) {
+      continue;
+    }
+    for (const auto& [key, stats] : graph.edges) {
+      auto [it, inserted] = freqs.try_emplace(key);
+      if (inserted) {
+        it->second.assign(nranks, 0.0);
+      }
+      it->second[r] = static_cast<double>(stats.count) / total;
+    }
+  }
+  std::vector<double> distance(nranks, 0.0);
+  for (const auto& [key, by_rank] : freqs) {
+    double mean = 0;
+    for (const double f : by_rank) {
+      mean += f;
+    }
+    mean /= static_cast<double>(nranks);
+    for (std::size_t r = 0; r < nranks; ++r) {
+      distance[r] += std::abs(by_rank[r] - mean);
+    }
+  }
+  for (double& d : distance) {
+    d /= 2.0;
+  }
+  double mean = 0;
+  for (const double d : distance) {
+    mean += d;
+  }
+  mean /= static_cast<double>(nranks);
+  double var = 0;
+  for (const double d : distance) {
+    var += (d - mean) * (d - mean);
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(nranks));
+  std::vector<int> outliers;
+  if (stddev <= 0) {
+    return outliers;  // all ranks equidistant: nobody is an outlier
+  }
+  for (std::size_t r = 0; r < nranks; ++r) {
+    if (distance[r] > mean + sigma * stddev) {
+      outliers.push_back(dfg.ranks[r].rank);
+    }
+  }
+  return outliers;
+}
+
+}  // namespace iotaxo::analysis::dfg

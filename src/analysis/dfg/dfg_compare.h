@@ -1,0 +1,72 @@
+// Graph diffing — the per-rank pattern comparison that is the workhorse of
+// parallel-I/O diagnosis (Recorder-style): are all ranks doing the same
+// thing, and if not, which one diverges and on which transitions?
+//
+// Graphs are compared as *edge frequency distributions*: each rank graph
+// becomes a vector of transition frequencies (edge count / total
+// transitions), and divergence is the total variation distance
+// 0.5 * sum |f_a - f_b| in [0, 1] — 0 for identical transition structure
+// (regardless of absolute event counts), 1 for disjoint edge sets. Edges
+// are matched by call-name strings, so graphs from different runs (with
+// different name tables) compare correctly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dfg/dfg.h"
+
+namespace iotaxo::analysis::dfg {
+
+/// One edge's contribution to a divergence score.
+struct EdgeDelta {
+  std::string from;
+  std::string to;
+  long long count_a = 0;
+  long long count_b = 0;
+  /// |freq_a - freq_b| for this edge (sums to 2x the rank divergence).
+  double divergence = 0;
+};
+
+struct RankDelta {
+  int rank_a = -1;
+  int rank_b = -1;
+  /// Total variation distance between the two edge distributions, [0, 1].
+  double divergence = 0;
+  /// Most-diverging edges, descending, up to CompareOptions::top_edges.
+  std::vector<EdgeDelta> edges;
+};
+
+struct CompareOptions {
+  /// Edge deltas retained per rank pair (the full union can be large).
+  std::size_t top_edges = 8;
+};
+
+/// Diff one rank's graph against another's (same Dfg or different runs).
+/// A rank with no mined graph (or no transitions) scores divergence 1
+/// against any non-empty graph — missing behavior is fully divergent —
+/// and 0 against another empty one.
+[[nodiscard]] RankDelta compare_ranks(const Dfg& a, int rank_a, const Dfg& b,
+                                      int rank_b,
+                                      const CompareOptions& options = {});
+
+/// Run-vs-run diff: ranks are paired by id; ranks present on only one side
+/// are listed, not scored.
+struct DfgComparison {
+  /// Mean divergence over the paired ranks (0 when none pair up).
+  double divergence = 0;
+  std::vector<RankDelta> ranks;
+  std::vector<int> only_in_a;
+  std::vector<int> only_in_b;
+};
+[[nodiscard]] DfgComparison compare_dfgs(const Dfg& a, const Dfg& b,
+                                         const CompareOptions& options = {});
+
+/// Behavioral outliers within one run: each rank's distance to the mean
+/// edge-frequency vector of all ranks, flagged when it exceeds
+/// mean + `sigma` standard deviations. Empty when every rank behaves alike
+/// (zero spread) or fewer than three ranks were mined.
+[[nodiscard]] std::vector<int> outlier_ranks(const Dfg& dfg,
+                                             double sigma = 2.0);
+
+}  // namespace iotaxo::analysis::dfg

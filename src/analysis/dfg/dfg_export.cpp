@@ -1,0 +1,137 @@
+#include "analysis/dfg/dfg_export.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace iotaxo::analysis::dfg {
+
+namespace {
+
+/// Minimal escaping shared by DOT (double-quoted strings) and JSON: call
+/// names are tracer-printed identifiers, but a hostile container could
+/// intern anything.
+[[nodiscard]] std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool selected(const ExportOptions& options,
+                            const RankDfg& graph) noexcept {
+  return !options.rank.has_value() || graph.rank == *options.rank;
+}
+
+}  // namespace
+
+std::string to_dot(const Dfg& dfg, const ExportOptions& options) {
+  std::string out = "digraph dfg {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const RankDfg& graph : dfg.ranks) {
+    if (!selected(options, graph)) {
+      continue;
+    }
+    long long max_edge = 1;
+    for (const auto& [key, stats] : graph.edges) {
+      max_edge = std::max(max_edge, stats.count);
+    }
+    out += strprintf("  subgraph cluster_rank_%d {\n    label=\"rank %d\";\n",
+                     graph.rank, graph.rank);
+    for (const auto& [id, stats] : graph.nodes) {
+      out += strprintf("    r%d_n%u [label=\"%s\\n%lld calls",
+                       graph.rank, id,
+                       escaped(dfg.name(id)).c_str(), stats.count);
+      if (stats.bytes > 0) {
+        out += strprintf(", %s", format_bytes(stats.bytes).c_str());
+      }
+      out += "\"];\n";
+    }
+    for (const auto& [key, stats] : graph.edges) {
+      const double rel = static_cast<double>(stats.count) /
+                         static_cast<double>(max_edge);
+      out += strprintf("    r%d_n%u -> r%d_n%u [label=\"%lldx",
+                       graph.rank, key.first, graph.rank, key.second,
+                       stats.count);
+      if (stats.bytes > 0) {
+        out += strprintf(", %s", format_bytes(stats.bytes).c_str());
+      }
+      out += strprintf(", gap %s\" penwidth=%.1f];\n",
+                       format_duration(stats.gap_mean()).c_str(),
+                       1.0 + 4.0 * rel);
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_json(const Dfg& dfg, const ExportOptions& options) {
+  std::string out = "{\n  \"ranks\": [";
+  bool first_rank = true;
+  for (const RankDfg& graph : dfg.ranks) {
+    if (!selected(options, graph)) {
+      continue;
+    }
+    out += first_rank ? "\n" : ",\n";
+    first_rank = false;
+    out += strprintf("    {\n      \"rank\": %d,\n      \"transitions\": "
+                     "%lld,\n      \"nodes\": [",
+                     graph.rank, graph.transitions());
+    bool first = true;
+    for (const auto& [id, stats] : graph.nodes) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += strprintf(
+          "        {\"name\": \"%s\", \"count\": %lld, "
+          "\"total_duration_ns\": %lld, \"bytes\": %lld}",
+          escaped(dfg.name(id)).c_str(), stats.count,
+          static_cast<long long>(stats.total_duration),
+          static_cast<long long>(stats.bytes));
+    }
+    out += "\n      ],\n      \"edges\": [";
+    first = true;
+    for (const auto& [key, stats] : graph.edges) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += strprintf(
+          "        {\"from\": \"%s\", \"to\": \"%s\", \"count\": %lld, "
+          "\"bytes\": %lld, \"gap_min_ns\": %lld, \"gap_mean_ns\": %lld, "
+          "\"gap_max_ns\": %lld}",
+          escaped(dfg.name(key.first)).c_str(),
+          escaped(dfg.name(key.second)).c_str(), stats.count,
+          static_cast<long long>(stats.bytes),
+          static_cast<long long>(stats.gap_min),
+          static_cast<long long>(stats.gap_mean()),
+          static_cast<long long>(stats.gap_max));
+    }
+    out += "\n      ]\n    }";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace iotaxo::analysis::dfg

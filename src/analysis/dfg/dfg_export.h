@@ -1,0 +1,30 @@
+// DFG serialization: Graphviz DOT for eyeballs, JSON for tools. Schemas
+// are documented in src/analysis/dfg/README.md; both renderings are
+// deterministic (node/edge order follows the canonical sorted name ids),
+// so exports of equal graphs are byte-equal.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/dfg/dfg.h"
+
+namespace iotaxo::analysis::dfg {
+
+struct ExportOptions {
+  /// Restrict the export to one rank (all mined ranks otherwise).
+  std::optional<int> rank;
+};
+
+/// Graphviz DOT: one cluster subgraph per rank; node labels carry call
+/// counts and transfer bytes, edge labels carry transition counts, byte
+/// weights and mean gaps, with pen width scaled by relative edge count.
+[[nodiscard]] std::string to_dot(const Dfg& dfg,
+                                 const ExportOptions& options = {});
+
+/// JSON document with the name table inlined into nodes/edges (schema in
+/// README.md).
+[[nodiscard]] std::string to_json(const Dfg& dfg,
+                                  const ExportOptions& options = {});
+
+}  // namespace iotaxo::analysis::dfg

@@ -1,0 +1,208 @@
+#include "analysis/dfg/phase_segmenter.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace iotaxo::analysis::dfg {
+
+namespace {
+
+enum class Direction { kRead, kWrite, kOther };
+
+[[nodiscard]] Direction direction_of(std::string_view name) noexcept {
+  if (name.find("write") != std::string_view::npos ||
+      name.find("Write") != std::string_view::npos) {
+    return Direction::kWrite;
+  }
+  if (name.find("read") != std::string_view::npos ||
+      name.find("Read") != std::string_view::npos) {
+    return Direction::kRead;
+  }
+  return Direction::kOther;
+}
+
+/// 8x the median positive inter-call gap: loops run at a steady small gap,
+/// phase boundaries sit an order of magnitude out, and the median ignores
+/// a single slow straggler that would wreck a mean-based cut.
+[[nodiscard]] SimTime auto_threshold(const std::vector<SeqEvent>& seq) {
+  std::vector<SimTime> gaps;
+  gaps.reserve(seq.size());
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const SimTime gap = seq[i].start - seq[i - 1].end;
+    if (gap > 0) {
+      gaps.push_back(gap);
+    }
+  }
+  if (gaps.empty()) {
+    return 0;  // back-to-back calls only: nothing to cut on
+  }
+  const auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+  std::nth_element(gaps.begin(), mid, gaps.end());
+  return *mid * 8;
+}
+
+/// Number of exact repetitions of the p-length block starting at `begin`,
+/// staying inside [begin, end). Names only — byte sizes may vary between
+/// iterations of the same loop.
+[[nodiscard]] long long repetitions(const std::vector<SeqEvent>& seq,
+                                    std::size_t begin, std::size_t end,
+                                    std::size_t p) {
+  long long k = 1;
+  std::size_t at = begin + p;
+  while (at + p <= end) {
+    bool match = true;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (seq[at + j].name != seq[begin + j].name) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) {
+      break;
+    }
+    ++k;
+    at += p;
+  }
+  return k;
+}
+
+/// Smallest period whose block repeats >= min_iterations from `begin`;
+/// 0 when none does.
+[[nodiscard]] std::size_t loop_period_at(const std::vector<SeqEvent>& seq,
+                                         std::size_t begin, std::size_t end,
+                                         const PhaseOptions& options,
+                                         long long* iterations) {
+  for (std::size_t p = 1; p <= options.max_loop_period; ++p) {
+    if (begin + 2 * p > end) {
+      break;
+    }
+    const long long k = repetitions(seq, begin, end, p);
+    if (k >= options.min_loop_iterations) {
+      *iterations = k;
+      return p;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(PhaseLabel label) noexcept {
+  switch (label) {
+    case PhaseLabel::kMetadataHeavy:
+      return "metadata-heavy";
+    case PhaseLabel::kReadDominant:
+      return "read-dominant";
+    case PhaseLabel::kWriteDominant:
+      return "write-dominant";
+    case PhaseLabel::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::vector<Phase> PhaseSegmenter::segment(int rank) const {
+  const RankDfg* graph = dfg_->find_rank(rank);
+  if (graph == nullptr) {
+    throw ConfigError("phase segmenter: rank has no mined graph");
+  }
+  const std::vector<SeqEvent>& seq = graph->sequence;
+  if (seq.empty()) {
+    throw ConfigError(
+        "phase segmenter: the Dfg was built without sequences "
+        "(set DfgOptions::keep_sequences)");
+  }
+
+  const SimTime threshold = options_.gap_threshold > 0
+                                ? options_.gap_threshold
+                                : auto_threshold(seq);
+
+  std::vector<Phase> phases;
+  const auto finish = [&](std::size_t begin, std::size_t end,
+                          std::size_t loop_period, long long iterations) {
+    Phase phase;
+    phase.begin = begin;
+    phase.count = end - begin;
+    phase.start = seq[begin].start;
+    phase.end = seq[end - 1].end;
+    phase.loop_period = loop_period;
+    phase.loop_iterations = iterations;
+    for (std::size_t i = begin; i < end; ++i) {
+      const SeqEvent& ev = seq[i];
+      if (ev.bytes > 0) {
+        ++phase.transfer_ops;
+        switch (direction_of(dfg_->name(ev.name))) {
+          case Direction::kRead:
+            phase.read_bytes += ev.bytes;
+            break;
+          case Direction::kWrite:
+            phase.write_bytes += ev.bytes;
+            break;
+          case Direction::kOther:
+            break;
+        }
+      } else {
+        ++phase.metadata_ops;
+      }
+    }
+    const Bytes transfer = phase.read_bytes + phase.write_bytes;
+    const auto count = static_cast<double>(phase.count);
+    if (phase.transfer_ops == 0 || transfer == 0) {
+      phase.label = PhaseLabel::kMetadataHeavy;
+    } else if (static_cast<double>(phase.metadata_ops) >=
+               options_.metadata_ratio * count) {
+      phase.label = PhaseLabel::kMetadataHeavy;
+    } else {
+      const double read_share =
+          static_cast<double>(phase.read_bytes) / static_cast<double>(transfer);
+      if (read_share >= options_.dominance) {
+        phase.label = PhaseLabel::kReadDominant;
+      } else if (1.0 - read_share >= options_.dominance) {
+        phase.label = PhaseLabel::kWriteDominant;
+      } else {
+        phase.label = PhaseLabel::kMixed;
+      }
+    }
+    phases.push_back(phase);
+  };
+
+  // Gap-delimited stretches, then greedy loop runs inside each: at every
+  // position try for a loop; events before the next loop start become a
+  // plain phase.
+  std::size_t seg_begin = 0;
+  for (std::size_t i = 1; i <= seq.size(); ++i) {
+    const bool cut = i == seq.size() ||
+                     (threshold > 0 && seq[i].start - seq[i - 1].end > threshold);
+    if (!cut) {
+      continue;
+    }
+    const std::size_t seg_end = i;
+    std::size_t at = seg_begin;
+    std::size_t plain_begin = seg_begin;
+    while (at < seg_end) {
+      long long iterations = 0;
+      const std::size_t p =
+          loop_period_at(seq, at, seg_end, options_, &iterations);
+      if (p == 0) {
+        ++at;
+        continue;
+      }
+      if (plain_begin < at) {
+        finish(plain_begin, at, 0, 0);
+      }
+      const std::size_t run = p * static_cast<std::size_t>(iterations);
+      finish(at, at + run, p, iterations);
+      at += run;
+      plain_begin = at;
+    }
+    if (plain_begin < seg_end) {
+      finish(plain_begin, seg_end, 0, 0);
+    }
+    seg_begin = seg_end;
+  }
+  return phases;
+}
+
+}  // namespace iotaxo::analysis::dfg

@@ -1,0 +1,89 @@
+// Phase segmentation over a mined rank sequence: cut one rank's kept
+// events into I/O phases and label each with its behavioral class. This is
+// the DFG inspection result the Sankaran et al. line of work reads off
+// syscall traces — "the application opens, then loops write/seek 400
+// times, then goes metadata-heavy" — made queryable.
+//
+// Segmentation runs in two layers:
+//  1. Gap cuts: a phase boundary wherever the inter-call gap exceeds
+//     PhaseOptions::gap_threshold (0 = auto: 8x the median positive gap of
+//     the rank, a robust threshold that survives one slow outlier call).
+//  2. Loop detection inside each gap-delimited stretch: the segmenter
+//     finds the smallest period p (<= max_loop_period) whose call-name
+//     block repeats exactly at least min_loop_iterations times and emits
+//     that run as one loop phase (loop_period = p, loop_iterations = k);
+//     non-repeating stretches between loops become plain phases.
+//
+// Labels (the subsystem's phase taxonomy):
+//   kMetadataHeavy — no transfer payload, or metadata ops dominate
+//   kReadDominant  — reads carry >= `dominance` of the transfer bytes
+//   kWriteDominant — writes carry >= `dominance`
+//   kMixed         — transfers without a dominant direction
+// Read vs write is classified by call name ("read"/"write" substring:
+// SYS_read, MPI_File_write_at, vfs_write, ...), the naming convention all
+// built-in frameworks share.
+#pragma once
+
+#include <vector>
+
+#include "analysis/dfg/dfg.h"
+
+namespace iotaxo::analysis::dfg {
+
+enum class PhaseLabel {
+  kMetadataHeavy,
+  kReadDominant,
+  kWriteDominant,
+  kMixed,
+};
+
+[[nodiscard]] const char* to_string(PhaseLabel label) noexcept;
+
+struct PhaseOptions {
+  /// Inter-call gap that cuts a phase; 0 = auto (8x median positive gap).
+  SimTime gap_threshold = 0;
+  /// Longest repeating block (in calls) the loop detector tries.
+  std::size_t max_loop_period = 16;
+  /// Repetitions required before a run counts as a loop.
+  long long min_loop_iterations = 2;
+  /// Byte share that makes a phase read- or write-dominant.
+  double dominance = 0.6;
+  /// Op share with no payload that makes a phase metadata-heavy even when
+  /// some transfers occur (an open/write/close loop is still a write
+  /// phase: 2/3 metadata ops must not outvote the payload).
+  double metadata_ratio = 0.75;
+};
+
+struct Phase {
+  /// [begin, begin + count) into the rank's RankDfg::sequence.
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  PhaseLabel label = PhaseLabel::kMixed;
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+  long long transfer_ops = 0;
+  long long metadata_ops = 0;
+  /// Loop shape when the phase is a detected loop (0 / 0 otherwise).
+  std::size_t loop_period = 0;
+  long long loop_iterations = 0;
+  bool operator==(const Phase&) const = default;
+};
+
+class PhaseSegmenter {
+ public:
+  /// The Dfg must have been built with DfgOptions::keep_sequences.
+  explicit PhaseSegmenter(const Dfg& dfg, const PhaseOptions& options = {})
+      : dfg_(&dfg), options_(options) {}
+
+  /// Phases of one rank, in time order. Throws ConfigError when the rank
+  /// has no graph or the Dfg was built without sequences.
+  [[nodiscard]] std::vector<Phase> segment(int rank) const;
+
+ private:
+  const Dfg* dfg_;
+  PhaseOptions options_;
+};
+
+}  // namespace iotaxo::analysis::dfg

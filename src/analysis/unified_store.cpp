@@ -10,63 +10,10 @@ namespace iotaxo::analysis {
 
 namespace {
 
-// Queries see every pool through one of two accessors with the same shape:
-// BatchAccess over an owned EventBatch, ViewAccess over a zero-copy
-// BatchView. Both are cheap value types; the dispatch happens once per
-// pool (with_access), so the per-record loops stay monomorphized.
-
-struct BatchAccess {
-  const trace::EventBatch* b;
-
-  [[nodiscard]] std::size_t size() const noexcept { return b->size(); }
-  [[nodiscard]] const trace::EventRecord& record(std::size_t i) const {
-    return b->record(i);
-  }
-  [[nodiscard]] std::string_view name(std::size_t i) const {
-    return b->name(i);
-  }
-  [[nodiscard]] std::string_view path(std::size_t i) const {
-    return b->path(i);
-  }
-  [[nodiscard]] std::size_t string_count() const noexcept {
-    return b->pool().size();
-  }
-  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
-    return b->pool().find(s);
-  }
-  /// args_begin is carried by the owned record itself; the parameter keeps
-  /// the signature uniform with ViewAccess.
-  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
-                                              std::uint32_t /*args_begin*/)
-      const {
-    return b->materialize(i);
-  }
-};
-
-struct ViewAccess {
-  const trace::BatchView* v;
-
-  [[nodiscard]] std::size_t size() const noexcept { return v->size(); }
-  [[nodiscard]] trace::EventRecord record(std::size_t i) const noexcept {
-    return v->record(i).to_record();
-  }
-  [[nodiscard]] std::string_view name(std::size_t i) const {
-    return v->string(v->record(i).name());
-  }
-  [[nodiscard]] std::string_view path(std::size_t i) const {
-    return v->string(v->record(i).path());
-  }
-  [[nodiscard]] std::size_t string_count() const noexcept {
-    return v->string_count();
-  }
-  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
-    return v->find_string(s);
-  }
-  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
-                                              std::uint32_t args_begin) const {
-    return v->materialize(i, args_begin);
-  }
-};
+// Queries dispatch each pool onto the public accessor seam declared in
+// unified_store.h (BatchAccess over an owned EventBatch, ViewAccess over a
+// zero-copy BatchView) exactly once, so the per-record loops below stay
+// monomorphized.
 
 template <class Fn>
 decltype(auto) with_access(const trace::EventBatch& batch,
@@ -226,10 +173,23 @@ std::size_t UnifiedTraceStore::ingest(
 std::size_t UnifiedTraceStore::ingest_view(
     trace::MappedTraceFile file,
     const std::map<std::string, std::string>& metadata) {
-  StorePool pool;
   // The view borrows the mapped bytes; MappedTraceFile guarantees they do
   // not relocate when the file object itself is moved into the pool.
-  pool.view.emplace(file.bytes());
+  trace::BatchView view(file.bytes());
+  return ingest_view(std::move(file), std::move(view), metadata);
+}
+
+std::size_t UnifiedTraceStore::ingest_view(
+    trace::MappedTraceFile file, trace::BatchView view,
+    const std::map<std::string, std::string>& metadata) {
+  const std::span<const std::uint8_t> bytes = file.bytes();
+  if (view.buffer().data() != bytes.data() ||
+      view.buffer().size() != bytes.size()) {
+    throw ConfigError(
+        "unified store: the view does not borrow the given mapped file");
+  }
+  StorePool pool;
+  pool.view.emplace(std::move(view));
   pool.file = std::move(file);
 
   StoreSourceInfo info = parse_source_info(metadata);
@@ -285,6 +245,37 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
   }
   pools_ = std::move(merged);
   return pools_.size();
+}
+
+std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
+  std::vector<StorePoolInfo> infos;
+  infos.reserve(pools_.size());
+  for (const StorePool& pool : pools_) {
+    StorePoolInfo info;
+    info.first_source = pool.first_source;
+    info.source_count = pool.source_count;
+    if (pool.view.has_value()) {
+      info.view_backed = true;
+      info.records = static_cast<long long>(pool.view->size());
+      info.approx_bytes = pool.file.size();
+    } else {
+      info.records = static_cast<long long>(pool.batch.size());
+      info.approx_bytes = approx_batch_bytes(pool.batch);
+    }
+    info.any = pool.index.any;
+    if (info.any) {
+      info.min_time = pool.index.min_time;
+      info.max_time = pool.index.max_time;
+    }
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+void UnifiedTraceStore::check_pool_index(std::size_t p) const {
+  if (p >= pools_.size()) {
+    throw ConfigError("unified store: pool index out of range");
+  }
 }
 
 const UnifiedTraceStore::StorePool& UnifiedTraceStore::pool_for(

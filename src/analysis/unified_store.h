@@ -48,6 +48,73 @@
 
 namespace iotaxo::analysis {
 
+// Every query sees a pool's records through one of two accessors with the
+// same shape: BatchAccess over an owned EventBatch, ViewAccess over a
+// zero-copy BatchView. Both are cheap value types; the dispatch happens
+// once per pool (UnifiedTraceStore::with_pool_access), so per-record loops
+// stay monomorphized. The seam is public so analysis subsystems that
+// stream pool records themselves (the DFG miner, tools) reuse it instead
+// of materializing batches or growing friend access.
+
+struct BatchAccess {
+  const trace::EventBatch* b;
+
+  [[nodiscard]] std::size_t size() const noexcept { return b->size(); }
+  [[nodiscard]] const trace::EventRecord& record(std::size_t i) const {
+    return b->record(i);
+  }
+  [[nodiscard]] std::string_view name(std::size_t i) const {
+    return b->name(i);
+  }
+  [[nodiscard]] std::string_view path(std::size_t i) const {
+    return b->path(i);
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return b->pool().size();
+  }
+  [[nodiscard]] std::string_view string(trace::StrId id) const {
+    return b->pool().view(id);
+  }
+  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
+    return b->pool().find(s);
+  }
+  /// args_begin is carried by the owned record itself; the parameter keeps
+  /// the signature uniform with ViewAccess.
+  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
+                                              std::uint32_t /*args_begin*/)
+      const {
+    return b->materialize(i);
+  }
+};
+
+struct ViewAccess {
+  const trace::BatchView* v;
+
+  [[nodiscard]] std::size_t size() const noexcept { return v->size(); }
+  [[nodiscard]] trace::EventRecord record(std::size_t i) const noexcept {
+    return v->record(i).to_record();
+  }
+  [[nodiscard]] std::string_view name(std::size_t i) const {
+    return v->string(v->record(i).name());
+  }
+  [[nodiscard]] std::string_view path(std::size_t i) const {
+    return v->string(v->record(i).path());
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return v->string_count();
+  }
+  [[nodiscard]] std::string_view string(trace::StrId id) const {
+    return v->string(id);
+  }
+  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
+    return v->find_string(s);
+  }
+  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
+                                              std::uint32_t args_begin) const {
+    return v->materialize(i, args_begin);
+  }
+};
+
 struct StoreSourceInfo {
   std::string framework;
   std::string application;
@@ -69,6 +136,26 @@ struct FileHeat {
   long long ops = 0;
   Bytes bytes = 0;
   bool operator==(const FileHeat&) const = default;
+};
+
+/// Shape of one storage pool, reported by pool_infos() so tools and
+/// benches can describe a store (pool count, sizes, eras, owned vs view)
+/// without friend access to the pool internals.
+struct StorePoolInfo {
+  /// Sources [first_source, first_source + source_count) live in this pool
+  /// (source_count > 1 only after compact()).
+  std::size_t first_source = 0;
+  std::size_t source_count = 1;
+  long long records = 0;
+  /// Approximate resident footprint: in-memory batch bytes for owned
+  /// pools, container file bytes for view-backed pools.
+  std::size_t approx_bytes = 0;
+  bool view_backed = false;
+  /// Pool-index time span (valid iff `any`): min/max corrected stamp.
+  bool any = false;
+  SimTime min_time = 0;
+  SimTime max_time = 0;
+  bool operator==(const StorePoolInfo&) const = default;
 };
 
 class UnifiedTraceStore {
@@ -101,6 +188,12 @@ class UnifiedTraceStore {
   /// Convenience: map `path` and ingest it zero-copy.
   std::size_t ingest_view(const std::string& path,
                           const std::map<std::string, std::string>& metadata = {});
+  /// Ingest an already-validated pair: `view` must borrow `file`'s bytes
+  /// (checked; ConfigError otherwise). Callers that probed the container
+  /// themselves (the CLI's view-or-decode fallback) file it without
+  /// paying the open-time validation a second time.
+  std::size_t ingest_view(trace::MappedTraceFile file, trace::BatchView view,
+                          const std::map<std::string, std::string>& metadata = {});
 
   /// Merge runs of adjacent small *owned* pools into era-sized batches of
   /// at most ~era_bytes each (approximate in-memory footprint). Source
@@ -113,6 +206,23 @@ class UnifiedTraceStore {
   /// some).
   [[nodiscard]] std::size_t pool_count() const noexcept {
     return pools_.size();
+  }
+
+  /// Per-pool shape (record count, footprint, index time span, owned vs
+  /// view), in pool (== source) order.
+  [[nodiscard]] std::vector<StorePoolInfo> pool_infos() const;
+
+  /// Run fn with pool `p`'s accessor (BatchAccess or ViewAccess): the same
+  /// seam every built-in query scans through, for callers that stream pool
+  /// records themselves. Throws ConfigError on an out-of-range pool.
+  template <class Fn>
+  decltype(auto) with_pool_access(std::size_t p, Fn&& fn) const {
+    check_pool_index(p);
+    const StorePool& pool = pools_[p];
+    if (pool.view.has_value()) {
+      return fn(ViewAccess{&*pool.view});
+    }
+    return fn(BatchAccess{&pool.batch});
   }
 
   /// Worker threads aggregate scans may use: 0 = auto (hardware
@@ -218,6 +328,9 @@ class UnifiedTraceStore {
       const std::vector<trace::DependencyEdge>& dependencies);
 
   [[nodiscard]] const StorePool& pool_for(std::size_t source) const;
+
+  /// Bounds check shared by the inline pool accessors.
+  void check_pool_index(std::size_t p) const;
 
   /// (Re)build a pool's skip index from its records.
   static void index_pool(StorePool& pool);

@@ -40,7 +40,7 @@ namespace {
 
 }  // namespace
 
-BatchView::BatchView(std::span<const std::uint8_t> data) {
+BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
   header_ = peek_binary_header(data);  // validates magic + header bounds
   if (header_.version != 2) {
     throw FormatError("zero-copy view: requires an IOTB2 container");
@@ -119,6 +119,23 @@ BatchView::BatchView(std::span<const std::uint8_t> data) {
   }
   args_ = body.subspan(pos, static_cast<std::size_t>(nargids) * 4);
   pos += args_.size();
+  // Validate the table values here, not just the records' slice bounds:
+  // the constructor contract is "throws on anything decode_binary_batch
+  // would reject", and consumers (materialize, the replay adapter)
+  // dereference arg ids long after open. Branch-free max fold so the
+  // compiler can vectorize — a throw inside the loop would cost the view
+  // gate real open time on big argument tables.
+  std::uint32_t max_arg_id = 0;
+  {
+    const std::uint8_t* p = args_.data();
+    for (std::uint64_t j = 0; j < nargids; ++j, p += 4) {
+      max_arg_id = std::max(max_arg_id, load_u32(p));
+    }
+  }
+  if (nargids > 0 && max_arg_id >= nstrings) {
+    throw FormatError(strprintf(
+        "binary trace v2: arg string id %u out of range", max_arg_id));
+  }
 
   // --- fixed-stride record section ---------------------------------------
   count_ = static_cast<std::size_t>(header_.count);

@@ -172,6 +172,13 @@ class BatchView {
     return header_;
   }
 
+  /// The container bytes this view borrows (the constructor argument).
+  /// Lets owners that hold both the buffer and the view (the unified
+  /// store's validated-pair ingest) verify the borrow without re-opening.
+  [[nodiscard]] std::span<const std::uint8_t> buffer() const noexcept {
+    return buffer_;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
   [[nodiscard]] RecordView record(std::size_t i) const noexcept {
@@ -221,6 +228,7 @@ class BatchView {
 
  private:
   BinaryHeader header_;
+  std::span<const std::uint8_t> buffer_;   // the whole borrowed container
   std::span<const std::uint8_t> records_;  // count_ * kStride bytes
   std::span<const std::uint8_t> args_;     // nargids * 4 bytes
   std::vector<std::string_view> strings_;  // id -> bytes in the buffer

@@ -9,6 +9,8 @@
 #include "replay/pseudo_app.h"
 #include "replay/replayer.h"
 #include "sim/cluster.h"
+#include "trace/binary_format.h"
+#include "trace/record_view.h"
 #include "util/error.h"
 #include "workload/probe_app.h"
 
@@ -207,6 +209,81 @@ TEST_F(ReplayFixture, LanlTraceRawStreamsAreReplayableToo) {
   ropts.pseudo.sync = SyncStrategy::kBarriers;
   const ReplayResult result = replayer.replay(traced.bundle, ropts);
   EXPECT_GT(result.run.bytes_written, 0);
+}
+
+// The zero-copy adapter must generate exactly the programs the owned-batch
+// path generates: same ops in the same order, field for field.
+void expect_programs_equal(const std::vector<mpi::Program>& a,
+                           const std::vector<mpi::Program>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size()) << "rank " << r;
+    for (std::size_t i = 0; i < a[r].size(); ++i) {
+      const mpi::Op& x = a[r][i];
+      const mpi::Op& y = b[r][i];
+      EXPECT_EQ(x.type, y.type) << "rank " << r << " op " << i;
+      EXPECT_EQ(x.api, y.api);
+      EXPECT_EQ(x.path, y.path);
+      EXPECT_EQ(x.slot, y.slot);
+      EXPECT_EQ(x.block, y.block);
+      EXPECT_EQ(x.count, y.count);
+      EXPECT_EQ(x.start_offset, y.start_offset);
+      EXPECT_EQ(x.stride, y.stride);
+      EXPECT_EQ(x.duration, y.duration);
+      EXPECT_EQ(x.peer, y.peer);
+      EXPECT_EQ(x.tag, y.tag);
+      EXPECT_EQ(x.label, y.label);
+    }
+  }
+}
+
+TEST_F(ReplayFixture, ViewBackedGenerationMatchesBatchGeneration) {
+  const frameworks::TraceRunResult result = capture_with_partrace();
+  trace::EventBatch batch;
+  for (const trace::RankStream& rs : result.bundle.ranks) {
+    for (const trace::TraceEvent& ev : rs.events) {
+      batch.append(ev);
+    }
+  }
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v2(batch, trace::BinaryOptions{});
+  const trace::BatchView view(bytes);
+
+  const std::vector<mpi::Program> from_batch =
+      generate_pseudo_app(batch, result.bundle.dependencies);
+  const std::vector<mpi::Program> from_view =
+      generate_pseudo_app(view, result.bundle.dependencies);
+  expect_programs_equal(from_batch, from_view);
+}
+
+TEST_F(ReplayFixture, ViewBackedReplayMatchesBatchReplay) {
+  const frameworks::TraceRunResult result = capture_with_partrace();
+  trace::EventBatch batch;
+  for (const trace::RankStream& rs : result.bundle.ranks) {
+    for (const trace::TraceEvent& ev : rs.events) {
+      batch.append(ev);
+    }
+  }
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v2(batch, trace::BinaryOptions{});
+  const trace::BatchView view(bytes);
+
+  Replayer batch_replayer(cluster_, std::make_shared<pfs::Pfs>());
+  const ReplayResult from_batch =
+      batch_replayer.replay(batch, result.bundle.dependencies);
+  Replayer view_replayer(cluster_, std::make_shared<pfs::Pfs>());
+  const ReplayResult from_view =
+      view_replayer.replay(view, result.bundle.dependencies);
+  EXPECT_EQ(from_batch.run.elapsed, from_view.run.elapsed);
+  EXPECT_EQ(from_batch.run.bytes_written, from_view.run.bytes_written);
+  EXPECT_EQ(from_batch.bundle.total_events(), from_view.bundle.total_events());
+}
+
+TEST_F(ReplayFixture, ViewBackedGenerationRejectsEmptyContainer) {
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v2(trace::EventBatch{}, trace::BinaryOptions{});
+  const trace::BatchView view(bytes);
+  EXPECT_THROW((void)generate_pseudo_app(view, {}), FormatError);
 }
 
 }  // namespace

@@ -286,6 +286,36 @@ TEST(BatchView, RejectsOutOfRangeStringId) {
   EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
 }
 
+TEST(BatchView, RejectsOutOfRangeArgIdValue) {
+  BinaryOptions plain;
+  plain.checksum = false;
+  std::vector<std::uint8_t> bytes = encode_sample(plain);
+  // Walk to the argument-id table: nstrings, the length-prefixed strings,
+  // the u64 id count — then clobber the first id. The view must reject at
+  // open (its contract: reject anything the decoder rejects), not throw
+  // later from materialize()/the replay adapter mid-scan.
+  const auto u32_at = [&bytes](std::size_t off) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  std::size_t pos = kContainerHeaderSize;
+  const std::uint32_t nstrings = u32_at(pos);
+  pos += 4;
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    pos += 4 + u32_at(pos);
+  }
+  ASSERT_GT(get_u64(bytes, pos), 0u);  // sample stream has args
+  pos += 8;
+  for (std::size_t i = 0; i < 4; ++i) {
+    bytes[pos + i] = 0xff;
+  }
+  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  EXPECT_THROW((void)decode_binary_batch(bytes), FormatError);
+}
+
 TEST(BatchView, RejectsArgSliceOverrun) {
   BinaryOptions plain;
   plain.checksum = false;

@@ -5,6 +5,8 @@
 #   ./tools/check_build.sh [build-dir]          # full build + full ctest
 #   ./tools/check_build.sh --tsan [build-dir]   # ThreadSanitizer build, then
 #                                               # the concurrency suites only
+#   ./tools/check_build.sh --asan [build-dir]   # AddressSanitizer build +
+#                                               # the full test suite
 #   ./tools/check_build.sh --bench [build-dir]  # build, run the gated
 #                                               # benches, and fail if any
 #                                               # BENCH_*.json gate field
@@ -22,6 +24,9 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 MODE=build
 if [[ "${1:-}" == "--tsan" ]]; then
   MODE=tsan
+  shift
+elif [[ "${1:-}" == "--asan" ]]; then
+  MODE=asan
   shift
 elif [[ "${1:-}" == "--bench" ]]; then
   MODE=bench
@@ -68,6 +73,15 @@ case "${MODE}" in
     ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
       -R 'concurrency_test|batch_test|zero_copy_test|util_test'
     ;;
+  asan)
+    BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_ASAN=ON
+    cmake --build "${BUILD_DIR}" -j
+    # The whole suite: ASan's sweet spot here is the pointer-heavy zero-copy
+    # read path (views into mapped buffers, the accessor seam, the DFG
+    # miner's in-place scans), but leaks and overruns hide anywhere.
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+    ;;
   bench)
     BUILD_DIR="${1:-${REPO_ROOT}/build}"
     cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
@@ -78,7 +92,8 @@ case "${MODE}" in
     rm -f "${BUILD_DIR}"/BENCH_*.json
     # The gated benches: each writes BENCH_<name>.json next to itself and
     # exits nonzero when its hard gates fail.
-    for bench in bench_batch_pipeline bench_async_flush bench_zero_copy; do
+    for bench in bench_batch_pipeline bench_async_flush bench_zero_copy \
+                 bench_dfg; do
       echo "--- ${bench}"
       (cd "${BUILD_DIR}" && "./${bench}") || STATUS=1
     done

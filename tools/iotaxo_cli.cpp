@@ -8,14 +8,20 @@
 //   iotaxo replay   --in DIR [--sync barriers|deps|none]
 //   iotaxo analyze  --in DIR [DIR...]
 //   iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]
-//   iotaxo stat     FILE.iotb
+//   iotaxo stat     FILE.iotb [--key PASSPHRASE]
+//   iotaxo dfg      FILE.iotb [--rank N] [--dot OUT] [--json OUT]
+//                   [--phases] [--compare OTHER.iotb] [--threads N]
+//                   [--key PASSPHRASE]
 //
 // Bundles are the on-disk trace format (one text trace per rank plus TSV
 // sidecars) produced by `trace --out` and consumed by replay/analyze/
 // anonymize — the full LANL trace-distribution workflow from one binary.
 // `trace --binary-out` additionally writes the run as one IOTB2 container,
 // which `stat` inspects through the zero-copy reader (mmap + BatchView —
-// no decode).
+// no decode; v1/compressed/encrypted containers fall back to
+// decode-then-tally with the refusal reason printed) and `dfg` mines into
+// per-rank directly-follows graphs (phases, rank divergence, DOT/JSON
+// export).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -27,6 +33,10 @@
 
 #include "analysis/aggregate_timing.h"
 #include "analysis/call_summary.h"
+#include "analysis/dfg/dfg.h"
+#include "analysis/dfg/dfg_compare.h"
+#include "analysis/dfg/dfg_export.h"
+#include "analysis/dfg/phase_segmenter.h"
 #include "analysis/report.h"
 #include "analysis/unified_store.h"
 #include "anon/anonymizer.h"
@@ -69,6 +79,11 @@ struct Args {
   }
 };
 
+/// Options that are bare flags (no value token follows them).
+[[nodiscard]] bool is_flag_option(const char* name) {
+  return std::strcmp(name, "phases") == 0;
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) {
@@ -76,6 +91,10 @@ Args parse_args(int argc, char** argv) {
   }
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (is_flag_option(argv[i] + 2)) {
+        args.options[argv[i] + 2] = "1";
+        continue;
+      }
       if (i + 1 >= argc) {
         throw ConfigError(strprintf("missing value for '%s'", argv[i]));
       }
@@ -100,7 +119,10 @@ int usage() {
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
       "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n"
-      "  iotaxo stat      FILE.iotb\n",
+      "  iotaxo stat      FILE.iotb [--key PASSPHRASE]\n"
+      "  iotaxo dfg       FILE.iotb [--rank N] [--dot OUT] [--json OUT]\n"
+      "                   [--phases] [--compare OTHER.iotb] [--threads N]\n"
+      "                   [--key PASSPHRASE]\n",
       stderr);
   return 2;
 }
@@ -208,44 +230,25 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
-// `stat` prints a container's shape through the zero-copy reader: the file
-// is mmapped and the per-call table is computed straight off the
-// fixed-stride records — no EventBatch is ever built.
-int cmd_stat(const Args& args) {
-  if (args.positional.empty()) {
-    return usage();
-  }
-  const std::string& path = args.positional.front();
-  const trace::MappedTraceFile file(path);
-  const trace::BatchView view(file.bytes());
-
-  std::printf("file             : %s (%s, %s)\n", path.c_str(),
-              format_bytes(static_cast<Bytes>(file.size())).c_str(),
-              file.is_mapped() ? "mmapped" : "read");
-  std::printf("container        : IOTB2%s\n",
-              view.header().checksummed ? ", checksummed (CRC ok)" : "");
-  std::printf("records          : %zu\n", view.size());
-  std::printf("string table     : %zu distinct strings, %s\n",
-              view.string_count(),
-              format_bytes(
-                  static_cast<Bytes>(view.string_table_bytes())).c_str());
-  std::printf("argument ids     : %zu\n", view.arg_id_count());
-
-  // Per-call tallies keyed by interned name id — one flat vector, no maps.
+// Per-call tallies keyed by interned name id — one flat vector, no maps.
+// Works through the store's public accessor seam, so the zero-copy view
+// and the decoded-batch fallback print identical tables.
+template <class Acc>
+void print_call_table(const Acc& acc) {
   struct CallTally {
     long long count = 0;
     Bytes bytes = 0;
     SimTime time = 0;
   };
-  std::vector<CallTally> tallies(view.string_count());
-  const std::size_t n = view.size();
+  std::vector<CallTally> tallies(acc.string_count());
+  const std::size_t n = acc.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const trace::RecordView rec = view.record(i);
-    CallTally& tally = tallies[rec.name()];
+    const auto& rec = acc.record(i);
+    CallTally& tally = tallies[rec.name];
     ++tally.count;
-    tally.time += rec.duration();
+    tally.time += rec.duration;
     if (rec.is_io_call()) {
-      tally.bytes += rec.bytes();
+      tally.bytes += rec.bytes;
     }
   }
   std::vector<trace::StrId> order;
@@ -264,11 +267,271 @@ int cmd_stat(const Args& args) {
   }
   for (const trace::StrId id : order) {
     const CallTally& tally = tallies[id];
-    table.add_row({std::string(view.string(id)),
+    table.add_row({std::string(acc.string(id)),
                    strprintf("%lld", tally.count), format_bytes(tally.bytes),
                    format_duration(tally.time)});
   }
   std::fputs(table.render().c_str(), stdout);
+}
+
+[[nodiscard]] std::optional<CipherKey> key_from_args(const Args& args) {
+  const std::string passphrase = args.get("key");
+  if (passphrase.empty()) {
+    return std::nullopt;
+  }
+  return derive_key(passphrase);
+}
+
+// `stat` prints a container's shape through the zero-copy reader: the file
+// is mmapped and the per-call table is computed straight off the
+// fixed-stride records — no EventBatch is ever built. Containers the view
+// refuses (v1 bodies, compressed or encrypted payloads) are reported with
+// the reader's reason and decoded into a batch instead of failing, so
+// `stat` works — with one decode — on anything decode_binary_batch
+// accepts (`--key` for encrypted files).
+int cmd_stat(const Args& args) {
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const std::string& path = args.positional.front();
+  const trace::MappedTraceFile file(path);
+
+  std::printf("file             : %s (%s, %s)\n", path.c_str(),
+              format_bytes(static_cast<Bytes>(file.size())).c_str(),
+              file.is_mapped() ? "mmapped" : "read");
+  try {
+    const trace::BatchView view(file.bytes());
+    std::printf("container        : IOTB2%s, zero-copy\n",
+                view.header().checksummed ? ", checksummed (CRC ok)" : "");
+    std::printf("records          : %zu\n", view.size());
+    std::printf("string table     : %zu distinct strings, %s\n",
+                view.string_count(),
+                format_bytes(
+                    static_cast<Bytes>(view.string_table_bytes())).c_str());
+    std::printf("argument ids     : %zu\n", view.arg_id_count());
+    print_call_table(analysis::ViewAccess{&view});
+    return 0;
+  } catch (const FormatError& err) {
+    // Not view-able — say why (the zero-copy reader's own diagnostic),
+    // then tally through the decoder. Containers that are corrupt rather
+    // than merely transformed will throw again below, which is the error
+    // path (exit 1).
+    std::printf("zero-copy        : refused (%s)\n", err.what());
+    std::printf("                   decoding instead\n");
+  }
+  const trace::BinaryHeader header = trace::peek_binary_header(file.bytes());
+  const trace::EventBatch batch =
+      trace::decode_binary_batch(file.bytes(), key_from_args(args));
+  std::printf("container        : IOTB%d%s%s%s, decoded\n", header.version,
+              header.compressed ? ", compressed" : "",
+              header.encrypted ? ", encrypted" : "",
+              header.checksummed ? ", checksummed (CRC ok)" : "");
+  std::printf("records          : %zu\n", batch.size());
+  std::printf("string table     : %zu distinct strings\n",
+              batch.pool().size());
+  std::printf("argument ids     : %zu\n", batch.arg_ids().size());
+  print_call_table(analysis::BatchAccess{&batch});
+  return 0;
+}
+
+/// File an IOTB container with the store: zero-copy when the view accepts
+/// it, decode-then-ingest otherwise (with the reader's refusal reason
+/// printed, mirroring `stat`).
+void ingest_container(analysis::UnifiedTraceStore& store,
+                      const std::string& path, const Args& args) {
+  const std::map<std::string, std::string> metadata = {
+      {"framework", "iotb"}, {"application", path}};
+  // Map and validate exactly once: on success the probed view itself is
+  // filed (the pair overload re-checks nothing), on refusal the decode
+  // fallback reuses the same mapping.
+  trace::MappedTraceFile file(path);
+  std::optional<trace::BatchView> probe;
+  try {
+    probe.emplace(file.bytes());
+  } catch (const FormatError& err) {
+    std::fprintf(stderr,
+                 "iotaxo: %s: zero-copy refused (%s); decoding instead\n",
+                 path.c_str(), err.what());
+    store.ingest(trace::decode_binary_batch(file.bytes(), key_from_args(args)),
+                 metadata);
+    return;
+  }
+  store.ingest_view(std::move(file), std::move(*probe), metadata);
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr ||
+      std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+    throw IoError("cannot write: " + path);
+  }
+  std::fclose(f);
+}
+
+// `dfg` mines a container into per-rank directly-follows graphs: summary
+// and outlier report on stdout, optional DOT/JSON exports, optional phase
+// segmentation (--phases) and run-vs-run comparison (--compare).
+int cmd_dfg(const Args& args) {
+  namespace dfg = analysis::dfg;
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const std::string& path = args.positional.front();
+
+  analysis::UnifiedTraceStore store;
+  ingest_container(store, path, args);
+
+  dfg::DfgOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const bool phases = !args.get("phases").empty();
+  options.keep_sequences = phases;
+  if (args.options.contains("rank")) {
+    options.rank = static_cast<int>(args.get_int("rank", 0));
+  }
+  const dfg::Dfg graph = dfg::DfgBuilder(store).build(options);
+
+  // Store shape through the introspection accessor: what fed the miner.
+  Bytes pool_bytes = 0;
+  long long view_pools = 0;
+  for (const analysis::StorePoolInfo& info : store.pool_infos()) {
+    pool_bytes += static_cast<Bytes>(info.approx_bytes);
+    view_pools += info.view_backed ? 1 : 0;
+  }
+  std::printf("store            : %zu pool(s) (%lld zero-copy), %s, %lld "
+              "events\n",
+              store.pool_count(), view_pools,
+              format_bytes(pool_bytes).c_str(), store.total_events());
+  std::printf("mined            : %zu rank graph(s), %lld kept events, %zu "
+              "distinct calls\n",
+              graph.ranks.size(), graph.total_events(),
+              graph.names.empty() ? 0 : graph.names.size() - 1);
+
+  TextTable table({"Rank", "Events", "Nodes", "Edges", "Transitions",
+                   "Hottest edge"});
+  for (std::size_t c = 0; c < 5; ++c) {
+    table.set_align(c, Align::kRight);
+  }
+  for (const dfg::RankDfg& r : graph.ranks) {
+    long long events = 0;
+    for (const auto& [id, stats] : r.nodes) {
+      events += stats.count;
+    }
+    const dfg::EdgeKey* hot = nullptr;
+    long long hot_count = 0;
+    for (const auto& [key, stats] : r.edges) {
+      if (stats.count > hot_count) {
+        hot_count = stats.count;
+        hot = &key;
+      }
+    }
+    table.add_row(
+        {strprintf("%d", r.rank), strprintf("%lld", events),
+         strprintf("%zu", r.nodes.size()), strprintf("%zu", r.edges.size()),
+         strprintf("%lld", r.transitions()),
+         hot == nullptr
+             ? "-"
+             : strprintf("%s -> %s (%lldx)",
+                         std::string(graph.name(hot->first)).c_str(),
+                         std::string(graph.name(hot->second)).c_str(),
+                         hot_count)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const std::vector<int> outliers = dfg::outlier_ranks(graph);
+  if (!outliers.empty()) {
+    std::string list;
+    for (const int r : outliers) {
+      list += strprintf("%s%d", list.empty() ? "" : ", ", r);
+    }
+    std::printf("outlier rank(s)  : %s (edge distribution > 2 sigma from "
+                "the mean)\n",
+                list.c_str());
+  }
+
+  if (phases) {
+    const dfg::PhaseSegmenter segmenter(graph);
+    for (const dfg::RankDfg& r : graph.ranks) {
+      std::printf("phases, rank %d:\n", r.rank);
+      TextTable ptable({"#", "Window (t+)", "Events", "Label", "Loop", "Read",
+                        "Written"});
+      ptable.set_align(2, Align::kRight);
+      ptable.set_align(5, Align::kRight);
+      ptable.set_align(6, Align::kRight);
+      std::size_t n = 0;
+      const std::vector<dfg::Phase> rank_phases = segmenter.segment(r.rank);
+      // Windows relative to the rank's first event: local_start stamps are
+      // wall-clock-derived, and epoch-scale absolutes are unreadable.
+      const SimTime base = rank_phases.empty() ? 0 : rank_phases.front().start;
+      for (const dfg::Phase& phase : rank_phases) {
+        ptable.add_row(
+            {strprintf("%zu", n++),
+             strprintf("%s .. %s",
+                       format_duration(phase.start - base).c_str(),
+                       format_duration(phase.end - base).c_str()),
+             strprintf("%zu", phase.count), to_string(phase.label),
+             phase.loop_period == 0
+                 ? "-"
+                 : strprintf("%zu calls x %lld", phase.loop_period,
+                             phase.loop_iterations),
+             format_bytes(phase.read_bytes),
+             format_bytes(phase.write_bytes)});
+      }
+      std::fputs(ptable.render().c_str(), stdout);
+    }
+  }
+
+  dfg::ExportOptions export_options;
+  export_options.rank = options.rank;
+  const std::string dot_out = args.get("dot");
+  if (!dot_out.empty()) {
+    write_text_file(dot_out, dfg::to_dot(graph, export_options));
+    std::printf("DOT written      : %s\n", dot_out.c_str());
+  }
+  const std::string json_out = args.get("json");
+  if (!json_out.empty()) {
+    write_text_file(json_out, dfg::to_json(graph, export_options));
+    std::printf("JSON written     : %s\n", json_out.c_str());
+  }
+
+  const std::string other_path = args.get("compare");
+  if (!other_path.empty()) {
+    analysis::UnifiedTraceStore other_store;
+    ingest_container(other_store, other_path, args);
+    dfg::DfgOptions other_options = options;
+    other_options.keep_sequences = false;
+    const dfg::Dfg other = dfg::DfgBuilder(other_store).build(other_options);
+    const dfg::DfgComparison cmp = dfg::compare_dfgs(graph, other);
+    std::printf("compare          : %s vs %s, mean divergence %.3f over %zu "
+                "paired rank(s)\n",
+                path.c_str(), other_path.c_str(), cmp.divergence,
+                cmp.ranks.size());
+    TextTable ctable({"Rank", "Divergence", "Most diverging edge"});
+    ctable.set_align(1, Align::kRight);
+    for (const dfg::RankDelta& delta : cmp.ranks) {
+      // "-" when nothing actually diverges: the top edge of a 0-divergence
+      // rank is just the alphabetically-first tie and must not read as a
+      // difference.
+      const bool diverges =
+          !delta.edges.empty() && delta.edges.front().divergence > 0;
+      ctable.add_row(
+          {strprintf("%d", delta.rank_a), strprintf("%.3f", delta.divergence),
+           !diverges ? "-"
+                     : strprintf("%s -> %s (%lldx vs %lldx)",
+                                 delta.edges.front().from.c_str(),
+                                 delta.edges.front().to.c_str(),
+                                 delta.edges.front().count_a,
+                                 delta.edges.front().count_b)});
+    }
+    std::fputs(ctable.render().c_str(), stdout);
+    if (!cmp.only_in_a.empty() || !cmp.only_in_b.empty()) {
+      std::printf("unpaired ranks   : %zu only in %s, %zu only in %s\n",
+                  cmp.only_in_a.size(), path.c_str(), cmp.only_in_b.size(),
+                  other_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -362,11 +625,16 @@ int cmd_anonymize(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    // Only `stat` takes positional arguments; anywhere else a stray token
-    // means the user dropped an --option and must not be silently ignored.
-    if (args.command != "stat" && !args.positional.empty()) {
+    // Only the container commands (`stat`, `dfg`) take a positional
+    // argument — exactly one; any other stray token means the user
+    // dropped an --option (e.g. `dfg a.iotb b.iotb` instead of
+    // `--compare`) and must not be silently ignored.
+    const bool takes_file = args.command == "stat" || args.command == "dfg";
+    if (args.positional.size() > (takes_file ? 1u : 0u)) {
       throw ConfigError(
-          strprintf("expected --option, got '%s'", args.positional[0].c_str()));
+          strprintf("expected %s, got '%s'",
+                    takes_file ? "one FILE.iotb" : "--option",
+                    args.positional[takes_file ? 1 : 0].c_str()));
     }
     if (args.command == "trace") {
       return cmd_trace(args);
@@ -385,6 +653,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "stat") {
       return cmd_stat(args);
+    }
+    if (args.command == "dfg") {
+      return cmd_dfg(args);
     }
     return usage();
   } catch (const Error& err) {
