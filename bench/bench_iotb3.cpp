@@ -1,0 +1,307 @@
+// IOTB3 block containers: per-block compression/CRC, the footer mini-index
+// skips, and the SIMD scan kernels — the PR 6 gates:
+//
+//   1. A dashboard-shaped mix of narrow windowed queries against a
+//      compressed IOTB3 store must run within 2x of the same mix against an
+//      uncompressed mmap'd IOTB2 store (ratio >= 0.5): compression may not
+//      make interactive probes pathologically slow, because the block index
+//      confines decompression to the blocks a window actually touches and
+//      decoded blocks stay cached.
+//   2. On the block-backed store, the narrow-probe mix must run >= 3x
+//      faster with the per-block index skips than with
+//      set_use_indexes(false). Stores are rebuilt fresh for every
+//      repetition — the decoded-block cache would otherwise let the second
+//      repetition of the unindexed run coast on blocks the first one paid
+//      for, flattering the losing side.
+//   3. A full first-touch scan of a checksummed, uncompressed IOTB3 view
+//      must run within 1.5x of the unchecksummed one (ratio >= 0.667): the
+//      slice-by-8 CRC pass is a small tax, not a second decode. Fresh
+//      views per repetition, since CRCs are verified once per block.
+//   4. Hard identity gates: all aggregate queries must be bit-identical
+//      across an owned ingest, a v2 view store, a v3 block store
+//      (compressed + checksummed) and a cold-compacted store.
+//
+// Emits BENCH_iotb3.json; floors live next to the measured values
+// (*_floor keys) for tools/check_build.sh --bench.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/unified_store.h"
+#include "trace/binary_format.h"
+#include "trace/block_view.h"
+#include "trace/event_batch.h"
+#include "trace/record_view.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace iotaxo;
+using trace::BlockView;
+using trace::EventBatch;
+using trace::RecordView;
+using trace::TraceEvent;
+
+constexpr std::size_t kEvents = 1'000'000;
+constexpr int kRanks = 32;
+constexpr int kRepetitions = 3;
+constexpr int kWindowProbes = 16;
+
+constexpr double kCompressedRatioFloor = 0.5;   // within 2x of mmap
+constexpr double kBlockSkipFloor = 3.0;
+constexpr double kChecksumRatioFloor = 0.667;   // within 1.5x of unchecked
+
+/// The capture-shaped stream the other benches use; event i sits at i
+/// microseconds so time windows map cleanly onto blocks.
+[[nodiscard]] std::vector<TraceEvent> synth_events() {
+  static const char* kNames[] = {"SYS_write", "SYS_read",  "SYS_lseek",
+                                 "SYS_open",  "SYS_close", "MPI_File_write_at",
+                                 "write",     "read"};
+  std::vector<TraceEvent> events;
+  events.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    TraceEvent ev = trace::make_syscall(
+        kNames[i % (sizeof(kNames) / sizeof(kNames[0]))],
+        {"5", "65536", strprintf("%zu", (i % 4096) * 65536)}, 65536);
+    ev.rank = static_cast<int>(i % kRanks);
+    ev.node = ev.rank;
+    ev.pid = 10000 + static_cast<std::uint32_t>(ev.rank);
+    ev.host = strprintf("host%02d.lanl.gov", ev.rank);
+    ev.path = ev.rank % 2 == 0 ? "/pfs/shared/out.dat" : "/pfs/rank/out.dat";
+    ev.fd = 5;
+    ev.bytes = 65536;
+    ev.offset = static_cast<Bytes>(i % 4096) * 65536;
+    ev.local_start = static_cast<SimTime>(i) * kMicrosecond;
+    ev.duration = 3 * kMicrosecond;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+template <class Fn>
+[[nodiscard]] double best_seconds(Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < kRepetitions; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr || std::fwrite(b.data(), 1, b.size(), f) != b.size()) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fclose(f);
+}
+
+constexpr SimTime kSpan = static_cast<SimTime>(kEvents) * kMicrosecond;
+
+/// Narrow probes into scattered eras: each window covers ~1/64 of the
+/// span, so an indexed block-backed store decompresses only the few
+/// blocks each window overlaps.
+template <class Store>
+[[nodiscard]] Bytes narrow_probes(const Store& store) {
+  Bytes total = 0;
+  for (int w = 0; w < kWindowProbes; ++w) {
+    const SimTime begin = (static_cast<SimTime>(w) * 7 % 61) * (kSpan / 64);
+    total += store.bytes_in_window(begin, begin + kSpan / 64);
+  }
+  return total;
+}
+
+[[nodiscard]] analysis::UnifiedTraceStore open_store(const std::string& path) {
+  analysis::UnifiedTraceStore store;
+  store.ingest_view(path, {{"framework", "bench"}});
+  store.set_query_threads(1);
+  return store;
+}
+
+/// The full-touch scan both checksum variants run: fold every record's
+/// duration and write-call bytes through the block decode path.
+[[nodiscard]] std::pair<long long, Bytes> scan_blocks(const BlockView& view) {
+  long long writes = 0;
+  Bytes bytes = 0;
+  const trace::StrId w = view.find_string("SYS_write").value_or(0);
+  view.for_each([&](std::size_t, const RecordView& rec, std::uint32_t) {
+    if (rec.cls() == trace::EventClass::kSyscall && w != 0 &&
+        rec.name() == w) {
+      ++writes;
+      bytes += rec.bytes();
+    }
+  });
+  return {writes, bytes};
+}
+
+[[nodiscard]] auto all_queries(const analysis::UnifiedTraceStore& store) {
+  return std::tuple{store.call_stats(), store.bytes_in_window(0, kSpan / 2),
+                    store.io_rate_series(from_millis(5.0)),
+                    store.hottest_files(10)};
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<TraceEvent> events = synth_events();
+  const EventBatch batch = EventBatch::from_events(events);
+
+  trace::BinaryOptions plain;  // the mmap baseline: no CRC, no compression
+  plain.checksum = false;
+  trace::BinaryOptions compressed;
+  compressed.checksum = false;
+  compressed.compress = true;
+  trace::BinaryOptions full;  // the cold-tier shape
+  full.checksum = true;
+  full.compress = true;
+
+  const std::string v2_path = "bench_iotb3_v2.iotb";
+  const std::string v3_lz_path = "bench_iotb3_lz.iotb3";
+  const std::string v3_full_path = "bench_iotb3_full.iotb3";
+  write_file(v2_path, trace::encode_binary_v2(batch, plain));
+  write_file(v3_lz_path, trace::encode_binary_v3(batch, compressed));
+  write_file(v3_full_path, trace::encode_binary_v3(batch, full));
+  const std::vector<std::uint8_t> v3_plain =
+      trace::encode_binary_v3(batch, plain);
+  const std::vector<std::uint8_t> v3_crc = [&] {
+    trace::BinaryOptions crc_only;
+    crc_only.checksum = true;
+    return trace::encode_binary_v3(batch, crc_only);
+  }();
+
+  // --- gate 1: compressed blocks vs uncompressed mmap ----------------------
+  const analysis::UnifiedTraceStore v2_store = open_store(v2_path);
+  const analysis::UnifiedTraceStore v3_store = open_store(v3_lz_path);
+  const Bytes v2_probe_total = narrow_probes(v2_store);
+  const bool probe_identical = narrow_probes(v3_store) == v2_probe_total;
+  const double mmap_s = best_seconds([&] { (void)narrow_probes(v2_store); });
+  const double lz_s = best_seconds([&] { (void)narrow_probes(v3_store); });
+  const double compressed_ratio = mmap_s / lz_s;
+
+  // --- gate 2: block-index skips vs full decode ----------------------------
+  // Fresh stores per repetition: the decoded-block cache must not carry
+  // between configurations or repetitions.
+  double indexed_s = 1e100;
+  double unindexed_s = 1e100;
+  bool skip_identical = true;
+  for (int r = 0; r < kRepetitions; ++r) {
+    analysis::UnifiedTraceStore store = open_store(v3_full_path);
+    auto t0 = std::chrono::steady_clock::now();
+    const Bytes with_index = narrow_probes(store);
+    auto t1 = std::chrono::steady_clock::now();
+    indexed_s = std::min(indexed_s,
+                         std::chrono::duration<double>(t1 - t0).count());
+
+    analysis::UnifiedTraceStore flat = open_store(v3_full_path);
+    flat.set_use_indexes(false);
+    t0 = std::chrono::steady_clock::now();
+    const Bytes without_index = narrow_probes(flat);
+    t1 = std::chrono::steady_clock::now();
+    unindexed_s = std::min(unindexed_s,
+                           std::chrono::duration<double>(t1 - t0).count());
+    skip_identical = skip_identical && with_index == without_index &&
+                     with_index == v2_probe_total;
+  }
+  const double block_skip_speedup = unindexed_s / indexed_s;
+
+  // --- gate 3: per-block CRC tax on a full first-touch scan ----------------
+  // Fresh views per repetition: the CRC is paid once per block per view.
+  const auto plain_scan = scan_blocks(BlockView(v3_plain));
+  const auto crc_scan = scan_blocks(BlockView(v3_crc));
+  const bool scan_identical = plain_scan == crc_scan;
+  const double plain_s =
+      best_seconds([&] { (void)scan_blocks(BlockView(v3_plain)); });
+  const double crc_s =
+      best_seconds([&] { (void)scan_blocks(BlockView(v3_crc)); });
+  const double checksum_ratio = plain_s / crc_s;
+
+  // --- gate 4: v3 query identity across source kinds -----------------------
+  analysis::UnifiedTraceStore owned;
+  owned.ingest(batch, {{"framework", "bench"}});
+  owned.set_query_threads(1);
+  const auto owned_results = all_queries(owned);
+  const analysis::UnifiedTraceStore v3_full_store = open_store(v3_full_path);
+  const bool identity_v2 = all_queries(v2_store) == owned_results;
+  const bool identity_v3 = all_queries(v3_full_store) == owned_results;
+  analysis::UnifiedTraceStore::ColdTierOptions cold;
+  cold.directory = ".";
+  cold.file_prefix = "bench_iotb3_era";
+  cold.binary = full;
+  (void)owned.compact(static_cast<std::size_t>(-1), cold);
+  const bool identity_cold = all_queries(owned) == owned_results;
+  std::remove("bench_iotb3_era-0.iotb3");
+  std::remove(v2_path.c_str());
+  std::remove(v3_lz_path.c_str());
+  std::remove(v3_full_path.c_str());
+
+  const bool identical = probe_identical && skip_identical &&
+                         scan_identical && identity_v2 && identity_v3 &&
+                         identity_cold;
+  const bool pass = identical && compressed_ratio >= kCompressedRatioFloor &&
+                    block_skip_speedup >= kBlockSkipFloor &&
+                    checksum_ratio >= kChecksumRatioFloor;
+
+  const std::string json = strprintf(
+      "{\n"
+      "  \"bench\": \"iotb3\",\n"
+      "  \"events\": %zu,\n"
+      "  \"blocks\": %zu,\n"
+      "  \"compressed_query_ratio\": %.3f,\n"
+      "  \"compressed_query_ratio_floor\": %.3f,\n"
+      "  \"block_skip_speedup\": %.2f,\n"
+      "  \"block_skip_speedup_floor\": %.1f,\n"
+      "  \"checksummed_scan_ratio\": %.3f,\n"
+      "  \"checksummed_scan_ratio_floor\": %.3f,\n"
+      "  \"identity_v2\": %s,\n"
+      "  \"identity_v3\": %s,\n"
+      "  \"identity_cold_compact\": %s,\n"
+      "  \"probe_results_identical\": %s\n"
+      "}\n",
+      kEvents, BlockView(v3_plain).block_count(), compressed_ratio,
+      kCompressedRatioFloor, block_skip_speedup, kBlockSkipFloor,
+      checksum_ratio, kChecksumRatioFloor, identity_v2 ? "true" : "false",
+      identity_v3 ? "true" : "false", identity_cold ? "true" : "false",
+      (probe_identical && skip_identical && scan_identical) ? "true"
+                                                            : "false");
+
+  std::printf("=== bench_iotb3 ===\n");
+  std::printf("compressed  narrow probes %.3fx of uncompressed mmap "
+              "(floor %.3fx) | mmap %.2f ms, lz %.2f ms\n",
+              compressed_ratio, kCompressedRatioFloor, mmap_s * 1e3,
+              lz_s * 1e3);
+  std::printf("block-skip  indexed probes %.2fx unindexed (floor %.1fx) | "
+              "unindexed %.2f ms, indexed %.2f ms\n",
+              block_skip_speedup, kBlockSkipFloor, unindexed_s * 1e3,
+              indexed_s * 1e3);
+  std::printf("crc         checksummed scan %.3fx of unchecked "
+              "(floor %.3fx) | plain %.2f ms, crc %.2f ms\n",
+              checksum_ratio, kChecksumRatioFloor, plain_s * 1e3,
+              crc_s * 1e3);
+  std::printf("identity    v2=%s v3=%s cold-compact=%s\n",
+              identity_v2 ? "yes" : "no", identity_v3 ? "yes" : "no",
+              identity_cold ? "yes" : "no");
+  std::printf("BENCH_JSON_BEGIN\n%sBENCH_JSON_END\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_iotb3.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: iotb3 gates (compressed %.3f >= %.3f: %d, skip "
+                 "%.2f >= %.1f: %d, crc %.3f >= %.3f: %d, identical=%d)\n",
+                 compressed_ratio, kCompressedRatioFloor,
+                 compressed_ratio >= kCompressedRatioFloor,
+                 block_skip_speedup, kBlockSkipFloor,
+                 block_skip_speedup >= kBlockSkipFloor, checksum_ratio,
+                 kChecksumRatioFloor, checksum_ratio >= kChecksumRatioFloor,
+                 identical);
+    return 1;
+  }
+  return 0;
+}

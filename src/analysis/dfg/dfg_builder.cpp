@@ -60,37 +60,47 @@ void merge_edge(EdgeStats& into, const EdgeStats& from) {
                                              std::size_t pool,
                                              const DfgOptions& options) {
   PoolPartial partial;
+  const bool use_indexes = store.use_indexes();
   store.with_pool_access(pool, [&](const auto& acc) {
-    const std::size_t n = acc.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& rec = acc.record(i);
-      if (!rec.is_io_call() || rec.rank < 0) {
-        continue;  // probes, annotations, rank-less bookkeeping
-      }
-      if (options.rank.has_value() && rec.rank != *options.rank) {
+    const std::size_t segments = acc.segment_count();
+    for (std::size_t k = 0; k < segments; ++k) {
+      // Every event the miner keeps is an I/O call, so a segment whose
+      // index says "no I/O call" contributes nothing — for block-backed
+      // pools that skip leaves the block compressed on disk.
+      if (use_indexes && !acc.segment_has_io_call(k)) {
         continue;
       }
-      SeqEvent ev;
-      ev.name = rec.name;  // pool-local id; the merge remaps it
-      ev.start = rec.local_start;
-      ev.end = rec.local_start + rec.duration;
-      ev.bytes = rec.bytes > 0 ? rec.bytes : 0;
+      const std::size_t seg_end = acc.segment_end(k);
+      for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+        const auto& rec = acc.record(i);
+        if (!rec.is_io_call() || rec.rank < 0) {
+          continue;  // probes, annotations, rank-less bookkeeping
+        }
+        if (options.rank.has_value() && rec.rank != *options.rank) {
+          continue;
+        }
+        SeqEvent ev;
+        ev.name = rec.name;  // pool-local id; the merge remaps it
+        ev.start = rec.local_start;
+        ev.end = rec.local_start + rec.duration;
+        ev.bytes = rec.bytes > 0 ? rec.bytes : 0;
 
-      RankPartial& rp = partial.ranks[rec.rank];
-      NodeStats& node = rp.nodes[ev.name];
-      ++node.count;
-      node.total_duration += rec.duration;
-      node.bytes += ev.bytes;
-      if (rp.any) {
-        add_transition(rp.edges[{rp.last.name, ev.name}],
-                       ev.start - rp.last.end, ev.bytes);
-      } else {
-        rp.first = ev;
-        rp.any = true;
-      }
-      rp.last = ev;
-      if (options.keep_sequences) {
-        rp.sequence.push_back(ev);
+        RankPartial& rp = partial.ranks[rec.rank];
+        NodeStats& node = rp.nodes[ev.name];
+        ++node.count;
+        node.total_duration += rec.duration;
+        node.bytes += ev.bytes;
+        if (rp.any) {
+          add_transition(rp.edges[{rp.last.name, ev.name}],
+                         ev.start - rp.last.end, ev.bytes);
+        } else {
+          rp.first = ev;
+          rp.any = true;
+        }
+        rp.last = ev;
+        if (options.keep_sequences) {
+          rp.sequence.push_back(ev);
+        }
       }
     }
   });

@@ -1,8 +1,10 @@
 #include "analysis/unified_store.h"
 
 #include <algorithm>
+#include <fstream>
 #include <thread>
 
+#include "trace/scan_kernels.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -12,13 +14,21 @@ namespace {
 
 // Queries dispatch each pool onto the public accessor seam declared in
 // unified_store.h (BatchAccess over an owned EventBatch, ViewAccess over a
-// zero-copy BatchView) exactly once, so the per-record loops below stay
-// monomorphized.
+// zero-copy BatchView, BlockAccess over a lazily-decoded IOTB3 BlockView)
+// exactly once, so the per-record loops below stay monomorphized. Scans
+// walk the accessor's *segments* (whole pool for owned/view pools, one per
+// block for block-backed pools): each segment carries skip predicates from
+// its index and, when the records are serialized, raw fixed-stride bytes
+// the SIMD scan kernels run over.
 
 template <class Fn>
 decltype(auto) with_access(const trace::EventBatch& batch,
                            const std::optional<trace::BatchView>& view,
+                           const std::optional<trace::BlockView>& blocks,
                            Fn&& fn) {
+  if (blocks.has_value()) {
+    return fn(BlockAccess{&*blocks});
+  }
   if (view.has_value()) {
     return fn(ViewAccess{&*view});
   }
@@ -77,7 +87,37 @@ void correct_record(trace::EventBatch& batch, std::size_t i,
 
 void UnifiedTraceStore::index_pool(StorePool& pool) {
   PoolIndex idx;
-  with_access(pool.batch, pool.view, [&idx](const auto& acc) {
+  if (pool.blocks.has_value()) {
+    // Block-backed pools are indexed from the footer mini-index alone: the
+    // per-block min/max stamps, flag bits and name bitmaps OR together into
+    // the pool-level facts, so ingesting (or cold-compacting to) an IOTB3
+    // container never decompresses a record block.
+    const trace::BlockView& v = *pool.blocks;
+    idx.sys_write_id = v.find_string("SYS_write").value_or(0);
+    idx.sys_read_id = v.find_string("SYS_read").value_or(0);
+    idx.name_present.assign(v.string_count(), false);
+    const std::size_t nblocks = v.block_count();
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      if (!idx.any) {
+        idx.min_time = v.block_min_time(b);
+        idx.max_time = v.block_max_time(b);
+        idx.any = true;
+      } else {
+        idx.min_time = std::min(idx.min_time, v.block_min_time(b));
+        idx.max_time = std::max(idx.max_time, v.block_max_time(b));
+      }
+      idx.has_fd_path = idx.has_fd_path || v.block_has_fd_path(b);
+      idx.has_io_bytes = idx.has_io_bytes || v.block_has_io_bytes(b);
+      for (trace::StrId id = 1; id < idx.name_present.size(); ++id) {
+        if (!idx.name_present[id] && v.block_has_name(b, id)) {
+          idx.name_present[id] = true;
+        }
+      }
+    }
+    pool.index = std::move(idx);
+    return;
+  }
+  with_access(pool.batch, pool.view, pool.blocks, [&idx](const auto& acc) {
     idx.sys_write_id = acc.find("SYS_write").value_or(0);
     idx.sys_read_id = acc.find("SYS_read").value_or(0);
     idx.name_present.assign(acc.string_count(), false);
@@ -173,8 +213,13 @@ std::size_t UnifiedTraceStore::ingest(
 std::size_t UnifiedTraceStore::ingest_view(
     trace::MappedTraceFile file,
     const std::map<std::string, std::string>& metadata) {
-  // The view borrows the mapped bytes; MappedTraceFile guarantees they do
+  // The views borrow the mapped bytes; MappedTraceFile guarantees they do
   // not relocate when the file object itself is moved into the pool.
+  const trace::BinaryHeader header = trace::peek_binary_header(file.bytes());
+  if (header.version == 3) {
+    trace::BlockView view(file.bytes());
+    return ingest_view(std::move(file), std::move(view), metadata);
+  }
   trace::BatchView view(file.bytes());
   return ingest_view(std::move(file), std::move(view), metadata);
 }
@@ -206,6 +251,32 @@ std::size_t UnifiedTraceStore::ingest_view(
 }
 
 std::size_t UnifiedTraceStore::ingest_view(
+    trace::MappedTraceFile file, trace::BlockView view,
+    const std::map<std::string, std::string>& metadata) {
+  const std::span<const std::uint8_t> bytes = file.bytes();
+  if (view.buffer().data() != bytes.data() ||
+      view.buffer().size() != bytes.size()) {
+    throw ConfigError(
+        "unified store: the view does not borrow the given mapped file");
+  }
+  StorePool pool;
+  pool.blocks.emplace(std::move(view));
+  pool.file = std::move(file);
+
+  StoreSourceInfo info = parse_source_info(metadata);
+  info.events = static_cast<long long>(pool.blocks->size());
+  info.view_backed = true;
+  total_events_ += info.events;
+
+  const std::size_t source_index = sources_.size();
+  pool.first_source = source_index;
+  index_pool(pool);
+  sources_.push_back(std::move(info));
+  pools_.push_back(std::move(pool));
+  return source_index;
+}
+
+std::size_t UnifiedTraceStore::ingest_view(
     const std::string& path,
     const std::map<std::string, std::string>& metadata) {
   return ingest_view(trace::MappedTraceFile(path), metadata);
@@ -218,13 +289,14 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
   while (i < pools_.size()) {
     StorePool era = std::move(pools_[i]);
     ++i;
-    if (era.view.has_value()) {
+    if (era.view.has_value() || era.blocks.has_value()) {
       merged.push_back(std::move(era));  // views are never re-materialized
       continue;
     }
     std::size_t era_size = approx_batch_bytes(era.batch);
     bool grew = false;
-    while (i < pools_.size() && !pools_[i].view.has_value()) {
+    while (i < pools_.size() && !pools_[i].view.has_value() &&
+           !pools_[i].blocks.has_value()) {
       const std::size_t next = approx_batch_bytes(pools_[i].batch);
       if (era_size + next > era_bytes) {
         break;
@@ -247,6 +319,42 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
   return pools_.size();
 }
 
+std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
+                                       const ColdTierOptions& cold) {
+  compact(era_bytes);
+  std::size_t era_n = 0;
+  for (StorePool& pool : pools_) {
+    if (pool.view.has_value() || pool.blocks.has_value()) {
+      continue;  // already cold (or zero-copy ingested)
+    }
+    const std::vector<std::uint8_t> container =
+        trace::encode_binary_v3(pool.batch, cold.binary, cold.block_records);
+    const std::string path = cold.directory + "/" + cold.file_prefix + "-" +
+                             std::to_string(era_n++) + ".iotb3";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(container.data()),
+                static_cast<std::streamsize>(container.size()));
+      if (!out) {
+        throw IoError("unified store: cannot write cold era '" + path + "'");
+      }
+    }
+    trace::MappedTraceFile file(path);
+    trace::BlockView view(file.bytes());
+    // Swap the pool onto the container before releasing the batch, so a
+    // failed map/open above leaves the store untouched.
+    pool.blocks.emplace(std::move(view));
+    pool.file = std::move(file);
+    pool.batch = trace::EventBatch();
+    for (std::size_t s = pool.first_source;
+         s < pool.first_source + pool.source_count; ++s) {
+      sources_[s].view_backed = true;
+    }
+    index_pool(pool);  // rebuilt from the footer (ids are unchanged)
+  }
+  return pools_.size();
+}
+
 std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
   std::vector<StorePoolInfo> infos;
   infos.reserve(pools_.size());
@@ -254,7 +362,13 @@ std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
     StorePoolInfo info;
     info.first_source = pool.first_source;
     info.source_count = pool.source_count;
-    if (pool.view.has_value()) {
+    if (pool.blocks.has_value()) {
+      info.view_backed = true;
+      info.block_backed = true;
+      info.blocks = pool.blocks->block_count();
+      info.records = static_cast<long long>(pool.blocks->size());
+      info.approx_bytes = pool.file.size();
+    } else if (pool.view.has_value()) {
       info.view_backed = true;
       info.records = static_cast<long long>(pool.view->size());
       info.approx_bytes = pool.file.size();
@@ -294,7 +408,7 @@ const trace::EventBatch& UnifiedTraceStore::source_batch(
     throw ConfigError("unified store: source index out of range");
   }
   const StorePool& pool = pool_for(source);
-  if (pool.view.has_value()) {
+  if (pool.view.has_value() || pool.blocks.has_value()) {
     throw ConfigError(
         "unified store: source is view-backed; its records live in the "
         "mapped container, not an owned batch");
@@ -336,27 +450,50 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
   std::vector<std::map<std::string, CallStats>> partials(chunks);
   for_each_pool_chunk([&](std::size_t c, std::size_t begin, std::size_t end) {
     std::map<std::string, CallStats>& stats = partials[c];
-    std::vector<CallStats*> scratch;
+    std::vector<trace::scan::CallAccum> rows;
     for (std::size_t s = begin; s < end; ++s) {
       const StorePool& pool = pools_[s];
       if (use_indexes_ && !pool.index.any) {
         continue;
       }
-      with_access(pool.batch, pool.view, [&](const auto& acc) {
-        // One map lookup per distinct name per pool; flat hits otherwise.
-        scratch.assign(acc.string_count(), nullptr);
-        const std::size_t n = acc.size();
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto& rec = acc.record(i);
-          CallStats*& slot = scratch[rec.name];
-          if (slot == nullptr) {
-            slot = &stats[std::string(acc.name(i))];
+      with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
+        // Accumulate per string id into a flat row table (the SIMD kernel's
+        // scatter target), then fold the touched rows into the name map —
+        // one map lookup per distinct name per pool.
+        rows.assign(acc.string_count(), trace::scan::CallAccum{});
+        const std::size_t segments = acc.segment_count();
+        for (std::size_t k = 0; k < segments; ++k) {
+          const std::size_t seg_begin = acc.segment_begin(k);
+          const std::size_t seg_end = acc.segment_end(k);
+          if (seg_begin == seg_end) {
+            continue;
           }
-          ++slot->count;
-          slot->total_time += rec.duration;
-          if (rec.is_io_call()) {
-            slot->total_bytes += rec.bytes;
+          const std::uint8_t* raw = acc.segment_record_bytes(k);
+          if (raw != nullptr) {
+            trace::scan::accumulate_call_stats(raw, seg_end - seg_begin,
+                                               rows.data());
+            continue;
           }
+          for (std::size_t i = seg_begin; i < seg_end; ++i) {
+            const auto& rec = acc.record(i);
+            trace::scan::CallAccum& row = rows[rec.name];
+            ++row.count;
+            row.time += rec.duration;
+            if (rec.is_io_call()) {
+              row.bytes += rec.bytes;
+            }
+          }
+        }
+        for (std::size_t id = 0; id < rows.size(); ++id) {
+          const trace::scan::CallAccum& row = rows[id];
+          if (row.count == 0) {
+            continue;
+          }
+          CallStats& slot =
+              stats[std::string(acc.string(static_cast<trace::StrId>(id)))];
+          slot.count += row.count;
+          slot.total_time += row.time;
+          slot.total_bytes += row.bytes;
         }
       });
     }
@@ -377,15 +514,18 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
     int rank) const {
   std::vector<trace::TraceEvent> out;
   for (const StorePool& pool : pools_) {
-    with_access(pool.batch, pool.view, [&](const auto& acc) {
-      const std::size_t n = acc.size();
-      std::uint32_t args_begin = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto& rec = acc.record(i);
-        if (rec.rank == rank) {
-          out.push_back(acc.materialize(i, args_begin));
+    with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
+      const std::size_t segments = acc.segment_count();
+      for (std::size_t k = 0; k < segments; ++k) {
+        const std::size_t seg_end = acc.segment_end(k);
+        std::uint32_t args_begin = acc.segment_args_begin(k);
+        for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+          const auto& rec = acc.record(i);
+          if (rec.rank == rank) {
+            out.push_back(acc.materialize(i, args_begin));
+          }
+          args_begin += rec.args_count;
         }
-        args_begin += rec.args_count;
       }
     });
   }
@@ -413,13 +553,34 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
               !idx.has_name(idx.sys_read_id)) {
             continue;  // neither transfer call appears as a record name
           }
-          with_access(pool.batch, pool.view, [&](const auto& acc) {
-            const std::size_t n = acc.size();
-            for (std::size_t i = 0; i < n; ++i) {
-              const auto& rec = acc.record(i);
-              if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id) &&
-                  rec.local_start >= begin && rec.local_start < end) {
-                total += rec.bytes;
+          with_access(pool.batch, pool.view, pool.blocks,
+                      [&](const auto& acc) {
+            const std::size_t segments = acc.segment_count();
+            for (std::size_t k = 0; k < segments; ++k) {
+              if (use_indexes_ &&
+                  (!acc.segment_overlaps(k, begin, end) ||
+                   (!acc.segment_has_name(k, idx.sys_write_id) &&
+                    !acc.segment_has_name(k, idx.sys_read_id)))) {
+                continue;  // skipped blocks stay compressed on disk
+              }
+              const std::size_t seg_begin = acc.segment_begin(k);
+              const std::size_t seg_end = acc.segment_end(k);
+              if (seg_begin == seg_end) {
+                continue;
+              }
+              const std::uint8_t* raw = acc.segment_record_bytes(k);
+              if (raw != nullptr) {
+                total += trace::scan::sum_transfer_bytes_in_window(
+                    raw, seg_end - seg_begin, idx.sys_write_id,
+                    idx.sys_read_id, begin, end);
+                continue;
+              }
+              for (std::size_t i = seg_begin; i < seg_end; ++i) {
+                const auto& rec = acc.record(i);
+                if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id) &&
+                    rec.local_start >= begin && rec.local_start < end) {
+                  total += rec.bytes;
+                }
               }
             }
           });
@@ -463,17 +624,39 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
     for_each_pool_chunk(
         [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
           Span& span = spans[c];
+          const auto fold = [&span](SimTime seg_lo, SimTime seg_hi) {
+            if (!span.any) {
+              span.lo = seg_lo;
+              span.hi = seg_hi;
+              span.any = true;
+            } else {
+              span.lo = std::min(span.lo, seg_lo);
+              span.hi = std::max(span.hi, seg_hi);
+            }
+          };
           for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
-            with_access(pools_[s].batch, pools_[s].view, [&](const auto& acc) {
-              const std::size_t n = acc.size();
-              for (std::size_t i = 0; i < n; ++i) {
-                const SimTime t = acc.record(i).local_start;
-                if (!span.any) {
-                  span.lo = span.hi = t;
-                  span.any = true;
-                } else {
-                  span.lo = std::min(span.lo, t);
-                  span.hi = std::max(span.hi, t);
+            const StorePool& pool = pools_[s];
+            with_access(pool.batch, pool.view, pool.blocks,
+                        [&](const auto& acc) {
+              const std::size_t segments = acc.segment_count();
+              for (std::size_t k = 0; k < segments; ++k) {
+                const std::size_t seg_begin = acc.segment_begin(k);
+                const std::size_t seg_end = acc.segment_end(k);
+                if (seg_begin == seg_end) {
+                  continue;
+                }
+                const std::uint8_t* raw = acc.segment_record_bytes(k);
+                if (raw != nullptr) {
+                  SimTime seg_lo = 0;
+                  SimTime seg_hi = 0;
+                  trace::scan::minmax_stamps(raw, seg_end - seg_begin,
+                                             &seg_lo, &seg_hi);
+                  fold(seg_lo, seg_hi);
+                  continue;
+                }
+                for (std::size_t i = seg_begin; i < seg_end; ++i) {
+                  const SimTime t = acc.record(i).local_start;
+                  fold(t, t);
                 }
               }
             });
@@ -511,13 +694,22 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
               !idx.has_name(idx.sys_read_id)) {
             continue;
           }
-          with_access(pool.batch, pool.view, [&](const auto& acc) {
-            const std::size_t n = acc.size();
-            for (std::size_t i = 0; i < n; ++i) {
-              const auto& rec = acc.record(i);
-              if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
-                sums[static_cast<std::size_t>((rec.local_start - lo) /
-                                              bucket_width)] += rec.bytes;
+          with_access(pool.batch, pool.view, pool.blocks,
+                      [&](const auto& acc) {
+            const std::size_t segments = acc.segment_count();
+            for (std::size_t k = 0; k < segments; ++k) {
+              if (use_indexes_ &&
+                  !acc.segment_has_name(k, idx.sys_write_id) &&
+                  !acc.segment_has_name(k, idx.sys_read_id)) {
+                continue;
+              }
+              const std::size_t seg_end = acc.segment_end(k);
+              for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+                const auto& rec = acc.record(i);
+                if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
+                  sums[static_cast<std::size_t>((rec.local_start - lo) /
+                                                bucket_width)] += rec.bytes;
+                }
               }
             }
           });
@@ -578,41 +770,51 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
         continue;
       }
       PoolScan& scan = scans[s];
-      with_access(pool.batch, pool.view, [&](const auto& acc) {
-        const std::size_t n = acc.size();
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto& rec = acc.record(i);
-          const std::string_view rec_path =
-              rec.path == 0 ? std::string_view{} : acc.path(i);
-          if (!rec_path.empty() && rec.fd >= 0) {
-            scan.fd_delta[rec.fd] = std::string(rec_path);
-          }
-          if (!rec.is_io_call() || rec.bytes <= 0) {
+      with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
+        const std::size_t segments = acc.segment_count();
+        for (std::size_t k = 0; k < segments; ++k) {
+          // The pool-level skip, per block: such a segment writes no fd
+          // delta and contributes no transfers, so skipping it leaves the
+          // serial fold's state untouched.
+          if (use_indexes_ && !acc.segment_has_fd_path(k) &&
+              !acc.segment_has_io_bytes(k)) {
             continue;
           }
-          const bool lib = rec.cls == trace::EventClass::kLibraryCall;
-          std::string path(rec_path);
-          if (path.empty() && rec.fd >= 0) {
-            const auto it = scan.fd_delta.find(rec.fd);
-            if (it == scan.fd_delta.end()) {
-              scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+          const std::size_t seg_end = acc.segment_end(k);
+          for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+            const auto& rec = acc.record(i);
+            const std::string_view rec_path =
+                rec.path == 0 ? std::string_view{} : acc.path(i);
+            if (!rec_path.empty() && rec.fd >= 0) {
+              scan.fd_delta[rec.fd] = std::string(rec_path);
+            }
+            if (!rec.is_io_call() || rec.bytes <= 0) {
               continue;
             }
-            path = it->second;
-          }
-          if (path.empty()) {
-            path = "(unknown)";
-          }
-          Tally& tally = scan.by_path[path];
-          ++tally.ops;
-          // Library wrappers and the syscalls beneath them report the same
-          // transfer; take whichever view saw more (captures lib-only
-          // traces like //TRACE's without double counting ltrace's dual
-          // view).
-          if (lib) {
-            tally.lib_bytes += rec.bytes;
-          } else {
-            tally.lower_bytes += rec.bytes;
+            const bool lib = rec.cls == trace::EventClass::kLibraryCall;
+            std::string path(rec_path);
+            if (path.empty() && rec.fd >= 0) {
+              const auto it = scan.fd_delta.find(rec.fd);
+              if (it == scan.fd_delta.end()) {
+                scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+                continue;
+              }
+              path = it->second;
+            }
+            if (path.empty()) {
+              path = "(unknown)";
+            }
+            Tally& tally = scan.by_path[path];
+            ++tally.ops;
+            // Library wrappers and the syscalls beneath them report the
+            // same transfer; take whichever view saw more (captures
+            // lib-only traces like //TRACE's without double counting
+            // ltrace's dual view).
+            if (lib) {
+              tally.lib_bytes += rec.bytes;
+            } else {
+              tally.lower_bytes += rec.bytes;
+            }
           }
         }
       });

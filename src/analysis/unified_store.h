@@ -11,21 +11,35 @@
 // the queries analysis tools need: per-call statistics, per-rank activity,
 // time-windowed I/O rates, and file heat.
 //
-// Internally every source lives in a *pool*: either one owned
-// trace::EventBatch (fixed-size records plus an interned string pool) or a
-// view-backed pool (a MappedTraceFile plus the BatchView into it — records
-// are scanned in place, never decoded). Queries iterate flat records and
-// compare interned ids instead of strings, so aggregate scans stay cheap
-// at millions of events (the columnar bulk-iteration the DFG
+// Internally every source lives in a *pool*: one owned trace::EventBatch
+// (fixed-size records plus an interned string pool), a view-backed pool (a
+// MappedTraceFile plus the BatchView into it — records are scanned in
+// place, never decoded), or a block-backed pool (a MappedTraceFile plus a
+// BlockView over an IOTB3 container — compressed/checksummed blocks
+// decoded lazily, only when a query touches them). Queries iterate flat
+// records and compare interned ids instead of strings, so aggregate scans
+// stay cheap at millions of events (the columnar bulk-iteration the DFG
 // syscall-inspection line of work depends on).
 //
 // Each pool carries an index built once at ingest — min/max corrected
 // timestamp and a name-id presence filter — that lets the windowed and
-// transfer-oriented queries skip whole pools before scanning a record
-// (set_use_indexes(false) disables the skips for benchmarking; results are
-// identical either way). compact(era_bytes) merges runs of small owned
-// pools into era-sized batches (re-interned once, source infos preserved)
-// so pool count stays bounded in long-lived aggregation services.
+// transfer-oriented queries skip whole pools before scanning a record;
+// block-backed pools get theirs straight from the container footer, no
+// record is decoded at ingest. Below the pool index sits the *segment*
+// seam: every accessor partitions its records into index-carrying
+// segments (one per pool for owned/view pools, one per block for
+// block-backed pools), and queries skip or stream segments the same way
+// they skip pools — a narrow window on a compressed era decompresses only
+// the blocks it overlaps. Segments whose records sit serialized in the
+// v2 fixed stride also expose their raw bytes, which the queries feed to
+// the SIMD scan kernels (trace/scan_kernels.h) instead of per-record
+// accessor loops. set_use_indexes(false) disables both skip levels for
+// benchmarking; results are identical either way. compact(era_bytes)
+// merges runs of small owned pools into era-sized batches (re-interned
+// once, source infos preserved) so pool count stays bounded in long-lived
+// aggregation services; the cold-tier overload additionally writes each
+// era out as an IOTB3 file and re-files it as a block-backed pool, so old
+// eras shrink to compressed storage yet stay queryable.
 //
 // Aggregate queries (call_stats, bytes_in_window, io_rate_series,
 // hottest_files) scan pools in parallel when set_query_threads allows:
@@ -42,19 +56,31 @@
 #include <vector>
 
 #include "analysis/skew_drift.h"
+#include "trace/binary_format.h"
+#include "trace/block_view.h"
 #include "trace/bundle.h"
 #include "trace/event_batch.h"
 #include "trace/record_view.h"
 
 namespace iotaxo::analysis {
 
-// Every query sees a pool's records through one of two accessors with the
-// same shape: BatchAccess over an owned EventBatch, ViewAccess over a
-// zero-copy BatchView. Both are cheap value types; the dispatch happens
-// once per pool (UnifiedTraceStore::with_pool_access), so per-record loops
-// stay monomorphized. The seam is public so analysis subsystems that
-// stream pool records themselves (the DFG miner, tools) reuse it instead
-// of materializing batches or growing friend access.
+// Every query sees a pool's records through one of three accessors with
+// the same shape: BatchAccess over an owned EventBatch, ViewAccess over a
+// zero-copy BatchView, BlockAccess over a lazily-decoded IOTB3 BlockView.
+// All are cheap value types; the dispatch happens once per pool
+// (UnifiedTraceStore::with_pool_access), so per-record loops stay
+// monomorphized. The seam is public so analysis subsystems that stream
+// pool records themselves (the DFG miner, tools) reuse it instead of
+// materializing batches or growing friend access.
+//
+// Besides per-record access, every accessor exposes the *segment* seam:
+// segment_count() index-carrying record ranges (a single whole-pool
+// segment for owned/view pools, one per block for block-backed pools).
+// The segment_has_* / segment_overlaps predicates are conservative —
+// "true" means "may contain" — so skipping a false segment is always
+// exact. segment_record_bytes() returns the segment's records serialized
+// in the v2 fixed stride for the SIMD scan kernels, or nullptr when the
+// pool's records are not serialized (owned batches).
 
 struct BatchAccess {
   const trace::EventBatch* b;
@@ -85,13 +111,45 @@ struct BatchAccess {
       const {
     return b->materialize(i);
   }
+
+  // Segment seam: one segment, no finer index, records not serialized.
+  [[nodiscard]] std::size_t segment_count() const noexcept { return 1; }
+  [[nodiscard]] std::size_t segment_begin(std::size_t) const noexcept {
+    return 0;
+  }
+  [[nodiscard]] std::size_t segment_end(std::size_t) const noexcept {
+    return b->size();
+  }
+  [[nodiscard]] std::uint32_t segment_args_begin(std::size_t) const noexcept {
+    return 0;
+  }
+  [[nodiscard]] bool segment_overlaps(std::size_t, SimTime,
+                                      SimTime) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_name(std::size_t,
+                                      trace::StrId id) const noexcept {
+    return id != 0;
+  }
+  [[nodiscard]] bool segment_has_fd_path(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_io_bytes(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_io_call(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t) const {
+    return nullptr;
+  }
 };
 
 struct ViewAccess {
   const trace::BatchView* v;
 
   [[nodiscard]] std::size_t size() const noexcept { return v->size(); }
-  [[nodiscard]] trace::EventRecord record(std::size_t i) const noexcept {
+  [[nodiscard]] trace::EventRecord record(std::size_t i) const {
     return v->record(i).to_record();
   }
   [[nodiscard]] std::string_view name(std::size_t i) const {
@@ -112,6 +170,104 @@ struct ViewAccess {
   [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
                                               std::uint32_t args_begin) const {
     return v->materialize(i, args_begin);
+  }
+
+  // Segment seam: one segment, no finer index, records serialized in
+  // place (the deferred v2 CRC is verified when the bytes are handed out).
+  [[nodiscard]] std::size_t segment_count() const noexcept { return 1; }
+  [[nodiscard]] std::size_t segment_begin(std::size_t) const noexcept {
+    return 0;
+  }
+  [[nodiscard]] std::size_t segment_end(std::size_t) const noexcept {
+    return v->size();
+  }
+  [[nodiscard]] std::uint32_t segment_args_begin(std::size_t) const noexcept {
+    return 0;
+  }
+  [[nodiscard]] bool segment_overlaps(std::size_t, SimTime,
+                                      SimTime) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_name(std::size_t,
+                                      trace::StrId id) const noexcept {
+    return id != 0;
+  }
+  [[nodiscard]] bool segment_has_fd_path(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_io_bytes(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] bool segment_has_io_call(std::size_t) const noexcept {
+    return true;
+  }
+  [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t) const {
+    return v->record_bytes().data();
+  }
+};
+
+struct BlockAccess {
+  const trace::BlockView* v;
+
+  [[nodiscard]] std::size_t size() const noexcept { return v->size(); }
+  [[nodiscard]] trace::EventRecord record(std::size_t i) const {
+    return v->record(i).to_record();
+  }
+  [[nodiscard]] std::string_view name(std::size_t i) const {
+    return v->string(v->record(i).name());
+  }
+  [[nodiscard]] std::string_view path(std::size_t i) const {
+    return v->string(v->record(i).path());
+  }
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return v->string_count();
+  }
+  [[nodiscard]] std::string_view string(trace::StrId id) const {
+    return v->string(id);
+  }
+  [[nodiscard]] std::optional<trace::StrId> find(std::string_view s) const {
+    return v->find_string(s);
+  }
+  [[nodiscard]] trace::TraceEvent materialize(std::size_t i,
+                                              std::uint32_t args_begin) const {
+    return v->materialize(i, args_begin);
+  }
+
+  // Segment seam: one segment per block, backed by the footer mini-index;
+  // touching a segment's records (or bytes) decodes and verifies exactly
+  // that block.
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return v->block_count();
+  }
+  [[nodiscard]] std::size_t segment_begin(std::size_t k) const noexcept {
+    return v->block_first(k);
+  }
+  [[nodiscard]] std::size_t segment_end(std::size_t k) const noexcept {
+    return v->block_first(k) + v->block_size(k);
+  }
+  [[nodiscard]] std::uint32_t segment_args_begin(std::size_t k) const noexcept {
+    return static_cast<std::uint32_t>(v->block_args_begin(k));
+  }
+  /// True when some record's stamp may lie in the half-open [begin, end).
+  [[nodiscard]] bool segment_overlaps(std::size_t k, SimTime begin,
+                                      SimTime end) const noexcept {
+    return v->block_max_time(k) >= begin && v->block_min_time(k) < end;
+  }
+  [[nodiscard]] bool segment_has_name(std::size_t k,
+                                      trace::StrId id) const noexcept {
+    return v->block_has_name(k, id);
+  }
+  [[nodiscard]] bool segment_has_fd_path(std::size_t k) const noexcept {
+    return v->block_has_fd_path(k);
+  }
+  [[nodiscard]] bool segment_has_io_bytes(std::size_t k) const noexcept {
+    return v->block_has_io_bytes(k);
+  }
+  [[nodiscard]] bool segment_has_io_call(std::size_t k) const noexcept {
+    return v->block_has_io_call(k);
+  }
+  [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t k) const {
+    return v->block_bytes(k).data();
   }
 };
 
@@ -151,6 +307,11 @@ struct StorePoolInfo {
   /// pools, container file bytes for view-backed pools.
   std::size_t approx_bytes = 0;
   bool view_backed = false;
+  /// True for pools served from an IOTB3 BlockView (cold-tier compaction
+  /// output or a v3 ingest_view); `blocks` is then the container's block
+  /// count, else 0.
+  bool block_backed = false;
+  std::size_t blocks = 0;
   /// Pool-index time span (valid iff `any`): min/max corrected stamp.
   bool any = false;
   SimTime min_time = 0;
@@ -176,13 +337,15 @@ class UnifiedTraceStore {
       const std::vector<trace::TraceEvent>& clock_probes = {},
       const std::vector<trace::DependencyEdge>& dependencies = {});
 
-  /// Ingest an uncompressed, unencrypted IOTB2 container zero-copy: the
-  /// store takes ownership of the mapped file and serves the source
-  /// straight from the view — records are scanned once at ingest to build
-  /// the pool index but never decoded into an EventBatch. View sources use
-  /// raw node-local stamps (no timeline correction; decode to a batch and
-  /// use the batch overload when probes must be applied). Throws
-  /// FormatError if the container is not view-able.
+  /// Ingest a container zero-copy: the store takes ownership of the mapped
+  /// file and serves the source straight from a view. IOTB2 must be
+  /// uncompressed and unencrypted (records are scanned once at ingest to
+  /// build the pool index); IOTB3 may also be compressed/checksummed — its
+  /// pool index is built from the footer mini-index alone, so no block is
+  /// decompressed at ingest. View sources use raw node-local stamps (no
+  /// timeline correction; decode to a batch and use the batch overload when
+  /// probes must be applied). Throws FormatError if the container is not
+  /// view-able.
   std::size_t ingest_view(trace::MappedTraceFile file,
                           const std::map<std::string, std::string>& metadata = {});
   /// Convenience: map `path` and ingest it zero-copy.
@@ -194,6 +357,9 @@ class UnifiedTraceStore {
   /// paying the open-time validation a second time.
   std::size_t ingest_view(trace::MappedTraceFile file, trace::BatchView view,
                           const std::map<std::string, std::string>& metadata = {});
+  /// Same, for an IOTB3 block view.
+  std::size_t ingest_view(trace::MappedTraceFile file, trace::BlockView view,
+                          const std::map<std::string, std::string>& metadata = {});
 
   /// Merge runs of adjacent small *owned* pools into era-sized batches of
   /// at most ~era_bytes each (approximate in-memory footprint). Source
@@ -201,6 +367,28 @@ class UnifiedTraceStore {
   /// view-backed pools are never touched. Bounds pool count for long-lived
   /// aggregation services. Returns the pool count after compaction.
   std::size_t compact(std::size_t era_bytes);
+
+  /// How compact(era_bytes, cold) writes its cold tier.
+  struct ColdTierOptions {
+    /// Directory the era containers are written into (must exist).
+    std::string directory;
+    /// Container options for the eras (compress/checksum; encrypt is
+    /// rejected by the v3 encoder). Level/version fields other than these
+    /// two are ignored.
+    trace::BinaryOptions binary;
+    std::uint32_t block_records = trace::v3layout::kDefaultBlockRecords;
+    /// Era files are named <directory>/<file_prefix>-<n>.iotb3.
+    std::string file_prefix = "era";
+  };
+
+  /// Era compaction with a cold tier: merge owned pools exactly as
+  /// compact(era_bytes), then spill each merged era to an IOTB3 container
+  /// under `cold.directory` and swap the pool to a block-backed view of
+  /// the mapped file — the in-memory batch is released, and later queries
+  /// decode only the blocks they touch. Query results are preserved
+  /// exactly; covered sources become view-backed (source_batch() then
+  /// throws for them). Returns the pool count.
+  std::size_t compact(std::size_t era_bytes, const ColdTierOptions& cold);
 
   /// Number of internal storage pools (== sources until compact() merges
   /// some).
@@ -212,13 +400,17 @@ class UnifiedTraceStore {
   /// view), in pool (== source) order.
   [[nodiscard]] std::vector<StorePoolInfo> pool_infos() const;
 
-  /// Run fn with pool `p`'s accessor (BatchAccess or ViewAccess): the same
-  /// seam every built-in query scans through, for callers that stream pool
-  /// records themselves. Throws ConfigError on an out-of-range pool.
+  /// Run fn with pool `p`'s accessor (BatchAccess, ViewAccess or
+  /// BlockAccess): the same seam every built-in query scans through, for
+  /// callers that stream pool records themselves. Throws ConfigError on an
+  /// out-of-range pool.
   template <class Fn>
   decltype(auto) with_pool_access(std::size_t p, Fn&& fn) const {
     check_pool_index(p);
     const StorePool& pool = pools_[p];
+    if (pool.blocks.has_value()) {
+      return fn(BlockAccess{&*pool.blocks});
+    }
     if (pool.view.has_value()) {
       return fn(ViewAccess{&*pool.view});
     }
@@ -304,13 +496,15 @@ class UnifiedTraceStore {
     }
   };
 
-  /// One storage unit: an owned batch (view disengaged) or a view-backed
-  /// mapped file. Covers sources [first_source, first_source +
-  /// source_count) — more than one only after compact().
+  /// One storage unit: an owned batch (views disengaged), a view-backed
+  /// mapped IOTB2 file, or a block-backed mapped IOTB3 file. Covers sources
+  /// [first_source, first_source + source_count) — more than one only after
+  /// compact().
   struct StorePool {
     trace::EventBatch batch;
     trace::MappedTraceFile file;
     std::optional<trace::BatchView> view;
+    std::optional<trace::BlockView> blocks;
     PoolIndex index;
     std::size_t first_source = 0;
     std::size_t source_count = 1;

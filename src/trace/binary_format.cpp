@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "trace/block_view.h"
 #include "trace/record_view.h"
 #include "util/compress.h"
 #include "util/crc32.h"
@@ -15,6 +16,7 @@ namespace {
 
 constexpr char kMagicV1[6] = {'I', 'O', 'T', 'B', '1', '\n'};
 constexpr char kMagicV2[6] = {'I', 'O', 'T', 'B', '2', '\n'};
+constexpr char kMagicV3[6] = {'I', 'O', 'T', 'B', '3', '\n'};
 constexpr std::uint8_t kFlagCompressed = 0x01;
 constexpr std::uint8_t kFlagEncrypted = 0x02;
 constexpr std::uint8_t kFlagChecksummed = 0x04;
@@ -42,6 +44,9 @@ class Writer {
   void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
   }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
@@ -365,6 +370,117 @@ std::vector<std::uint8_t> encode_binary_v2(
   return encode_binary_v2(EventBatch::from_events(events), options);
 }
 
+std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
+                                           const BinaryOptions& options,
+                                           std::uint32_t block_records) {
+  if (options.encrypt) {
+    throw ConfigError(
+        "binary trace v3: block containers do not support encryption (write "
+        "v2 instead)");
+  }
+  if (block_records == 0) {
+    throw ConfigError("binary trace v3: block_records must be positive");
+  }
+  const std::size_t count = batch.size();
+  const std::size_t nblocks =
+      count == 0 ? 0 : (count + block_records - 1) / block_records;
+  const std::size_t nstrings = batch.pool().size();
+  const std::size_t bitmap_bytes = (nstrings + 7) / 8;
+
+  Writer payload;  // head, then stored blocks appended in place
+  payload.u32(static_cast<std::uint32_t>(nstrings));
+  batch.pool().for_each(
+      [&payload](StrId /*id*/, std::string_view s) { payload.str(s); });
+  payload.u64(batch.arg_ids().size());
+  for (const StrId a : batch.arg_ids()) {
+    payload.u32(a);
+  }
+  payload.u32(block_records);
+
+  Writer footer;
+  std::vector<std::uint8_t> bitmap(bitmap_bytes);
+  std::uint64_t block_offset = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t first = b * block_records;
+    const std::size_t n = std::min<std::size_t>(block_records, count - first);
+    Writer plain_w;
+    SimTime min_time = batch.record(first).local_start;
+    SimTime max_time = min_time;
+    std::uint8_t flags = 0;
+    std::fill(bitmap.begin(), bitmap.end(), 0);
+    for (std::size_t i = first; i < first + n; ++i) {
+      const EventRecord& rec = batch.record(i);
+      encode_record(plain_w, rec);
+      min_time = std::min(min_time, rec.local_start);
+      max_time = std::max(max_time, rec.local_start);
+      bitmap[rec.name >> 3] |=
+          static_cast<std::uint8_t>(1u << (rec.name & 7u));
+      if (rec.path != 0 && rec.fd >= 0) {
+        flags |= v3layout::kBlockHasFdPath;
+      }
+      if (rec.is_io_call()) {
+        flags |= v3layout::kBlockHasIoCall;
+        if (rec.bytes > 0) {
+          flags |= v3layout::kBlockHasIoBytes;
+        }
+      }
+    }
+    std::vector<std::uint8_t> stored = plain_w.take();
+    if (options.compress) {
+      stored = lz_compress(stored);
+    }
+    footer.u64(block_offset);
+    footer.u64(stored.size());
+    // Owned-batch arg slices are contiguous in record order, so the block's
+    // running args_begin is the first record's (the same invariant the v2
+    // encoder relies on to omit args_begin entirely).
+    footer.u64(batch.record(first).args_begin);
+    footer.u32(static_cast<std::uint32_t>(n));
+    footer.u32(options.checksum ? crc32(stored) : 0u);
+    footer.i64(min_time);
+    footer.i64(max_time);
+    footer.u8(flags);
+    for (const std::uint8_t byte : bitmap) {
+      footer.u8(byte);
+    }
+    block_offset += stored.size();
+    payload.bytes(stored);
+  }
+
+  const std::vector<std::uint8_t> footer_bytes = footer.take();
+  payload.bytes(footer_bytes);
+  payload.u64(footer_bytes.size());
+  payload.u64(nblocks);
+  payload.u32(crc32(footer_bytes));
+  payload.u32(v3layout::kFooterMagic);
+
+  std::uint8_t container_flags = 0;
+  if (options.compress) {
+    container_flags |= kFlagCompressed;
+  }
+  if (options.checksum) {
+    container_flags |= kFlagChecksummed;
+  }
+  Writer out;
+  for (const char c : kMagicV3) {
+    out.u8(static_cast<std::uint8_t>(c));
+  }
+  out.u8(container_flags);
+  out.u64(count);
+  const std::vector<std::uint8_t> body = payload.take();
+  out.u64(body.size());
+  std::vector<std::uint8_t> head = out.take();
+  head.insert(head.end(), body.begin(), body.end());
+  return head;
+}
+
+std::vector<std::uint8_t> encode_binary_v3(
+    const std::vector<TraceEvent>& events, const BinaryOptions& options,
+    std::uint32_t block_records) {
+  return encode_binary_v3(EventBatch::from_events(events), options,
+                          block_records);
+}
+
 BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
   if (data.size() < kHeaderSize) {
     throw FormatError("binary trace: bad magic");
@@ -374,6 +490,8 @@ BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
     h.version = 1;
   } else if (std::memcmp(data.data(), kMagicV2, 6) == 0) {
     h.version = 2;
+  } else if (std::memcmp(data.data(), kMagicV3, 6) == 0) {
+    h.version = 3;
   } else {
     throw FormatError("binary trace: bad magic");
   }
@@ -390,6 +508,9 @@ BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
 std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
                                       const std::optional<CipherKey>& key) {
   const BinaryHeader h = peek_binary_header(data);
+  if (h.version == 3) {
+    return BlockView(data).to_batch().to_events();
+  }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {
     return decode_batch_body(body, h.count).to_events();
@@ -414,6 +535,11 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
 EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
                                const std::optional<CipherKey>& key) {
   const BinaryHeader h = peek_binary_header(data);
+  if (h.version == 3) {
+    // The block view *is* the v3 decoder: it validates the footer and every
+    // block it converts, so corrupt containers throw exactly as v1/v2 do.
+    return BlockView(data).to_batch();
+  }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {
     return decode_batch_body(body, h.count);
@@ -463,7 +589,8 @@ EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
 
 bool looks_binary(std::span<const std::uint8_t> data) noexcept {
   return data.size() >= 6 && (std::memcmp(data.data(), kMagicV1, 6) == 0 ||
-                              std::memcmp(data.data(), kMagicV2, 6) == 0);
+                              std::memcmp(data.data(), kMagicV2, 6) == 0 ||
+                              std::memcmp(data.data(), kMagicV3, 6) == 0);
 }
 
 }  // namespace iotaxo::trace

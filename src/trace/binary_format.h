@@ -4,16 +4,18 @@
 // ("Binary, with optional checksumming, compression, encryption, or
 // buffering").
 //
-// Two container versions share one outer layout:
-//   magic   "IOTB1\n" or "IOTB2\n"             6 bytes
+// Three container versions share one outer envelope:
+//   magic   "IOTB1\n", "IOTB2\n" or "IOTB3\n"   6 bytes
 //   flags   u8  (bit0 compressed, bit1 encrypted, bit2 checksummed)
 //   count   u64 LE   number of event records
-//   paylen  u64 LE   transformed payload length
-//   payload bytes (body, then compressed, then encrypted — in that order)
-//   crc     u32 LE   CRC-32 of transformed payload (present iff bit2)
+//   paylen  u64 LE   payload length (everything after this header)
+//   payload
+//   crc     u32 LE   CRC-32 of payload (v1/v2 only, present iff bit2 —
+//                    v3 checksums per block instead; see below)
 //
 // v1 body (IOTB1): `count` self-delimiting records, each repeating every
-// string it carries (name, args, host, path) inline.
+// string it carries (name, args, host, path) inline. The v1/v2 payload is
+// the body after compression then encryption (in that order).
 //
 // v2 body (IOTB2): the batch container. Strings are serialized exactly once
 // in an interned table, records are fixed-size and reference the table by
@@ -34,18 +36,59 @@
 //             i64 bytes        i64 offset
 //             u32 uid          u32 gid
 //
-// encode_binary writes v1 (kept for compatibility), encode_binary_v2 writes
-// the batch container; decode_binary and decode_binary_batch accept both.
+// v3 body (IOTB3): the *block-structured* container — the v2 record section
+// split into fixed-record-count blocks that are independently compressed
+// and checksummed, plus a per-block mini-index, so compressed cold storage
+// stays queryable without decoding whole files (trace::BlockView touches
+// only the blocks a query's window/name filter reaches). Layout:
+//   head    (never compressed)
+//     nstrings       u32 LE   + strings, exactly as v2
+//     nargids        u64 LE   + argids,  exactly as v2
+//     block_records  u32 LE   records per block (> 0; every block except
+//                             the last holds exactly this many, so record
+//                             i lives in block i / block_records)
+//   blocks  concatenated stored blocks. Each block's plain form is its
+//           records in the 81-byte v2 stride; the stored form is
+//           lz_compress(plain) when flags bit0 is set, plain otherwise.
+//   footer  nblocks fixed entries (offsets in v3layout below):
+//             u64 offset       byte offset of the stored block in `blocks`
+//             u64 stored_len   stored (possibly compressed) byte length
+//             u64 args_begin   running sum of args_count at block start
+//             u32 records      record count (== block_records except last)
+//             u32 crc          CRC-32 of the STORED bytes (0 when bit2 off)
+//             i64 min_time     min/max local_start over the block
+//             i64 max_time
+//             u8  flags        bit0 has_fd_path, bit1 has_io_bytes,
+//                              bit2 has_io_call (mirrors the store's
+//                              PoolIndex, per block)
+//             name bitmap      (nstrings + 7) / 8 bytes; bit id is set iff
+//                              some record's *name* is string id `id`
+//   trailer (24 bytes, last in the payload)
+//     footer_len  u64 LE   byte length of the footer region
+//     nblocks     u64 LE
+//     footer_crc  u32 LE   CRC-32 of the footer region (always present —
+//                          the index must be trustworthy before any block
+//                          is trusted)
+//     magic       u32 LE   v3layout::kFooterMagic
+// flags bit2 (checksummed) governs the per-block CRCs; bit1 (encrypted) is
+// rejected for v3 — encrypted traces use v1/v2 and the decode path.
 //
-// Zero-copy view compatibility (PR 3): because the v2 record section is
-// fixed-stride and the string table is length-prefixed in id order, an
-// IOTB2 container whose compressed (bit0) and encrypted (bit1) flags are
-// BOTH clear can be read in place through trace::BatchView (record_view.h)
-// without decoding into an EventBatch. The checksummed flag (bit2) is
-// view-compatible — the CRC is verified once when the view opens. Any
-// other combination (compressed, encrypted, or a v1 body, whose records
-// are self-delimiting and variable-length) is not view-able and must go
-// through decode_binary_batch.
+// Version / read-path compatibility matrix:
+//   container                 decode_binary_batch  BatchView   BlockView
+//   v1 (any flags)            yes                  no          no
+//   v2 plain / checksummed    yes                  yes (CRC    no
+//                                                  lazy, on
+//                                                  first touch)
+//   v2 compressed/encrypted   yes                  no          no
+//   v3 plain / checksummed /  yes                  no          yes (blocks
+//      compressed                                              decoded +
+//                                                              verified
+//                                                              lazily)
+//   v3 encrypted              never written        no          no
+//
+// encode_binary writes v1 (kept for compatibility), encode_binary_v2 the
+// batch container, encode_binary_v3 the block container; decode_binary and
+// decode_binary_batch accept all three.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +105,32 @@ namespace iotaxo::trace {
 /// paylen. The payload starts at this offset (the CRC, when present, sits
 /// after the payload). Shared by the codec and the zero-copy view layer.
 inline constexpr std::size_t kContainerHeaderSize = 6 + 1 + 8 + 8;
+
+/// Byte layout of the IOTB3 footer (see the container comment above).
+/// Shared by the encoder, trace::BlockView and the corruption tests.
+namespace v3layout {
+/// Per-block footer entry: fixed fields, then the name-presence bitmap of
+/// (nstrings + 7) / 8 bytes. Offsets are within the entry.
+inline constexpr std::size_t kEntryOffset = 0;      // u64
+inline constexpr std::size_t kEntryStoredLen = 8;   // u64
+inline constexpr std::size_t kEntryArgsBegin = 16;  // u64
+inline constexpr std::size_t kEntryRecords = 24;    // u32
+inline constexpr std::size_t kEntryCrc = 28;        // u32
+inline constexpr std::size_t kEntryMinTime = 32;    // i64
+inline constexpr std::size_t kEntryMaxTime = 40;    // i64
+inline constexpr std::size_t kEntryFlags = 48;      // u8
+inline constexpr std::size_t kEntryFixedSize = 49;  // bitmap follows
+
+inline constexpr std::uint8_t kBlockHasFdPath = 0x01;
+inline constexpr std::uint8_t kBlockHasIoBytes = 0x02;
+inline constexpr std::uint8_t kBlockHasIoCall = 0x04;
+
+/// Trailer: footer_len u64 + nblocks u64 + footer_crc u32 + magic u32.
+inline constexpr std::size_t kTrailerSize = 24;
+inline constexpr std::uint32_t kFooterMagic = 0x33425846u;  // "FXB3" LE
+
+inline constexpr std::uint32_t kDefaultBlockRecords = 4096;
+}  // namespace v3layout
 
 struct BinaryOptions {
   bool compress = false;
@@ -86,23 +155,36 @@ struct BinaryOptions {
 [[nodiscard]] std::vector<std::uint8_t> encode_binary_v2(
     const std::vector<TraceEvent>& events, const BinaryOptions& options);
 
-/// Parse a v1 or v2 container; verifies CRC, decrypts, decompresses.
+/// Serialize a batch to the v3 (IOTB3) block container: per-block
+/// compression and CRC plus the footer mini-index. Throws ConfigError when
+/// options.encrypt is set (v3 does not support encryption) or
+/// block_records is 0.
+[[nodiscard]] std::vector<std::uint8_t> encode_binary_v3(
+    const EventBatch& batch, const BinaryOptions& options,
+    std::uint32_t block_records = v3layout::kDefaultBlockRecords);
+
+/// Convenience: intern `events` into a batch, then encode as v3.
+[[nodiscard]] std::vector<std::uint8_t> encode_binary_v3(
+    const std::vector<TraceEvent>& events, const BinaryOptions& options,
+    std::uint32_t block_records = v3layout::kDefaultBlockRecords);
+
+/// Parse a v1, v2 or v3 container; verifies CRCs, decrypts, decompresses.
 /// `key` must be supplied for encrypted files. Throws FormatError on any
 /// corruption or a wrong key.
 [[nodiscard]] std::vector<TraceEvent> decode_binary(
     std::span<const std::uint8_t> data,
     const std::optional<CipherKey>& key = std::nullopt);
 
-/// Parse a container straight into batch form. v2 payloads decode without
-/// rebuilding per-event heap objects; v1 payloads are decoded per-event and
-/// re-interned.
+/// Parse a container straight into batch form. v2/v3 payloads decode
+/// without rebuilding per-event heap objects; v1 payloads are decoded
+/// per-event and re-interned.
 [[nodiscard]] EventBatch decode_binary_batch(
     std::span<const std::uint8_t> data,
     const std::optional<CipherKey>& key = std::nullopt);
 
 /// Inspect a container's flags without decoding the payload.
 struct BinaryHeader {
-  int version = 1;  // 1 = IOTB1, 2 = IOTB2
+  int version = 1;  // 1 = IOTB1, 2 = IOTB2, 3 = IOTB3
   bool compressed = false;
   bool encrypted = false;
   bool checksummed = false;
@@ -113,7 +195,7 @@ struct BinaryHeader {
     std::span<const std::uint8_t> data);
 
 /// Heuristic used by the taxonomy classifier to label a framework's output
-/// format: true if the buffer starts with either binary magic.
+/// format: true if the buffer starts with any of the binary magics.
 [[nodiscard]] bool looks_binary(std::span<const std::uint8_t> data) noexcept;
 
 }  // namespace iotaxo::trace

@@ -1,0 +1,372 @@
+#include "trace/block_view.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "trace/scan_kernels.h"
+#include "util/compress.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+
+namespace {
+
+[[nodiscard]] std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
+  header_ = peek_binary_header(data);  // validates magic + header bounds
+  if (header_.version != 3) {
+    throw FormatError("block view: requires an IOTB3 container");
+  }
+  if (header_.encrypted) {
+    // The encoder refuses to write encrypted v3; an encrypted flag here is
+    // corruption, not a feature request.
+    throw FormatError("binary trace v3: encrypted flag is not valid");
+  }
+  // v3 carries no trailing file CRC — the payload is everything after the
+  // envelope header. Subtract-and-compare so a hostile payload_length near
+  // 2^64 cannot wrap into a passing equality.
+  const std::size_t avail = data.size() - kContainerHeaderSize;  // header ok
+  if (header_.payload_length != avail) {
+    throw FormatError("binary trace: length mismatch");
+  }
+  const std::span<const std::uint8_t> body = data.subspan(
+      kContainerHeaderSize, static_cast<std::size_t>(header_.payload_length));
+
+  // --- head: string table + argument-id table + block_records ------------
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    if (n > body.size() || pos > body.size() - n) {
+      throw FormatError("binary trace: truncated record");
+    }
+  };
+  need(4);
+  const std::uint32_t nstrings = load_u32(body.data() + pos);
+  pos += 4;
+  if (nstrings == 0) {
+    throw FormatError("binary trace v2: empty string table");
+  }
+  if (nstrings > body.size() / 4) {
+    throw FormatError("binary trace v2: string table exceeds payload");
+  }
+  strings_.reserve(nstrings);
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    need(4);
+    const std::uint32_t len = load_u32(body.data() + pos);
+    pos += 4;
+    need(len);
+    strings_.emplace_back(reinterpret_cast<const char*>(body.data() + pos),
+                          len);
+    string_bytes_ += len;
+    pos += len;
+  }
+  if (!strings_.front().empty()) {
+    throw FormatError("binary trace v2: string id 0 must be empty");
+  }
+  std::unordered_set<std::string_view> seen(strings_.begin(), strings_.end());
+  if (seen.size() != strings_.size()) {
+    throw FormatError("binary trace v2: string table is not interned");
+  }
+
+  need(8);
+  const std::uint64_t nargids = load_u64(body.data() + pos);
+  pos += 8;
+  if (nargids > (body.size() - pos) / 4) {
+    throw FormatError("binary trace v2: arg-id table exceeds payload");
+  }
+  args_ = body.subspan(pos, static_cast<std::size_t>(nargids) * 4);
+  pos += args_.size();
+  if (nargids > 0) {
+    const std::uint32_t max_arg_id = scan::max_u32_le(
+        args_.data(), static_cast<std::size_t>(nargids));
+    if (max_arg_id >= nstrings) {
+      throw FormatError(strprintf(
+          "binary trace v2: arg string id %u out of range", max_arg_id));
+    }
+  }
+
+  need(4);
+  nominal_ = load_u32(body.data() + pos);
+  pos += 4;
+  count_ = static_cast<std::size_t>(header_.count);
+  if (count_ > 0 && nominal_ == 0) {
+    throw FormatError("binary trace v3: block_records must be positive");
+  }
+  if (nominal_ == 0) {
+    nominal_ = 1;  // keep block_of well-defined on empty containers
+  }
+
+  // --- trailer + footer ---------------------------------------------------
+  if (body.size() - pos < v3layout::kTrailerSize) {
+    throw FormatError("binary trace v3: truncated footer");
+  }
+  const std::uint8_t* trailer =
+      body.data() + body.size() - v3layout::kTrailerSize;
+  const std::uint64_t footer_len = load_u64(trailer);
+  const std::uint64_t nblocks = load_u64(trailer + 8);
+  const std::uint32_t footer_crc = load_u32(trailer + 16);
+  const std::uint32_t footer_magic = load_u32(trailer + 20);
+  if (footer_magic != v3layout::kFooterMagic) {
+    throw FormatError("binary trace v3: bad footer magic");
+  }
+  const std::size_t tail_room = body.size() - pos - v3layout::kTrailerSize;
+  if (footer_len > tail_room) {
+    throw FormatError("binary trace v3: truncated footer");
+  }
+  footer_ = body.subspan(body.size() - v3layout::kTrailerSize -
+                             static_cast<std::size_t>(footer_len),
+                         static_cast<std::size_t>(footer_len));
+  // The footer CRC is always verified — skip decisions are made on the
+  // index before any block is decoded, so it must be trustworthy first.
+  if (crc32(footer_) != footer_crc) {
+    throw FormatError("binary trace v3: footer checksum mismatch");
+  }
+  bitmap_bytes_ = (static_cast<std::size_t>(nstrings) + 7) / 8;
+  const std::size_t entry_size = v3layout::kEntryFixedSize + bitmap_bytes_;
+  // An overstated (or understated) block count cannot pass: the footer
+  // must hold exactly nblocks entries, and nblocks must match the record
+  // count the envelope declared.
+  if (nblocks > footer_.size() / entry_size ||
+      footer_.size() != nblocks * entry_size) {
+    throw FormatError("binary trace v3: footer size does not match block "
+                      "count");
+  }
+  const std::uint64_t expected_blocks =
+      count_ == 0 ? 0 : (count_ + nominal_ - 1) / nominal_;
+  if (nblocks != expected_blocks) {
+    throw FormatError("binary trace v3: block count does not match record "
+                      "count");
+  }
+  blocks_ = body.subspan(pos, tail_room - static_cast<std::size_t>(footer_len));
+
+  meta_.reserve(static_cast<std::size_t>(nblocks));
+  std::uint64_t running_offset = 0;
+  std::uint64_t prev_args_begin = 0;
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    const std::uint8_t* e = footer_.data() + b * entry_size;
+    BlockMeta m;
+    m.offset = load_u64(e + v3layout::kEntryOffset);
+    m.stored_len = load_u64(e + v3layout::kEntryStoredLen);
+    m.args_begin = load_u64(e + v3layout::kEntryArgsBegin);
+    m.records = load_u32(e + v3layout::kEntryRecords);
+    m.crc = load_u32(e + v3layout::kEntryCrc);
+    m.min_time = static_cast<SimTime>(load_u64(e + v3layout::kEntryMinTime));
+    m.max_time = static_cast<SimTime>(load_u64(e + v3layout::kEntryMaxTime));
+    m.flags = e[v3layout::kEntryFlags];
+    // Stored blocks are contiguous and exactly fill the block region.
+    if (m.offset != running_offset ||
+        m.stored_len > blocks_.size() - running_offset) {
+      throw FormatError("binary trace v3: block table exceeds payload");
+    }
+    running_offset += m.stored_len;
+    const bool last = b + 1 == nblocks;
+    const std::uint64_t expect_records =
+        last ? count_ - (nblocks - 1) * nominal_ : nominal_;
+    if (m.records != expect_records) {
+      throw FormatError("binary trace v3: block record count mismatch");
+    }
+    if (!header_.compressed &&
+        m.stored_len != static_cast<std::uint64_t>(m.records) *
+                            v2layout::kStride) {
+      throw FormatError("binary trace v3: block size mismatch");
+    }
+    if (m.args_begin > nargids ||
+        (b > 0 && m.args_begin < prev_args_begin) ||
+        (b == 0 && m.args_begin != 0)) {
+      throw FormatError("binary trace v3: record args out of range");
+    }
+    prev_args_begin = m.args_begin;
+    meta_.push_back(m);
+  }
+  if (running_offset != blocks_.size()) {
+    throw FormatError("binary trace: trailing bytes after records");
+  }
+
+  lazy_ = std::make_shared<LazyState>(meta_.size());
+}
+
+std::span<const std::uint8_t> BlockView::decode_block_slow(
+    std::size_t b) const {
+  BlockSlot& slot = lazy_->slots[b];
+  std::lock_guard<std::mutex> lock(lazy_->m);
+  const int state = slot.state.load(std::memory_order_acquire);
+  if (state == kReady) {
+    return slot.bytes;
+  }
+  if (state == kFailed) {
+    throw FormatError(slot.error);
+  }
+  const BlockMeta& m = meta_[b];
+  const auto fail = [&](std::string msg) -> std::span<const std::uint8_t> {
+    slot.error = std::move(msg);
+    slot.state.store(kFailed, std::memory_order_release);
+    throw FormatError(slot.error);
+  };
+  const std::span<const std::uint8_t> stored =
+      blocks_.subspan(static_cast<std::size_t>(m.offset),
+                      static_cast<std::size_t>(m.stored_len));
+  // CRC over the STORED bytes, before any decompression touches them.
+  if (header_.checksummed && crc32(stored) != m.crc) {
+    return fail(strprintf("binary trace v3: block %zu checksum mismatch", b));
+  }
+  std::span<const std::uint8_t> plain = stored;
+  if (header_.compressed) {
+    try {
+      slot.owned = lz_decompress(stored);
+    } catch (const Error&) {
+      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+    }
+    plain = slot.owned;
+  }
+  const std::size_t n = m.records;
+  if (plain.size() != n * v2layout::kStride) {
+    return fail(strprintf("binary trace v3: block %zu size mismatch", b));
+  }
+
+  // Structural validation + index cross-check: the records must agree with
+  // everything the footer claimed about this block, or the mini-index was
+  // lying and skip decisions made on it were unsound.
+  const std::uint32_t nstrings = static_cast<std::uint32_t>(strings_.size());
+  std::uint64_t args_sum = 0;
+  std::vector<std::uint8_t> bitmap(bitmap_bytes_, 0);
+  std::uint8_t flags = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const RecordView rec(plain.data() + r * v2layout::kStride);
+    if (static_cast<std::uint8_t>(rec.cls()) >
+        static_cast<std::uint8_t>(EventClass::kAnnotation)) {
+      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+    }
+    const StrId name = rec.name();
+    if (name >= nstrings || rec.host() >= nstrings || rec.path() >= nstrings) {
+      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+    }
+    args_sum += rec.args_count();
+    bitmap[name >> 3] |= static_cast<std::uint8_t>(1u << (name & 7u));
+    if (rec.path() != 0 && rec.fd() >= 0) {
+      flags |= v3layout::kBlockHasFdPath;
+    }
+    if (rec.is_io_call()) {
+      flags |= v3layout::kBlockHasIoCall;
+      if (rec.bytes() > 0) {
+        flags |= v3layout::kBlockHasIoBytes;
+      }
+    }
+  }
+  SimTime lo = 0;
+  SimTime hi = 0;
+  if (n > 0) {
+    scan::minmax_stamps(plain.data(), n, &lo, &hi);
+  }
+  const std::uint64_t args_end = b + 1 < meta_.size()
+                                     ? meta_[b + 1].args_begin
+                                     : static_cast<std::uint64_t>(
+                                           arg_id_count());
+  const bool index_ok =
+      m.args_begin + args_sum == args_end && lo == m.min_time &&
+      hi == m.max_time && flags == m.flags &&
+      std::equal(bitmap.begin(), bitmap.end(), bitmap_of(b));
+  if (!index_ok) {
+    return fail(
+        strprintf("binary trace v3: block %zu disagrees with its index", b));
+  }
+
+  slot.bytes = plain;
+  slot.state.store(kReady, std::memory_order_release);
+  return slot.bytes;
+}
+
+std::string_view BlockView::string(StrId id) const {
+  if (id >= strings_.size()) {
+    throw FormatError(strprintf("string pool: id %u out of range (size %zu)",
+                                id, strings_.size()));
+  }
+  return strings_[id];
+}
+
+std::optional<StrId> BlockView::find_string(std::string_view s) const
+    noexcept {
+  for (std::size_t id = 0; id < strings_.size(); ++id) {
+    if (strings_[id] == s) {
+      return static_cast<StrId>(id);
+    }
+  }
+  return std::nullopt;
+}
+
+StrId BlockView::arg_id(std::size_t j) const {
+  if (j >= arg_id_count()) {
+    throw FormatError(
+        strprintf("binary trace v2: arg index %zu out of range", j));
+  }
+  return load_u32(args_.data() + j * 4);
+}
+
+TraceEvent BlockView::materialize(std::size_t i,
+                                  std::uint32_t args_begin) const {
+  const RecordView rec = record(i);
+  TraceEvent ev;
+  ev.cls = rec.cls();
+  ev.name = std::string(string(rec.name()));
+  const std::uint32_t argc = rec.args_count();
+  ev.args.reserve(argc);
+  for (std::uint32_t j = 0; j < argc; ++j) {
+    ev.args.emplace_back(string(arg_id(args_begin + j)));
+  }
+  ev.ret = rec.ret();
+  ev.local_start = rec.local_start();
+  ev.duration = rec.duration();
+  ev.rank = rec.rank();
+  ev.node = rec.node();
+  ev.pid = rec.pid();
+  ev.host = std::string(string(rec.host()));
+  ev.path = std::string(string(rec.path()));
+  ev.fd = rec.fd();
+  ev.bytes = rec.bytes();
+  ev.offset = rec.offset();
+  ev.uid = rec.uid();
+  ev.gid = rec.gid();
+  return ev;
+}
+
+EventBatch BlockView::to_batch() const {
+  EventBatch batch;
+  StringPool& pool = batch.pool();
+  pool.reserve(strings_.size());
+  for (const std::string_view s : strings_) {
+    pool.intern(s);
+  }
+  const std::size_t nargids = arg_id_count();
+  std::vector<StrId> arg_ids;
+  arg_ids.reserve(nargids);
+  for (std::size_t j = 0; j < nargids; ++j) {
+    arg_ids.push_back(load_u32(args_.data() + j * 4));
+  }
+  batch.reserve(count_, nargids);
+  for_each([&](std::size_t /*i*/, const RecordView& rec,
+               std::uint32_t args_begin) {
+    batch.append_raw(rec.to_record(),
+                     std::span<const StrId>(arg_ids).subspan(
+                         args_begin, rec.args_count()));
+  });
+  return batch;
+}
+
+}  // namespace iotaxo::trace

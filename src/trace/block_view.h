@@ -1,0 +1,235 @@
+// Lazy read path over the IOTB3 block container (block_view.cpp): the
+// counterpart of BatchView for compressed/checksummed cold storage. The
+// constructor validates only the cheap, always-needed parts — envelope
+// bounds, the uncompressed head (string + argument-id tables, walked and
+// range-checked exactly as BatchView does) and the footer mini-index
+// (whose own CRC is always verified: the index must be trustworthy before
+// any skip decision is made on it). Record blocks are NOT touched at open.
+//
+// The first access to a block — record(), for_each(), block_bytes() —
+// pays for exactly that block: CRC over the stored bytes (when the
+// container is checksummed), LZ decompression (when compressed; stored
+// bytes are served zero-copy otherwise), and a structural pass that
+// validates every class byte, string id and args slice AND cross-checks
+// the footer's min/max stamps, name bitmap and flag bits against the
+// records (an index that lies about a block is corruption and rejects
+// that block). Decoded blocks are cached for the life of the view;
+// failures are sticky, and only queries touching the corrupt block see
+// them. The cache is thread-safe: concurrent store queries may race on
+// the first touch of a block.
+//
+// Queries consult the per-block mini-index (block_min_time / block_has_name
+// / block flag accessors) to skip blocks entirely — the unified store's
+// segment seam routes its windowed and name-filtered scans through it, so
+// a narrow query on a compressed 10M-event era decompresses only the
+// blocks its window overlaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/binary_format.h"
+#include "trace/record_view.h"
+
+namespace iotaxo::trace {
+
+/// A validated-on-demand window onto one IOTB3 container. The view borrows
+/// `data`; the caller keeps the buffer alive (MappedTraceFile, or the
+/// store's block-backed pool) for the view's lifetime. Copies share the
+/// decoded-block cache.
+class BlockView {
+ public:
+  explicit BlockView(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const BinaryHeader& header() const noexcept {
+    return header_;
+  }
+  /// The container bytes this view borrows (the constructor argument).
+  [[nodiscard]] std::span<const std::uint8_t> buffer() const noexcept {
+    return buffer_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  // --- per-block mini-index (footer; CRC-verified at open) ---------------
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return meta_.size();
+  }
+  /// Records per full block; record i lives in block i / this.
+  [[nodiscard]] std::uint32_t block_records_nominal() const noexcept {
+    return nominal_;
+  }
+  [[nodiscard]] std::size_t block_of(std::size_t i) const noexcept {
+    return i / nominal_;
+  }
+  /// Index of block b's first record.
+  [[nodiscard]] std::size_t block_first(std::size_t b) const noexcept {
+    return b * nominal_;
+  }
+  /// Record count of block b (== nominal except for the last block).
+  [[nodiscard]] std::uint32_t block_size(std::size_t b) const noexcept {
+    return meta_[b].records;
+  }
+  /// Running args_begin at block b's first record.
+  [[nodiscard]] std::uint64_t block_args_begin(std::size_t b) const noexcept {
+    return meta_[b].args_begin;
+  }
+  [[nodiscard]] SimTime block_min_time(std::size_t b) const noexcept {
+    return meta_[b].min_time;
+  }
+  [[nodiscard]] SimTime block_max_time(std::size_t b) const noexcept {
+    return meta_[b].max_time;
+  }
+  /// Stored (possibly compressed) byte length of block b.
+  [[nodiscard]] std::uint64_t block_stored_len(std::size_t b) const noexcept {
+    return meta_[b].stored_len;
+  }
+  /// True when some record in block b has name id `id` (id 0 means "not
+  /// interned": always false, mirroring the store's PoolIndex::has_name).
+  [[nodiscard]] bool block_has_name(std::size_t b, StrId id) const noexcept {
+    if (id == 0 || id >= strings_.size()) {
+      return false;
+    }
+    return (bitmap_of(b)[id >> 3] & (1u << (id & 7u))) != 0;
+  }
+  [[nodiscard]] bool block_has_fd_path(std::size_t b) const noexcept {
+    return (meta_[b].flags & v3layout::kBlockHasFdPath) != 0;
+  }
+  [[nodiscard]] bool block_has_io_bytes(std::size_t b) const noexcept {
+    return (meta_[b].flags & v3layout::kBlockHasIoBytes) != 0;
+  }
+  [[nodiscard]] bool block_has_io_call(std::size_t b) const noexcept {
+    return (meta_[b].flags & v3layout::kBlockHasIoCall) != 0;
+  }
+
+  // --- string / argument tables (uncompressed head, validated at open) ---
+
+  [[nodiscard]] std::size_t string_count() const noexcept {
+    return strings_.size();
+  }
+  [[nodiscard]] std::size_t string_table_bytes() const noexcept {
+    return string_bytes_;
+  }
+  /// The string for an id, pointing into the container buffer. Throws
+  /// FormatError on an out-of-range id.
+  [[nodiscard]] std::string_view string(StrId id) const;
+  [[nodiscard]] std::optional<StrId> find_string(
+      std::string_view s) const noexcept;
+  [[nodiscard]] std::size_t arg_id_count() const noexcept {
+    return args_.size() / 4;
+  }
+  [[nodiscard]] StrId arg_id(std::size_t j) const;
+
+  // --- record access (lazy per-block decode + verify) --------------------
+
+  /// Block b's records as raw fixed-stride bytes (block_size(b) records of
+  /// v2layout::kStride each) — decoded, CRC-verified and validated on
+  /// first touch, cached after. Zero-copy into the container buffer for
+  /// uncompressed containers. Throws FormatError when the block is
+  /// corrupt (sticky: every later touch rethrows).
+  [[nodiscard]] std::span<const std::uint8_t> block_bytes(
+      std::size_t b) const {
+    BlockSlot& slot = lazy_->slots[b];
+    if (slot.state.load(std::memory_order_acquire) == kReady) {
+      return slot.bytes;
+    }
+    return decode_block_slow(b);
+  }
+
+  /// Record i, touching (and possibly decoding) its block.
+  [[nodiscard]] RecordView record(std::size_t i) const {
+    const std::size_t b = block_of(i);
+    return RecordView(block_bytes(b).data() +
+                      (i - block_first(b)) * v2layout::kStride);
+  }
+
+  /// Visit records in order: fn(index, RecordView, args_begin). Streams
+  /// block by block; every block is touched.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t i = 0;
+    for (std::size_t b = 0; b < meta_.size(); ++b) {
+      const std::span<const std::uint8_t> bytes = block_bytes(b);
+      auto args_begin = static_cast<std::uint32_t>(meta_[b].args_begin);
+      const std::size_t n = meta_[b].records;
+      for (std::size_t r = 0; r < n; ++r, ++i) {
+        const RecordView rec(bytes.data() + r * v2layout::kStride);
+        fn(i, rec, args_begin);
+        args_begin += rec.args_count();
+      }
+    }
+  }
+
+  /// Rebuild record `i` as a heap-owning TraceEvent (`args_begin` as for
+  /// for_each).
+  [[nodiscard]] TraceEvent materialize(std::size_t i,
+                                       std::uint32_t args_begin) const;
+
+  /// Decode the whole container into an owned EventBatch (touches every
+  /// block) — the v3 arm of decode_binary_batch.
+  [[nodiscard]] EventBatch to_batch() const;
+
+ private:
+  struct BlockMeta {
+    std::uint64_t offset = 0;
+    std::uint64_t stored_len = 0;
+    std::uint64_t args_begin = 0;
+    std::uint32_t records = 0;
+    std::uint32_t crc = 0;
+    SimTime min_time = 0;
+    SimTime max_time = 0;
+    std::uint8_t flags = 0;
+  };
+
+  static constexpr int kUntouched = 0;
+  static constexpr int kReady = 1;
+  static constexpr int kFailed = 2;
+
+  struct BlockSlot {
+    std::atomic<int> state{kUntouched};
+    std::vector<std::uint8_t> owned;      // decompressed bytes, if any
+    std::span<const std::uint8_t> bytes;  // the block's record bytes
+    std::string error;                    // sticky failure message
+  };
+
+  /// Shared, mutex-guarded decode cache: the slot vector is sized once and
+  /// never reallocated, so the per-slot atomic fast path above reads
+  /// stable storage.
+  struct LazyState {
+    std::mutex m;
+    std::vector<BlockSlot> slots;
+    explicit LazyState(std::size_t n) : slots(n) {}
+  };
+
+  /// Footer bitmap of block b (bitmap_bytes_ bytes).
+  [[nodiscard]] const std::uint8_t* bitmap_of(std::size_t b) const noexcept {
+    return footer_.data() +
+           b * (v3layout::kEntryFixedSize + bitmap_bytes_) +
+           v3layout::kEntryFixedSize;
+  }
+
+  std::span<const std::uint8_t> decode_block_slow(std::size_t b) const;
+
+  BinaryHeader header_;
+  std::span<const std::uint8_t> buffer_;  // the whole borrowed container
+  std::span<const std::uint8_t> blocks_;  // stored-block region
+  std::span<const std::uint8_t> args_;    // nargids * 4 bytes
+  std::span<const std::uint8_t> footer_;  // footer region (entries)
+  std::vector<std::string_view> strings_;
+  std::size_t string_bytes_ = 0;
+  std::size_t count_ = 0;
+  std::uint32_t nominal_ = 1;  // records per full block
+  std::size_t bitmap_bytes_ = 0;
+  std::vector<BlockMeta> meta_;
+  std::shared_ptr<LazyState> lazy_;
+};
+
+}  // namespace iotaxo::trace

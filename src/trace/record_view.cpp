@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "trace/scan_kernels.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -61,12 +62,14 @@ BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
   const std::span<const std::uint8_t> body =
       data.subspan(kContainerHeaderSize,
                    static_cast<std::size_t>(header_.payload_length));
+  body_ = body;
   if (header_.checksummed) {
-    const std::uint32_t stored =
-        load_u32(data.data() + kContainerHeaderSize + body.size());
-    if (crc32(body) != stored) {
-      throw FormatError("binary trace: checksum mismatch");
-    }
+    // Deferred: record the expected CRC now, hash the payload on the first
+    // record/string touch (ensure_checksum). The structural pass below is
+    // fully bounds-checked, so walking unverified bytes is safe — a
+    // corruption it happens to miss is caught by the CRC before any record
+    // content is served.
+    stored_crc_ = load_u32(data.data() + kContainerHeaderSize + body.size());
   }
 
   // --- string table: one bounds-checked walk, string_views in place ------
@@ -122,19 +125,16 @@ BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
   // Validate the table values here, not just the records' slice bounds:
   // the constructor contract is "throws on anything decode_binary_batch
   // would reject", and consumers (materialize, the replay adapter)
-  // dereference arg ids long after open. Branch-free max fold so the
-  // compiler can vectorize — a throw inside the loop would cost the view
-  // gate real open time on big argument tables.
-  std::uint32_t max_arg_id = 0;
-  {
-    const std::uint8_t* p = args_.data();
-    for (std::uint64_t j = 0; j < nargids; ++j, p += 4) {
-      max_arg_id = std::max(max_arg_id, load_u32(p));
+  // dereference arg ids long after open. Branch-free max fold (SSE/NEON
+  // fast path in scan_kernels) — a throw inside the loop would cost the
+  // view gate real open time on big argument tables.
+  if (nargids > 0) {
+    const std::uint32_t max_arg_id = scan::max_u32_le(
+        args_.data(), static_cast<std::size_t>(nargids));
+    if (max_arg_id >= nstrings) {
+      throw FormatError(strprintf(
+          "binary trace v2: arg string id %u out of range", max_arg_id));
     }
-  }
-  if (nargids > 0 && max_arg_id >= nstrings) {
-    throw FormatError(strprintf(
-        "binary trace v2: arg string id %u out of range", max_arg_id));
   }
 
   // --- fixed-stride record section ---------------------------------------
@@ -168,9 +168,30 @@ BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
   if (args_sum > nargids) {
     throw FormatError("binary trace v2: record args out of range");
   }
+
+  // Arm the deferred-CRC gate last: the accessors the loops above used run
+  // gate-free during construction (the structural pass must not pay the
+  // hash the laziness exists to avoid).
+  if (header_.checksummed) {
+    crc_gate_ = std::make_shared<CrcGate>();
+  }
+}
+
+void BatchView::verify_checksum_slow() const {
+  std::lock_guard<std::mutex> lock(crc_gate_->m);
+  const int state = crc_gate_->state.load(std::memory_order_acquire);
+  if (state == 1) {
+    return;
+  }
+  if (state == 2 || crc32(body_) != stored_crc_) {
+    crc_gate_->state.store(2, std::memory_order_release);
+    throw FormatError("binary trace: checksum mismatch");
+  }
+  crc_gate_->state.store(1, std::memory_order_release);
 }
 
 std::string_view BatchView::string(StrId id) const {
+  ensure_checksum();  // string bytes are payload the CRC covers
   if (id >= strings_.size()) {
     throw FormatError(strprintf("string pool: id %u out of range (size %zu)",
                                 id, strings_.size()));
@@ -178,8 +199,8 @@ std::string_view BatchView::string(StrId id) const {
   return strings_[id];
 }
 
-std::optional<StrId> BatchView::find_string(std::string_view s) const
-    noexcept {
+std::optional<StrId> BatchView::find_string(std::string_view s) const {
+  ensure_checksum();
   for (std::size_t id = 0; id < strings_.size(); ++id) {
     if (strings_[id] == s) {
       return static_cast<StrId>(id);
@@ -189,6 +210,7 @@ std::optional<StrId> BatchView::find_string(std::string_view s) const
 }
 
 StrId BatchView::arg_id(std::size_t j) const {
+  ensure_checksum();
   if (j >= arg_id_count()) {
     throw FormatError(
         strprintf("binary trace v2: arg index %zu out of range", j));

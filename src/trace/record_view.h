@@ -1,6 +1,6 @@
 // Zero-copy read path over the IOTB2 container (the "mmap-able v2"
 // follow-on of the batched pipeline): a BatchView validates an
-// uncompressed, unencrypted container exactly once — envelope bounds, CRC,
+// uncompressed, unencrypted container exactly once — envelope bounds,
 // string-table walk, and a pass over the fixed-stride record section that
 // checks every class byte, string id and args slice — and then exposes the
 // records and string table *in place*. No EventBatch is allocated and no
@@ -11,7 +11,11 @@
 //
 // Compressed or encrypted containers, and v1 (IOTB1) bodies, cannot be
 // viewed — they must go through decode_binary_batch. The checksummed flag
-// is fine: the CRC is verified once at open.
+// is fine: the whole-payload CRC is verified *lazily*, on the first record
+// or string touch after open, not at open itself — so probing a
+// checksummed container (peek its header, count its strings, file it in a
+// store) costs no CRC pass, and only the first actual scan pays it once.
+// A mismatch throws FormatError at that first touch and is sticky.
 //
 // MappedTraceFile owns the backing bytes for file-based views: it mmaps
 // the file read-only where the platform allows and falls back to reading
@@ -20,7 +24,10 @@
 // unified store relies on this when it files view-backed sources).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -159,11 +166,13 @@ class RecordView {
 };
 
 /// A validated window onto one IOTB2 container. The constructor does all
-/// the checking (throws FormatError on anything decode_binary_batch would
-/// reject, plus on compressed/encrypted/v1 containers, which cannot be
-/// viewed); every accessor after that is cheap. The view borrows `data` —
-/// the caller keeps the buffer alive (MappedTraceFile, or the store's
-/// view-backed source) for the view's lifetime.
+/// the structural checking (throws FormatError on anything
+/// decode_binary_batch would reject, plus on compressed/encrypted/v1
+/// containers, which cannot be viewed); the payload CRC alone is deferred
+/// to the first record/string touch (ensure_checksum). The view borrows
+/// `data` — the caller keeps the buffer alive (MappedTraceFile, or the
+/// store's view-backed source) for the view's lifetime. Copies share the
+/// CRC gate.
 class BatchView {
  public:
   explicit BatchView(std::span<const std::uint8_t> data);
@@ -181,8 +190,29 @@ class BatchView {
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
-  [[nodiscard]] RecordView record(std::size_t i) const noexcept {
+  [[nodiscard]] RecordView record(std::size_t i) const {
+    ensure_checksum();
     return RecordView(records_.data() + i * v2layout::kStride);
+  }
+
+  /// Verify the deferred whole-payload CRC: a no-op when the container is
+  /// not checksummed or the CRC already verified; throws FormatError on a
+  /// mismatch (sticky — every later touch rethrows). Every record/string
+  /// accessor calls this, so callers only need it to force verification
+  /// eagerly (or before handing raw record_bytes() to a scan kernel).
+  void ensure_checksum() const {
+    if (crc_gate_ != nullptr &&
+        crc_gate_->state.load(std::memory_order_acquire) != 1) {
+      verify_checksum_slow();
+    }
+  }
+
+  /// The raw fixed-stride record section (count() * kStride bytes) for
+  /// scan kernels that fold serialized records directly. Verifies the
+  /// deferred CRC first — handing out the bytes is a record touch.
+  [[nodiscard]] std::span<const std::uint8_t> record_bytes() const {
+    ensure_checksum();
+    return records_;
   }
 
   /// Number of interned strings (id 0 = "").
@@ -198,8 +228,7 @@ class BatchView {
   [[nodiscard]] std::string_view string(StrId id) const;
   /// Id for `s` if the table holds it (linear scan — the table is small
   /// relative to the record section).
-  [[nodiscard]] std::optional<StrId> find_string(
-      std::string_view s) const noexcept;
+  [[nodiscard]] std::optional<StrId> find_string(std::string_view s) const;
 
   [[nodiscard]] std::size_t arg_id_count() const noexcept {
     return args_.size() / 4;
@@ -227,13 +256,27 @@ class BatchView {
                                        std::uint32_t args_begin) const;
 
  private:
+  /// Shared deferred-CRC gate: 0 unverified, 1 verified, 2 failed
+  /// (sticky). Shared across view copies so the payload is hashed at most
+  /// once; the mutex serializes the slow path, the atomic keeps the
+  /// per-access fast path to one acquire load.
+  struct CrcGate {
+    std::mutex m;
+    std::atomic<int> state{0};
+  };
+
+  void verify_checksum_slow() const;
+
   BinaryHeader header_;
   std::span<const std::uint8_t> buffer_;   // the whole borrowed container
+  std::span<const std::uint8_t> body_;     // the payload the CRC covers
   std::span<const std::uint8_t> records_;  // count_ * kStride bytes
   std::span<const std::uint8_t> args_;     // nargids * 4 bytes
   std::vector<std::string_view> strings_;  // id -> bytes in the buffer
   std::size_t string_bytes_ = 0;
   std::size_t count_ = 0;
+  std::uint32_t stored_crc_ = 0;
+  std::shared_ptr<CrcGate> crc_gate_;  // null when not checksummed
 };
 
 /// Read-only bytes of a trace file, mmapped when possible. Move-only; the

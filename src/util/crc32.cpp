@@ -1,31 +1,183 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define IOTAXO_CRC32_X86_64 1
+#include <immintrin.h>
+#endif
 
 namespace iotaxo {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() noexcept {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8: eight derived tables let the inner loop fold 8 input bytes
+// per iteration instead of 1 (Intel's technique; same polynomial, same
+// values as the bytewise loop — only the walk order changes). Table k maps
+// "byte b, then k zero bytes" through the CRC, so one 8-byte chunk is the
+// XOR of eight independent single-table lookups with no loop-carried
+// dependency between them.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() noexcept {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t t = 1; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[t - 1][i];
+      tables[t][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<std::uint32_t, 256> kTable = make_table();
+const std::array<std::array<std::uint32_t, 256>, 8> kTables = make_tables();
+
+#if IOTAXO_CRC32_X86_64
+// Carry-less-multiply folding (Gopal et al., "Fast CRC Computation for
+// Generic Polynomials Using PCLMULQDQ Instruction"): fold 64-byte chunks
+// of the message as polynomials over GF(2) down to 128 bits, then Barrett-
+// reduce to the 32-bit remainder. The k1..k5/mu constants below are the
+// bit-reflected x^N mod P precomputations for the IEEE polynomial — the
+// same remainders the lookup tables encode, so both paths return identical
+// values for identical input. ~5x the slice-by-8 throughput, which is what
+// keeps the per-block checksummed IOTB3 scan inside its 1.5x bench gate.
+//
+// `crc` is the RUNNING state (already initialized to ~0), not the
+// finalized value; `len` must be >= 64 and a multiple of 16 — the caller
+// feeds the tail to the table loop.
+//
+// (A named helper, not a lambda: lambdas do not inherit the enclosing
+// function's target attribute, so intrinsics inside one fail to inline.)
+__attribute__((target("sse4.1,pclmul"))) [[nodiscard]] inline __m128i
+fold16(__m128i acc, __m128i k, __m128i next) noexcept {
+  return _mm_xor_si128(_mm_xor_si128(_mm_clmulepi64_si128(acc, k, 0x11),
+                                     _mm_clmulepi64_si128(acc, k, 0x00)),
+                       next);
+}
+
+__attribute__((target("sse4.1,pclmul"))) [[nodiscard]] std::uint32_t
+crc32_clmul(const std::uint8_t* buf, std::size_t len,
+            std::uint32_t crc) noexcept {
+  alignas(16) static constexpr std::uint64_t k1k2[2] = {0x0154442bd4,
+                                                        0x01c6e41596};
+  alignas(16) static constexpr std::uint64_t k3k4[2] = {0x01751997d0,
+                                                        0x00ccaa009e};
+  alignas(16) static constexpr std::uint64_t k5k0[2] = {0x0163cd6124, 0};
+  alignas(16) static constexpr std::uint64_t poly[2] = {0x01db710641,
+                                                        0x01f7011641};
+
+  const auto* p = reinterpret_cast<const __m128i*>(buf);
+  __m128i x1 = _mm_loadu_si128(p + 0);
+  __m128i x2 = _mm_loadu_si128(p + 1);
+  __m128i x3 = _mm_loadu_si128(p + 2);
+  __m128i x4 = _mm_loadu_si128(p + 3);
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  p += 4;
+  len -= 64;
+
+  // Four independent 128-bit lanes fold 64 bytes per iteration.
+  while (len >= 64) {
+    const __m128i f1 = _mm_clmulepi64_si128(x1, k, 0x00);
+    const __m128i f2 = _mm_clmulepi64_si128(x2, k, 0x00);
+    const __m128i f3 = _mm_clmulepi64_si128(x3, k, 0x00);
+    const __m128i f4 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f1), _mm_loadu_si128(p + 0));
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, f2), _mm_loadu_si128(p + 1));
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, f3), _mm_loadu_si128(p + 2));
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, f4), _mm_loadu_si128(p + 3));
+    p += 4;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one, then any remaining 16-byte blocks.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  x1 = fold16(x1, k, x2);
+  x1 = fold16(x1, k, x3);
+  x1 = fold16(x1, k, x4);
+  while (len >= 16) {
+    x1 = fold16(x1, k, _mm_loadu_si128(p));
+    ++p;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  __m128i t = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), t);
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  // Barrett reduction, 64 -> 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  t = _mm_and_si128(x1, mask32);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, mask32);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+[[nodiscard]] bool have_clmul() noexcept {
+  static const bool ok = __builtin_cpu_supports("pclmul") != 0 &&
+                         __builtin_cpu_supports("sse4.1") != 0;
+  return ok;
+}
+#endif  // IOTAXO_CRC32_X86_64
 
 }  // namespace
 
 void Crc32::update(std::span<const std::uint8_t> data) noexcept {
   std::uint32_t c = state_;
-  for (const std::uint8_t b : data) {
-    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+#if IOTAXO_CRC32_X86_64
+  if (n >= 64 && have_clmul()) {
+    const std::size_t chunk = n & ~std::size_t{15};  // kernel folds 16s
+    c = crc32_clmul(p, chunk, c);
+    p += chunk;
+    n -= chunk;
+  }
+#endif
+  while (n >= 8) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+#else
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  (static_cast<std::uint32_t>(p[1]) << 8) |
+                                  (static_cast<std::uint32_t>(p[2]) << 16) |
+                                  (static_cast<std::uint32_t>(p[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+#endif
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   state_ = c;
 }

@@ -209,6 +209,28 @@ TEST(Crc32, DetectsSingleBitFlip) {
   EXPECT_NE(before, crc32(data));
 }
 
+TEST(Crc32, FoldedPathMatchesBytewise) {
+  // One-shot large buffers take the carry-less-multiply fast path (where
+  // the CPU has it); byte-at-a-time updates stay on the lookup tables.
+  // Both must agree for every length around the 64-byte kernel threshold
+  // and the 16-byte fold granularity.
+  Rng rng(1234);
+  for (const std::size_t len :
+       {std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{79},
+        std::size_t{80}, std::size_t{127}, std::size_t{128},
+        std::size_t{1000}, std::size_t{4096}, std::size_t{65521}}) {
+    std::vector<std::uint8_t> data(len);
+    for (std::uint8_t& b : data) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    Crc32 bytewise;
+    for (std::size_t i = 0; i < len; ++i) {
+      bytewise.update(std::span<const std::uint8_t>(&data[i], 1));
+    }
+    EXPECT_EQ(crc32(data), bytewise.value()) << "len " << len;
+  }
+}
+
 class CompressRoundTrip : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CompressRoundTrip, RandomData) {

@@ -1,17 +1,21 @@
-// Tests for the zero-copy IOTB2 read path (PR 3): BatchView/RecordView
-// equivalence with the decoding path, hostile-input rejection (truncated
-// and oversized record sections, out-of-range string ids, flipped CRCs,
-// compressed/encrypted containers), MappedTraceFile, view-backed and
-// compacted unified-store sources, and the pool-index query skips.
+// Tests for the zero-copy read paths: the IOTB2 BatchView/RecordView pair
+// (PR 3) — decoder equivalence, hostile-input rejection, the deferred
+// payload CRC — and the IOTB3 BlockView (per-block CRC/compression, footer
+// mini-index cross-checks, lying-index rejection), plus MappedTraceFile,
+// view/block-backed and compacted unified-store sources, the pool-index
+// query skips, and the cold-tier era spill.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstring>
 
+#include "analysis/dfg/dfg.h"
 #include "analysis/unified_store.h"
 #include "trace/binary_format.h"
+#include "trace/block_view.h"
 #include "trace/event_batch.h"
 #include "trace/record_view.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -149,16 +153,40 @@ TEST(BatchView, RejectsCompressedAndEncryptedContainers) {
             sample_stream().size());
 }
 
-TEST(BatchView, RejectsFlippedCrc) {
+TEST(BatchView, RejectsFlippedCrcOnFirstTouch) {
   std::vector<std::uint8_t> bytes = encode_sample();
   bytes.back() ^= 0x01;  // CRC trails the payload
-  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  // The CRC is deferred: the container is structurally intact, so the view
+  // opens — but the first record (or string) touch verifies and rejects,
+  // and the failure is sticky.
+  const BatchView view(bytes);
+  EXPECT_THROW((void)view.record(0), FormatError);
+  EXPECT_THROW((void)view.string(0), FormatError);
+  EXPECT_THROW((void)view.record_bytes(), FormatError);
 }
 
 TEST(BatchView, RejectsFlippedPayloadByte) {
   std::vector<std::uint8_t> bytes = encode_sample();
   bytes[bytes.size() / 2] ^= 0x40;
-  EXPECT_THROW((void)BatchView(bytes), FormatError);
+  // Depending on where the flip lands the open-time structural pass may
+  // already reject; if it does not, the deferred CRC must on first touch.
+  EXPECT_THROW(
+      {
+        const BatchView view(bytes);
+        (void)view.record(0);
+      },
+      FormatError);
+}
+
+TEST(BatchView, ChecksummedViewVerifiesOncePerCopySet) {
+  const std::vector<std::uint8_t> bytes = encode_sample();
+  const BatchView view(bytes);
+  ASSERT_TRUE(view.header().checksummed);
+  // Copies share the CRC gate; a clean container's records read fine
+  // through either copy.
+  const BatchView copy = view;
+  EXPECT_EQ(copy.record(0).to_record(), view.record(0).to_record());
+  view.ensure_checksum();  // idempotent
 }
 
 TEST(BatchView, RejectsTruncatedBuffer) {
@@ -378,6 +406,287 @@ TEST_F(MappedFileTest, MissingFileThrows) {
   EXPECT_THROW((void)MappedTraceFile("/nonexistent/iotaxo.iotb"), IoError);
 }
 
+// ---------------------------------------------------------------- IOTB3
+
+/// Stamp-ordered syscalls (1 ms apart from t=1 s) so block min/max windows
+/// partition the timeline: every record carries 3 args and 4096 bytes.
+[[nodiscard]] std::vector<TraceEvent> ordered_stream(int count) {
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TraceEvent ev = make_syscall(i % 3 == 0 ? "SYS_read" : "SYS_write",
+                                 {"5", "4096", strprintf("%d", i)}, 4096);
+    ev.local_start = kSecond + static_cast<SimTime>(i) * kMillisecond;
+    ev.duration = 10 * kMicrosecond;
+    ev.rank = i % 4;
+    ev.host = i % 2 == 0 ? "host00" : "host01";
+    ev.path = i % 5 == 0 ? "/pfs/block.dat" : "";
+    ev.fd = 5;
+    ev.bytes = 4096;
+    ev.offset = static_cast<Bytes>(i) * 4096;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+/// Byte positions of the v3 regions, parsed the same way the view does:
+/// head_end is the first stored-block byte, footer the entry region.
+struct V3Regions {
+  std::size_t head_end = 0;
+  std::size_t footer_begin = 0;
+  std::size_t footer_len = 0;
+  std::size_t entry_size = 0;
+};
+
+[[nodiscard]] V3Regions locate_v3(const std::vector<std::uint8_t>& bytes) {
+  const auto u32_at = [&bytes](std::size_t off) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  std::size_t pos = kContainerHeaderSize;
+  const std::uint32_t nstrings = u32_at(pos);
+  pos += 4;
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    pos += 4 + u32_at(pos);
+  }
+  const std::uint64_t nargids = get_u64(bytes, pos);
+  pos += 8 + 4 * static_cast<std::size_t>(nargids);
+  pos += 4;  // block_records
+  V3Regions r;
+  r.head_end = pos;
+  r.footer_len =
+      static_cast<std::size_t>(get_u64(bytes, bytes.size() - v3layout::kTrailerSize));
+  r.footer_begin = bytes.size() - v3layout::kTrailerSize - r.footer_len;
+  r.entry_size = v3layout::kEntryFixedSize + (nstrings + 7) / 8;
+  return r;
+}
+
+/// Re-seal the always-verified footer CRC after a test edits footer bytes
+/// (to plant index lies the open-time check must not catch).
+void reseal_footer_crc(std::vector<std::uint8_t>& bytes) {
+  const V3Regions r = locate_v3(bytes);
+  const std::uint32_t crc = crc32(
+      std::span<const std::uint8_t>(bytes).subspan(r.footer_begin,
+                                                   r.footer_len));
+  for (std::size_t i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+TEST(BlockView, RoundTripMatchesOwnedBatch) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(44));
+  for (const bool compress : {false, true}) {
+    for (const bool checksum : {false, true}) {
+      BinaryOptions options;
+      options.compress = compress;
+      options.checksum = checksum;
+      const std::vector<std::uint8_t> bytes =
+          encode_binary_v3(batch, options, 8);
+      const BlockView view(bytes);
+      ASSERT_EQ(view.size(), batch.size());
+      ASSERT_EQ(view.block_count(), 6u);  // ceil(44 / 8)
+      ASSERT_EQ(view.string_count(), batch.pool().size());
+      for (StrId id = 0; id < view.string_count(); ++id) {
+        EXPECT_EQ(view.string(id), batch.pool().view(id));
+      }
+      ASSERT_EQ(view.arg_id_count(), batch.arg_ids().size());
+      view.for_each([&](std::size_t i, const RecordView& rec,
+                        std::uint32_t args_begin) {
+        EXPECT_EQ(rec.to_record(args_begin), batch.record(i))
+            << "record " << i;
+        EXPECT_EQ(view.materialize(i, args_begin), batch.materialize(i))
+            << "record " << i;
+      });
+      // The generic decoder routes v3 through the same view.
+      const EventBatch decoded = decode_binary_batch(bytes);
+      ASSERT_EQ(decoded.size(), batch.size());
+      EXPECT_EQ(decoded.record(10), batch.record(10));
+      EXPECT_EQ(decoded.materialize(43), batch.materialize(43));
+    }
+  }
+}
+
+TEST(BlockView, FooterIndexDescribesBlocks) {
+  std::vector<TraceEvent> events = ordered_stream(40);
+  for (int i = 0; i < 8; ++i) {
+    TraceEvent note;
+    note.cls = EventClass::kAnnotation;
+    note.name = "phase-marker";
+    note.rank = 0;
+    note.local_start = 10 * kSecond + static_cast<SimTime>(i) * kMillisecond;
+    events.push_back(std::move(note));
+  }
+  BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  const std::vector<std::uint8_t> bytes =
+      encode_binary_v3(EventBatch::from_events(events), options, 8);
+  const BlockView view(bytes);
+
+  ASSERT_EQ(view.block_count(), 6u);
+  EXPECT_EQ(view.block_records_nominal(), 8u);
+  for (std::size_t b = 0; b < 6; ++b) {
+    EXPECT_EQ(view.block_size(b), 8u);
+    // Stamps are increasing, so each block's window is exactly its record
+    // range's first/last stamp.
+    EXPECT_EQ(view.block_min_time(b), events[b * 8].local_start) << b;
+    EXPECT_EQ(view.block_max_time(b), events[b * 8 + 7].local_start) << b;
+    EXPECT_EQ(view.block_args_begin(b),
+              static_cast<std::uint64_t>(std::min<std::size_t>(b * 8, 40) * 3))
+        << b;
+  }
+  // The last block holds only annotations: no I/O, no fd/path, and only
+  // the marker name in its bitmap.
+  EXPECT_TRUE(view.block_has_io_call(0));
+  EXPECT_TRUE(view.block_has_io_bytes(0));
+  EXPECT_TRUE(view.block_has_fd_path(0));
+  EXPECT_FALSE(view.block_has_io_call(5));
+  EXPECT_FALSE(view.block_has_io_bytes(5));
+  EXPECT_FALSE(view.block_has_fd_path(5));
+  const StrId write_id = *view.find_string("SYS_write");
+  const StrId marker_id = *view.find_string("phase-marker");
+  EXPECT_TRUE(view.block_has_name(0, write_id));
+  EXPECT_FALSE(view.block_has_name(5, write_id));
+  EXPECT_TRUE(view.block_has_name(5, marker_id));
+  EXPECT_FALSE(view.block_has_name(0, marker_id));
+  EXPECT_FALSE(view.block_has_name(0, 0));  // id 0 is never "present"
+}
+
+TEST(BlockView, CorruptBlockRejectsOnlyItself) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.checksum = true;  // uncompressed: stored offsets are record math
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  // Flip one byte inside block 1's stored bytes (records 8..15).
+  bytes[r.head_end + 8 * v2layout::kStride + 40] ^= 0x20;
+
+  const BlockView view(bytes);  // footer intact, blocks untouched: opens
+  EXPECT_EQ(view.record(0).to_record(batch.record(0).args_begin),
+            batch.record(0));
+  EXPECT_THROW((void)view.record(8), FormatError);   // block 1 rejects
+  EXPECT_THROW((void)view.record(12), FormatError);  // ... and stays dead
+  // Blocks 0 and 2 still serve records.
+  EXPECT_EQ(view.record(16).to_record(batch.record(16).args_begin),
+            batch.record(16));
+}
+
+TEST(BlockView, RejectsTruncatedFooter) {
+  BinaryOptions options;
+  options.checksum = true;
+  const std::vector<std::uint8_t> bytes =
+      encode_binary_v3(EventBatch::from_events(ordered_stream(24)), options, 8);
+  const V3Regions r = locate_v3(bytes);
+  // Truncations with paylen patched to stay self-consistent: the trailer
+  // magic / footer bounds / footer CRC checks must reject at open.
+  for (const std::size_t drop :
+       {std::size_t{1}, std::size_t{4}, v3layout::kTrailerSize,
+        r.footer_len}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.end() - static_cast<long>(drop));
+    put_u64(cut, kPaylenOff, get_u64(bytes, kPaylenOff) - drop);
+    EXPECT_THROW((void)BlockView(cut), FormatError) << "drop=" << drop;
+  }
+  // Unpatched truncation is a plain envelope length mismatch.
+  const std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+  EXPECT_THROW((void)BlockView(cut), FormatError);
+}
+
+TEST(BlockView, RejectsOverstatedBlockCount) {
+  BinaryOptions options;
+  options.checksum = true;
+  std::vector<std::uint8_t> bytes =
+      encode_binary_v3(EventBatch::from_events(ordered_stream(24)), options, 8);
+  const std::size_t nblocks_off = bytes.size() - 16;  // trailer: u64 @ -16
+  put_u64(bytes, nblocks_off, get_u64(bytes, nblocks_off) + 1);
+  EXPECT_THROW((void)BlockView(bytes), FormatError);
+  // A wildly corrupt count must be rejected up front too.
+  put_u64(bytes, nblocks_off, ~0ULL);
+  EXPECT_THROW((void)BlockView(bytes), FormatError);
+}
+
+TEST(BlockView, RejectsIndexThatLiesAboutABlock) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  const std::vector<std::uint8_t> base = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(base);
+  const std::size_t entry1 = r.footer_begin + r.entry_size;  // block 1
+
+  // (a) min-stamp lie: the window says "starts a second early".
+  std::vector<std::uint8_t> lie = base;
+  put_u64(lie, entry1 + 32,
+          static_cast<std::uint64_t>(batch.record(8).local_start - kSecond));
+  reseal_footer_crc(lie);
+  {
+    const BlockView view(lie);  // footer CRC is consistent: opens
+    EXPECT_EQ(view.record(0).to_record(batch.record(0).args_begin),
+              batch.record(0));  // block 0 is honest
+    EXPECT_THROW((void)view.record(8), FormatError);
+  }
+
+  // (b) bitmap lie: a spurious name-presence bit (id 0 is never set).
+  std::vector<std::uint8_t> lie2 = base;
+  lie2[entry1 + v3layout::kEntryFixedSize] ^= 0x01;
+  reseal_footer_crc(lie2);
+  EXPECT_THROW((void)BlockView(lie2).record(8), FormatError);
+
+  // (c) flags lie: claim an all-syscall block has no I/O.
+  std::vector<std::uint8_t> lie3 = base;
+  lie3[entry1 + 48] = 0;
+  reseal_footer_crc(lie3);
+  EXPECT_THROW((void)BlockView(lie3).record(8), FormatError);
+}
+
+TEST(BlockView, EncryptionIsRejectedAtEncode) {
+  BinaryOptions options;
+  options.encrypt = true;
+  options.key = CipherKey{0x1111, 0x2222, 0x3333, 0x4444};
+  EXPECT_THROW((void)encode_binary_v3(
+                   EventBatch::from_events(ordered_stream(4)), options, 8),
+               ConfigError);
+}
+
+TEST(BlockView, EmptyContainer) {
+  const std::vector<std::uint8_t> bytes = encode_binary_v3(EventBatch{}, {});
+  const BlockView view(bytes);
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.block_count(), 0u);
+  EXPECT_EQ(view.to_batch().size(), 0u);
+}
+
+TEST(BlockViewStore, CorruptBlockFailsOnlyQueriesThatTouchIt) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.checksum = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  bytes[r.head_end + 8 * v2layout::kStride + 40] ^= 0x20;  // block 1
+
+  const std::string path = "/tmp/iotaxo_iotb3_corrupt_test.iotb3";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  analysis::UnifiedTraceStore store;
+  store.ingest_view(path, {{"framework", "test"}});
+  std::remove(path.c_str());
+
+  // A window the footer maps onto block 0 alone never touches the corrupt
+  // block: all 8 records are 4 KiB transfers.
+  EXPECT_EQ(store.bytes_in_window(kSecond, kSecond + 8 * kMillisecond),
+            8 * 4096);
+  // A whole-span query must decode block 1 — and surface its corruption.
+  EXPECT_THROW((void)store.bytes_in_window(0, 100 * kSecond), FormatError);
+}
+
 }  // namespace
 }  // namespace iotaxo::trace
 
@@ -535,6 +844,96 @@ TEST(StoreZeroCopy, CompactRespectsEraBudget) {
   // An unbounded budget merges everything into one era.
   EXPECT_EQ(store.compact(static_cast<std::size_t>(-1)), 1u);
   EXPECT_EQ(store.total_events(), 200);
+}
+
+TEST(StoreZeroCopy, BlockBackedSourceMatchesOwnedIngest) {
+  const std::vector<TraceEvent> events = era_events(0, 120);
+  const EventBatch batch = EventBatch::from_events(events);
+  trace::BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v3(batch, options, 16);
+  const std::string path = "/tmp/iotaxo_store_block_test.iotb3";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  UnifiedTraceStore owned;
+  owned.ingest(batch, {{"framework", "test"}, {"application", "a"}});
+  UnifiedTraceStore blocked;
+  blocked.ingest_view(path, {{"framework", "test"}, {"application", "a"}});
+  std::remove(path.c_str());
+
+  ASSERT_EQ(blocked.sources().size(), 1u);
+  EXPECT_TRUE(blocked.sources()[0].view_backed);
+  ASSERT_EQ(blocked.pool_infos().size(), 1u);
+  EXPECT_TRUE(blocked.pool_infos()[0].block_backed);
+  EXPECT_EQ(blocked.pool_infos()[0].blocks, 8u);  // 120 records / 16
+  EXPECT_FALSE(owned.pool_infos()[0].block_backed);
+
+  EXPECT_EQ(blocked.total_events(), owned.total_events());
+  EXPECT_EQ(all_queries(blocked), all_queries(owned));
+  EXPECT_EQ(blocked.rank_timeline(1), owned.rank_timeline(1));
+  // Identical with the per-block index skips disabled too.
+  blocked.set_use_indexes(false);
+  EXPECT_EQ(all_queries(blocked), all_queries(owned));
+  blocked.set_use_indexes(true);
+  // Block-backed sources have no owned batch to hand out.
+  EXPECT_THROW((void)blocked.source_batch(0), ConfigError);
+}
+
+TEST(StoreZeroCopy, ColdCompactSpillsErasAndPreservesResults) {
+  UnifiedTraceStore store;
+  for (int era = 0; era < 6; ++era) {
+    store.ingest(EventBatch::from_events(era_events(era, 40)),
+                 {{"framework", "test"},
+                  {"application", strprintf("era%d", era)}});
+  }
+  UnifiedTraceStore owned;
+  for (int era = 0; era < 6; ++era) {
+    owned.ingest(EventBatch::from_events(era_events(era, 40)),
+                 {{"framework", "test"},
+                  {"application", strprintf("era%d", era)}});
+  }
+  const auto before = all_queries(store);
+  const auto timeline_before = store.rank_timeline(2);
+
+  UnifiedTraceStore::ColdTierOptions cold;
+  cold.directory = "/tmp";
+  cold.file_prefix = strprintf("iotaxo_cold_test_%d", ::testing::UnitTest::
+                                   GetInstance()->random_seed());
+  cold.binary.compress = true;
+  cold.binary.checksum = true;
+  cold.block_records = 16;
+  const std::size_t pools = store.compact(static_cast<std::size_t>(-1), cold);
+  EXPECT_EQ(pools, 1u);
+
+  // Every pool is now served from the spilled IOTB3 container.
+  ASSERT_EQ(store.pool_infos().size(), 1u);
+  EXPECT_TRUE(store.pool_infos()[0].block_backed);
+  EXPECT_EQ(store.pool_infos()[0].blocks, 15u);  // 240 records / 16
+  for (const auto& source : store.sources()) {
+    EXPECT_TRUE(source.view_backed);
+  }
+  EXPECT_THROW((void)store.source_batch(0), ConfigError);
+
+  EXPECT_EQ(all_queries(store), before);
+  EXPECT_EQ(store.rank_timeline(2), timeline_before);
+  store.set_use_indexes(false);
+  EXPECT_EQ(all_queries(store), before);
+  store.set_use_indexes(true);
+  // The miner sees identical graphs through the block-backed seam.
+  EXPECT_EQ(dfg::DfgBuilder(store).build({}),
+            dfg::DfgBuilder(owned).build({}));
+
+  for (int n = 0; n < 8; ++n) {
+    std::remove(strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n)
+                    .c_str());
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #                                               # the concurrency suites only
 #   ./tools/check_build.sh --asan [build-dir]   # AddressSanitizer build +
 #                                               # the full test suite
+#   ./tools/check_build.sh --ubsan [build-dir]  # UBSan build + the full
+#                                               # test suite
 #   ./tools/check_build.sh --bench [build-dir]  # build, run the gated
 #                                               # benches, and fail if any
 #                                               # BENCH_*.json gate field
@@ -27,6 +29,9 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   MODE=asan
+  shift
+elif [[ "${1:-}" == "--ubsan" ]]; then
+  MODE=ubsan
   shift
 elif [[ "${1:-}" == "--bench" ]]; then
   MODE=bench
@@ -82,6 +87,15 @@ case "${MODE}" in
     # miner's in-place scans), but leaks and overruns hide anywhere.
     ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
     ;;
+  ubsan)
+    BUILD_DIR="${1:-${REPO_ROOT}/build-ubsan}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_UBSAN=ON
+    cmake --build "${BUILD_DIR}" -j
+    # The whole suite: UBSan's sweet spot is the byte-level read paths (LE
+    # loads in the scan kernels, CRC table folds, block/footer offset
+    # arithmetic in the IOTB3 view).
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+    ;;
   bench)
     BUILD_DIR="${1:-${REPO_ROOT}/build}"
     cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
@@ -93,7 +107,7 @@ case "${MODE}" in
     # The gated benches: each writes BENCH_<name>.json next to itself and
     # exits nonzero when its hard gates fail.
     for bench in bench_batch_pipeline bench_async_flush bench_zero_copy \
-                 bench_dfg; do
+                 bench_dfg bench_iotb3; do
       echo "--- ${bench}"
       (cd "${BUILD_DIR}" && "./${bench}") || STATUS=1
     done

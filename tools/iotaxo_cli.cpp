@@ -3,25 +3,28 @@
 //   iotaxo trace    --framework lanl|tracefs|partrace --workload mpiio|meta
 //                   [--pattern strided|nonstrided|nn] [--ranks N]
 //                   [--block BYTES] [--total BYTES] [--out DIR]
-//                   [--binary-out FILE.iotb]
+//                   [--binary-out FILE.iotb|FILE.iotb3]
 //   iotaxo classify [--ranks N]
 //   iotaxo replay   --in DIR [--sync barriers|deps|none]
 //   iotaxo analyze  --in DIR [DIR...]
 //   iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]
-//   iotaxo stat     FILE.iotb [--key PASSPHRASE]
+//   iotaxo stat     FILE.iotb [--blocks] [--key PASSPHRASE]
 //   iotaxo dfg      FILE.iotb [--rank N] [--dot OUT] [--json OUT]
-//                   [--phases] [--compare OTHER.iotb] [--threads N]
-//                   [--key PASSPHRASE]
+//                   [--phases] [--blocks] [--compare OTHER.iotb]
+//                   [--threads N] [--key PASSPHRASE]
 //
 // Bundles are the on-disk trace format (one text trace per rank plus TSV
 // sidecars) produced by `trace --out` and consumed by replay/analyze/
 // anonymize — the full LANL trace-distribution workflow from one binary.
-// `trace --binary-out` additionally writes the run as one IOTB2 container,
-// which `stat` inspects through the zero-copy reader (mmap + BatchView —
-// no decode; v1/compressed/encrypted containers fall back to
-// decode-then-tally with the refusal reason printed) and `dfg` mines into
-// per-rank directly-follows graphs (phases, rank divergence, DOT/JSON
-// export).
+// `trace --binary-out` additionally writes the run as one IOTB container
+// (IOTB2, or block-structured compressed+checksummed IOTB3 when the file
+// name ends in .iotb3), which `stat` inspects through the zero-copy
+// readers (mmap + BatchView for IOTB2, mmap + BlockView for IOTB3 — no
+// decode even for compressed v3, whose blocks decompress lazily;
+// v1/v2-compressed/encrypted containers fall back to decode-then-tally
+// with the refusal reason printed) and `dfg` mines into per-rank
+// directly-follows graphs (phases, rank divergence, DOT/JSON export).
+// `--blocks` prints the IOTB3 footer's per-block mini-index.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -81,7 +84,7 @@ struct Args {
 
 /// Options that are bare flags (no value token follows them).
 [[nodiscard]] bool is_flag_option(const char* name) {
-  return std::strcmp(name, "phases") == 0;
+  return std::strcmp(name, "phases") == 0 || std::strcmp(name, "blocks") == 0;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -114,15 +117,15 @@ int usage() {
       "mpiio|meta\n"
       "                   [--pattern strided|nonstrided|nn] [--ranks N]\n"
       "                   [--block BYTES] [--total BYTES] [--out DIR]\n"
-      "                   [--binary-out FILE.iotb]\n"
+      "                   [--binary-out FILE.iotb|FILE.iotb3]\n"
       "  iotaxo classify  [--ranks N]\n"
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
       "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n"
-      "  iotaxo stat      FILE.iotb [--key PASSPHRASE]\n"
+      "  iotaxo stat      FILE.iotb [--blocks] [--key PASSPHRASE]\n"
       "  iotaxo dfg       FILE.iotb [--rank N] [--dot OUT] [--json OUT]\n"
-      "                   [--phases] [--compare OTHER.iotb] [--threads N]\n"
-      "                   [--key PASSPHRASE]\n",
+      "                   [--phases] [--blocks] [--compare OTHER.iotb]\n"
+      "                   [--threads N] [--key PASSPHRASE]\n",
       stderr);
   return 2;
 }
@@ -212,8 +215,20 @@ int cmd_trace(const Args& args) {
         batch.append(ev);
       }
     }
-    const std::vector<std::uint8_t> bytes =
-        trace::encode_binary_v2(batch, trace::BinaryOptions{});
+    // The .iotb3 extension selects the block-structured container with
+    // cold-storage defaults (per-block LZ + CRC); anything else writes the
+    // flat IOTB2 layout.
+    const bool v3 = binary_out.size() >= 6 &&
+                    binary_out.compare(binary_out.size() - 6, 6, ".iotb3") == 0;
+    std::vector<std::uint8_t> bytes;
+    if (v3) {
+      trace::BinaryOptions options;
+      options.compress = true;
+      options.checksum = true;
+      bytes = trace::encode_binary_v3(batch, options);
+    } else {
+      bytes = trace::encode_binary_v2(batch, trace::BinaryOptions{});
+    }
     std::FILE* f = std::fopen(binary_out.c_str(), "wb");
     if (f == nullptr ||
         std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
@@ -223,9 +238,10 @@ int cmd_trace(const Args& args) {
       throw IoError("cannot write binary trace: " + binary_out);
     }
     std::fclose(f);
-    std::printf("binary trace     : %s (%s, viewable zero-copy)\n",
-                binary_out.c_str(), format_bytes(
-                    static_cast<Bytes>(bytes.size())).c_str());
+    std::printf("binary trace     : %s (%s, %s)\n", binary_out.c_str(),
+                format_bytes(static_cast<Bytes>(bytes.size())).c_str(),
+                v3 ? "IOTB3 block-structured, lazy zero-decode view"
+                   : "viewable zero-copy");
   }
   return 0;
 }
@@ -274,6 +290,43 @@ void print_call_table(const Acc& acc) {
   std::fputs(table.render().c_str(), stdout);
 }
 
+// The IOTB3 footer's per-block mini-index, straight from the view — no
+// record block is decoded to print this.
+void print_block_summary(const trace::BlockView& view) {
+  TextTable table({"Block", "Records", "Stored", "Window (t+)", "Index flags",
+                   "Names"});
+  for (std::size_t c = 1; c < 3; ++c) {
+    table.set_align(c, Align::kRight);
+  }
+  table.set_align(5, Align::kRight);
+  const std::size_t nblocks = view.block_count();
+  const SimTime base = nblocks == 0 ? 0 : view.block_min_time(0);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::string flags;
+    if (view.block_has_io_call(b)) {
+      flags += "io";
+    }
+    if (view.block_has_io_bytes(b)) {
+      flags += flags.empty() ? "bytes" : ",bytes";
+    }
+    if (view.block_has_fd_path(b)) {
+      flags += flags.empty() ? "fd+path" : ",fd+path";
+    }
+    std::size_t names = 0;
+    for (trace::StrId id = 1; id < view.string_count(); ++id) {
+      names += view.block_has_name(b, id) ? 1 : 0;
+    }
+    table.add_row(
+        {strprintf("%zu", b), strprintf("%u", view.block_size(b)),
+         format_bytes(static_cast<Bytes>(view.block_stored_len(b))),
+         strprintf("%s .. %s",
+                   format_duration(view.block_min_time(b) - base).c_str(),
+                   format_duration(view.block_max_time(b) - base).c_str()),
+         flags.empty() ? "-" : flags, strprintf("%zu", names)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
 [[nodiscard]] std::optional<CipherKey> key_from_args(const Args& args) {
   const std::string passphrase = args.get("key");
   if (passphrase.empty()) {
@@ -282,12 +335,13 @@ void print_call_table(const Acc& acc) {
   return derive_key(passphrase);
 }
 
-// `stat` prints a container's shape through the zero-copy reader: the file
-// is mmapped and the per-call table is computed straight off the
-// fixed-stride records — no EventBatch is ever built. Containers the view
-// refuses (v1 bodies, compressed or encrypted payloads) are reported with
-// the reader's reason and decoded into a batch instead of failing, so
-// `stat` works — with one decode — on anything decode_binary_batch
+// `stat` prints a container's shape through the zero-copy readers: the
+// file is mmapped and the per-call table is computed straight off the
+// fixed-stride records — no EventBatch is ever built. IOTB3 (including
+// compressed) goes through the lazy BlockView. Containers the views
+// refuse (v1 bodies, v2 compressed or encrypted payloads) are reported
+// with the reader's reason and decoded into a batch instead of failing,
+// so `stat` works — with one decode — on anything decode_binary_batch
 // accepts (`--key` for encrypted files).
 int cmd_stat(const Args& args) {
   if (args.positional.empty()) {
@@ -300,6 +354,31 @@ int cmd_stat(const Args& args) {
               format_bytes(static_cast<Bytes>(file.size())).c_str(),
               file.is_mapped() ? "mmapped" : "read");
   try {
+    if (trace::peek_binary_header(file.bytes()).version == 3) {
+      // Block containers tally through the lazy view: even a compressed
+      // IOTB3 is never decoded into a batch — blocks stream through the
+      // per-block cache, and the summary lines above the table come from
+      // the head and footer alone.
+      const trace::BlockView view(file.bytes());
+      std::printf("container        : IOTB3%s%s, block-structured\n",
+                  view.header().compressed ? ", compressed" : "",
+                  view.header().checksummed
+                      ? ", checksummed (per block, on touch)"
+                      : "");
+      std::printf("records          : %zu in %zu block(s) of up to %u\n",
+                  view.size(), view.block_count(),
+                  view.block_records_nominal());
+      std::printf("string table     : %zu distinct strings, %s\n",
+                  view.string_count(),
+                  format_bytes(
+                      static_cast<Bytes>(view.string_table_bytes())).c_str());
+      std::printf("argument ids     : %zu\n", view.arg_id_count());
+      if (!args.get("blocks").empty()) {
+        print_block_summary(view);
+      }
+      print_call_table(analysis::BlockAccess{&view});
+      return 0;
+    }
     const trace::BatchView view(file.bytes());
     std::printf("container        : IOTB2%s, zero-copy\n",
                 view.header().checksummed ? ", checksummed (CRC ok)" : "");
@@ -343,17 +422,32 @@ void ingest_container(analysis::UnifiedTraceStore& store,
       {"framework", "iotb"}, {"application", path}};
   // Map and validate exactly once: on success the probed view itself is
   // filed (the pair overload re-checks nothing), on refusal the decode
-  // fallback reuses the same mapping.
+  // fallback reuses the same mapping. IOTB3 goes through the block view —
+  // compressed v3 containers stay undecoded, their blocks stream lazily
+  // into the miner.
   trace::MappedTraceFile file(path);
   std::optional<trace::BatchView> probe;
+  std::optional<trace::BlockView> block_probe;
   try {
-    probe.emplace(file.bytes());
+    if (trace::peek_binary_header(file.bytes()).version == 3) {
+      block_probe.emplace(file.bytes());
+      if (!args.get("blocks").empty()) {
+        std::printf("blocks, %s:\n", path.c_str());
+        print_block_summary(*block_probe);
+      }
+    } else {
+      probe.emplace(file.bytes());
+    }
   } catch (const FormatError& err) {
     std::fprintf(stderr,
                  "iotaxo: %s: zero-copy refused (%s); decoding instead\n",
                  path.c_str(), err.what());
     store.ingest(trace::decode_binary_batch(file.bytes(), key_from_args(args)),
                  metadata);
+    return;
+  }
+  if (block_probe.has_value()) {
+    store.ingest_view(std::move(file), std::move(*block_probe), metadata);
     return;
   }
   store.ingest_view(std::move(file), std::move(*probe), metadata);
