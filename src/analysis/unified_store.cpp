@@ -1,6 +1,7 @@
 #include "analysis/unified_store.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -322,15 +323,21 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
 std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
                                        const ColdTierOptions& cold) {
   compact(era_bytes);
-  std::size_t era_n = 0;
   for (StorePool& pool : pools_) {
     if (pool.view.has_value() || pool.blocks.has_value()) {
       continue;  // already cold (or zero-copy ingested)
     }
     const std::vector<std::uint8_t> container =
         trace::encode_binary_v3(pool.batch, cold.binary, cold.block_records);
+    // Era numbers come from a store-lifetime counter, never per-call: an
+    // earlier compaction's era file may still back a live block pool's
+    // mmap, and truncating it would SIGBUS every query on that pool.
     const std::string path = cold.directory + "/" + cold.file_prefix + "-" +
-                             std::to_string(era_n++) + ".iotb3";
+                             std::to_string(cold_era_seq_++) + ".iotb3";
+    if (std::filesystem::exists(path)) {
+      throw IoError("unified store: cold era '" + path +
+                    "' already exists; refusing to overwrite");
+    }
     {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out.write(reinterpret_cast<const char*>(container.data()),
@@ -645,10 +652,17 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
                 if (seg_begin == seg_end) {
                   continue;
                 }
+                SimTime seg_lo = 0;
+                SimTime seg_hi = 0;
+                // Block-backed segments carry exact stamp bounds in the
+                // footer mini-index — fold those instead of decompressing
+                // (and CRC-verifying) whole cold blocks just for a span.
+                if (acc.segment_stamp_bounds(k, &seg_lo, &seg_hi)) {
+                  fold(seg_lo, seg_hi);
+                  continue;
+                }
                 const std::uint8_t* raw = acc.segment_record_bytes(k);
                 if (raw != nullptr) {
-                  SimTime seg_lo = 0;
-                  SimTime seg_hi = 0;
                   trace::scan::minmax_stamps(raw, seg_end - seg_begin,
                                              &seg_lo, &seg_hi);
                   fold(seg_lo, seg_hi);

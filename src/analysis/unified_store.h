@@ -127,6 +127,10 @@ struct BatchAccess {
                                       SimTime) const noexcept {
     return true;
   }
+  [[nodiscard]] bool segment_stamp_bounds(std::size_t, SimTime*,
+                                          SimTime*) const noexcept {
+    return false;
+  }
   [[nodiscard]] bool segment_has_name(std::size_t,
                                       trace::StrId id) const noexcept {
     return id != 0;
@@ -188,6 +192,10 @@ struct ViewAccess {
                                       SimTime) const noexcept {
     return true;
   }
+  [[nodiscard]] bool segment_stamp_bounds(std::size_t, SimTime*,
+                                          SimTime*) const noexcept {
+    return false;
+  }
   [[nodiscard]] bool segment_has_name(std::size_t,
                                       trace::StrId id) const noexcept {
     return id != 0;
@@ -246,12 +254,23 @@ struct BlockAccess {
     return v->block_first(k) + v->block_size(k);
   }
   [[nodiscard]] std::uint32_t segment_args_begin(std::size_t k) const noexcept {
+    // Cannot wrap: BlockView::open rejects containers declaring more than
+    // 2^32 argument ids, and every block's args_begin <= nargids.
     return static_cast<std::uint32_t>(v->block_args_begin(k));
   }
   /// True when some record's stamp may lie in the half-open [begin, end).
   [[nodiscard]] bool segment_overlaps(std::size_t k, SimTime begin,
                                       SimTime end) const noexcept {
     return v->block_max_time(k) >= begin && v->block_min_time(k) < end;
+  }
+  /// Exact min/max corrected stamp of the segment, straight from the
+  /// footer mini-index — no block is decoded. Only meaningful for
+  /// non-empty segments (the encoder never writes an empty block).
+  [[nodiscard]] bool segment_stamp_bounds(std::size_t k, SimTime* lo,
+                                          SimTime* hi) const noexcept {
+    *lo = v->block_min_time(k);
+    *hi = v->block_max_time(k);
+    return true;
   }
   [[nodiscard]] bool segment_has_name(std::size_t k,
                                       trace::StrId id) const noexcept {
@@ -377,7 +396,12 @@ class UnifiedTraceStore {
     /// two are ignored.
     trace::BinaryOptions binary;
     std::uint32_t block_records = trace::v3layout::kDefaultBlockRecords;
-    /// Era files are named <directory>/<file_prefix>-<n>.iotb3.
+    /// Era files are named <directory>/<file_prefix>-<n>.iotb3, where n is
+    /// a store-lifetime monotonic counter: repeated cold compactions never
+    /// reuse a number, so an era a live pool still mmaps is never
+    /// truncated. A name that nevertheless already exists on disk (another
+    /// store writing the same prefix) raises IoError instead of
+    /// overwriting.
     std::string file_prefix = "era";
   };
 
@@ -548,6 +572,10 @@ class UnifiedTraceStore {
   std::vector<trace::DependencyEdge> dependencies_;
   long long total_events_ = 0;
   std::size_t query_threads_ = 0;  // 0 = auto
+  /// Next cold-era file number; never reset, so successive cold
+  /// compactions cannot collide with era files earlier calls spilled (and
+  /// still serve block-backed pools from).
+  std::size_t cold_era_seq_ = 0;
   bool use_indexes_ = true;
 };
 

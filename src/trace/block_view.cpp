@@ -92,6 +92,11 @@ BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
   if (nargids > (body.size() - pos) / 4) {
     throw FormatError("binary trace v2: arg-id table exceeds payload");
   }
+  // args_begin travels through the accessor seam (and materialize) as
+  // u32; cap the table so those casts can never wrap.
+  if (nargids > UINT32_MAX) {
+    throw FormatError("binary trace v3: arg-id table exceeds 2^32 entries");
+  }
   args_ = body.subspan(pos, static_cast<std::size_t>(nargids) * 4);
   pos += args_.size();
   if (nargids > 0) {

@@ -158,6 +158,7 @@ class BlockView {
     std::size_t i = 0;
     for (std::size_t b = 0; b < meta_.size(); ++b) {
       const std::span<const std::uint8_t> bytes = block_bytes(b);
+      // Cannot wrap: open rejects containers with > 2^32 argument ids.
       auto args_begin = static_cast<std::uint32_t>(meta_[b].args_begin);
       const std::size_t n = meta_[b].records;
       for (std::size_t r = 0; r < n; ++r, ++i) {

@@ -120,7 +120,7 @@ std::uint32_t max_u32_le(const std::uint8_t* p, std::size_t n) noexcept {
   std::uint32_t m3 = 0;
   std::size_t i = 0;
 #if defined(_OPENMP) || defined(IOTAXO_OPENMP_SIMD)
-#pragma omp simd reduction(max : m0)
+#pragma omp simd reduction(max : m0, m1, m2, m3)
 #endif
   for (std::size_t j = 0; j < n / 4 * 4; j += 4) {
     m0 = std::max(m0, load_u32(p + j * 4));
@@ -189,7 +189,7 @@ Bytes sum_transfer_bytes_in_window(const std::uint8_t* recs, std::size_t n,
   Bytes t3 = 0;
   std::size_t i = 0;
 #if defined(_OPENMP) || defined(IOTAXO_OPENMP_SIMD)
-#pragma omp simd reduction(+ : t0)
+#pragma omp simd reduction(+ : t0, t1, t2, t3)
 #endif
   for (std::size_t j = 0; j < n / 4 * 4; j += 4) {
     t0 += contribution(recs + j * kStride);

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "analysis/dfg/dfg.h"
 #include "analysis/unified_store.h"
@@ -933,6 +934,64 @@ TEST(StoreZeroCopy, ColdCompactSpillsErasAndPreservesResults) {
   for (int n = 0; n < 8; ++n) {
     std::remove(strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n)
                     .c_str());
+  }
+}
+
+TEST(StoreZeroCopy, RepeatedColdCompactNeverRewritesLiveEras) {
+  UnifiedTraceStore store;
+  UnifiedTraceStore owned;
+  const auto ingest_both = [&](int era) {
+    const std::map<std::string, std::string> meta = {
+        {"framework", "test"}, {"application", strprintf("era%d", era)}};
+    store.ingest(EventBatch::from_events(era_events(era, 40)), meta);
+    owned.ingest(EventBatch::from_events(era_events(era, 40)), meta);
+  };
+  ingest_both(0);
+  ingest_both(1);
+
+  UnifiedTraceStore::ColdTierOptions cold;
+  cold.directory = "/tmp";
+  cold.file_prefix = strprintf("iotaxo_cold_seq_test_%d", ::testing::
+                                   UnitTest::GetInstance()->random_seed());
+  cold.binary.compress = true;
+  cold.binary.checksum = true;
+  cold.block_records = 16;
+  const auto era_path = [&](int n) {
+    return strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n);
+  };
+  ASSERT_EQ(store.compact(static_cast<std::size_t>(-1), cold), 1u);
+  ASSERT_TRUE(std::filesystem::exists(era_path(0)));
+
+  // More sources arrive and a second compaction runs with the SAME
+  // options. It must spill to a fresh era number — era 0 still backs the
+  // first pool's mapping, and rewriting it would tear that pool's records
+  // out from under every later query.
+  ingest_both(2);
+  ingest_both(3);
+  EXPECT_EQ(store.compact(static_cast<std::size_t>(-1), cold), 2u);
+  EXPECT_TRUE(std::filesystem::exists(era_path(0)));
+  EXPECT_TRUE(std::filesystem::exists(era_path(1)));
+  const auto infos = store.pool_infos();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_TRUE(infos[0].block_backed);
+  EXPECT_TRUE(infos[1].block_backed);
+  // Queries decode blocks from BOTH eras; identical to the owned store.
+  EXPECT_EQ(all_queries(store), all_queries(owned));
+  EXPECT_EQ(store.rank_timeline(1), owned.rank_timeline(1));
+
+  // A foreign file already sitting at the next era number is refused, not
+  // truncated.
+  {
+    FILE* f = std::fopen(era_path(2).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an era", f);
+    std::fclose(f);
+  }
+  ingest_both(4);
+  EXPECT_THROW(store.compact(static_cast<std::size_t>(-1), cold), IoError);
+
+  for (int n = 0; n < 4; ++n) {
+    std::remove(era_path(n).c_str());
   }
 }
 
