@@ -1,5 +1,7 @@
 // IOTB3 block containers: per-block compression/CRC, the footer mini-index
-// skips, and the SIMD scan kernels — the PR 6 gates:
+// skips, the SIMD scan kernels (PR 6 gates 1-4), and the finished cold
+// tier — per-block encryption, columnar projection, block-parallel decode
+// (PR 7 gates 5-8):
 //
 //   1. A dashboard-shaped mix of narrow windowed queries against a
 //      compressed IOTB3 store must run within 2x of the same mix against an
@@ -19,13 +21,38 @@
 //      views per repetition, since CRCs are verified once per block.
 //   4. Hard identity gates: all aggregate queries must be bit-identical
 //      across an owned ingest, a v2 view store, a v3 block store
-//      (compressed + checksummed) and a cold-compacted store.
+//      (compressed + checksummed), encrypted / projected / encrypted+
+//      projected v3 stores, and plain + encrypted cold-compacted stores.
+//   5. The narrow-probe mix against an encrypted cold store (lazy per-block
+//      decrypt, ingest_view with a key) must run >= 3x faster than the
+//      pre-v3-encryption fallback: a whole-body-encrypted v2 container of
+//      the same compressed + checksummed shape, which can only be opened
+//      by decrypting and decoding everything into an owned batch, ingesting
+//      it, then probing. The v3 footer stays plaintext, so the keyed view
+//      pays decryption only for the blocks a window touches.
+//   6. The same mix against a projected store must run >= 2x faster than
+//      against the whole-record store: narrow windowed queries read only
+//      the hot column group (33 of 81 bytes per record), so projection
+//      shrinks both the bytes decompressed and the stride scanned. Fresh
+//      stores per repetition, as in gate 2.
+//   7. A full-span bytes_in_window over a projected store must decode at
+//      most half of the stored block bytes (saving >= 2x, measured from
+//      pool_infos decoded_stored_bytes): the cold column group stays
+//      compressed on disk.
+//   8. A cold full scan (call_stats over an encrypted + projected store)
+//      must speed up from 1 to 4 query threads via block-parallel decode.
+//      The floor is hardware-aware: >= 2x when the machine has >= 4 cores,
+//      otherwise a no-regression floor of 0.7 (striping overhead must stay
+//      small even when the threads just time-slice one core).
 //
 // Emits BENCH_iotb3.json; floors live next to the measured values
 // (*_floor keys) for tools/check_build.sh --bench.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -34,6 +61,7 @@
 #include "trace/block_view.h"
 #include "trace/event_batch.h"
 #include "trace/record_view.h"
+#include "util/cipher.h"
 #include "util/strings.h"
 
 namespace {
@@ -52,6 +80,9 @@ constexpr int kWindowProbes = 16;
 constexpr double kCompressedRatioFloor = 0.5;   // within 2x of mmap
 constexpr double kBlockSkipFloor = 3.0;
 constexpr double kChecksumRatioFloor = 0.667;   // within 1.5x of unchecked
+constexpr double kEncryptedProbeFloor = 3.0;    // vs decode-everything
+constexpr double kProjectedProbeFloor = 2.0;    // vs whole-record blocks
+constexpr double kProjectedSavingFloor = 2.0;   // stored / decoded bytes
 
 /// The capture-shaped stream the other benches use; event i sits at i
 /// microseconds so time windows map cleanly onto blocks.
@@ -159,13 +190,35 @@ int main() {
   trace::BinaryOptions full;  // the cold-tier shape
   full.checksum = true;
   full.compress = true;
+  const CipherKey key = derive_key("bench-iotb3-key");
+  trace::BinaryOptions encrypted = full;
+  encrypted.encrypt = true;
+  encrypted.key = key;
+  trace::BinaryOptions projected = full;
+  projected.project = true;
+  trace::BinaryOptions sealed = encrypted;  // the finished cold tier
+  sealed.project = true;
 
   const std::string v2_path = "bench_iotb3_v2.iotb";
   const std::string v3_lz_path = "bench_iotb3_lz.iotb3";
   const std::string v3_full_path = "bench_iotb3_full.iotb3";
+  const std::string v3_enc_path = "bench_iotb3_enc.iotb3";
+  const std::string v3_proj_path = "bench_iotb3_proj.iotb3";
+  const std::string v3_sealed_path = "bench_iotb3_sealed.iotb3";
+  // The pre-v3-encryption artifact gate 5 falls back to: same compression
+  // and CRC, but the whole payload encrypted as one body, so there is no
+  // lazy path — opening it means decrypting and decoding everything.
+  trace::BinaryOptions v2_encrypted = full;
+  v2_encrypted.encrypt = true;
+  v2_encrypted.key = key;
+  const std::vector<std::uint8_t> v2_enc_bytes =
+      trace::encode_binary_v2(batch, v2_encrypted);
   write_file(v2_path, trace::encode_binary_v2(batch, plain));
   write_file(v3_lz_path, trace::encode_binary_v3(batch, compressed));
   write_file(v3_full_path, trace::encode_binary_v3(batch, full));
+  write_file(v3_enc_path, trace::encode_binary_v3(batch, encrypted));
+  write_file(v3_proj_path, trace::encode_binary_v3(batch, projected));
+  write_file(v3_sealed_path, trace::encode_binary_v3(batch, sealed));
   const std::vector<std::uint8_t> v3_plain =
       trace::encode_binary_v3(batch, plain);
   const std::vector<std::uint8_t> v3_crc = [&] {
@@ -220,6 +273,100 @@ int main() {
       best_seconds([&] { (void)scan_blocks(BlockView(v3_crc)); });
   const double checksum_ratio = plain_s / crc_s;
 
+  // --- gate 5: encrypted lazy probes vs the decode-everything fallback -----
+  // Before per-block encryption, an encrypted capture was a whole-body
+  // encrypted v2 container that could only be opened by decrypting and
+  // decoding everything into an owned batch. Both sides are timed end to
+  // end (open + probes), fresh per repetition.
+  double enc_probe_s = 1e100;
+  double fallback_s = 1e100;
+  bool enc_identical = true;
+  for (int r = 0; r < kRepetitions; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    analysis::UnifiedTraceStore enc_store;
+    enc_store.ingest_view(v3_enc_path, {{"framework", "bench"}}, key);
+    enc_store.set_query_threads(1);
+    const Bytes enc_total = narrow_probes(enc_store);
+    auto t1 = std::chrono::steady_clock::now();
+    enc_probe_s = std::min(enc_probe_s,
+                           std::chrono::duration<double>(t1 - t0).count());
+
+    t0 = std::chrono::steady_clock::now();
+    analysis::UnifiedTraceStore fallback;
+    fallback.ingest(trace::decode_binary_batch(v2_enc_bytes, key),
+                    {{"framework", "bench"}});
+    fallback.set_query_threads(1);
+    const Bytes fallback_total = narrow_probes(fallback);
+    t1 = std::chrono::steady_clock::now();
+    fallback_s = std::min(fallback_s,
+                          std::chrono::duration<double>(t1 - t0).count());
+    enc_identical = enc_identical && enc_total == v2_probe_total &&
+                    fallback_total == v2_probe_total;
+  }
+  const double encrypted_probe_speedup = fallback_s / enc_probe_s;
+
+  // --- gate 6: projected probes vs whole-record blocks ---------------------
+  // Same probe mix, fresh stores per repetition; compared against the
+  // gate-2 indexed time on the whole-record container (identical protocol).
+  double proj_probe_s = 1e100;
+  bool proj_identical = true;
+  for (int r = 0; r < kRepetitions; ++r) {
+    analysis::UnifiedTraceStore store = open_store(v3_proj_path);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Bytes proj_total = narrow_probes(store);
+    const auto t1 = std::chrono::steady_clock::now();
+    proj_probe_s = std::min(proj_probe_s,
+                            std::chrono::duration<double>(t1 - t0).count());
+    proj_identical = proj_identical && proj_total == v2_probe_total;
+  }
+  const double projected_probe_speedup = indexed_s / proj_probe_s;
+
+  // --- gate 7: projected decode saving on a full-span scan -----------------
+  // bytes_in_window over the whole span touches every block but needs only
+  // the hot column group; the cold groups must stay undecoded.
+  double projected_decode_saving = 0.0;
+  {
+    analysis::UnifiedTraceStore store = open_store(v3_proj_path);
+    (void)store.bytes_in_window(0, kSpan);
+    for (const analysis::StorePoolInfo& info : store.pool_infos()) {
+      if (info.decoded_stored_bytes > 0) {
+        projected_decode_saving = static_cast<double>(info.stored_bytes) /
+                                  static_cast<double>(info.decoded_stored_bytes);
+      }
+    }
+  }
+
+  // --- gate 8: block-parallel cold full scan, 1 vs 4 query threads ---------
+  // call_stats over the sealed (encrypted + projected) store decodes every
+  // block; decode_blocks stripes them across the query-thread budget. The
+  // floor is hardware-aware: a single-core machine can only time-slice, so
+  // there the gate just bounds the striping overhead.
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const double parallel_floor = hw_threads >= 4 ? 2.0 : 0.7;
+  double scan1_s = 1e100;
+  double scan4_s = 1e100;
+  bool parallel_identical = true;
+  std::map<std::string, analysis::CallStats> scan_reference;
+  for (int r = 0; r < kRepetitions; ++r) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      analysis::UnifiedTraceStore store;
+      store.ingest_view(v3_sealed_path, {{"framework", "bench"}}, key);
+      store.set_query_threads(threads);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto stats = store.call_stats();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      (threads == 1 ? scan1_s : scan4_s) =
+          std::min(threads == 1 ? scan1_s : scan4_s, s);
+      if (scan_reference.empty()) {
+        scan_reference = std::move(stats);
+      } else {
+        parallel_identical = parallel_identical && stats == scan_reference;
+      }
+    }
+  }
+  const double parallel_scan_speedup = scan1_s / scan4_s;
+
   // --- gate 4: v3 query identity across source kinds -----------------------
   analysis::UnifiedTraceStore owned;
   owned.ingest(batch, {{"framework", "bench"}});
@@ -228,23 +375,55 @@ int main() {
   const analysis::UnifiedTraceStore v3_full_store = open_store(v3_full_path);
   const bool identity_v2 = all_queries(v2_store) == owned_results;
   const bool identity_v3 = all_queries(v3_full_store) == owned_results;
+  analysis::UnifiedTraceStore enc_id_store;
+  enc_id_store.ingest_view(v3_enc_path, {{"framework", "bench"}}, key);
+  enc_id_store.set_query_threads(1);
+  const bool identity_encrypted = all_queries(enc_id_store) == owned_results;
+  const analysis::UnifiedTraceStore proj_id_store = open_store(v3_proj_path);
+  const bool identity_projected = all_queries(proj_id_store) == owned_results;
+  analysis::UnifiedTraceStore sealed_id_store;
+  sealed_id_store.ingest_view(v3_sealed_path, {{"framework", "bench"}}, key);
+  sealed_id_store.set_query_threads(1);
+  const bool identity_sealed = all_queries(sealed_id_store) == owned_results;
   analysis::UnifiedTraceStore::ColdTierOptions cold;
   cold.directory = ".";
   cold.file_prefix = "bench_iotb3_era";
   cold.binary = full;
   (void)owned.compact(static_cast<std::size_t>(-1), cold);
   const bool identity_cold = all_queries(owned) == owned_results;
+  // Cold-compact straight into the finished cold-tier shape: encrypted +
+  // projected eras, reopened for swap-in with the same key.
+  analysis::UnifiedTraceStore owned_sealed;
+  owned_sealed.ingest(batch, {{"framework", "bench"}});
+  owned_sealed.set_query_threads(1);
+  analysis::UnifiedTraceStore::ColdTierOptions cold_sealed;
+  cold_sealed.directory = ".";
+  cold_sealed.file_prefix = "bench_iotb3_sealedera";
+  cold_sealed.binary = sealed;
+  (void)owned_sealed.compact(static_cast<std::size_t>(-1), cold_sealed);
+  const bool identity_cold_sealed = all_queries(owned_sealed) == owned_results;
   std::remove("bench_iotb3_era-0.iotb3");
+  std::remove("bench_iotb3_sealedera-0.iotb3");
   std::remove(v2_path.c_str());
   std::remove(v3_lz_path.c_str());
   std::remove(v3_full_path.c_str());
+  std::remove(v3_enc_path.c_str());
+  std::remove(v3_proj_path.c_str());
+  std::remove(v3_sealed_path.c_str());
 
   const bool identical = probe_identical && skip_identical &&
-                         scan_identical && identity_v2 && identity_v3 &&
-                         identity_cold;
+                         scan_identical && enc_identical && proj_identical &&
+                         parallel_identical && identity_v2 && identity_v3 &&
+                         identity_encrypted && identity_projected &&
+                         identity_sealed && identity_cold &&
+                         identity_cold_sealed;
   const bool pass = identical && compressed_ratio >= kCompressedRatioFloor &&
                     block_skip_speedup >= kBlockSkipFloor &&
-                    checksum_ratio >= kChecksumRatioFloor;
+                    checksum_ratio >= kChecksumRatioFloor &&
+                    encrypted_probe_speedup >= kEncryptedProbeFloor &&
+                    projected_probe_speedup >= kProjectedProbeFloor &&
+                    projected_decode_saving >= kProjectedSavingFloor &&
+                    parallel_scan_speedup >= parallel_floor;
 
   const std::string json = strprintf(
       "{\n"
@@ -257,17 +436,38 @@ int main() {
       "  \"block_skip_speedup_floor\": %.1f,\n"
       "  \"checksummed_scan_ratio\": %.3f,\n"
       "  \"checksummed_scan_ratio_floor\": %.3f,\n"
+      "  \"encrypted_probe_speedup\": %.2f,\n"
+      "  \"encrypted_probe_speedup_floor\": %.1f,\n"
+      "  \"projected_probe_speedup\": %.2f,\n"
+      "  \"projected_probe_speedup_floor\": %.1f,\n"
+      "  \"projected_decode_saving\": %.2f,\n"
+      "  \"projected_decode_saving_floor\": %.1f,\n"
+      "  \"parallel_scan_speedup\": %.2f,\n"
+      "  \"parallel_scan_speedup_floor\": %.2f,\n"
+      "  \"hardware_threads\": %u,\n"
       "  \"identity_v2\": %s,\n"
       "  \"identity_v3\": %s,\n"
+      "  \"identity_encrypted\": %s,\n"
+      "  \"identity_projected\": %s,\n"
+      "  \"identity_encrypted_projected\": %s,\n"
       "  \"identity_cold_compact\": %s,\n"
+      "  \"identity_cold_compact_sealed\": %s,\n"
       "  \"probe_results_identical\": %s\n"
       "}\n",
       kEvents, BlockView(v3_plain).block_count(), compressed_ratio,
       kCompressedRatioFloor, block_skip_speedup, kBlockSkipFloor,
-      checksum_ratio, kChecksumRatioFloor, identity_v2 ? "true" : "false",
-      identity_v3 ? "true" : "false", identity_cold ? "true" : "false",
-      (probe_identical && skip_identical && scan_identical) ? "true"
-                                                            : "false");
+      checksum_ratio, kChecksumRatioFloor, encrypted_probe_speedup,
+      kEncryptedProbeFloor, projected_probe_speedup, kProjectedProbeFloor,
+      projected_decode_saving, kProjectedSavingFloor, parallel_scan_speedup,
+      parallel_floor, hw_threads, identity_v2 ? "true" : "false",
+      identity_v3 ? "true" : "false", identity_encrypted ? "true" : "false",
+      identity_projected ? "true" : "false",
+      identity_sealed ? "true" : "false", identity_cold ? "true" : "false",
+      identity_cold_sealed ? "true" : "false",
+      (probe_identical && skip_identical && scan_identical &&
+       enc_identical && proj_identical && parallel_identical)
+          ? "true"
+          : "false");
 
   std::printf("=== bench_iotb3 ===\n");
   std::printf("compressed  narrow probes %.3fx of uncompressed mmap "
@@ -282,9 +482,33 @@ int main() {
               "(floor %.3fx) | plain %.2f ms, crc %.2f ms\n",
               checksum_ratio, kChecksumRatioFloor, plain_s * 1e3,
               crc_s * 1e3);
-  std::printf("identity    v2=%s v3=%s cold-compact=%s\n",
+  std::printf("encrypted   lazy keyed probes %.2fx decode-everything "
+              "fallback (floor %.1fx) | fallback %.2f ms, lazy %.2f ms\n",
+              encrypted_probe_speedup, kEncryptedProbeFloor, fallback_s * 1e3,
+              enc_probe_s * 1e3);
+  std::printf("projected   hot-column probes %.2fx whole-record blocks "
+              "(floor %.1fx) | full %.2f ms, hot %.2f ms\n",
+              projected_probe_speedup, kProjectedProbeFloor, indexed_s * 1e3,
+              proj_probe_s * 1e3);
+  std::printf("projected   full-span scan decoded 1/%.2f of stored bytes "
+              "(floor 1/%.1f)\n",
+              projected_decode_saving, kProjectedSavingFloor);
+  std::printf("parallel    sealed cold scan %.2fx from 1 to 4 query "
+              "threads (floor %.2fx) | 1t %.2f ms, 4t %.2f ms\n",
+              parallel_scan_speedup, parallel_floor, scan1_s * 1e3,
+              scan4_s * 1e3);
+  if (hw_threads < 4) {
+    std::printf("parallel    note: hardware_concurrency=%u < 4, floor "
+                "capped to no-regression (threads time-slice one core)\n",
+                hw_threads);
+  }
+  std::printf("identity    v2=%s v3=%s enc=%s proj=%s enc+proj=%s "
+              "cold-compact=%s cold-compact-sealed=%s\n",
               identity_v2 ? "yes" : "no", identity_v3 ? "yes" : "no",
-              identity_cold ? "yes" : "no");
+              identity_encrypted ? "yes" : "no",
+              identity_projected ? "yes" : "no",
+              identity_sealed ? "yes" : "no", identity_cold ? "yes" : "no",
+              identity_cold_sealed ? "yes" : "no");
   std::printf("BENCH_JSON_BEGIN\n%sBENCH_JSON_END\n", json.c_str());
 
   if (std::FILE* f = std::fopen("BENCH_iotb3.json", "w")) {
@@ -294,13 +518,22 @@ int main() {
   if (!pass) {
     std::fprintf(stderr,
                  "FAIL: iotb3 gates (compressed %.3f >= %.3f: %d, skip "
-                 "%.2f >= %.1f: %d, crc %.3f >= %.3f: %d, identical=%d)\n",
+                 "%.2f >= %.1f: %d, crc %.3f >= %.3f: %d, enc %.2f >= "
+                 "%.1f: %d, proj %.2f >= %.1f: %d, saving %.2f >= %.1f: "
+                 "%d, parallel %.2f >= %.2f: %d, identical=%d)\n",
                  compressed_ratio, kCompressedRatioFloor,
                  compressed_ratio >= kCompressedRatioFloor,
                  block_skip_speedup, kBlockSkipFloor,
                  block_skip_speedup >= kBlockSkipFloor, checksum_ratio,
                  kChecksumRatioFloor, checksum_ratio >= kChecksumRatioFloor,
-                 identical);
+                 encrypted_probe_speedup, kEncryptedProbeFloor,
+                 encrypted_probe_speedup >= kEncryptedProbeFloor,
+                 projected_probe_speedup, kProjectedProbeFloor,
+                 projected_probe_speedup >= kProjectedProbeFloor,
+                 projected_decode_saving, kProjectedSavingFloor,
+                 projected_decode_saving >= kProjectedSavingFloor,
+                 parallel_scan_speedup, parallel_floor,
+                 parallel_scan_speedup >= parallel_floor, identical);
     return 1;
   }
   return 0;

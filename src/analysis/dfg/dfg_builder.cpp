@@ -56,13 +56,39 @@ void merge_edge(EdgeStats& into, const EdgeStats& from) {
 }
 
 /// Stream one pool through the store's accessor seam into a partial.
+/// `prefetch_threads` is the intra-pool decode budget left over once the
+/// pool-level chunking has claimed its workers.
 [[nodiscard]] PoolPartial build_pool_partial(const UnifiedTraceStore& store,
                                              std::size_t pool,
-                                             const DfgOptions& options) {
+                                             const DfgOptions& options,
+                                             std::size_t prefetch_threads) {
   PoolPartial partial;
   const bool use_indexes = store.use_indexes();
   store.with_pool_access(pool, [&](const auto& acc) {
+    // Fold one kept event into the rank's accumulating partial. Shared by
+    // the materialized-record and hot-column loops so the two paths cannot
+    // drift.
+    const auto fold = [&](int rank, SimTime duration, const SeqEvent& ev) {
+      RankPartial& rp = partial.ranks[rank];
+      NodeStats& node = rp.nodes[ev.name];
+      ++node.count;
+      node.total_duration += duration;
+      node.bytes += ev.bytes;
+      if (rp.any) {
+        add_transition(rp.edges[{rp.last.name, ev.name}],
+                       ev.start - rp.last.end, ev.bytes);
+      } else {
+        rp.first = ev;
+        rp.any = true;
+      }
+      rp.last = ev;
+      if (options.keep_sequences) {
+        rp.sequence.push_back(ev);
+      }
+    };
     const std::size_t segments = acc.segment_count();
+    std::vector<std::size_t> touched;
+    touched.reserve(segments);
     for (std::size_t k = 0; k < segments; ++k) {
       // Every event the miner keeps is an I/O call, so a segment whose
       // index says "no I/O call" contributes nothing — for block-backed
@@ -70,8 +96,37 @@ void merge_edge(EdgeStats& into, const EdgeStats& from) {
       if (use_indexes && !acc.segment_has_io_call(k)) {
         continue;
       }
+      if (acc.segment_begin(k) != acc.segment_end(k)) {
+        touched.push_back(k);
+      }
+    }
+    // The miner reads cls/name/rank/start/duration/bytes — exactly the hot
+    // column group — so projected pools decode only hot bytes, in parallel.
+    acc.segment_prefetch(touched, prefetch_threads, /*hot_only=*/true);
+    for (const std::size_t k : touched) {
+      const std::size_t seg_begin = acc.segment_begin(k);
       const std::size_t seg_end = acc.segment_end(k);
-      for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+      const std::uint8_t* hot = acc.segment_hot_bytes(k);
+      if (hot != nullptr) {
+        for (std::size_t i = 0; i < seg_end - seg_begin; ++i) {
+          const trace::HotRecordView rec(hot +
+                                         i * trace::hotlayout::kStride);
+          if (!rec.is_io_call() || rec.rank() < 0) {
+            continue;  // probes, annotations, rank-less bookkeeping
+          }
+          if (options.rank.has_value() && rec.rank() != *options.rank) {
+            continue;
+          }
+          SeqEvent ev;
+          ev.name = rec.name();  // pool-local id; the merge remaps it
+          ev.start = rec.local_start();
+          ev.end = rec.local_start() + rec.duration();
+          ev.bytes = rec.bytes() > 0 ? rec.bytes() : 0;
+          fold(rec.rank(), rec.duration(), ev);
+        }
+        continue;
+      }
+      for (std::size_t i = seg_begin; i < seg_end; ++i) {
         const auto& rec = acc.record(i);
         if (!rec.is_io_call() || rec.rank < 0) {
           continue;  // probes, annotations, rank-less bookkeeping
@@ -84,23 +139,7 @@ void merge_edge(EdgeStats& into, const EdgeStats& from) {
         ev.start = rec.local_start;
         ev.end = rec.local_start + rec.duration;
         ev.bytes = rec.bytes > 0 ? rec.bytes : 0;
-
-        RankPartial& rp = partial.ranks[rec.rank];
-        NodeStats& node = rp.nodes[ev.name];
-        ++node.count;
-        node.total_duration += rec.duration;
-        node.bytes += ev.bytes;
-        if (rp.any) {
-          add_transition(rp.edges[{rp.last.name, ev.name}],
-                         ev.start - rp.last.end, ev.bytes);
-        } else {
-          rp.first = ev;
-          rp.any = true;
-        }
-        rp.last = ev;
-        if (options.keep_sequences) {
-          rp.sequence.push_back(ev);
-        }
+        fold(rec.rank, rec.duration, ev);
       }
     }
   });
@@ -184,11 +223,14 @@ Dfg DfgBuilder::build(const DfgOptions& options) const {
           : options.threads;
   const std::size_t chunks = std::max<std::size_t>(
       std::min(threads, npools), 1);
+  // Threads not consumed by pool-level chunking go to block-parallel
+  // decode inside each pool (the single-big-cold-pool case).
+  const std::size_t pf_threads = std::max<std::size_t>(threads / chunks, 1);
   const auto build_chunk = [&](std::size_t c) {
     const std::size_t begin = npools * c / chunks;
     const std::size_t end = npools * (c + 1) / chunks;
     for (std::size_t p = begin; p < end; ++p) {
-      partials[p] = build_pool_partial(store, p, options);
+      partials[p] = build_pool_partial(store, p, options, pf_threads);
     }
   };
   if (chunks <= 1) {

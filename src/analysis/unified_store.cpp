@@ -213,12 +213,13 @@ std::size_t UnifiedTraceStore::ingest(
 
 std::size_t UnifiedTraceStore::ingest_view(
     trace::MappedTraceFile file,
-    const std::map<std::string, std::string>& metadata) {
+    const std::map<std::string, std::string>& metadata,
+    const std::optional<CipherKey>& key) {
   // The views borrow the mapped bytes; MappedTraceFile guarantees they do
   // not relocate when the file object itself is moved into the pool.
   const trace::BinaryHeader header = trace::peek_binary_header(file.bytes());
   if (header.version == 3) {
-    trace::BlockView view(file.bytes());
+    trace::BlockView view(file.bytes(), key);
     return ingest_view(std::move(file), std::move(view), metadata);
   }
   trace::BatchView view(file.bytes());
@@ -279,8 +280,9 @@ std::size_t UnifiedTraceStore::ingest_view(
 
 std::size_t UnifiedTraceStore::ingest_view(
     const std::string& path,
-    const std::map<std::string, std::string>& metadata) {
-  return ingest_view(trace::MappedTraceFile(path), metadata);
+    const std::map<std::string, std::string>& metadata,
+    const std::optional<CipherKey>& key) {
+  return ingest_view(trace::MappedTraceFile(path), metadata, key);
 }
 
 std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
@@ -347,7 +349,11 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
       }
     }
     trace::MappedTraceFile file(path);
-    trace::BlockView view(file.bytes());
+    // Swap-in must open what was just written: an encrypted era needs the
+    // same key the encoder was handed.
+    trace::BlockView view(file.bytes(), cold.binary.encrypt
+                                           ? cold.binary.key
+                                           : std::optional<CipherKey>{});
     // Swap the pool onto the container before releasing the batch, so a
     // failed map/open above leaves the store untouched.
     pool.blocks.emplace(std::move(view));
@@ -375,6 +381,10 @@ std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
       info.blocks = pool.blocks->block_count();
       info.records = static_cast<long long>(pool.blocks->size());
       info.approx_bytes = pool.file.size();
+      info.encrypted = pool.blocks->encrypted();
+      info.projected = pool.blocks->projected();
+      info.stored_bytes = pool.blocks->stored_bytes_total();
+      info.decoded_stored_bytes = pool.blocks->decoded_stored_bytes();
     } else if (pool.view.has_value()) {
       info.view_backed = true;
       info.records = static_cast<long long>(pool.view->size());
@@ -428,11 +438,15 @@ const trace::EventBatch& UnifiedTraceStore::source_batch(
   return pool.batch;
 }
 
+std::size_t UnifiedTraceStore::resolved_query_threads() const {
+  return query_threads_ == 0
+             ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+             : query_threads_;
+}
+
 std::size_t UnifiedTraceStore::query_chunks() const {
-  const std::size_t threads =
-      query_threads_ == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                          : query_threads_;
-  return std::max<std::size_t>(std::min(threads, pools_.size()), 1);
+  return std::max<std::size_t>(
+      std::min(resolved_query_threads(), pools_.size()), 1);
 }
 
 void UnifiedTraceStore::for_each_pool_chunk(
@@ -469,10 +483,24 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
         // one map lookup per distinct name per pool.
         rows.assign(acc.string_count(), trace::scan::CallAccum{});
         const std::size_t segments = acc.segment_count();
+        // Every segment is touched; decode them block-parallel up front on
+        // the leftover thread budget. Call stats read only hot columns, so
+        // projected pools decode (and decrypt) just the hot group.
+        std::vector<std::size_t> touched;
+        touched.reserve(segments);
         for (std::size_t k = 0; k < segments; ++k) {
+          if (acc.segment_begin(k) != acc.segment_end(k)) {
+            touched.push_back(k);
+          }
+        }
+        acc.segment_prefetch(touched, prefetch_threads(), /*hot_only=*/true);
+        for (const std::size_t k : touched) {
           const std::size_t seg_begin = acc.segment_begin(k);
           const std::size_t seg_end = acc.segment_end(k);
-          if (seg_begin == seg_end) {
+          const std::uint8_t* hot = acc.segment_hot_bytes(k);
+          if (hot != nullptr) {
+            trace::scan::accumulate_call_stats_hot(hot, seg_end - seg_begin,
+                                                   rows.data());
             continue;
           }
           const std::uint8_t* raw = acc.segment_record_bytes(k);
@@ -523,6 +551,17 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
   for (const StorePool& pool : pools_) {
     with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
       const std::size_t segments = acc.segment_count();
+      // materialize() reads every column, so prefetch full records; the
+      // pool walk itself is serial, so the whole thread budget applies.
+      std::vector<std::size_t> touched;
+      touched.reserve(segments);
+      for (std::size_t k = 0; k < segments; ++k) {
+        if (acc.segment_begin(k) != acc.segment_end(k)) {
+          touched.push_back(k);
+        }
+      }
+      acc.segment_prefetch(touched, resolved_query_threads(),
+                           /*hot_only=*/false);
       for (std::size_t k = 0; k < segments; ++k) {
         const std::size_t seg_end = acc.segment_end(k);
         std::uint32_t args_begin = acc.segment_args_begin(k);
@@ -563,6 +602,11 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
           with_access(pool.batch, pool.view, pool.blocks,
                       [&](const auto& acc) {
             const std::size_t segments = acc.segment_count();
+            // Index-skip first, then decode the surviving blocks in
+            // parallel. The window sum reads only hot columns, so
+            // projected pools decode a fraction of their stored bytes.
+            std::vector<std::size_t> touched;
+            touched.reserve(segments);
             for (std::size_t k = 0; k < segments; ++k) {
               if (use_indexes_ &&
                   (!acc.segment_overlaps(k, begin, end) ||
@@ -570,9 +614,20 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
                     !acc.segment_has_name(k, idx.sys_read_id)))) {
                 continue;  // skipped blocks stay compressed on disk
               }
+              if (acc.segment_begin(k) != acc.segment_end(k)) {
+                touched.push_back(k);
+              }
+            }
+            acc.segment_prefetch(touched, prefetch_threads(),
+                                 /*hot_only=*/true);
+            for (const std::size_t k : touched) {
               const std::size_t seg_begin = acc.segment_begin(k);
               const std::size_t seg_end = acc.segment_end(k);
-              if (seg_begin == seg_end) {
+              const std::uint8_t* hot = acc.segment_hot_bytes(k);
+              if (hot != nullptr) {
+                total += trace::scan::sum_transfer_bytes_in_window_hot(
+                    hot, seg_end - seg_begin, idx.sys_write_id,
+                    idx.sys_read_id, begin, end);
                 continue;
               }
               const std::uint8_t* raw = acc.segment_record_bytes(k);
@@ -711,14 +766,43 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
           with_access(pool.batch, pool.view, pool.blocks,
                       [&](const auto& acc) {
             const std::size_t segments = acc.segment_count();
+            std::vector<std::size_t> touched;
+            touched.reserve(segments);
             for (std::size_t k = 0; k < segments; ++k) {
               if (use_indexes_ &&
                   !acc.segment_has_name(k, idx.sys_write_id) &&
                   !acc.segment_has_name(k, idx.sys_read_id)) {
                 continue;
               }
+              if (acc.segment_begin(k) != acc.segment_end(k)) {
+                touched.push_back(k);
+              }
+            }
+            // The bucket scatter needs cls/name/start/bytes — all hot
+            // columns — so projected pools run a HotRecordView loop over
+            // the 33-byte stride instead of stitching full records.
+            acc.segment_prefetch(touched, prefetch_threads(),
+                                 /*hot_only=*/true);
+            for (const std::size_t k : touched) {
+              const std::size_t seg_begin = acc.segment_begin(k);
               const std::size_t seg_end = acc.segment_end(k);
-              for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
+              const std::uint8_t* hot = acc.segment_hot_bytes(k);
+              if (hot != nullptr) {
+                for (std::size_t i = 0; i < seg_end - seg_begin; ++i) {
+                  const trace::HotRecordView rec(
+                      hot + i * trace::hotlayout::kStride);
+                  const trace::StrId name = rec.name();
+                  if (rec.cls() == trace::EventClass::kSyscall &&
+                      ((idx.sys_write_id != 0 && name == idx.sys_write_id) ||
+                       (idx.sys_read_id != 0 && name == idx.sys_read_id))) {
+                    sums[static_cast<std::size_t>((rec.local_start() - lo) /
+                                                  bucket_width)] +=
+                        rec.bytes();
+                  }
+                }
+                continue;
+              }
+              for (std::size_t i = seg_begin; i < seg_end; ++i) {
                 const auto& rec = acc.record(i);
                 if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
                   sums[static_cast<std::size_t>((rec.local_start - lo) /
@@ -786,6 +870,8 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
       PoolScan& scan = scans[s];
       with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
         const std::size_t segments = acc.segment_count();
+        std::vector<std::size_t> touched;
+        touched.reserve(segments);
         for (std::size_t k = 0; k < segments; ++k) {
           // The pool-level skip, per block: such a segment writes no fd
           // delta and contributes no transfers, so skipping it leaves the
@@ -794,6 +880,15 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
               !acc.segment_has_io_bytes(k)) {
             continue;
           }
+          if (acc.segment_begin(k) != acc.segment_end(k)) {
+            touched.push_back(k);
+          }
+        }
+        // Paths and fds live in the cold column group, so this scan needs
+        // full records — prefetch decodes (and stitches) them in parallel.
+        acc.segment_prefetch(touched, prefetch_threads(),
+                             /*hot_only=*/false);
+        for (const std::size_t k : touched) {
           const std::size_t seg_end = acc.segment_end(k);
           for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
             const auto& rec = acc.record(i);

@@ -49,6 +49,7 @@
 // the setters are configuration and must not race with them.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <optional>
@@ -80,7 +81,12 @@ namespace iotaxo::analysis {
 // "true" means "may contain" — so skipping a false segment is always
 // exact. segment_record_bytes() returns the segment's records serialized
 // in the v2 fixed stride for the SIMD scan kernels, or nullptr when the
-// pool's records are not serialized (owned batches).
+// pool's records are not serialized (owned batches). For projected IOTB3
+// pools, segment_hot_bytes() additionally exposes just the hot column
+// group (hotlayout stride) so narrow queries decode a fraction of the
+// stored bytes; segment_prefetch() decodes a set of segments across a
+// thread pool before a serial scan walks them (block-backed pools only —
+// a no-op elsewhere).
 
 struct BatchAccess {
   const trace::EventBatch* b;
@@ -147,6 +153,11 @@ struct BatchAccess {
   [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t) const {
     return nullptr;
   }
+  [[nodiscard]] const std::uint8_t* segment_hot_bytes(std::size_t) const {
+    return nullptr;
+  }
+  void segment_prefetch(const std::vector<std::size_t>&, std::size_t,
+                        bool) const noexcept {}
 };
 
 struct ViewAccess {
@@ -212,6 +223,11 @@ struct ViewAccess {
   [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t) const {
     return v->record_bytes().data();
   }
+  [[nodiscard]] const std::uint8_t* segment_hot_bytes(std::size_t) const {
+    return nullptr;
+  }
+  void segment_prefetch(const std::vector<std::size_t>&, std::size_t,
+                        bool) const noexcept {}
 };
 
 struct BlockAccess {
@@ -288,6 +304,19 @@ struct BlockAccess {
   [[nodiscard]] const std::uint8_t* segment_record_bytes(std::size_t k) const {
     return v->block_bytes(k).data();
   }
+  /// The segment's HOT column group (hotlayout stride) for projected
+  /// containers — decodes only that group — or nullptr otherwise (callers
+  /// fall back to segment_record_bytes / per-record loops).
+  [[nodiscard]] const std::uint8_t* segment_hot_bytes(std::size_t k) const {
+    return v->projected() ? v->hot_bytes(k).data() : nullptr;
+  }
+  /// Parallel-decode `segs` before a serial scan: failures stay sticky in
+  /// the block cache and rethrow deterministically when the scan touches
+  /// the failed segment.
+  void segment_prefetch(const std::vector<std::size_t>& segs,
+                        std::size_t threads, bool hot_only) const {
+    v->decode_blocks(segs, threads, hot_only);
+  }
 };
 
 struct StoreSourceInfo {
@@ -331,6 +360,14 @@ struct StorePoolInfo {
   /// count, else 0.
   bool block_backed = false;
   std::size_t blocks = 0;
+  /// Block-backed container flags and the decode footprint so far:
+  /// stored_bytes is the container's total stored block bytes,
+  /// decoded_stored_bytes how many of them queries have decoded (hot and
+  /// cold groups counted separately). Zero for non-block pools.
+  bool encrypted = false;
+  bool projected = false;
+  std::size_t stored_bytes = 0;
+  std::size_t decoded_stored_bytes = 0;
   /// Pool-index time span (valid iff `any`): min/max corrected stamp.
   bool any = false;
   SimTime min_time = 0;
@@ -363,13 +400,17 @@ class UnifiedTraceStore {
   /// pool index is built from the footer mini-index alone, so no block is
   /// decompressed at ingest. View sources use raw node-local stamps (no
   /// timeline correction; decode to a batch and use the batch overload when
-  /// probes must be applied). Throws FormatError if the container is not
-  /// view-able.
+  /// probes must be applied). `key` opens encrypted IOTB3 containers (a
+  /// wrong or missing key throws FormatError at ingest; blocks decrypt
+  /// lazily as queries touch them). Throws FormatError if the container is
+  /// not view-able.
   std::size_t ingest_view(trace::MappedTraceFile file,
-                          const std::map<std::string, std::string>& metadata = {});
+                          const std::map<std::string, std::string>& metadata = {},
+                          const std::optional<CipherKey>& key = std::nullopt);
   /// Convenience: map `path` and ingest it zero-copy.
   std::size_t ingest_view(const std::string& path,
-                          const std::map<std::string, std::string>& metadata = {});
+                          const std::map<std::string, std::string>& metadata = {},
+                          const std::optional<CipherKey>& key = std::nullopt);
   /// Ingest an already-validated pair: `view` must borrow `file`'s bytes
   /// (checked; ConfigError otherwise). Callers that probed the container
   /// themselves (the CLI's view-or-decode fallback) file it without
@@ -391,9 +432,10 @@ class UnifiedTraceStore {
   struct ColdTierOptions {
     /// Directory the era containers are written into (must exist).
     std::string directory;
-    /// Container options for the eras (compress/checksum; encrypt is
-    /// rejected by the v3 encoder). Level/version fields other than these
-    /// two are ignored.
+    /// Container options for the eras: compress/checksum/encrypt/project
+    /// all flow to the v3 encoder (encrypt requires `binary.key`, which is
+    /// also used to open the written era for swap-in). Version is forced
+    /// to 3.
     trace::BinaryOptions binary;
     std::uint32_t block_records = trace::v3layout::kDefaultBlockRecords;
     /// Era files are named <directory>/<file_prefix>-<n>.iotb3, where n is
@@ -553,9 +595,22 @@ class UnifiedTraceStore {
   /// (Re)build a pool's skip index from its records.
   static void index_pool(StorePool& pool);
 
+  /// Worker threads a scan resolves to: query_threads_, or hardware
+  /// concurrency when auto (0).
+  [[nodiscard]] std::size_t resolved_query_threads() const;
+
   /// Number of contiguous pool chunks a scan will use: min(threads,
   /// pools), at least 1. Callers size per-worker partials by this.
   [[nodiscard]] std::size_t query_chunks() const;
+
+  /// Thread budget left for intra-pool work (block-parallel decode) once
+  /// the pool chunks have claimed theirs: resolved threads split across
+  /// chunks, at least 1. With a single cold pool this is the whole budget,
+  /// which is exactly the full-scan case block-parallel decode targets.
+  [[nodiscard]] std::size_t prefetch_threads() const {
+    return std::max<std::size_t>(resolved_query_threads() / query_chunks(),
+                                 1);
+  }
 
   /// Partition pools into query_chunks() contiguous chunks and run
   /// fn(chunk, begin, end) for each — in parallel when more than one chunk,

@@ -20,6 +20,7 @@ constexpr char kMagicV3[6] = {'I', 'O', 'T', 'B', '3', '\n'};
 constexpr std::uint8_t kFlagCompressed = 0x01;
 constexpr std::uint8_t kFlagEncrypted = 0x02;
 constexpr std::uint8_t kFlagChecksummed = 0x04;
+constexpr std::uint8_t kFlagProjected = 0x08;  // v3 columnar projection
 constexpr std::size_t kHeaderSize = kContainerHeaderSize;
 // Fixed fields plus the four (possibly zero-length) string length prefixes
 // of a v1 record — the minimum body bytes one record can occupy. Corrupt
@@ -177,6 +178,31 @@ void encode_record(Writer& w, const EventRecord& rec) {
   w.u32(rec.gid);
 }
 
+/// The two column groups of one projected record (hotlayout / coldlayout
+/// in record_view.h). Their field unions exactly cover encode_record's v2
+/// fields; args_begin stays implicit (running sum) in both layouts.
+void encode_hot_record(Writer& w, const EventRecord& rec) {
+  w.u8(static_cast<std::uint8_t>(rec.cls));
+  w.u32(rec.name);
+  w.i32(rec.rank);
+  w.i64(rec.local_start);
+  w.i64(rec.duration);
+  w.i64(rec.bytes);
+}
+
+void encode_cold_record(Writer& w, const EventRecord& rec) {
+  w.u32(rec.args_count);
+  w.i64(rec.ret);
+  w.i32(rec.node);
+  w.u32(rec.pid);
+  w.u32(rec.host);
+  w.u32(rec.path);
+  w.i32(rec.fd);
+  w.i64(rec.offset);
+  w.u32(rec.uid);
+  w.u32(rec.gid);
+}
+
 /// Wrap a finished body in the shared container envelope (compress /
 /// encrypt / checksum, then magic + flags + counts).
 [[nodiscard]] std::vector<std::uint8_t> seal_container(
@@ -184,6 +210,10 @@ void encode_record(Writer& w, const EventRecord& rec) {
     std::uint64_t count, const BinaryOptions& options) {
   if (options.encrypt && !options.key.has_value()) {
     throw ConfigError("binary trace: encryption requested without a key");
+  }
+  if (options.project) {
+    throw ConfigError(
+        "binary trace: columnar projection requires the v3 block container");
   }
   std::uint8_t flags = 0;
   if (options.compress) {
@@ -373,10 +403,8 @@ std::vector<std::uint8_t> encode_binary_v2(
 std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
                                            const BinaryOptions& options,
                                            std::uint32_t block_records) {
-  if (options.encrypt) {
-    throw ConfigError(
-        "binary trace v3: block containers do not support encryption (write "
-        "v2 instead)");
+  if (options.encrypt && !options.key.has_value()) {
+    throw ConfigError("binary trace: encryption requested without a key");
   }
   if (block_records == 0) {
     throw ConfigError("binary trace v3: block_records must be positive");
@@ -396,6 +424,23 @@ std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
     payload.u32(a);
   }
   payload.u32(block_records);
+  if (options.encrypt) {
+    payload.u64(xtea_encrypt_block(v3layout::kKeyCheckPlain, *options.key));
+  }
+
+  // One column group's plain -> stored transform: compress, THEN encrypt
+  // (per-block IV derived from the ordinal + group; nothing stored).
+  const auto store_group = [&](std::vector<std::uint8_t> plain, std::size_t b,
+                               std::uint32_t group) {
+    if (options.compress) {
+      plain = lz_compress(plain);
+    }
+    if (options.encrypt) {
+      plain = cbc_encrypt_with_iv(plain, *options.key,
+                                  v3layout::block_iv(b, group));
+    }
+    return plain;
+  };
 
   Writer footer;
   std::vector<std::uint8_t> bitmap(bitmap_bytes);
@@ -403,14 +448,20 @@ std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
   for (std::size_t b = 0; b < nblocks; ++b) {
     const std::size_t first = b * block_records;
     const std::size_t n = std::min<std::size_t>(block_records, count - first);
-    Writer plain_w;
+    Writer plain_w;  // full 81-byte stride, or the hot group when projected
+    Writer cold_w;
     SimTime min_time = batch.record(first).local_start;
     SimTime max_time = min_time;
     std::uint8_t flags = 0;
     std::fill(bitmap.begin(), bitmap.end(), 0);
     for (std::size_t i = first; i < first + n; ++i) {
       const EventRecord& rec = batch.record(i);
-      encode_record(plain_w, rec);
+      if (options.project) {
+        encode_hot_record(plain_w, rec);
+        encode_cold_record(cold_w, rec);
+      } else {
+        encode_record(plain_w, rec);
+      }
       min_time = std::min(min_time, rec.local_start);
       max_time = std::max(max_time, rec.local_start);
       bitmap[rec.name >> 3] |=
@@ -425,9 +476,10 @@ std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
         }
       }
     }
-    std::vector<std::uint8_t> stored = plain_w.take();
-    if (options.compress) {
-      stored = lz_compress(stored);
+    const std::vector<std::uint8_t> stored = store_group(plain_w.take(), b, 0);
+    std::vector<std::uint8_t> cold_stored;
+    if (options.project) {
+      cold_stored = store_group(cold_w.take(), b, 1);
     }
     footer.u64(block_offset);
     footer.u64(stored.size());
@@ -440,11 +492,18 @@ std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
     footer.i64(min_time);
     footer.i64(max_time);
     footer.u8(flags);
+    if (options.project) {
+      footer.u64(cold_stored.size());
+      footer.u32(options.checksum ? crc32(cold_stored) : 0u);
+    }
     for (const std::uint8_t byte : bitmap) {
       footer.u8(byte);
     }
-    block_offset += stored.size();
+    block_offset += stored.size() + cold_stored.size();
     payload.bytes(stored);
+    if (options.project) {
+      payload.bytes(cold_stored);
+    }
   }
 
   const std::vector<std::uint8_t> footer_bytes = footer.take();
@@ -458,8 +517,14 @@ std::vector<std::uint8_t> encode_binary_v3(const EventBatch& batch,
   if (options.compress) {
     container_flags |= kFlagCompressed;
   }
+  if (options.encrypt) {
+    container_flags |= kFlagEncrypted;
+  }
   if (options.checksum) {
     container_flags |= kFlagChecksummed;
+  }
+  if (options.project) {
+    container_flags |= kFlagProjected;
   }
   Writer out;
   for (const char c : kMagicV3) {
@@ -500,6 +565,10 @@ BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
   h.compressed = (flags & kFlagCompressed) != 0;
   h.encrypted = (flags & kFlagEncrypted) != 0;
   h.checksummed = (flags & kFlagChecksummed) != 0;
+  h.projected = (flags & kFlagProjected) != 0;
+  if (h.projected && h.version != 3) {
+    throw FormatError("binary trace: projected flag is v3-only");
+  }
   h.count = r.u64();
   h.payload_length = r.u64();
   return h;
@@ -509,7 +578,7 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
                                       const std::optional<CipherKey>& key) {
   const BinaryHeader h = peek_binary_header(data);
   if (h.version == 3) {
-    return BlockView(data).to_batch().to_events();
+    return BlockView(data, key).to_batch().to_events();
   }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {
@@ -538,7 +607,7 @@ EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
   if (h.version == 3) {
     // The block view *is* the v3 decoder: it validates the footer and every
     // block it converts, so corrupt containers throw exactly as v1/v2 do.
-    return BlockView(data).to_batch();
+    return BlockView(data, key).to_batch();
   }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {

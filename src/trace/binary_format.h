@@ -37,30 +37,47 @@
 //             u32 uid          u32 gid
 //
 // v3 body (IOTB3): the *block-structured* container — the v2 record section
-// split into fixed-record-count blocks that are independently compressed
-// and checksummed, plus a per-block mini-index, so compressed cold storage
-// stays queryable without decoding whole files (trace::BlockView touches
-// only the blocks a query's window/name filter reaches). Layout:
-//   head    (never compressed)
+// split into fixed-record-count blocks that are independently compressed,
+// checksummed and (flags bit1) encrypted, plus a per-block mini-index, so
+// compressed cold storage stays queryable without decoding whole files
+// (trace::BlockView touches only the blocks a query's window/name filter
+// reaches). Layout:
+//   head    (never compressed or encrypted)
 //     nstrings       u32 LE   + strings, exactly as v2
 //     nargids        u64 LE   + argids,  exactly as v2
 //     block_records  u32 LE   records per block (> 0; every block except
 //                             the last holds exactly this many, so record
 //                             i lives in block i / block_records)
-//   blocks  concatenated stored blocks. Each block's plain form is its
-//           records in the 81-byte v2 stride; the stored form is
-//           lz_compress(plain) when flags bit0 is set, plain otherwise.
+//     key_check      u64 LE   ONLY when flags bit1 (encrypted):
+//                             xtea_encrypt_block(kKeyCheckPlain, key), so
+//                             a wrong key is rejected at open rather than
+//                             surfacing as per-block padding corruption
+//   blocks  concatenated stored blocks. Plain form: the block's records —
+//           either one group at the 81-byte v2 stride, or (flags bit3,
+//           "projected") two column groups stored back to back: a hot
+//           group at the 33-byte hotlayout stride (cls, name, rank,
+//           local_start, duration, bytes — everything the windowed /
+//           rate / call-stats / DFG scans read) followed by a cold group
+//           at the 48-byte coldlayout stride (the remaining v2 fields).
+//           Each group's stored form is lz_compress(plain) when bit0 is
+//           set, then cbc_encrypt_with_iv(..., block_iv(b, group)) when
+//           bit1 is set (IV derived from the block ordinal + group; not
+//           stored). Narrow queries decode only the hot group.
 //   footer  nblocks fixed entries (offsets in v3layout below):
 //             u64 offset       byte offset of the stored block in `blocks`
-//             u64 stored_len   stored (possibly compressed) byte length
+//             u64 stored_len   stored byte length (projected: of the HOT
+//                              group; the cold group follows contiguously)
 //             u64 args_begin   running sum of args_count at block start
 //             u32 records      record count (== block_records except last)
-//             u32 crc          CRC-32 of the STORED bytes (0 when bit2 off)
+//             u32 crc          CRC-32 of the STORED bytes (0 when bit2 off;
+//                              projected: of the hot group's stored bytes)
 //             i64 min_time     min/max local_start over the block
 //             i64 max_time
 //             u8  flags        bit0 has_fd_path, bit1 has_io_bytes,
 //                              bit2 has_io_call (mirrors the store's
 //                              PoolIndex, per block)
+//             cold_len  u64    ONLY when flags bit3 (projected): the cold
+//             cold_crc  u32    group's stored length + CRC
 //             name bitmap      (nstrings + 7) / 8 bytes; bit id is set iff
 //                              some record's *name* is string id `id`
 //   trailer (24 bytes, last in the payload)
@@ -70,8 +87,10 @@
 //                          the index must be trustworthy before any block
 //                          is trusted)
 //     magic       u32 LE   v3layout::kFooterMagic
-// flags bit2 (checksummed) governs the per-block CRCs; bit1 (encrypted) is
-// rejected for v3 — encrypted traces use v1/v2 and the decode path.
+// flags bit2 (checksummed) governs the per-block CRCs; bit1 (encrypted)
+// encrypts each stored group AFTER compression, leaving head, footer and
+// trailer plaintext so index skips still work without the key; bit3
+// (projected, v3-only) selects the two-column-group record layout.
 //
 // Version / read-path compatibility matrix:
 //   container                 decode_binary_batch  BatchView   BlockView
@@ -84,7 +103,15 @@
 //      compressed                                              decoded +
 //                                                              verified
 //                                                              lazily)
-//   v3 encrypted              never written        no          no
+//   v3 encrypted              yes (with key)       no          yes (key at
+//                                                              open; groups
+//                                                              decrypted
+//                                                              lazily)
+//   v3 projected              yes                  no          yes (hot
+//                                                              group alone
+//                                                              serves
+//                                                              narrow
+//                                                              queries)
 //
 // encode_binary writes v1 (kept for compatibility), encode_binary_v2 the
 // batch container, encode_binary_v3 the block container; decode_binary and
@@ -120,6 +147,11 @@ inline constexpr std::size_t kEntryMinTime = 32;    // i64
 inline constexpr std::size_t kEntryMaxTime = 40;    // i64
 inline constexpr std::size_t kEntryFlags = 48;      // u8
 inline constexpr std::size_t kEntryFixedSize = 49;  // bitmap follows
+/// Projected containers append two cold-group fields after kEntryFlags;
+/// the bitmap then follows at kEntryFixedSize + kEntryProjectedExtra.
+inline constexpr std::size_t kEntryColdLen = 49;        // u64
+inline constexpr std::size_t kEntryColdCrc = 57;        // u32
+inline constexpr std::size_t kEntryProjectedExtra = 12;
 
 inline constexpr std::uint8_t kBlockHasFdPath = 0x01;
 inline constexpr std::uint8_t kBlockHasIoBytes = 0x02;
@@ -130,15 +162,36 @@ inline constexpr std::size_t kTrailerSize = 24;
 inline constexpr std::uint32_t kFooterMagic = 0x33425846u;  // "FXB3" LE
 
 inline constexpr std::uint32_t kDefaultBlockRecords = 4096;
+
+/// Known plaintext whose XTEA encryption under the container key is stored
+/// in the encrypted head (key_check): lets BlockView reject a wrong key at
+/// open instead of at first block touch.
+inline constexpr std::uint64_t kKeyCheckPlain = 0x33425846'1077B3AAULL;
+
+/// Per-(block, column-group) CBC IV, a pure function of the ordinals
+/// (splitmix64 finalizer) — the decoder re-derives it, nothing is stored
+/// with the ciphertext. Group 0 is the hot (or only) group, group 1 cold.
+[[nodiscard]] constexpr std::uint64_t block_iv(std::uint64_t block,
+                                               std::uint32_t group) noexcept {
+  std::uint64_t x = 0x1077B3C0DEC0FFEEULL ^ (block << 1) ^ group;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
 }  // namespace v3layout
 
 struct BinaryOptions {
   bool compress = false;
   bool encrypt = false;
   bool checksum = true;
+  /// Columnar projection (v3 only): store each block as a hot + cold
+  /// column group so narrow queries decode a fraction of the bytes.
+  /// Rejected (ConfigError) by the v1/v2 encoders.
+  bool project = false;
   /// Required when encrypt is true.
   std::optional<CipherKey> key;
-  /// IV derivation seed for encryption (vary per file).
+  /// IV derivation seed for v1/v2 whole-body encryption (vary per file).
+  /// v3 derives per-block IVs from the block ordinal instead.
   std::uint64_t iv_seed = 0x1010;
 };
 
@@ -156,9 +209,9 @@ struct BinaryOptions {
     const std::vector<TraceEvent>& events, const BinaryOptions& options);
 
 /// Serialize a batch to the v3 (IOTB3) block container: per-block
-/// compression and CRC plus the footer mini-index. Throws ConfigError when
-/// options.encrypt is set (v3 does not support encryption) or
-/// block_records is 0.
+/// compression, CRC and encryption plus the footer mini-index, with
+/// optional columnar projection (options.project). Throws ConfigError when
+/// options.encrypt is set without a key or block_records is 0.
 [[nodiscard]] std::vector<std::uint8_t> encode_binary_v3(
     const EventBatch& batch, const BinaryOptions& options,
     std::uint32_t block_records = v3layout::kDefaultBlockRecords);
@@ -188,6 +241,7 @@ struct BinaryHeader {
   bool compressed = false;
   bool encrypted = false;
   bool checksummed = false;
+  bool projected = false;  // v3 columnar projection (flags bit3)
   std::uint64_t count = 0;
   std::uint64_t payload_length = 0;
 };

@@ -1,6 +1,7 @@
 #include "trace/block_view.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "trace/scan_kernels.h"
@@ -8,6 +9,7 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace iotaxo::trace {
 
@@ -29,17 +31,22 @@ namespace {
   return v;
 }
 
+/// PKCS#7-padded length of an x-byte plaintext (always 1..8 pad bytes).
+[[nodiscard]] constexpr std::uint64_t padded_len(std::uint64_t x) noexcept {
+  return x + (8 - x % 8);
+}
+
 }  // namespace
 
-BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
+BlockView::BlockView(std::span<const std::uint8_t> data,
+                     std::optional<CipherKey> key)
+    : key_(std::move(key)), buffer_(data) {
   header_ = peek_binary_header(data);  // validates magic + header bounds
   if (header_.version != 3) {
     throw FormatError("block view: requires an IOTB3 container");
   }
-  if (header_.encrypted) {
-    // The encoder refuses to write encrypted v3; an encrypted flag here is
-    // corruption, not a feature request.
-    throw FormatError("binary trace v3: encrypted flag is not valid");
+  if (header_.encrypted && !key_.has_value()) {
+    throw FormatError("binary trace v3: encrypted container requires a key");
   }
   // v3 carries no trailing file CRC — the payload is everything after the
   // envelope header. Subtract-and-compare so a hostile payload_length near
@@ -118,6 +125,17 @@ BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
   if (nominal_ == 0) {
     nominal_ = 1;  // keep block_of well-defined on empty containers
   }
+  if (header_.encrypted) {
+    // The head's key check is the known constant encrypted under the
+    // container key: reject a wrong key here, at open, instead of letting
+    // it surface later as per-block "padding corrupt" decode failures.
+    need(8);
+    const std::uint64_t key_check = load_u64(body.data() + pos);
+    pos += 8;
+    if (key_check != xtea_encrypt_block(v3layout::kKeyCheckPlain, *key_)) {
+      throw FormatError("binary trace v3: wrong key");
+    }
+  }
 
   // --- trailer + footer ---------------------------------------------------
   if (body.size() - pos < v3layout::kTrailerSize) {
@@ -145,7 +163,9 @@ BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
     throw FormatError("binary trace v3: footer checksum mismatch");
   }
   bitmap_bytes_ = (static_cast<std::size_t>(nstrings) + 7) / 8;
-  const std::size_t entry_size = v3layout::kEntryFixedSize + bitmap_bytes_;
+  entry_fixed_ = v3layout::kEntryFixedSize +
+                 (header_.projected ? v3layout::kEntryProjectedExtra : 0);
+  const std::size_t entry_size = entry_fixed_ + bitmap_bytes_;
   // An overstated (or understated) block count cannot pass: the footer
   // must hold exactly nblocks entries, and nblocks must match the record
   // count the envelope declared.
@@ -176,21 +196,51 @@ BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
     m.min_time = static_cast<SimTime>(load_u64(e + v3layout::kEntryMinTime));
     m.max_time = static_cast<SimTime>(load_u64(e + v3layout::kEntryMaxTime));
     m.flags = e[v3layout::kEntryFlags];
-    // Stored blocks are contiguous and exactly fill the block region.
+    if (header_.projected) {
+      m.cold_len = load_u64(e + v3layout::kEntryColdLen);
+      m.cold_crc = load_u32(e + v3layout::kEntryColdCrc);
+    }
+    // Stored groups are contiguous and exactly fill the block region.
     if (m.offset != running_offset ||
         m.stored_len > blocks_.size() - running_offset) {
       throw FormatError("binary trace v3: block table exceeds payload");
     }
     running_offset += m.stored_len;
+    if (m.cold_len > blocks_.size() - running_offset) {
+      throw FormatError("binary trace v3: block table exceeds payload");
+    }
+    running_offset += m.cold_len;
     const bool last = b + 1 == nblocks;
     const std::uint64_t expect_records =
         last ? count_ - (nblocks - 1) * nominal_ : nominal_;
     if (m.records != expect_records) {
       throw FormatError("binary trace v3: block record count mismatch");
     }
-    if (!header_.compressed &&
-        m.stored_len != static_cast<std::uint64_t>(m.records) *
-                            v2layout::kStride) {
+    // Exact stored-size cross-checks where the transform chain admits
+    // them: plain groups are records * stride; encrypted-uncompressed
+    // groups are that plus PKCS#7 padding. (Compressed lengths are only
+    // bounded, not predicted.)
+    const std::uint64_t hot_plain =
+        static_cast<std::uint64_t>(m.records) *
+        (header_.projected ? hotlayout::kStride : v2layout::kStride);
+    const std::uint64_t cold_plain =
+        header_.projected
+            ? static_cast<std::uint64_t>(m.records) * coldlayout::kStride
+            : 0;
+    if (!header_.compressed) {
+      const std::uint64_t expect_hot =
+          header_.encrypted ? padded_len(hot_plain) : hot_plain;
+      const std::uint64_t expect_cold =
+          header_.projected
+              ? (header_.encrypted ? padded_len(cold_plain) : cold_plain)
+              : 0;
+      if (m.stored_len != expect_hot || m.cold_len != expect_cold) {
+        throw FormatError("binary trace v3: block size mismatch");
+      }
+    } else if (header_.encrypted &&
+               (m.stored_len % 8 != 0 || m.stored_len == 0 ||
+                (header_.projected &&
+                 (m.cold_len % 8 != 0 || m.cold_len == 0)))) {
       throw FormatError("binary trace v3: block size mismatch");
     }
     if (m.args_begin > nargids ||
@@ -205,50 +255,62 @@ BlockView::BlockView(std::span<const std::uint8_t> data) : buffer_(data) {
     throw FormatError("binary trace: trailing bytes after records");
   }
 
-  lazy_ = std::make_shared<LazyState>(meta_.size());
+  lazy_ = std::make_shared<LazyState>(meta_.size(), header_.projected);
 }
 
-std::span<const std::uint8_t> BlockView::decode_block_slow(
-    std::size_t b) const {
-  BlockSlot& slot = lazy_->slots[b];
-  std::lock_guard<std::mutex> lock(lazy_->m);
-  const int state = slot.state.load(std::memory_order_acquire);
-  if (state == kReady) {
-    return slot.bytes;
-  }
-  if (state == kFailed) {
-    throw FormatError(slot.error);
-  }
+std::span<const std::uint8_t> BlockView::decode_group_plain(
+    std::size_t b, std::uint32_t group,
+    std::vector<std::uint8_t>& owned) const {
   const BlockMeta& m = meta_[b];
-  const auto fail = [&](std::string msg) -> std::span<const std::uint8_t> {
-    slot.error = std::move(msg);
-    slot.state.store(kFailed, std::memory_order_release);
-    throw FormatError(slot.error);
-  };
+  const std::uint64_t off = group == 0 ? m.offset : m.offset + m.stored_len;
+  const std::uint64_t len = group == 0 ? m.stored_len : m.cold_len;
+  const std::uint32_t crc_expect = group == 0 ? m.crc : m.cold_crc;
   const std::span<const std::uint8_t> stored =
-      blocks_.subspan(static_cast<std::size_t>(m.offset),
-                      static_cast<std::size_t>(m.stored_len));
-  // CRC over the STORED bytes, before any decompression touches them.
-  if (header_.checksummed && crc32(stored) != m.crc) {
-    return fail(strprintf("binary trace v3: block %zu checksum mismatch", b));
+      blocks_.subspan(static_cast<std::size_t>(off),
+                      static_cast<std::size_t>(len));
+  // CRC over the STORED bytes — the ciphertext when encrypted — before
+  // any decryption or decompression touches them.
+  if (header_.checksummed && crc32(stored) != crc_expect) {
+    throw FormatError(
+        strprintf("binary trace v3: block %zu checksum mismatch", b));
   }
   std::span<const std::uint8_t> plain = stored;
+  if (header_.encrypted) {
+    try {
+      owned = cbc_decrypt_with_iv(stored, *key_, v3layout::block_iv(b, group));
+    } catch (const Error&) {
+      throw FormatError(
+          strprintf("binary trace v3: block %zu ciphertext is corrupt", b));
+    }
+    plain = owned;
+  }
   if (header_.compressed) {
     try {
-      slot.owned = lz_decompress(stored);
+      owned = lz_decompress(plain);
     } catch (const Error&) {
-      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+      throw FormatError(strprintf("binary trace v3: block %zu is corrupt", b));
     }
-    plain = slot.owned;
+    plain = owned;
   }
-  const std::size_t n = m.records;
-  if (plain.size() != n * v2layout::kStride) {
-    return fail(strprintf("binary trace v3: block %zu size mismatch", b));
+  const std::size_t stride =
+      !header_.projected ? v2layout::kStride
+                         : (group == 0 ? hotlayout::kStride
+                                       : coldlayout::kStride);
+  if (plain.size() != static_cast<std::size_t>(m.records) * stride) {
+    throw FormatError(
+        strprintf("binary trace v3: block %zu size mismatch", b));
   }
+  lazy_->decoded_stored.fetch_add(len, std::memory_order_relaxed);
+  return plain;
+}
 
+void BlockView::validate_full(std::size_t b,
+                              std::span<const std::uint8_t> plain) const {
   // Structural validation + index cross-check: the records must agree with
   // everything the footer claimed about this block, or the mini-index was
   // lying and skip decisions made on it were unsound.
+  const BlockMeta& m = meta_[b];
+  const std::size_t n = m.records;
   const std::uint32_t nstrings = static_cast<std::uint32_t>(strings_.size());
   std::uint64_t args_sum = 0;
   std::vector<std::uint8_t> bitmap(bitmap_bytes_, 0);
@@ -257,11 +319,11 @@ std::span<const std::uint8_t> BlockView::decode_block_slow(
     const RecordView rec(plain.data() + r * v2layout::kStride);
     if (static_cast<std::uint8_t>(rec.cls()) >
         static_cast<std::uint8_t>(EventClass::kAnnotation)) {
-      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+      throw FormatError(strprintf("binary trace v3: block %zu is corrupt", b));
     }
     const StrId name = rec.name();
     if (name >= nstrings || rec.host() >= nstrings || rec.path() >= nstrings) {
-      return fail(strprintf("binary trace v3: block %zu is corrupt", b));
+      throw FormatError(strprintf("binary trace v3: block %zu is corrupt", b));
     }
     args_sum += rec.args_count();
     bitmap[name >> 3] |= static_cast<std::uint8_t>(1u << (name & 7u));
@@ -289,13 +351,196 @@ std::span<const std::uint8_t> BlockView::decode_block_slow(
       hi == m.max_time && flags == m.flags &&
       std::equal(bitmap.begin(), bitmap.end(), bitmap_of(b));
   if (!index_ok) {
-    return fail(
+    throw FormatError(
         strprintf("binary trace v3: block %zu disagrees with its index", b));
   }
+}
 
-  slot.bytes = plain;
-  slot.state.store(kReady, std::memory_order_release);
-  return slot.bytes;
+void BlockView::validate_hot(std::size_t b,
+                             std::span<const std::uint8_t> hot) const {
+  // The hot-group subset of validate_full: everything checkable without
+  // the cold fields. args_sum and has_fd_path live in the cold group, so
+  // those footer claims are cross-checked only by a full-record decode.
+  const BlockMeta& m = meta_[b];
+  const std::size_t n = m.records;
+  const std::uint32_t nstrings = static_cast<std::uint32_t>(strings_.size());
+  std::vector<std::uint8_t> bitmap(bitmap_bytes_, 0);
+  std::uint8_t flags = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const HotRecordView rec(hot.data() + r * hotlayout::kStride);
+    if (static_cast<std::uint8_t>(rec.cls()) >
+        static_cast<std::uint8_t>(EventClass::kAnnotation)) {
+      throw FormatError(strprintf("binary trace v3: block %zu is corrupt", b));
+    }
+    const StrId name = rec.name();
+    if (name >= nstrings) {
+      throw FormatError(strprintf("binary trace v3: block %zu is corrupt", b));
+    }
+    bitmap[name >> 3] |= static_cast<std::uint8_t>(1u << (name & 7u));
+    if (rec.is_io_call()) {
+      flags |= v3layout::kBlockHasIoCall;
+      if (rec.bytes() > 0) {
+        flags |= v3layout::kBlockHasIoBytes;
+      }
+    }
+  }
+  SimTime lo = 0;
+  SimTime hi = 0;
+  if (n > 0) {
+    scan::minmax_stamps_hot(hot.data(), n, &lo, &hi);
+  }
+  constexpr std::uint8_t kHotFlags =
+      v3layout::kBlockHasIoCall | v3layout::kBlockHasIoBytes;
+  const bool index_ok =
+      lo == m.min_time && hi == m.max_time &&
+      (flags & kHotFlags) == (m.flags & kHotFlags) &&
+      std::equal(bitmap.begin(), bitmap.end(), bitmap_of(b));
+  if (!index_ok) {
+    throw FormatError(
+        strprintf("binary trace v3: block %zu disagrees with its index", b));
+  }
+}
+
+std::span<const std::uint8_t> BlockView::decode_full_plain(
+    std::size_t b, std::vector<std::uint8_t>& owned) const {
+  if (!header_.projected) {
+    const std::span<const std::uint8_t> plain =
+        decode_group_plain(b, 0, owned);
+    validate_full(b, plain);
+    return plain;
+  }
+  // Projected: stitch the hot group (cached + validated via its own slot,
+  // so a hot failure is sticky in both caches with identical text) and
+  // the cold group back into the full 81-byte stride, then run the full
+  // cross-check on the stitched records.
+  const std::span<const std::uint8_t> hot = hot_bytes(b);
+  std::vector<std::uint8_t> cold_owned;
+  const std::span<const std::uint8_t> cold =
+      decode_group_plain(b, 1, cold_owned);
+  const std::size_t n = meta_[b].records;
+  owned.resize(n * v2layout::kStride);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint8_t* h = hot.data() + r * hotlayout::kStride;
+    const std::uint8_t* c = cold.data() + r * coldlayout::kStride;
+    std::uint8_t* f = owned.data() + r * v2layout::kStride;
+    f[v2layout::kCls] = h[hotlayout::kCls];
+    std::memcpy(f + v2layout::kName, h + hotlayout::kName, 4);
+    std::memcpy(f + v2layout::kArgsCount, c + coldlayout::kArgsCount, 4);
+    std::memcpy(f + v2layout::kRet, c + coldlayout::kRet, 8);
+    std::memcpy(f + v2layout::kLocalStart, h + hotlayout::kLocalStart, 8);
+    std::memcpy(f + v2layout::kDuration, h + hotlayout::kDuration, 8);
+    std::memcpy(f + v2layout::kRank, h + hotlayout::kRank, 4);
+    std::memcpy(f + v2layout::kNode, c + coldlayout::kNode, 4);
+    std::memcpy(f + v2layout::kPid, c + coldlayout::kPid, 4);
+    std::memcpy(f + v2layout::kHost, c + coldlayout::kHost, 4);
+    std::memcpy(f + v2layout::kPath, c + coldlayout::kPath, 4);
+    std::memcpy(f + v2layout::kFd, c + coldlayout::kFd, 4);
+    std::memcpy(f + v2layout::kBytes, h + hotlayout::kBytes, 8);
+    std::memcpy(f + v2layout::kOffset, c + coldlayout::kOffset, 8);
+    std::memcpy(f + v2layout::kUid, c + coldlayout::kUid, 4);
+    std::memcpy(f + v2layout::kGid, c + coldlayout::kGid, 4);
+  }
+  validate_full(b, owned);
+  return owned;
+}
+
+std::span<const std::uint8_t> BlockView::acquire_slot(
+    std::vector<BlockSlot>& slots, std::size_t b, bool hot) const {
+  BlockSlot& slot = slots[b];
+  LazyState& lz = *lazy_;
+  const std::size_t stripe = b % LazyState::kStripes;
+  const auto publish = [&](int state) {
+    {
+      // Flip the state under the stripe mutex so a waiter checking its
+      // predicate cannot miss the transition between check and sleep.
+      const std::lock_guard<std::mutex> lk(lz.stripe_m[stripe]);
+      slot.state.store(state, std::memory_order_release);
+    }
+    lz.stripe_cv[stripe].notify_all();
+  };
+  for (;;) {
+    const int s = slot.state.load(std::memory_order_acquire);
+    if (s == kReady) {
+      return slot.bytes;
+    }
+    if (s == kFailed) {
+      throw FormatError(slot.error);
+    }
+    if (s == kUntouched) {
+      int expected = kUntouched;
+      if (slot.state.compare_exchange_strong(expected, kDecoding,
+                                             std::memory_order_acq_rel)) {
+        // This thread won the decode; it runs outside any lock so other
+        // blocks decode concurrently on other threads.
+        try {
+          std::vector<std::uint8_t> owned;
+          const std::span<const std::uint8_t> plain =
+              hot ? [&] {
+                const std::span<const std::uint8_t> p =
+                    decode_group_plain(b, 0, owned);
+                validate_hot(b, p);
+                return p;
+              }()
+                  : decode_full_plain(b, owned);
+          // Moving the vector never relocates its heap buffer, so spans
+          // into `owned` stay valid across the move.
+          slot.owned = std::move(owned);
+          slot.bytes = plain;
+          publish(kReady);
+          return slot.bytes;
+        } catch (const Error& err) {
+          slot.error = err.what();
+          publish(kFailed);
+          throw FormatError(slot.error);
+        }
+      }
+      continue;  // lost the claim race; re-read the winner's state
+    }
+    // kDecoding: park until the winner publishes ready or failed.
+    std::unique_lock<std::mutex> lk(lz.stripe_m[stripe]);
+    lz.stripe_cv[stripe].wait(lk, [&] {
+      return slot.state.load(std::memory_order_acquire) != kDecoding;
+    });
+  }
+}
+
+std::span<const std::uint8_t> BlockView::decode_block_slow(
+    std::size_t b) const {
+  return acquire_slot(lazy_->full, b, /*hot=*/false);
+}
+
+std::span<const std::uint8_t> BlockView::hot_bytes(std::size_t b) const {
+  if (!header_.projected) {
+    throw ConfigError("block view: hot_bytes requires a projected container");
+  }
+  BlockSlot& slot = lazy_->hot[b];
+  if (slot.state.load(std::memory_order_acquire) == kReady) {
+    return slot.bytes;
+  }
+  return acquire_slot(lazy_->hot, b, /*hot=*/true);
+}
+
+void BlockView::decode_blocks(const std::vector<std::size_t>& blocks,
+                              std::size_t threads, bool hot_only) const {
+  if (blocks.size() <= 1 || threads <= 1) {
+    return;  // the caller's serial pass decodes (and throws) in order
+  }
+  const bool hot = hot_only && header_.projected;
+  parallel_for(
+      blocks.size(),
+      [&](std::size_t i) {
+        try {
+          if (hot) {
+            (void)hot_bytes(blocks[i]);
+          } else {
+            (void)block_bytes(blocks[i]);
+          }
+        } catch (const Error&) {
+          // Recorded sticky in the slot; the serial scan that follows
+          // rethrows it deterministically on first touch.
+        }
+      },
+      std::min(threads, blocks.size()));
 }
 
 std::string_view BlockView::string(StrId id) const {

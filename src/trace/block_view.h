@@ -1,22 +1,38 @@
 // Lazy read path over the IOTB3 block container (block_view.cpp): the
-// counterpart of BatchView for compressed/checksummed cold storage. The
-// constructor validates only the cheap, always-needed parts — envelope
-// bounds, the uncompressed head (string + argument-id tables, walked and
-// range-checked exactly as BatchView does) and the footer mini-index
-// (whose own CRC is always verified: the index must be trustworthy before
-// any skip decision is made on it). Record blocks are NOT touched at open.
+// counterpart of BatchView for compressed/checksummed/encrypted cold
+// storage. The constructor validates only the cheap, always-needed parts —
+// envelope bounds, the uncompressed head (string + argument-id tables,
+// walked and range-checked exactly as BatchView does, plus the key check
+// for encrypted containers: a wrong key is rejected at open, not at first
+// block touch) and the footer mini-index (whose own CRC is always
+// verified: the index must be trustworthy before any skip decision is made
+// on it). Record blocks are NOT touched at open.
 //
 // The first access to a block — record(), for_each(), block_bytes() —
 // pays for exactly that block: CRC over the stored bytes (when the
-// container is checksummed), LZ decompression (when compressed; stored
-// bytes are served zero-copy otherwise), and a structural pass that
+// container is checksummed), XTEA-CBC decryption (when encrypted; the CRC
+// covers the stored ciphertext, so integrity is checked before the cipher
+// runs), LZ decompression (when compressed; stored bytes are served
+// zero-copy when neither transform applies), and a structural pass that
 // validates every class byte, string id and args slice AND cross-checks
 // the footer's min/max stamps, name bitmap and flag bits against the
 // records (an index that lies about a block is corruption and rejects
-// that block). Decoded blocks are cached for the life of the view;
-// failures are sticky, and only queries touching the corrupt block see
-// them. The cache is thread-safe: concurrent store queries may race on
-// the first touch of a block.
+// that block). Projected containers (header().projected) store each block
+// as a hot + cold column group: hot_bytes(b) decodes and validates the
+// hot group alone (the fields windowed/rate/call-stats/DFG scans read, at
+// hotlayout::kStride), while block_bytes(b) stitches both groups back
+// into the full 81-byte stride — so narrow queries decode a fraction of
+// the stored bytes, and cold-group corruption fails only full-record
+// touches while hot queries keep working.
+//
+// Decoded groups are cached for the life of the view; failures are sticky
+// (copies of a view share the cache AND the failure state — concurrent
+// first touches of one block elect a single decoder via a per-slot atomic
+// state machine, losers wait on a striped condvar, and every toucher of a
+// failed block sees the identical error text). decode_blocks() prefetches
+// a set of blocks across a thread pool, so multi-block scans decode in
+// parallel; per-block errors stay sticky and are rethrown deterministically
+// by the caller's serial pass.
 //
 // Queries consult the per-block mini-index (block_min_time / block_has_name
 // / block flag accessors) to skip blocks entirely — the unified store's
@@ -26,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,10 +59,11 @@ namespace iotaxo::trace {
 /// A validated-on-demand window onto one IOTB3 container. The view borrows
 /// `data`; the caller keeps the buffer alive (MappedTraceFile, or the
 /// store's block-backed pool) for the view's lifetime. Copies share the
-/// decoded-block cache.
+/// decoded-block cache and its sticky failure state.
 class BlockView {
  public:
-  explicit BlockView(std::span<const std::uint8_t> data);
+  explicit BlockView(std::span<const std::uint8_t> data,
+                     std::optional<CipherKey> key = std::nullopt);
 
   [[nodiscard]] const BinaryHeader& header() const noexcept {
     return header_;
@@ -57,6 +75,8 @@ class BlockView {
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool projected() const noexcept { return header_.projected; }
+  [[nodiscard]] bool encrypted() const noexcept { return header_.encrypted; }
 
   // --- per-block mini-index (footer; CRC-verified at open) ---------------
 
@@ -88,8 +108,14 @@ class BlockView {
   [[nodiscard]] SimTime block_max_time(std::size_t b) const noexcept {
     return meta_[b].max_time;
   }
-  /// Stored (possibly compressed) byte length of block b.
+  /// Total stored byte length of block b (hot + cold groups when
+  /// projected; possibly compressed and encrypted).
   [[nodiscard]] std::uint64_t block_stored_len(std::size_t b) const noexcept {
+    return meta_[b].stored_len + meta_[b].cold_len;
+  }
+  /// Stored byte length of block b's hot (or only) group.
+  [[nodiscard]] std::uint64_t block_hot_stored_len(
+      std::size_t b) const noexcept {
     return meta_[b].stored_len;
   }
   /// True when some record in block b has name id `id` (id 0 means "not
@@ -108,6 +134,17 @@ class BlockView {
   }
   [[nodiscard]] bool block_has_io_call(std::size_t b) const noexcept {
     return (meta_[b].flags & v3layout::kBlockHasIoCall) != 0;
+  }
+
+  /// Stored bytes successfully decoded so far (hot and cold groups count
+  /// separately as they are touched) — shared across copies. A narrow
+  /// query's footprint is this vs the stored total.
+  [[nodiscard]] std::uint64_t decoded_stored_bytes() const noexcept {
+    return lazy_->decoded_stored.load(std::memory_order_relaxed);
+  }
+  /// Total stored bytes of all blocks (both groups).
+  [[nodiscard]] std::uint64_t stored_bytes_total() const noexcept {
+    return blocks_.size();
   }
 
   // --- string / argument tables (uncompressed head, validated at open) ---
@@ -131,20 +168,35 @@ class BlockView {
   // --- record access (lazy per-block decode + verify) --------------------
 
   /// Block b's records as raw fixed-stride bytes (block_size(b) records of
-  /// v2layout::kStride each) — decoded, CRC-verified and validated on
-  /// first touch, cached after. Zero-copy into the container buffer for
-  /// uncompressed containers. Throws FormatError when the block is
-  /// corrupt (sticky: every later touch rethrows).
+  /// v2layout::kStride each) — decoded, CRC-verified, decrypted and
+  /// validated on first touch, cached after; projected containers stitch
+  /// the hot + cold groups here. Zero-copy into the container buffer for
+  /// plain containers. Throws FormatError when the block is corrupt
+  /// (sticky: every later touch rethrows the identical error).
   [[nodiscard]] std::span<const std::uint8_t> block_bytes(
       std::size_t b) const {
-    BlockSlot& slot = lazy_->slots[b];
+    BlockSlot& slot = lazy_->full[b];
     if (slot.state.load(std::memory_order_acquire) == kReady) {
       return slot.bytes;
     }
     return decode_block_slow(b);
   }
 
-  /// Record i, touching (and possibly decoding) its block.
+  /// Block b's HOT column group (block_size(b) records of
+  /// hotlayout::kStride each) — projected containers only (throws
+  /// ConfigError otherwise). Decodes, verifies and caches the hot group
+  /// alone; cold-group corruption is invisible here.
+  [[nodiscard]] std::span<const std::uint8_t> hot_bytes(std::size_t b) const;
+
+  /// Prefetch-decode `blocks` across up to `threads` workers (no-op for
+  /// 0/1 blocks or threads). hot_only decodes just the hot group of
+  /// projected containers (full blocks otherwise). Per-block failures are
+  /// swallowed here — they are recorded sticky, and the caller's serial
+  /// scan rethrows them deterministically on first touch.
+  void decode_blocks(const std::vector<std::size_t>& blocks,
+                     std::size_t threads, bool hot_only) const;
+
+  /// Record i, touching (and possibly decoding + stitching) its block.
   [[nodiscard]] RecordView record(std::size_t i) const {
     const std::size_t b = block_of(i);
     return RecordView(block_bytes(b).data() +
@@ -181,45 +233,68 @@ class BlockView {
  private:
   struct BlockMeta {
     std::uint64_t offset = 0;
-    std::uint64_t stored_len = 0;
+    std::uint64_t stored_len = 0;  // hot (or only) group
+    std::uint64_t cold_len = 0;    // projected containers only
     std::uint64_t args_begin = 0;
     std::uint32_t records = 0;
     std::uint32_t crc = 0;
+    std::uint32_t cold_crc = 0;
     SimTime min_time = 0;
     SimTime max_time = 0;
     std::uint8_t flags = 0;
   };
 
+  // Per-slot decode state machine: a first toucher CASes kUntouched ->
+  // kDecoding and decodes outside any lock; concurrent touchers of the
+  // same block park on the slot's stripe condvar until the winner
+  // publishes kReady or kFailed (both terminal).
   static constexpr int kUntouched = 0;
-  static constexpr int kReady = 1;
-  static constexpr int kFailed = 2;
+  static constexpr int kDecoding = 1;
+  static constexpr int kReady = 2;
+  static constexpr int kFailed = 3;
 
   struct BlockSlot {
     std::atomic<int> state{kUntouched};
-    std::vector<std::uint8_t> owned;      // decompressed bytes, if any
-    std::span<const std::uint8_t> bytes;  // the block's record bytes
+    std::vector<std::uint8_t> owned;      // decoded bytes, if not zero-copy
+    std::span<const std::uint8_t> bytes;  // the group's record bytes
     std::string error;                    // sticky failure message
   };
 
-  /// Shared, mutex-guarded decode cache: the slot vector is sized once and
-  /// never reallocated, so the per-slot atomic fast path above reads
-  /// stable storage.
+  /// Shared decode cache: slot vectors are sized once and never
+  /// reallocated, so the per-slot atomic fast paths read stable storage.
+  /// The stripe mutexes guard only the publish/wait handshake — decode
+  /// itself runs lock-free in the CAS winner, so distinct blocks decode
+  /// concurrently.
   struct LazyState {
-    std::mutex m;
-    std::vector<BlockSlot> slots;
-    explicit LazyState(std::size_t n) : slots(n) {}
+    static constexpr std::size_t kStripes = 16;
+    std::vector<BlockSlot> full;
+    std::vector<BlockSlot> hot;  // projected containers only
+    std::atomic<std::uint64_t> decoded_stored{0};
+    std::mutex stripe_m[kStripes];
+    std::condition_variable stripe_cv[kStripes];
+    LazyState(std::size_t n, bool projected)
+        : full(n), hot(projected ? n : 0) {}
   };
 
-  /// Footer bitmap of block b (bitmap_bytes_ bytes).
+  /// Footer bitmap of block b (bitmap_bytes_ bytes, after the fixed entry
+  /// fields — which include the cold extent when projected).
   [[nodiscard]] const std::uint8_t* bitmap_of(std::size_t b) const noexcept {
-    return footer_.data() +
-           b * (v3layout::kEntryFixedSize + bitmap_bytes_) +
-           v3layout::kEntryFixedSize;
+    return footer_.data() + b * (entry_fixed_ + bitmap_bytes_) + entry_fixed_;
   }
 
   std::span<const std::uint8_t> decode_block_slow(std::size_t b) const;
+  std::span<const std::uint8_t> acquire_slot(std::vector<BlockSlot>& slots,
+                                             std::size_t b, bool hot) const;
+  std::span<const std::uint8_t> decode_group_plain(
+      std::size_t b, std::uint32_t group, std::vector<std::uint8_t>& owned)
+      const;
+  std::span<const std::uint8_t> decode_full_plain(
+      std::size_t b, std::vector<std::uint8_t>& owned) const;
+  void validate_full(std::size_t b, std::span<const std::uint8_t> plain) const;
+  void validate_hot(std::size_t b, std::span<const std::uint8_t> hot) const;
 
   BinaryHeader header_;
+  std::optional<CipherKey> key_;
   std::span<const std::uint8_t> buffer_;  // the whole borrowed container
   std::span<const std::uint8_t> blocks_;  // stored-block region
   std::span<const std::uint8_t> args_;    // nargids * 4 bytes
@@ -229,6 +304,7 @@ class BlockView {
   std::size_t count_ = 0;
   std::uint32_t nominal_ = 1;  // records per full block
   std::size_t bitmap_bytes_ = 0;
+  std::size_t entry_fixed_ = v3layout::kEntryFixedSize;
   std::vector<BlockMeta> meta_;
   std::shared_ptr<LazyState> lazy_;
 };

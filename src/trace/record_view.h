@@ -62,6 +62,36 @@ inline constexpr std::size_t kGid = 77;         // u32
 inline constexpr std::size_t kStride = 81;      // total record size
 }  // namespace v2layout
 
+/// Byte layout of one record's HOT column group in a projected IOTB3 block
+/// (see binary_format.h): the fields every windowed / rate / call-stats /
+/// DFG scan reads, packed at a 33-byte stride so narrow queries decode a
+/// fraction of the stored bytes. hot + cold strides sum to v2's 81.
+namespace hotlayout {
+inline constexpr std::size_t kCls = 0;          // u8
+inline constexpr std::size_t kName = 1;         // u32
+inline constexpr std::size_t kRank = 5;         // i32
+inline constexpr std::size_t kLocalStart = 9;   // i64
+inline constexpr std::size_t kDuration = 17;    // i64
+inline constexpr std::size_t kBytes = 25;       // i64
+inline constexpr std::size_t kStride = 33;
+}  // namespace hotlayout
+
+/// The COLD remainder of a projected record: everything v2 carries that
+/// the hot group does not (args, ret, ids, fd, offset, uid/gid).
+namespace coldlayout {
+inline constexpr std::size_t kArgsCount = 0;    // u32
+inline constexpr std::size_t kRet = 4;          // i64
+inline constexpr std::size_t kNode = 12;        // i32
+inline constexpr std::size_t kPid = 16;         // u32
+inline constexpr std::size_t kHost = 20;        // u32
+inline constexpr std::size_t kPath = 24;        // u32
+inline constexpr std::size_t kFd = 28;          // i32
+inline constexpr std::size_t kOffset = 32;      // i64
+inline constexpr std::size_t kUid = 40;         // u32
+inline constexpr std::size_t kGid = 44;         // u32
+inline constexpr std::size_t kStride = 48;
+}  // namespace coldlayout
+
 /// One record read in place from a v2 record section. Field accessors are
 /// unchecked single loads; the owning BatchView validated class bytes and
 /// string ids at open, so accessors cannot observe malformed values.
@@ -160,6 +190,51 @@ class RecordView {
   }
   [[nodiscard]] std::int64_t i64(std::size_t off) const noexcept {
     return static_cast<std::int64_t>(u64(off));
+  }
+
+  const std::uint8_t* p_;
+};
+
+/// One record's hot column group read in place from a projected IOTB3
+/// block's decoded hot bytes (hotlayout stride). Same unchecked-load
+/// contract as RecordView: the owning BlockView validated the group.
+class HotRecordView {
+ public:
+  explicit HotRecordView(const std::uint8_t* p) noexcept : p_(p) {}
+
+  [[nodiscard]] EventClass cls() const noexcept {
+    return static_cast<EventClass>(p_[hotlayout::kCls]);
+  }
+  [[nodiscard]] StrId name() const noexcept { return u32(hotlayout::kName); }
+  [[nodiscard]] std::int32_t rank() const noexcept {
+    return static_cast<std::int32_t>(u32(hotlayout::kRank));
+  }
+  [[nodiscard]] SimTime local_start() const noexcept {
+    return i64(hotlayout::kLocalStart);
+  }
+  [[nodiscard]] SimTime duration() const noexcept {
+    return i64(hotlayout::kDuration);
+  }
+  [[nodiscard]] Bytes bytes() const noexcept { return i64(hotlayout::kBytes); }
+
+  [[nodiscard]] bool is_io_call() const noexcept {
+    const EventClass c = cls();
+    return c == EventClass::kSyscall || c == EventClass::kLibraryCall ||
+           c == EventClass::kFsOperation;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t u32(std::size_t off) const noexcept {
+    const std::uint8_t* p = p_ + off;
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  [[nodiscard]] std::int64_t i64(std::size_t off) const noexcept {
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(u32(off)) |
+        (static_cast<std::uint64_t>(u32(off + 4)) << 32));
   }
 
   const std::uint8_t* p_;

@@ -61,4 +61,20 @@ struct CallAccum {
 void accumulate_call_stats(const std::uint8_t* recs, std::size_t n,
                            CallAccum* rows) noexcept;
 
+// --- hot-column-group variants ------------------------------------------
+// The same kernels over a projected IOTB3 block's decoded HOT group
+// (hotlayout in record_view.h: 33-byte stride, cls/name/rank/local_start/
+// duration/bytes). Shared internal templates guarantee the fold order —
+// and therefore the results — match the v2-stride kernels bit for bit.
+
+void minmax_stamps_hot(const std::uint8_t* recs, std::size_t n, SimTime* lo,
+                       SimTime* hi) noexcept;
+
+[[nodiscard]] Bytes sum_transfer_bytes_in_window_hot(
+    const std::uint8_t* recs, std::size_t n, StrId sys_write, StrId sys_read,
+    SimTime begin, SimTime end) noexcept;
+
+void accumulate_call_stats_hot(const std::uint8_t* recs, std::size_t n,
+                               CallAccum* rows) noexcept;
+
 }  // namespace iotaxo::trace::scan

@@ -113,6 +113,49 @@ std::vector<std::uint8_t> cbc_decrypt(std::span<const std::uint8_t> ciphertext,
   return out;
 }
 
+std::vector<std::uint8_t> cbc_encrypt_with_iv(
+    std::span<const std::uint8_t> plaintext, const CipherKey& key,
+    std::uint64_t iv) {
+  const std::size_t pad = 8 - (plaintext.size() % 8);
+  std::vector<std::uint8_t> buf(plaintext.begin(), plaintext.end());
+  buf.insert(buf.end(), pad, static_cast<std::uint8_t>(pad));
+
+  std::vector<std::uint8_t> out(buf.size());
+  std::uint64_t prev = iv;
+  for (std::size_t i = 0; i < buf.size(); i += 8) {
+    const std::uint64_t block = load_u64(&buf[i]) ^ prev;
+    prev = xtea_encrypt_block(block, key);
+    store_u64(&out[i], prev);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_decrypt_with_iv(
+    std::span<const std::uint8_t> ciphertext, const CipherKey& key,
+    std::uint64_t iv) {
+  if (ciphertext.size() < 8 || ciphertext.size() % 8 != 0) {
+    throw FormatError("cbc: ciphertext length invalid");
+  }
+  std::uint64_t prev = iv;
+  std::vector<std::uint8_t> out(ciphertext.size());
+  for (std::size_t i = 0; i < ciphertext.size(); i += 8) {
+    const std::uint64_t c = load_u64(&ciphertext[i]);
+    store_u64(&out[i], xtea_decrypt_block(c, key) ^ prev);
+    prev = c;
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > 8 || pad > out.size()) {
+    throw FormatError("cbc: bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) {
+      throw FormatError("cbc: bad padding bytes");
+    }
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
 std::string cbc_encrypt_field(std::string_view plaintext, const CipherKey& key,
                               std::uint64_t iv_seed) {
   const auto ct = cbc_encrypt(

@@ -39,6 +39,20 @@ using CipherKey = std::array<std::uint32_t, 4>;
 [[nodiscard]] std::vector<std::uint8_t> cbc_decrypt(
     std::span<const std::uint8_t> ciphertext, const CipherKey& key);
 
+/// CBC encrypt with a caller-supplied IV that is NOT stored in the
+/// ciphertext: both sides derive the IV from context (the IOTB3 block
+/// container uses a pure function of the block ordinal and column group).
+/// Output is PKCS#7-padded plaintext length only (+1..8 bytes).
+[[nodiscard]] std::vector<std::uint8_t> cbc_encrypt_with_iv(
+    std::span<const std::uint8_t> plaintext, const CipherKey& key,
+    std::uint64_t iv);
+
+/// Inverse of cbc_encrypt_with_iv; throws FormatError on bad length or
+/// padding (which is also what a wrong IV or key degrades into).
+[[nodiscard]] std::vector<std::uint8_t> cbc_decrypt_with_iv(
+    std::span<const std::uint8_t> ciphertext, const CipherKey& key,
+    std::uint64_t iv);
+
 /// Convenience: string in/out, hex-armored ciphertext (used when encrypting
 /// individual trace fields in otherwise human-readable output).
 [[nodiscard]] std::string cbc_encrypt_field(std::string_view plaintext,

@@ -1,7 +1,8 @@
 // Tests for the zero-copy read paths: the IOTB2 BatchView/RecordView pair
 // (PR 3) — decoder equivalence, hostile-input rejection, the deferred
-// payload CRC — and the IOTB3 BlockView (per-block CRC/compression, footer
-// mini-index cross-checks, lying-index rejection), plus MappedTraceFile,
+// payload CRC — and the IOTB3 BlockView (per-block CRC/compression/
+// encryption, columnar projection, footer mini-index cross-checks,
+// lying-index rejection, block-parallel decode), plus MappedTraceFile,
 // view/block-backed and compacted unified-store sources, the pool-index
 // query skips, and the cold-tier era spill.
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "analysis/dfg/dfg.h"
 #include "analysis/unified_store.h"
@@ -447,6 +449,10 @@ struct V3Regions {
     }
     return v;
   };
+  // Container flag bits (binary_format.cpp): 0x02 encrypted (head grows a
+  // key-check u64), 0x08 projected (each footer entry grows cold_len u64 +
+  // cold_crc u32).
+  const std::uint8_t flags = bytes[kFlagsOff];
   std::size_t pos = kContainerHeaderSize;
   const std::uint32_t nstrings = u32_at(pos);
   pos += 4;
@@ -456,12 +462,17 @@ struct V3Regions {
   const std::uint64_t nargids = get_u64(bytes, pos);
   pos += 8 + 4 * static_cast<std::size_t>(nargids);
   pos += 4;  // block_records
+  if ((flags & 0x02) != 0) {
+    pos += 8;  // key_check
+  }
   V3Regions r;
   r.head_end = pos;
   r.footer_len =
       static_cast<std::size_t>(get_u64(bytes, bytes.size() - v3layout::kTrailerSize));
   r.footer_begin = bytes.size() - v3layout::kTrailerSize - r.footer_len;
-  r.entry_size = v3layout::kEntryFixedSize + (nstrings + 7) / 8;
+  r.entry_size = v3layout::kEntryFixedSize +
+                 ((flags & 0x08) != 0 ? v3layout::kEntryProjectedExtra : 0) +
+                 (nstrings + 7) / 8;
   return r;
 }
 
@@ -643,13 +654,291 @@ TEST(BlockView, RejectsIndexThatLiesAboutABlock) {
   EXPECT_THROW((void)BlockView(lie3).record(8), FormatError);
 }
 
-TEST(BlockView, EncryptionIsRejectedAtEncode) {
+// ------------------------------------------------- encryption (per block)
+
+constexpr CipherKey kTestKey{0x1111, 0x2222, 0x3333, 0x4444};
+
+TEST(BlockView, EncryptWithoutKeyRejectedAtEncode) {
   BinaryOptions options;
-  options.encrypt = true;
-  options.key = CipherKey{0x1111, 0x2222, 0x3333, 0x4444};
+  options.encrypt = true;  // no key
   EXPECT_THROW((void)encode_binary_v3(
                    EventBatch::from_events(ordered_stream(4)), options, 8),
                ConfigError);
+}
+
+TEST(BlockView, EncryptedRoundTripMatchesOwnedBatch) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(44));
+  for (const bool compress : {false, true}) {
+    for (const bool project : {false, true}) {
+      BinaryOptions options;
+      options.compress = compress;
+      options.project = project;
+      options.encrypt = true;
+      options.key = kTestKey;
+      const std::vector<std::uint8_t> bytes =
+          encode_binary_v3(batch, options, 8);
+      const BlockView view(bytes, kTestKey);
+      EXPECT_TRUE(view.encrypted());
+      EXPECT_EQ(view.projected(), project);
+      ASSERT_EQ(view.size(), batch.size());
+      view.for_each([&](std::size_t i, const RecordView& rec,
+                        std::uint32_t args_begin) {
+        EXPECT_EQ(rec.to_record(args_begin), batch.record(i))
+            << "record " << i << " compress=" << compress
+            << " project=" << project;
+      });
+      // The generic decoder accepts the key too.
+      EXPECT_EQ(decode_binary_batch(bytes, kTestKey).record(10),
+                batch.record(10));
+    }
+  }
+}
+
+TEST(BlockView, MissingKeyRejectedAtOpen) {
+  BinaryOptions options;
+  options.encrypt = true;
+  options.key = kTestKey;
+  const std::vector<std::uint8_t> bytes =
+      encode_binary_v3(EventBatch::from_events(ordered_stream(16)), options, 8);
+  try {
+    const BlockView view(bytes);
+    FAIL() << "opened an encrypted container without a key";
+  } catch (const FormatError& err) {
+    EXPECT_NE(std::string(err.what()).find("requires a key"),
+              std::string::npos);
+  }
+}
+
+TEST(BlockView, WrongKeyRejectedAtOpen) {
+  BinaryOptions options;
+  options.encrypt = true;
+  options.key = kTestKey;
+  const std::vector<std::uint8_t> bytes =
+      encode_binary_v3(EventBatch::from_events(ordered_stream(16)), options, 8);
+  try {
+    const BlockView view(bytes, CipherKey{0x9999, 0x2222, 0x3333, 0x4444});
+    FAIL() << "opened an encrypted container with the wrong key";
+  } catch (const FormatError& err) {
+    EXPECT_NE(std::string(err.what()).find("wrong key"), std::string::npos);
+  }
+}
+
+TEST(BlockView, CorruptCiphertextRejectsOnlyThatBlock) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.encrypt = true;
+  options.key = kTestKey;
+  options.checksum = false;  // reach the cipher, not the CRC
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  // Uncompressed encrypted blocks store pad8(8 * 81) = 656 bytes each.
+  // Smash block 1's trailing cipher block so PKCS#7 unpadding fails.
+  constexpr std::size_t kStored = 656;
+  bytes[r.head_end + 2 * kStored - 3] ^= 0x20;
+
+  const BlockView view(bytes, kTestKey);
+  EXPECT_EQ(view.record(0).to_record(batch.record(0).args_begin),
+            batch.record(0));
+  try {
+    (void)view.record(8);
+    FAIL() << "decoded a block with corrupt ciphertext";
+  } catch (const FormatError& err) {
+    // The failure names the block ordinal.
+    EXPECT_NE(std::string(err.what()).find("block 1"), std::string::npos)
+        << err.what();
+  }
+  EXPECT_THROW((void)view.record(12), FormatError);  // sticky
+  EXPECT_EQ(view.record(16).to_record(batch.record(16).args_begin),
+            batch.record(16));  // block 2 unharmed
+}
+
+// ------------------------------------------------- columnar projection
+
+TEST(BlockView, ProjectedRoundTripMatchesOwnedBatch) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(44));
+  for (const bool compress : {false, true}) {
+    for (const bool checksum : {false, true}) {
+      BinaryOptions options;
+      options.compress = compress;
+      options.checksum = checksum;
+      options.project = true;
+      const std::vector<std::uint8_t> bytes =
+          encode_binary_v3(batch, options, 8);
+      const BlockView view(bytes);
+      EXPECT_TRUE(view.projected());
+      ASSERT_EQ(view.size(), batch.size());
+      view.for_each([&](std::size_t i, const RecordView& rec,
+                        std::uint32_t args_begin) {
+        EXPECT_EQ(rec.to_record(args_begin), batch.record(i))
+            << "record " << i;
+        EXPECT_EQ(view.materialize(i, args_begin), batch.materialize(i))
+            << "record " << i;
+      });
+      EXPECT_EQ(decode_binary_batch(bytes).record(20), batch.record(20));
+    }
+  }
+}
+
+TEST(BlockView, ProjectedHotGroupServesHotColumns) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.project = true;
+  const std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const BlockView view(bytes);
+  for (std::size_t b = 0; b < view.block_count(); ++b) {
+    // The hot group is strictly smaller than the block's full extent.
+    EXPECT_LT(view.block_hot_stored_len(b), view.block_stored_len(b)) << b;
+    const std::span<const std::uint8_t> hot = view.hot_bytes(b);
+    ASSERT_EQ(hot.size(), view.block_size(b) * hotlayout::kStride);
+    for (std::size_t i = 0; i < view.block_size(b); ++i) {
+      const HotRecordView rec(hot.data() + i * hotlayout::kStride);
+      const EventRecord& want = batch.record(b * 8 + i);
+      EXPECT_EQ(rec.cls(), want.cls);
+      EXPECT_EQ(rec.name(), want.name);
+      EXPECT_EQ(rec.rank(), want.rank);
+      EXPECT_EQ(rec.local_start(), want.local_start);
+      EXPECT_EQ(rec.duration(), want.duration);
+      EXPECT_EQ(rec.bytes(), want.bytes);
+    }
+  }
+  // Non-projected containers have no hot group to hand out.
+  const BlockView flat(encode_binary_v3(batch, {}, 8));
+  EXPECT_THROW((void)flat.hot_bytes(0), ConfigError);
+}
+
+TEST(BlockView, ProjectedIndexLieRejected) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.project = true;
+  options.compress = true;
+  options.checksum = true;
+  const std::vector<std::uint8_t> base = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(base);
+  const std::size_t entry1 = r.footer_begin + r.entry_size;  // block 1
+
+  // Min-stamp lie: both the hot-only and the stitched full decode
+  // cross-check the window and must reject.
+  std::vector<std::uint8_t> lie = base;
+  put_u64(lie, entry1 + 32,
+          static_cast<std::uint64_t>(batch.record(8).local_start - kSecond));
+  reseal_footer_crc(lie);
+  {
+    const BlockView view(lie);
+    EXPECT_THROW((void)view.hot_bytes(1), FormatError);
+    EXPECT_THROW((void)view.record(8), FormatError);
+    EXPECT_EQ(view.record(0).to_record(batch.record(0).args_begin),
+              batch.record(0));  // block 0 is honest
+  }
+
+  // Bitmap lie (the bitmap sits after the projected extra fields).
+  std::vector<std::uint8_t> lie2 = base;
+  lie2[entry1 + v3layout::kEntryFixedSize + v3layout::kEntryProjectedExtra] ^=
+      0x01;
+  reseal_footer_crc(lie2);
+  EXPECT_THROW((void)BlockView(lie2).hot_bytes(1), FormatError);
+}
+
+TEST(BlockView, ColdGroupCorruptionLeavesHotQueriesWorking) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.project = true;
+  options.checksum = true;  // uncompressed: stored offsets are record math
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  // Uncompressed projected blocks store hot 8*33 = 264 then cold 8*48 =
+  // 384 bytes, 648 per block. Corrupt block 1's COLD group only.
+  bytes[r.head_end + 648 + 264 + 100] ^= 0x40;
+
+  const BlockView view(bytes);
+  // Hot decode of the same block still verifies (its own CRC) and serves.
+  const std::span<const std::uint8_t> hot = view.hot_bytes(1);
+  EXPECT_EQ(HotRecordView(hot.data()).local_start(),
+            batch.record(8).local_start);
+  // The stitched full decode needs the cold group — and rejects.
+  try {
+    (void)view.record(8);
+    FAIL() << "stitched a corrupt cold group";
+  } catch (const FormatError& err) {
+    EXPECT_NE(std::string(err.what()).find("block 1"), std::string::npos)
+        << err.what();
+  }
+  // Other blocks decode fully.
+  EXPECT_EQ(view.record(16).to_record(batch.record(16).args_begin),
+            batch.record(16));
+}
+
+TEST(BlockView, HotGroupCorruptionRejectsBothPaths) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.project = true;
+  options.checksum = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  bytes[r.head_end + 648 + 10] ^= 0x04;  // block 1's hot group
+
+  const BlockView view(bytes);
+  EXPECT_THROW((void)view.hot_bytes(1), FormatError);
+  EXPECT_THROW((void)view.record(8), FormatError);
+  EXPECT_EQ(view.record(0).to_record(batch.record(0).args_begin),
+            batch.record(0));
+}
+
+// ------------------------------------------------- block-parallel decode
+
+TEST(BlockView, DecodeBlocksPrefetchMatchesSerialDecode) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(64));
+  BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  options.project = true;
+  const std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const BlockView view(bytes, std::nullopt);
+    std::vector<std::size_t> all(view.block_count());
+    for (std::size_t b = 0; b < all.size(); ++b) {
+      all[b] = b;
+    }
+    view.decode_blocks(all, threads, /*hot_only=*/false);
+    view.for_each([&](std::size_t i, const RecordView& rec,
+                      std::uint32_t args_begin) {
+      ASSERT_EQ(rec.to_record(args_begin), batch.record(i))
+          << "threads=" << threads << " record " << i;
+    });
+  }
+}
+
+TEST(BlockView, SharedStickyFailureAcrossCopiesUnderConcurrentDecode) {
+  const EventBatch batch = EventBatch::from_events(ordered_stream(24));
+  BinaryOptions options;
+  options.checksum = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v3(batch, options, 8);
+  const V3Regions r = locate_v3(bytes);
+  bytes[r.head_end + 8 * v2layout::kStride + 40] ^= 0x20;  // block 1
+
+  const BlockView view(bytes);
+  const BlockView copy = view;  // copies share the decode slots
+  std::string err_a;
+  std::string err_b;
+  std::thread ta([&] {
+    try {
+      (void)view.record(8);
+    } catch (const FormatError& err) {
+      err_a = err.what();
+    }
+  });
+  std::thread tb([&] {
+    try {
+      (void)copy.record(9);
+    } catch (const FormatError& err) {
+      err_b = err.what();
+    }
+  });
+  ta.join();
+  tb.join();
+  // Whoever lost the decode race sees the winner's sticky error, verbatim.
+  EXPECT_FALSE(err_a.empty());
+  EXPECT_EQ(err_a, err_b);
+  EXPECT_NE(err_a.find("block 1"), std::string::npos) << err_a;
 }
 
 TEST(BlockView, EmptyContainer) {
@@ -993,6 +1282,139 @@ TEST(StoreZeroCopy, RepeatedColdCompactNeverRewritesLiveEras) {
   for (int n = 0; n < 4; ++n) {
     std::remove(era_path(n).c_str());
   }
+}
+
+TEST(StoreZeroCopy, EncryptedProjectedIngestViewMatchesOwned) {
+  const CipherKey key = derive_key("store-test-pass");
+  const std::vector<TraceEvent> events = era_events(0, 120);
+  const EventBatch batch = EventBatch::from_events(events);
+  trace::BinaryOptions options;
+  options.checksum = true;
+  options.encrypt = true;
+  options.key = key;
+  options.project = true;
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v3(batch, options, 16);
+  const std::string path = "/tmp/iotaxo_store_enc_proj_test.iotb3";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  // No key: rejected at ingest, before any query can dereference blocks.
+  {
+    UnifiedTraceStore keyless;
+    EXPECT_THROW(keyless.ingest_view(path, {{"framework", "test"}}),
+                 FormatError);
+  }
+
+  UnifiedTraceStore owned;
+  owned.ingest(batch, {{"framework", "test"}, {"application", "a"}});
+  UnifiedTraceStore store;
+  store.ingest_view(path, {{"framework", "test"}, {"application", "a"}}, key);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(store.pool_infos().size(), 1u);
+  EXPECT_TRUE(store.pool_infos()[0].encrypted);
+  EXPECT_TRUE(store.pool_infos()[0].projected);
+  EXPECT_GT(store.pool_infos()[0].stored_bytes, 0u);
+  EXPECT_EQ(store.pool_infos()[0].decoded_stored_bytes, 0u);  // still lazy
+
+  // A hot-column query decodes strictly less than half the stored bytes
+  // (uncompressed projected blocks: 33 of every 81 record bytes are hot).
+  EXPECT_EQ(store.bytes_in_window(0, 10 * kSecond),
+            owned.bytes_in_window(0, 10 * kSecond));
+  const auto info = store.pool_infos()[0];
+  EXPECT_GT(info.decoded_stored_bytes, 0u);
+  EXPECT_LE(info.decoded_stored_bytes, info.stored_bytes / 2);
+
+  EXPECT_EQ(all_queries(store), all_queries(owned));
+  EXPECT_EQ(store.rank_timeline(1), owned.rank_timeline(1));
+  EXPECT_EQ(dfg::DfgBuilder(store).build({}), dfg::DfgBuilder(owned).build({}));
+}
+
+TEST(StoreZeroCopy, ColdCompactEncryptedProjectedErasPreserveResults) {
+  const CipherKey key = derive_key("cold-era-pass");
+  UnifiedTraceStore store;
+  UnifiedTraceStore owned;
+  for (int era = 0; era < 4; ++era) {
+    const std::map<std::string, std::string> meta = {
+        {"framework", "test"}, {"application", strprintf("era%d", era)}};
+    store.ingest(EventBatch::from_events(era_events(era, 40)), meta);
+    owned.ingest(EventBatch::from_events(era_events(era, 40)), meta);
+  }
+  const auto before = all_queries(store);
+
+  UnifiedTraceStore::ColdTierOptions cold;
+  cold.directory = "/tmp";
+  cold.file_prefix = strprintf("iotaxo_cold_enc_test_%d", ::testing::UnitTest::
+                                   GetInstance()->random_seed());
+  cold.binary.compress = true;
+  cold.binary.checksum = true;
+  cold.binary.encrypt = true;
+  cold.binary.key = key;
+  cold.binary.project = true;
+  cold.block_records = 16;
+  ASSERT_EQ(store.compact(static_cast<std::size_t>(-1), cold), 1u);
+
+  const auto infos = store.pool_infos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_TRUE(infos[0].block_backed);
+  EXPECT_TRUE(infos[0].encrypted);
+  EXPECT_TRUE(infos[0].projected);
+
+  EXPECT_EQ(all_queries(store), before);
+  EXPECT_EQ(all_queries(store), all_queries(owned));
+  EXPECT_EQ(store.rank_timeline(2), owned.rank_timeline(2));
+
+  // The spilled era cannot be opened without the key.
+  const std::string era0 =
+      strprintf("/tmp/%s-0.iotb3", cold.file_prefix.c_str());
+  UnifiedTraceStore keyless;
+  EXPECT_THROW(keyless.ingest_view(era0, {{"framework", "test"}}),
+               FormatError);
+
+  for (int n = 0; n < 4; ++n) {
+    std::remove(strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n)
+                    .c_str());
+  }
+}
+
+TEST(StoreZeroCopy, ParallelColdScanIsDeterministicAcrossThreadCounts) {
+  // One big block-backed pool: the cold full-scan case block-parallel
+  // decode targets (also the --tsan smoke for the decode slots).
+  const EventBatch batch = EventBatch::from_events(era_events(0, 240));
+  trace::BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  options.project = true;
+  const std::vector<std::uint8_t> bytes =
+      trace::encode_binary_v3(batch, options, 16);
+  const std::string path = "/tmp/iotaxo_store_parallel_scan_test.iotb3";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  UnifiedTraceStore owned;
+  owned.ingest(batch, {{"framework", "test"}});
+  const auto want = all_queries(owned);
+  const auto timeline = owned.rank_timeline(1);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    UnifiedTraceStore store;  // fresh store: decode caches start cold
+    store.ingest_view(path, {{"framework", "test"}});
+    store.set_query_threads(threads);
+    EXPECT_EQ(all_queries(store), want) << "threads=" << threads;
+    EXPECT_EQ(store.rank_timeline(1), timeline) << "threads=" << threads;
+    EXPECT_EQ(dfg::DfgBuilder(store).build({}),
+              dfg::DfgBuilder(owned).build({}))
+        << "threads=" << threads;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -77,6 +77,12 @@ case "${MODE}" in
     # under TSan.
     ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
       -R 'concurrency_test|batch_test|zero_copy_test|util_test'
+    # Block-parallel cold-scan smoke: the striped decode-slot handoff
+    # (claim/publish/wait) and the shared sticky-failure state, re-run
+    # standalone so a TSan report here points straight at the IOTB3 decode
+    # path.
+    "${BUILD_DIR}/zero_copy_test" \
+      --gtest_filter='*ParallelColdScan*:*StickyFailureAcrossCopies*:*DecodeBlocksPrefetch*'
     ;;
   asan)
     BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"

@@ -4,6 +4,7 @@
 //                   [--pattern strided|nonstrided|nn] [--ranks N]
 //                   [--block BYTES] [--total BYTES] [--out DIR]
 //                   [--binary-out FILE.iotb|FILE.iotb3]
+//                   [--project] [--key PASSPHRASE]
 //   iotaxo classify [--ranks N]
 //   iotaxo replay   --in DIR [--sync barriers|deps|none]
 //   iotaxo analyze  --in DIR [DIR...]
@@ -84,7 +85,9 @@ struct Args {
 
 /// Options that are bare flags (no value token follows them).
 [[nodiscard]] bool is_flag_option(const char* name) {
-  return std::strcmp(name, "phases") == 0 || std::strcmp(name, "blocks") == 0;
+  return std::strcmp(name, "phases") == 0 ||
+         std::strcmp(name, "blocks") == 0 ||
+         std::strcmp(name, "project") == 0;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -118,6 +121,7 @@ int usage() {
       "                   [--pattern strided|nonstrided|nn] [--ranks N]\n"
       "                   [--block BYTES] [--total BYTES] [--out DIR]\n"
       "                   [--binary-out FILE.iotb|FILE.iotb3]\n"
+      "                   [--project] [--key PASSPHRASE]\n"
       "  iotaxo classify  [--ranks N]\n"
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
@@ -216,8 +220,9 @@ int cmd_trace(const Args& args) {
       }
     }
     // The .iotb3 extension selects the block-structured container with
-    // cold-storage defaults (per-block LZ + CRC); anything else writes the
-    // flat IOTB2 layout.
+    // cold-storage defaults (per-block LZ + CRC); --key additionally
+    // encrypts each block and --project splits records into hot + cold
+    // column groups. Anything else writes the flat IOTB2 layout.
     const bool v3 = binary_out.size() >= 6 &&
                     binary_out.compare(binary_out.size() - 6, 6, ".iotb3") == 0;
     std::vector<std::uint8_t> bytes;
@@ -225,6 +230,12 @@ int cmd_trace(const Args& args) {
       trace::BinaryOptions options;
       options.compress = true;
       options.checksum = true;
+      options.project = !args.get("project").empty();
+      const std::string passphrase = args.get("key");
+      if (!passphrase.empty()) {
+        options.encrypt = true;
+        options.key = derive_key(passphrase);
+      }
       bytes = trace::encode_binary_v3(batch, options);
     } else {
       bytes = trace::encode_binary_v2(batch, trace::BinaryOptions{});
@@ -291,14 +302,16 @@ void print_call_table(const Acc& acc) {
 }
 
 // The IOTB3 footer's per-block mini-index, straight from the view — no
-// record block is decoded to print this.
+// record block is decoded to print this. For projected containers the Hot
+// column shows each block's hot-group extent (what a narrow query pays);
+// the trailing line reports the container's stored-vs-decoded footprint.
 void print_block_summary(const trace::BlockView& view) {
-  TextTable table({"Block", "Records", "Stored", "Window (t+)", "Index flags",
-                   "Names"});
-  for (std::size_t c = 1; c < 3; ++c) {
+  TextTable table({"Block", "Records", "Stored", "Hot", "Window (t+)",
+                   "Index flags", "Names"});
+  for (std::size_t c = 1; c < 4; ++c) {
     table.set_align(c, Align::kRight);
   }
-  table.set_align(5, Align::kRight);
+  table.set_align(6, Align::kRight);
   const std::size_t nblocks = view.block_count();
   const SimTime base = nblocks == 0 ? 0 : view.block_min_time(0);
   for (std::size_t b = 0; b < nblocks; ++b) {
@@ -319,12 +332,22 @@ void print_block_summary(const trace::BlockView& view) {
     table.add_row(
         {strprintf("%zu", b), strprintf("%u", view.block_size(b)),
          format_bytes(static_cast<Bytes>(view.block_stored_len(b))),
+         view.projected()
+             ? format_bytes(static_cast<Bytes>(view.block_hot_stored_len(b)))
+             : "-",
          strprintf("%s .. %s",
                    format_duration(view.block_min_time(b) - base).c_str(),
                    format_duration(view.block_max_time(b) - base).c_str()),
          flags.empty() ? "-" : flags, strprintf("%zu", names)});
   }
   std::fputs(table.render().c_str(), stdout);
+  std::printf("block bytes      : %s stored, %s decoded so far%s%s\n",
+              format_bytes(
+                  static_cast<Bytes>(view.stored_bytes_total())).c_str(),
+              format_bytes(
+                  static_cast<Bytes>(view.decoded_stored_bytes())).c_str(),
+              view.encrypted() ? ", encrypted" : "",
+              view.projected() ? ", projected" : "");
 }
 
 [[nodiscard]] std::optional<CipherKey> key_from_args(const Args& args) {
@@ -359,9 +382,11 @@ int cmd_stat(const Args& args) {
       // IOTB3 is never decoded into a batch — blocks stream through the
       // per-block cache, and the summary lines above the table come from
       // the head and footer alone.
-      const trace::BlockView view(file.bytes());
-      std::printf("container        : IOTB3%s%s, block-structured\n",
+      const trace::BlockView view(file.bytes(), key_from_args(args));
+      std::printf("container        : IOTB3%s%s%s%s, block-structured\n",
                   view.header().compressed ? ", compressed" : "",
+                  view.encrypted() ? ", encrypted (per block)" : "",
+                  view.projected() ? ", projected (hot+cold columns)" : "",
                   view.header().checksummed
                       ? ", checksummed (per block, on touch)"
                       : "");
@@ -396,6 +421,11 @@ int cmd_stat(const Args& args) {
     // than merely transformed will throw again below, which is the error
     // path (exit 1).
     std::printf("zero-copy        : refused (%s)\n", err.what());
+    const trace::BinaryHeader h = trace::peek_binary_header(file.bytes());
+    if (h.version == 3 && h.encrypted && !key_from_args(args).has_value()) {
+      std::printf("                   (encrypted IOTB3: pass --key "
+                  "PASSPHRASE to open it)\n");
+    }
     std::printf("                   decoding instead\n");
   }
   const trace::BinaryHeader header = trace::peek_binary_header(file.bytes());
@@ -430,7 +460,7 @@ void ingest_container(analysis::UnifiedTraceStore& store,
   std::optional<trace::BlockView> block_probe;
   try {
     if (trace::peek_binary_header(file.bytes()).version == 3) {
-      block_probe.emplace(file.bytes());
+      block_probe.emplace(file.bytes(), key_from_args(args));
       if (!args.get("blocks").empty()) {
         std::printf("blocks, %s:\n", path.c_str());
         print_block_summary(*block_probe);
@@ -439,9 +469,14 @@ void ingest_container(analysis::UnifiedTraceStore& store,
       probe.emplace(file.bytes());
     }
   } catch (const FormatError& err) {
+    const trace::BinaryHeader h = trace::peek_binary_header(file.bytes());
     std::fprintf(stderr,
-                 "iotaxo: %s: zero-copy refused (%s); decoding instead\n",
-                 path.c_str(), err.what());
+                 "iotaxo: %s: zero-copy refused (%s); decoding instead%s\n",
+                 path.c_str(), err.what(),
+                 h.version == 3 && h.encrypted &&
+                         !key_from_args(args).has_value()
+                     ? " (encrypted IOTB3: pass --key PASSPHRASE to open it)"
+                     : "");
     store.ingest(trace::decode_binary_batch(file.bytes(), key_from_args(args)),
                  metadata);
     return;
