@@ -50,6 +50,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -385,9 +386,15 @@ int main() {
   sealed_id_store.ingest_view(v3_sealed_path, {{"framework", "bench"}}, key);
   sealed_id_store.set_query_threads(1);
   const bool identity_sealed = all_queries(sealed_id_store) == owned_results;
+  // Cold spills get their own scratch directories: compaction commits each
+  // era through the directory's MANIFEST.iotm, so sharing the cwd would
+  // leave sticky era numbering behind between bench runs.
+  const std::string cold_dir = "bench_iotb3_cold.scratch";
+  std::filesystem::remove_all(cold_dir);
+  std::filesystem::create_directories(cold_dir);
   analysis::UnifiedTraceStore::ColdTierOptions cold;
-  cold.directory = ".";
-  cold.file_prefix = "bench_iotb3_era";
+  cold.directory = cold_dir;
+  cold.file_prefix = "era";
   cold.binary = full;
   (void)owned.compact(static_cast<std::size_t>(-1), cold);
   const bool identity_cold = all_queries(owned) == owned_results;
@@ -396,14 +403,17 @@ int main() {
   analysis::UnifiedTraceStore owned_sealed;
   owned_sealed.ingest(batch, {{"framework", "bench"}});
   owned_sealed.set_query_threads(1);
+  const std::string cold_sealed_dir = "bench_iotb3_coldsealed.scratch";
+  std::filesystem::remove_all(cold_sealed_dir);
+  std::filesystem::create_directories(cold_sealed_dir);
   analysis::UnifiedTraceStore::ColdTierOptions cold_sealed;
-  cold_sealed.directory = ".";
-  cold_sealed.file_prefix = "bench_iotb3_sealedera";
+  cold_sealed.directory = cold_sealed_dir;
+  cold_sealed.file_prefix = "era";
   cold_sealed.binary = sealed;
   (void)owned_sealed.compact(static_cast<std::size_t>(-1), cold_sealed);
   const bool identity_cold_sealed = all_queries(owned_sealed) == owned_results;
-  std::remove("bench_iotb3_era-0.iotb3");
-  std::remove("bench_iotb3_sealedera-0.iotb3");
+  std::filesystem::remove_all(cold_dir);
+  std::filesystem::remove_all(cold_sealed_dir);
   std::remove(v2_path.c_str());
   std::remove(v3_lz_path.c_str());
   std::remove(v3_full_path.c_str());

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
+#include <set>
 #include <thread>
 
+#include "analysis/store_manifest.h"
 #include "trace/scan_kernels.h"
+#include "util/crc32.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace iotaxo::analysis {
@@ -325,30 +328,47 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
 std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
                                        const ColdTierOptions& cold) {
   compact(era_bytes);
+  // The directory's commit record: load it up front so era numbering
+  // continues past everything already committed there (by this store, an
+  // earlier incarnation, or another writer using the same directory).
+  StoreManifest manifest =
+      StoreManifest::load(cold.directory).value_or(StoreManifest{});
+  cold_era_seq_ = std::max(cold_era_seq_,
+                           static_cast<std::size_t>(manifest.next_seq));
   for (StorePool& pool : pools_) {
     if (pool.view.has_value() || pool.blocks.has_value()) {
       continue;  // already cold (or zero-copy ingested)
     }
+    fail::point("store.cold.spill");
     const std::vector<std::uint8_t> container =
         trace::encode_binary_v3(pool.batch, cold.binary, cold.block_records);
     // Era numbers come from a store-lifetime counter, never per-call: an
     // earlier compaction's era file may still back a live block pool's
     // mmap, and truncating it would SIGBUS every query on that pool.
-    const std::string path = cold.directory + "/" + cold.file_prefix + "-" +
-                             std::to_string(cold_era_seq_++) + ".iotb3";
+    const std::uint64_t seq = cold_era_seq_;
+    const std::string name =
+        cold.file_prefix + "-" + std::to_string(seq) + ".iotb3";
+    const std::string path = cold.directory + "/" + name;
     if (std::filesystem::exists(path)) {
       throw IoError("unified store: cold era '" + path +
                     "' already exists; refusing to overwrite");
     }
-    {
-      std::ofstream out(path, std::ios::binary | std::ios::trunc);
-      out.write(reinterpret_cast<const char*>(container.data()),
-                static_cast<std::streamsize>(container.size()));
-      if (!out) {
-        throw IoError("unified store: cannot write cold era '" + path + "'");
-      }
-    }
+    // Durable era first (tmp + fsync + atomic rename + dirsync), then the
+    // manifest through the same protocol. The manifest rename is the
+    // commit point: a crash anywhere earlier leaves at worst a torn .tmp
+    // (deleted by recovery) or an uncommitted era file (quarantined, never
+    // served) — the previously committed state is untouched either way.
+    trace::write_binary_file(path, container, "store.cold");
+    ++cold_era_seq_;
+    manifest.entries.push_back({name, container.size(),
+                                crc32(std::span<const std::uint8_t>(
+                                    container.data(), container.size())),
+                                seq});
+    manifest.next_seq = cold_era_seq_;
+    fail::point("store.manifest.update");
+    manifest.store(cold.directory);
     trace::MappedTraceFile file(path);
+    fail::point("store.cold.swap");
     // Swap-in must open what was just written: an encrypted era needs the
     // same key the encoder was handed.
     trace::BlockView view(file.bytes(), cold.binary.encrypt
@@ -368,6 +388,162 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
   return pools_.size();
 }
 
+namespace {
+
+/// The era sequence number from "<prefix>-<n>.iotb3"-style names; nullopt
+/// when the stem has no trailing "-<digits>".
+[[nodiscard]] std::optional<std::uint64_t> parse_era_seq(
+    const std::string& name) {
+  const std::string stem = std::filesystem::path(name).stem().string();
+  const std::size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || dash + 1 == stem.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = dash + 1; i < stem.size(); ++i) {
+    if (stem[i] < '0' || stem[i] > '9') {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(stem[i] - '0');
+  }
+  return v;
+}
+
+/// Recovery candidates are the container files (.iotb/.iotb2/.iotb3);
+/// anything else in the directory (logs, READMEs) is simply ignored.
+[[nodiscard]] bool is_container_name(const std::string& name) {
+  const std::string ext = std::filesystem::path(name).extension().string();
+  return ext.rfind(".iotb", 0) == 0;
+}
+
+}  // namespace
+
+StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
+                                          const AttachOptions& options) {
+  namespace fs = std::filesystem;
+  StoreHealth health;
+  std::error_code ec;
+  fs::directory_iterator dir_it(directory, ec);
+  if (ec) {
+    throw IoError("unified store: cannot read directory '" + directory +
+                  "'");
+  }
+
+  // Pass 1: sweep torn write leftovers and collect container candidates.
+  // A .tmp file is by construction uncommitted (the protocol renames it
+  // away before the manifest commit), so deleting it can never lose data.
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : dir_it) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+      if (!ec) {
+        ++health.torn_tmps_removed;
+      }
+      continue;
+    }
+    if (name == kManifestFileName) {
+      continue;
+    }
+    if (is_container_name(name)) {
+      names.push_back(name);
+    }
+  }
+  // Attach order must not depend on directory iteration order: sort by
+  // era sequence (then name), the order the eras were committed in.
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              const auto sa = parse_era_seq(a);
+              const auto sb = parse_era_seq(b);
+              if (sa.has_value() != sb.has_value()) {
+                return sb.has_value();  // unnumbered names last
+              }
+              if (sa.has_value() && *sa != *sb) {
+                return *sa < *sb;
+              }
+              return a < b;
+            });
+
+  // Whatever happens below, later cold compactions into this directory
+  // must not collide with any file already present — committed or not.
+  for (const std::string& name : names) {
+    if (const auto seq = parse_era_seq(name)) {
+      cold_era_seq_ =
+          std::max(cold_era_seq_, static_cast<std::size_t>(*seq) + 1);
+    }
+  }
+
+  const auto quarantine = [&health](const std::string& file,
+                                    std::string reason) {
+    health.quarantined.push_back({file, std::move(reason)});
+  };
+
+  // Pass 2: the manifest decides what is committed. A corrupt manifest is
+  // itself quarantined and recovery degrades to open-validation of every
+  // container (the pre-manifest behavior) rather than refusing the
+  // directory.
+  std::optional<StoreManifest> manifest;
+  try {
+    manifest = StoreManifest::load(directory);
+  } catch (const Error& e) {
+    quarantine(std::string(kManifestFileName), e.what());
+  }
+
+  if (manifest.has_value()) {
+    cold_era_seq_ = std::max(
+        cold_era_seq_, static_cast<std::size_t>(manifest->next_seq));
+    std::set<std::string> listed;
+    for (const ManifestEntry& e : manifest->entries) {
+      listed.insert(e.name);
+      const std::string path = directory + "/" + e.name;
+      std::error_code sec;
+      const std::uintmax_t size = fs::file_size(path, sec);
+      if (sec) {
+        quarantine(e.name, "listed in manifest but missing on disk");
+        continue;
+      }
+      if (size != e.size) {
+        quarantine(e.name, "size " + std::to_string(size) +
+                               " != manifest's " + std::to_string(e.size));
+        continue;
+      }
+      try {
+        trace::MappedTraceFile file(path);
+        if (crc32(file.bytes()) != e.crc) {
+          quarantine(e.name, "file CRC does not match the manifest");
+          continue;
+        }
+        ingest_view(std::move(file), options.metadata, options.key);
+        ++health.recovered_eras;
+      } catch (const Error& err) {
+        quarantine(e.name, err.what());
+      }
+    }
+    for (const std::string& name : names) {
+      if (listed.find(name) == listed.end()) {
+        quarantine(name,
+                   "not committed in the manifest (crash between era "
+                   "rename and manifest update?)");
+      }
+    }
+  } else {
+    // No trustworthy manifest: serve every container that opens and
+    // validates cleanly, quarantine the rest.
+    for (const std::string& name : names) {
+      try {
+        ingest_view(directory + "/" + name, options.metadata, options.key);
+        ++health.recovered_eras;
+      } catch (const Error& err) {
+        quarantine(name, err.what());
+      }
+    }
+  }
+  return health;
+}
+
 std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
   std::vector<StorePoolInfo> infos;
   infos.reserve(pools_.size());
@@ -385,6 +561,7 @@ std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
       info.projected = pool.blocks->projected();
       info.stored_bytes = pool.blocks->stored_bytes_total();
       info.decoded_stored_bytes = pool.blocks->decoded_stored_bytes();
+      info.damaged_blocks = pool.blocks->failed_blocks();
     } else if (pool.view.has_value()) {
       info.view_backed = true;
       info.records = static_cast<long long>(pool.view->size());
@@ -497,26 +674,36 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
         for (const std::size_t k : touched) {
           const std::size_t seg_begin = acc.segment_begin(k);
           const std::size_t seg_end = acc.segment_end(k);
-          const std::uint8_t* hot = acc.segment_hot_bytes(k);
-          if (hot != nullptr) {
-            trace::scan::accumulate_call_stats_hot(hot, seg_end - seg_begin,
-                                                   rows.data());
-            continue;
-          }
-          const std::uint8_t* raw = acc.segment_record_bytes(k);
-          if (raw != nullptr) {
-            trace::scan::accumulate_call_stats(raw, seg_end - seg_begin,
-                                               rows.data());
-            continue;
-          }
-          for (std::size_t i = seg_begin; i < seg_end; ++i) {
-            const auto& rec = acc.record(i);
-            trace::scan::CallAccum& row = rows[rec.name];
-            ++row.count;
-            row.time += rec.duration;
-            if (rec.is_io_call()) {
-              row.bytes += rec.bytes;
+          // Segment decode is all-or-nothing: a damaged block throws
+          // before a single record accumulates, so skipping it under
+          // skip_damaged drops exactly that segment's records.
+          try {
+            const std::uint8_t* hot = acc.segment_hot_bytes(k);
+            if (hot != nullptr) {
+              trace::scan::accumulate_call_stats_hot(hot, seg_end - seg_begin,
+                                                     rows.data());
+              continue;
             }
+            const std::uint8_t* raw = acc.segment_record_bytes(k);
+            if (raw != nullptr) {
+              trace::scan::accumulate_call_stats(raw, seg_end - seg_begin,
+                                                 rows.data());
+              continue;
+            }
+            for (std::size_t i = seg_begin; i < seg_end; ++i) {
+              const auto& rec = acc.record(i);
+              trace::scan::CallAccum& row = rows[rec.name];
+              ++row.count;
+              row.time += rec.duration;
+              if (rec.is_io_call()) {
+                row.bytes += rec.bytes;
+              }
+            }
+          } catch (const FormatError&) {
+            if (!scan_policy_.skip_damaged) {
+              throw;
+            }
+            note_damage(seg_end - seg_begin);
           }
         }
         for (std::size_t id = 0; id < rows.size(); ++id) {
@@ -563,14 +750,24 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
       acc.segment_prefetch(touched, resolved_query_threads(),
                            /*hot_only=*/false);
       for (std::size_t k = 0; k < segments; ++k) {
+        const std::size_t seg_begin = acc.segment_begin(k);
         const std::size_t seg_end = acc.segment_end(k);
         std::uint32_t args_begin = acc.segment_args_begin(k);
-        for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
-          const auto& rec = acc.record(i);
-          if (rec.rank == rank) {
-            out.push_back(acc.materialize(i, args_begin));
+        // A damaged segment throws on its first record (decode precedes
+        // access), so no partial segment ever lands in `out`.
+        try {
+          for (std::size_t i = seg_begin; i < seg_end; ++i) {
+            const auto& rec = acc.record(i);
+            if (rec.rank == rank) {
+              out.push_back(acc.materialize(i, args_begin));
+            }
+            args_begin += rec.args_count;
           }
-          args_begin += rec.args_count;
+        } catch (const FormatError&) {
+          if (!scan_policy_.skip_damaged) {
+            throw;
+          }
+          note_damage(seg_end - seg_begin);
         }
       }
     });
@@ -623,26 +820,33 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
             for (const std::size_t k : touched) {
               const std::size_t seg_begin = acc.segment_begin(k);
               const std::size_t seg_end = acc.segment_end(k);
-              const std::uint8_t* hot = acc.segment_hot_bytes(k);
-              if (hot != nullptr) {
-                total += trace::scan::sum_transfer_bytes_in_window_hot(
-                    hot, seg_end - seg_begin, idx.sys_write_id,
-                    idx.sys_read_id, begin, end);
-                continue;
-              }
-              const std::uint8_t* raw = acc.segment_record_bytes(k);
-              if (raw != nullptr) {
-                total += trace::scan::sum_transfer_bytes_in_window(
-                    raw, seg_end - seg_begin, idx.sys_write_id,
-                    idx.sys_read_id, begin, end);
-                continue;
-              }
-              for (std::size_t i = seg_begin; i < seg_end; ++i) {
-                const auto& rec = acc.record(i);
-                if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id) &&
-                    rec.local_start >= begin && rec.local_start < end) {
-                  total += rec.bytes;
+              try {
+                const std::uint8_t* hot = acc.segment_hot_bytes(k);
+                if (hot != nullptr) {
+                  total += trace::scan::sum_transfer_bytes_in_window_hot(
+                      hot, seg_end - seg_begin, idx.sys_write_id,
+                      idx.sys_read_id, begin, end);
+                  continue;
                 }
+                const std::uint8_t* raw = acc.segment_record_bytes(k);
+                if (raw != nullptr) {
+                  total += trace::scan::sum_transfer_bytes_in_window(
+                      raw, seg_end - seg_begin, idx.sys_write_id,
+                      idx.sys_read_id, begin, end);
+                  continue;
+                }
+                for (std::size_t i = seg_begin; i < seg_end; ++i) {
+                  const auto& rec = acc.record(i);
+                  if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id) &&
+                      rec.local_start >= begin && rec.local_start < end) {
+                    total += rec.bytes;
+                  }
+                }
+              } catch (const FormatError&) {
+                if (!scan_policy_.skip_damaged) {
+                  throw;
+                }
+                note_damage(seg_end - seg_begin);
               }
             }
           });
@@ -716,16 +920,25 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
                   fold(seg_lo, seg_hi);
                   continue;
                 }
-                const std::uint8_t* raw = acc.segment_record_bytes(k);
-                if (raw != nullptr) {
-                  trace::scan::minmax_stamps(raw, seg_end - seg_begin,
-                                             &seg_lo, &seg_hi);
-                  fold(seg_lo, seg_hi);
-                  continue;
-                }
-                for (std::size_t i = seg_begin; i < seg_end; ++i) {
-                  const SimTime t = acc.record(i).local_start;
-                  fold(t, t);
+                // Damage here is skipped but not counted: the bucket
+                // phase below touches the same segment and counts it,
+                // keeping one skip per query.
+                try {
+                  const std::uint8_t* raw = acc.segment_record_bytes(k);
+                  if (raw != nullptr) {
+                    trace::scan::minmax_stamps(raw, seg_end - seg_begin,
+                                               &seg_lo, &seg_hi);
+                    fold(seg_lo, seg_hi);
+                    continue;
+                  }
+                  for (std::size_t i = seg_begin; i < seg_end; ++i) {
+                    const SimTime t = acc.record(i).local_start;
+                    fold(t, t);
+                  }
+                } catch (const FormatError&) {
+                  if (!scan_policy_.skip_damaged) {
+                    throw;
+                  }
                 }
               }
             });
@@ -786,28 +999,36 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
             for (const std::size_t k : touched) {
               const std::size_t seg_begin = acc.segment_begin(k);
               const std::size_t seg_end = acc.segment_end(k);
-              const std::uint8_t* hot = acc.segment_hot_bytes(k);
-              if (hot != nullptr) {
-                for (std::size_t i = 0; i < seg_end - seg_begin; ++i) {
-                  const trace::HotRecordView rec(
-                      hot + i * trace::hotlayout::kStride);
-                  const trace::StrId name = rec.name();
-                  if (rec.cls() == trace::EventClass::kSyscall &&
-                      ((idx.sys_write_id != 0 && name == idx.sys_write_id) ||
-                       (idx.sys_read_id != 0 && name == idx.sys_read_id))) {
-                    sums[static_cast<std::size_t>((rec.local_start() - lo) /
-                                                  bucket_width)] +=
-                        rec.bytes();
+              try {
+                const std::uint8_t* hot = acc.segment_hot_bytes(k);
+                if (hot != nullptr) {
+                  for (std::size_t i = 0; i < seg_end - seg_begin; ++i) {
+                    const trace::HotRecordView rec(
+                        hot + i * trace::hotlayout::kStride);
+                    const trace::StrId name = rec.name();
+                    if (rec.cls() == trace::EventClass::kSyscall &&
+                        ((idx.sys_write_id != 0 &&
+                          name == idx.sys_write_id) ||
+                         (idx.sys_read_id != 0 && name == idx.sys_read_id))) {
+                      sums[static_cast<std::size_t>((rec.local_start() - lo) /
+                                                    bucket_width)] +=
+                          rec.bytes();
+                    }
+                  }
+                  continue;
+                }
+                for (std::size_t i = seg_begin; i < seg_end; ++i) {
+                  const auto& rec = acc.record(i);
+                  if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
+                    sums[static_cast<std::size_t>((rec.local_start - lo) /
+                                                  bucket_width)] += rec.bytes;
                   }
                 }
-                continue;
-              }
-              for (std::size_t i = seg_begin; i < seg_end; ++i) {
-                const auto& rec = acc.record(i);
-                if (is_transfer(rec, idx.sys_write_id, idx.sys_read_id)) {
-                  sums[static_cast<std::size_t>((rec.local_start - lo) /
-                                                bucket_width)] += rec.bytes;
+              } catch (const FormatError&) {
+                if (!scan_policy_.skip_damaged) {
+                  throw;
                 }
+                note_damage(seg_end - seg_begin);
               }
             }
           });
@@ -889,41 +1110,52 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
         acc.segment_prefetch(touched, prefetch_threads(),
                              /*hot_only=*/false);
         for (const std::size_t k : touched) {
+          const std::size_t seg_begin = acc.segment_begin(k);
           const std::size_t seg_end = acc.segment_end(k);
-          for (std::size_t i = acc.segment_begin(k); i < seg_end; ++i) {
-            const auto& rec = acc.record(i);
-            const std::string_view rec_path =
-                rec.path == 0 ? std::string_view{} : acc.path(i);
-            if (!rec_path.empty() && rec.fd >= 0) {
-              scan.fd_delta[rec.fd] = std::string(rec_path);
-            }
-            if (!rec.is_io_call() || rec.bytes <= 0) {
-              continue;
-            }
-            const bool lib = rec.cls == trace::EventClass::kLibraryCall;
-            std::string path(rec_path);
-            if (path.empty() && rec.fd >= 0) {
-              const auto it = scan.fd_delta.find(rec.fd);
-              if (it == scan.fd_delta.end()) {
-                scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+          // First-record decode failure precedes any fd-delta or tally
+          // write, so a skipped segment leaves the serial fold's carried
+          // state exactly as if the segment were index-skipped.
+          try {
+            for (std::size_t i = seg_begin; i < seg_end; ++i) {
+              const auto& rec = acc.record(i);
+              const std::string_view rec_path =
+                  rec.path == 0 ? std::string_view{} : acc.path(i);
+              if (!rec_path.empty() && rec.fd >= 0) {
+                scan.fd_delta[rec.fd] = std::string(rec_path);
+              }
+              if (!rec.is_io_call() || rec.bytes <= 0) {
                 continue;
               }
-              path = it->second;
+              const bool lib = rec.cls == trace::EventClass::kLibraryCall;
+              std::string path(rec_path);
+              if (path.empty() && rec.fd >= 0) {
+                const auto it = scan.fd_delta.find(rec.fd);
+                if (it == scan.fd_delta.end()) {
+                  scan.unresolved.push_back({rec.fd, lib, rec.bytes});
+                  continue;
+                }
+                path = it->second;
+              }
+              if (path.empty()) {
+                path = "(unknown)";
+              }
+              Tally& tally = scan.by_path[path];
+              ++tally.ops;
+              // Library wrappers and the syscalls beneath them report the
+              // same transfer; take whichever view saw more (captures
+              // lib-only traces like //TRACE's without double counting
+              // ltrace's dual view).
+              if (lib) {
+                tally.lib_bytes += rec.bytes;
+              } else {
+                tally.lower_bytes += rec.bytes;
+              }
+          }
+          } catch (const FormatError&) {
+            if (!scan_policy_.skip_damaged) {
+              throw;
             }
-            if (path.empty()) {
-              path = "(unknown)";
-            }
-            Tally& tally = scan.by_path[path];
-            ++tally.ops;
-            // Library wrappers and the syscalls beneath them report the
-            // same transfer; take whichever view saw more (captures
-            // lib-only traces like //TRACE's without double counting
-            // ltrace's dual view).
-            if (lib) {
-              tally.lib_bytes += rec.bytes;
-            } else {
-              tally.lower_bytes += rec.bytes;
-            }
+            note_damage(seg_end - seg_begin);
           }
         }
       });

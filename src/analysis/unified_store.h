@@ -50,8 +50,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -368,11 +370,59 @@ struct StorePoolInfo {
   bool projected = false;
   std::size_t stored_bytes = 0;
   std::size_t decoded_stored_bytes = 0;
+  /// Blocks whose decode has failed sticky so far (block-backed pools;
+  /// grows as queries touch damaged blocks — see ScanPolicy::skip_damaged).
+  std::size_t damaged_blocks = 0;
   /// Pool-index time span (valid iff `any`): min/max corrected stamp.
   bool any = false;
   SimTime min_time = 0;
   SimTime max_time = 0;
   bool operator==(const StorePoolInfo&) const = default;
+};
+
+/// One container attach_dir could not serve, and why. `file` is the name
+/// within the directory (no path components).
+struct QuarantinedFile {
+  std::string file;
+  std::string reason;
+  bool operator==(const QuarantinedFile&) const = default;
+};
+
+/// What attach_dir found and did: the recovery report. The store serves
+/// exactly `recovered_eras` containers; everything in `quarantined` stays
+/// on disk, reported but unserved (nothing but `.tmp` files is deleted).
+struct StoreHealth {
+  std::size_t recovered_eras = 0;
+  std::size_t torn_tmps_removed = 0;
+  std::vector<QuarantinedFile> quarantined;
+  [[nodiscard]] bool healthy() const noexcept { return quarantined.empty(); }
+};
+
+/// Knobs for attach_dir.
+struct AttachOptions {
+  /// Key for encrypted containers in the directory.
+  std::optional<CipherKey> key;
+  /// Source metadata applied to every attached container ("framework",
+  /// "application").
+  std::map<std::string, std::string> metadata;
+};
+
+/// How queries react to damaged data (sticky per-block decode failures).
+struct ScanPolicy {
+  /// Default off: the first touched bad block fails the query (FormatError)
+  /// exactly as before. Opt in to skip damaged segments instead: the query
+  /// completes over everything healthy and the store accumulates
+  /// skipped_blocks / skipped_records (damage_counters(), pool_infos()).
+  bool skip_damaged = false;
+};
+
+/// Cumulative damage skipped by queries since the last reset (only grows
+/// under ScanPolicy::skip_damaged). A segment is counted once per query
+/// that skips it, so an uncorrupted twin store always reports {0, 0}.
+struct DamageCounters {
+  std::uint64_t skipped_blocks = 0;
+  std::uint64_t skipped_records = 0;
+  bool operator==(const DamageCounters&) const = default;
 };
 
 class UnifiedTraceStore {
@@ -420,6 +470,23 @@ class UnifiedTraceStore {
   /// Same, for an IOTB3 block view.
   std::size_t ingest_view(trace::MappedTraceFile file, trace::BlockView view,
                           const std::map<std::string, std::string>& metadata = {});
+
+  /// Attach a crash-safe store directory (one the cold tier spills into),
+  /// recovering from whatever a crash left behind: orphaned `<name>.tmp`
+  /// files are deleted, the directory's MANIFEST.iotm (when present)
+  /// decides which containers are committed, and every committed container
+  /// that still matches its recorded size + CRC and opens cleanly is
+  /// ingested zero-copy. Containers that fail any validation — and
+  /// committed-looking files the manifest does not list (a crash between
+  /// the era rename and the manifest rename) — are *quarantined*: reported
+  /// in the returned StoreHealth, left on disk, not served, and never
+  /// aborting the attach. Without a manifest (or with a corrupt one, which
+  /// is itself quarantined) every container that opens cleanly is served.
+  /// Also advances the cold-era counter past everything seen, so later
+  /// cold compactions into the directory cannot collide. Throws IoError
+  /// only when the directory itself cannot be read.
+  StoreHealth attach_dir(const std::string& directory,
+                         const AttachOptions& options = {});
 
   /// Merge runs of adjacent small *owned* pools into era-sized batches of
   /// at most ~era_bytes each (approximate in-memory footprint). Source
@@ -497,6 +564,23 @@ class UnifiedTraceStore {
   /// way; the off position exists so bench_zero_copy can measure the win.
   void set_use_indexes(bool use) noexcept { use_indexes_ = use; }
   [[nodiscard]] bool use_indexes() const noexcept { return use_indexes_; }
+
+  /// Damage tolerance for queries (ScanPolicy::skip_damaged); default is
+  /// fail-fast.
+  void set_scan_policy(ScanPolicy policy) noexcept { scan_policy_ = policy; }
+  [[nodiscard]] ScanPolicy scan_policy() const noexcept {
+    return scan_policy_;
+  }
+
+  /// Damage skipped by queries so far (grows only under skip_damaged).
+  [[nodiscard]] DamageCounters damage_counters() const noexcept {
+    return {damage_->blocks.load(std::memory_order_relaxed),
+            damage_->records.load(std::memory_order_relaxed)};
+  }
+  void reset_damage_counters() noexcept {
+    damage_->blocks.store(0, std::memory_order_relaxed);
+    damage_->records.store(0, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const std::vector<StoreSourceInfo>& sources() const noexcept {
     return sources_;
@@ -621,12 +705,29 @@ class UnifiedTraceStore {
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
       const;
 
+  /// Damage skipped by queries under ScanPolicy::skip_damaged. Atomics
+  /// because parallel query chunks bump them concurrently; boxed so the
+  /// store itself stays movable (callers return stores by value).
+  struct DamageTally {
+    std::atomic<std::uint64_t> blocks{0};
+    std::atomic<std::uint64_t> records{0};
+  };
+
+  /// Record a skipped segment (const: queries are const, the tally is
+  /// deliberately mutable state like the lazy block caches).
+  void note_damage(std::uint64_t records) const noexcept {
+    damage_->blocks.fetch_add(1, std::memory_order_relaxed);
+    damage_->records.fetch_add(records, std::memory_order_relaxed);
+  }
+
   std::vector<StoreSourceInfo> sources_;
   /// Storage pools in source order (each covering >= 1 source).
   std::vector<StorePool> pools_;
   std::vector<trace::DependencyEdge> dependencies_;
   long long total_events_ = 0;
   std::size_t query_threads_ = 0;  // 0 = auto
+  ScanPolicy scan_policy_{};
+  std::unique_ptr<DamageTally> damage_ = std::make_unique<DamageTally>();
   /// Next cold-era file number; never reset, so successive cold
   /// compactions cannot collide with era files earlier calls spilled (and
   /// still serve block-backed pools from).

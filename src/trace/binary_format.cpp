@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <string_view>
 
 #include "trace/block_view.h"
@@ -9,6 +10,16 @@
 #include "util/compress.h"
 #include "util/crc32.h"
 #include "util/error.h"
+#include "util/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IOTAXO_HAVE_POSIX_WRITE 1
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
 
 namespace iotaxo::trace {
 
@@ -660,6 +671,127 @@ bool looks_binary(std::span<const std::uint8_t> data) noexcept {
   return data.size() >= 6 && (std::memcmp(data.data(), kMagicV1, 6) == 0 ||
                               std::memcmp(data.data(), kMagicV2, 6) == 0 ||
                               std::memcmp(data.data(), kMagicV3, 6) == 0);
+}
+
+// ------------------------------------------------------- durable file write
+
+#if IOTAXO_HAVE_POSIX_WRITE
+namespace {
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError("cannot write '" + path + "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw IoError("cannot fsync '" + path + "'");
+  }
+}
+
+}  // namespace
+#endif
+
+void write_binary_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       std::string_view point_prefix) {
+  const std::string prefix(point_prefix);
+  const std::string tmp = path + ".tmp";
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+#if IOTAXO_HAVE_POSIX_WRITE
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot create '" + tmp + "'");
+  }
+  try {
+    fail::point(prefix + ".write");
+    // A torn:N spec at the write point models a crash mid-write: the tmp
+    // file keeps its first N bytes and the "process" dies — recovery must
+    // delete it, never promote it.
+    std::size_t len = bytes.size();
+    bool torn = false;
+    if (const auto limit = fail::torn_limit(prefix + ".write")) {
+      len = std::min<std::size_t>(len, *limit);
+      torn = true;
+    }
+    write_all(fd, bytes.data(), len, tmp);
+    if (torn) {
+      throw fail::CrashError("torn write of '" + tmp + "'");
+    }
+    fail::point(prefix + ".fsync");
+    fsync_or_throw(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  fail::point(prefix + ".rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  fail::point(prefix + ".dirsync");
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) {
+    throw IoError("cannot open directory '" + dir + "' to fsync it");
+  }
+  try {
+    fsync_or_throw(dfd, dir);
+  } catch (...) {
+    ::close(dfd);
+    throw;
+  }
+  ::close(dfd);
+#else
+  // No POSIX fd durability on this platform: keep the tmp + atomic-rename
+  // shape (and the failpoints) so behavior stays testable, with flush as
+  // the best available stand-in for fsync.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError("cannot create '" + tmp + "'");
+  }
+  try {
+    fail::point(prefix + ".write");
+    std::size_t len = bytes.size();
+    bool torn = false;
+    if (const auto limit = fail::torn_limit(prefix + ".write")) {
+      len = std::min<std::size_t>(len, *limit);
+      torn = true;
+    }
+    if (len > 0 && std::fwrite(bytes.data(), 1, len, f) != len) {
+      throw IoError("cannot write '" + tmp + "'");
+    }
+    if (torn) {
+      throw fail::CrashError("torn write of '" + tmp + "'");
+    }
+    fail::point(prefix + ".fsync");
+    if (std::fflush(f) != 0) {
+      throw IoError("cannot flush '" + tmp + "'");
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  fail::point(prefix + ".rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  fail::point(prefix + ".dirsync");
+#endif
 }
 
 }  // namespace iotaxo::trace

@@ -116,11 +116,42 @@
 // encode_binary writes v1 (kept for compatibility), encode_binary_v2 the
 // batch container, encode_binary_v3 the block container; decode_binary and
 // decode_binary_batch accept all three.
+//
+// Durability / recovery protocol
+// ------------------------------
+// Containers that must survive a crash (cold-tier eras, the store
+// manifest, `--binary-out` files) go through write_binary_file:
+//
+//   1. the full container is written to `<name>.tmp`
+//   2. the tmp file is fsync'd and closed
+//   3. `<name>.tmp` is atomically renamed onto `<name>`
+//   4. the parent directory is fsync'd so the rename itself is durable
+//
+// A crash at any step leaves either the old state or the new file —
+// never a half-written `<name>` (a torn write can only strand a `.tmp`,
+// which recovery deletes). Each step carries a fail::point
+// ("<prefix>.write/.fsync/.rename/.dirsync") so the crash-matrix tests
+// can kill the protocol at every stage.
+//
+// Store directories additionally carry a `MANIFEST.iotm`
+// (analysis::StoreManifest, written with the same protocol): magic
+// "IOTM1\n", the next unused era sequence number, and one entry per
+// committed container (file name, byte size, CRC-32 of the full file
+// bytes, era seq), sealed by a trailing CRC-32 of everything before it.
+// The manifest rename is the commit point for a cold-compaction era:
+// recovery (UnifiedTraceStore::attach_dir, `iotaxo fsck`) deletes
+// orphaned `.tmp` files, serves exactly the manifest's entries that
+// still match their recorded size + CRC and open cleanly, and
+// quarantines (reports without serving) everything else — a container
+// present on disk but absent from the manifest is an uncommitted
+// leftover from a crash between the era rename and the manifest rename.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/event_batch.h"
@@ -234,6 +265,17 @@ struct BinaryOptions {
 [[nodiscard]] EventBatch decode_binary_batch(
     std::span<const std::uint8_t> data,
     const std::optional<CipherKey>& key = std::nullopt);
+
+/// Durably write `bytes` to `path` via the tmp + fsync + atomic-rename +
+/// directory-fsync protocol documented above. `point_prefix` names the
+/// fail::point sites ("<prefix>.write", ".fsync", ".rename", ".dirsync")
+/// so distinct write phases (era spill vs manifest) get distinct
+/// failpoints. Throws IoError on any failure; a torn `<path>.tmp` may be
+/// left behind for recovery to delete, but `path` itself is never
+/// half-written.
+void write_binary_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       std::string_view point_prefix = "binary.file");
 
 /// Inspect a container's flags without decoding the payload.
 struct BinaryHeader {

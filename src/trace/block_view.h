@@ -147,6 +147,23 @@ class BlockView {
     return blocks_.size();
   }
 
+  /// Blocks whose decode has failed sticky so far (either group) — shared
+  /// across copies, grows as touches hit damaged blocks. The store's
+  /// pool_infos() surfaces this as damaged_blocks.
+  [[nodiscard]] std::size_t failed_blocks() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < lazy_->full.size(); ++b) {
+      const bool failed =
+          lazy_->full[b].state.load(std::memory_order_acquire) == kFailed ||
+          (!lazy_->hot.empty() &&
+           lazy_->hot[b].state.load(std::memory_order_acquire) == kFailed);
+      if (failed) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
   // --- string / argument tables (uncompressed head, validated at open) ---
 
   [[nodiscard]] std::size_t string_count() const noexcept {

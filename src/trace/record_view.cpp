@@ -11,6 +11,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define IOTAXO_HAVE_MMAP 1
+#include <cerrno>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -273,13 +274,23 @@ MappedTraceFile::MappedTraceFile(const std::string& path) : path_(path) {
       map_len_ = len;
     } else {
       // mmap can fail on special or network files; fall back to reading.
+      // Short reads are normal here (pipes, NFS, signal-adjacent reads):
+      // keep asking for the remainder, and retry outright on EINTR — only
+      // a real error or EOF-before-len is fatal.
       owned_.resize(len);
       std::size_t got = 0;
       while (got < len) {
         const ssize_t n = ::read(fd, owned_.data() + got, len - got);
-        if (n <= 0) {
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
           ::close(fd);
           throw IoError("cannot read trace file: " + path);
+        }
+        if (n == 0) {
+          ::close(fd);
+          throw IoError("trace file truncated while reading: " + path);
         }
         got += static_cast<std::size_t>(n);
       }

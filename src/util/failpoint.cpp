@@ -1,0 +1,181 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace iotaxo::fail {
+
+namespace {
+
+enum class Action { kError, kTorn, kCrash };
+
+struct Spec {
+  Action action = Action::kError;
+  std::uint64_t torn_bytes = 0;
+};
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, Spec, std::less<>> specs;
+  bool tracing = false;
+  std::vector<std::string> traced;  // first-hit order
+};
+
+/// Function-local so env-driven configuration from a static initializer in
+/// any TU cannot race an unconstructed registry.
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void publish_active(const Registry& r) {
+  detail::active.store(!r.specs.empty() || r.tracing,
+                       std::memory_order_relaxed);
+}
+
+[[nodiscard]] Spec parse_spec(std::string_view name, std::string_view spec) {
+  if (spec == "error") {
+    return {Action::kError, 0};
+  }
+  if (spec == "crash") {
+    return {Action::kCrash, 0};
+  }
+  if (spec.substr(0, 5) == "torn:") {
+    const std::string_view digits = spec.substr(5);
+    if (digits.empty()) {
+      throw ConfigError("failpoint '" + std::string(name) +
+                        "': torn spec needs a byte count (torn:N)");
+    }
+    std::uint64_t n = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        throw ConfigError("failpoint '" + std::string(name) +
+                          "': bad torn byte count '" + std::string(digits) +
+                          "'");
+      }
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return {Action::kTorn, n};
+  }
+  throw ConfigError("failpoint '" + std::string(name) + "': unknown spec '" +
+                    std::string(spec) + "' (error|torn:N|crash)");
+}
+
+/// Parse IOTAXO_FAILPOINTS exactly once, before main() — the fast path
+/// never has to check the environment.
+const bool env_configured = [] {
+  const char* spec = std::getenv("IOTAXO_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') {
+    configure_from_spec(spec);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> active{false};
+
+void point_slow(std::string_view name) {
+  Registry& r = registry();
+  Action action;
+  {
+    const std::lock_guard<std::mutex> lock(r.m);
+    if (r.tracing) {
+      bool seen = false;
+      for (const std::string& t : r.traced) {
+        if (t == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        r.traced.emplace_back(name);
+      }
+    }
+    const auto it = r.specs.find(name);
+    if (it == r.specs.end() || it->second.action == Action::kTorn) {
+      return;  // torn specs act at the write site, via torn_limit()
+    }
+    action = it->second.action;
+  }
+  if (action == Action::kCrash) {
+    throw CrashError("failpoint '" + std::string(name) + "'");
+  }
+  throw IoError("failpoint '" + std::string(name) + "'");
+}
+
+std::optional<std::uint64_t> torn_limit_slow(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  const auto it = r.specs.find(name);
+  if (it == r.specs.end() || it->second.action != Action::kTorn) {
+    return std::nullopt;
+  }
+  return it->second.torn_bytes;
+}
+
+}  // namespace detail
+
+void configure(std::string_view name, std::string_view spec) {
+  if (name.empty()) {
+    throw ConfigError("failpoint: empty name");
+  }
+  const Spec parsed = parse_spec(name, spec);
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  r.specs.insert_or_assign(std::string(name), parsed);
+  publish_active(r);
+}
+
+void configure_from_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = spec.size();
+    }
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw ConfigError("failpoint spec '" + std::string(entry) +
+                        "': expected name=error|torn:N|crash");
+    }
+    configure(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+}
+
+void clear() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  r.specs.clear();
+  r.tracing = false;
+  r.traced.clear();
+  publish_active(r);
+}
+
+void set_tracing(bool on) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  r.tracing = on;
+  if (on) {
+    r.traced.clear();
+  }
+  publish_active(r);
+}
+
+std::vector<std::string> traced_points() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.m);
+  return r.traced;
+}
+
+}  // namespace iotaxo::fail

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the durable-write paths.
+//
+// A *failpoint* is a named site in production code where a test (or the
+// IOTAXO_FAILPOINTS environment variable) can inject a failure:
+//
+//   fail::point("store.manifest.rename");   // in the write path
+//
+// Unconfigured, the call compiles down to one relaxed atomic load and a
+// predictable not-taken branch — the registry is consulted only when at
+// least one failpoint is armed or tracing is on, so always-on capture
+// daemons pay nothing for carrying the instrumentation.
+//
+// Three actions, selected per point:
+//   error    throw IoError("failpoint '<name>'") — models a transient or
+//            permanent syscall failure the caller must surface cleanly.
+//   torn:N   at a *write* failpoint (sites that also consult
+//            fail::torn_limit), emit only the first N payload bytes and
+//            then raise CrashError — models a crash mid-write that left a
+//            torn file behind.
+//   crash    throw CrashError — models the process dying at exactly this
+//            point. CrashError deliberately does NOT derive from
+//            iotaxo::Error, so recovery-oblivious `catch (const Error&)`
+//            handlers cannot swallow a simulated death; the crash-matrix
+//            tests catch it at their simulated process boundary.
+//
+// Configuration:
+//   fail::configure("name", "torn:8");              programmatic
+//   fail::configure_from_spec("a=error,b=crash");   same, comma-separated
+//   IOTAXO_FAILPOINTS="a=error,b=torn:8,c=crash"    read once at program
+//                                                   start (static init)
+//
+// Tracing (fail::set_tracing) records every failpoint name evaluated, in
+// first-hit order, without acting on any of them: the crash-matrix test
+// runs the real write path once under tracing to *discover* every
+// registered point, then crashes at each in turn — so adding a new
+// failpoint to the protocol automatically widens the matrix.
+//
+// All entry points are thread-safe; the armed/tracing fast-path flag is a
+// single atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotaxo::fail {
+
+/// Simulated process death at a failpoint (`crash` and `torn:N` actions).
+/// Not an iotaxo::Error on purpose: it must unwind past every recovery
+/// handler to the simulated crash boundary (the test that armed it).
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& what)
+      : std::runtime_error("simulated crash: " + what) {}
+};
+
+namespace detail {
+extern std::atomic<bool> active;
+void point_slow(std::string_view name);
+[[nodiscard]] std::optional<std::uint64_t> torn_limit_slow(
+    std::string_view name);
+}  // namespace detail
+
+/// True when any failpoint is configured or tracing is on — the fast-path
+/// guard every site reads first.
+[[nodiscard]] inline bool active() noexcept {
+  return detail::active.load(std::memory_order_relaxed);
+}
+
+/// Evaluate failpoint `name`: record it when tracing, throw IoError for an
+/// `error` spec, CrashError for a `crash` spec. A `torn:N` spec does not
+/// act here — the write site consults torn_limit() for it.
+inline void point(std::string_view name) {
+  if (active()) {
+    detail::point_slow(name);
+  }
+}
+
+/// For write sites: the number of payload bytes to emit before simulating
+/// a crash, when `name` carries a `torn:N` spec; nullopt otherwise. The
+/// site writes min(N, size) bytes and throws CrashError itself.
+[[nodiscard]] inline std::optional<std::uint64_t> torn_limit(
+    std::string_view name) {
+  if (!active()) {
+    return std::nullopt;
+  }
+  return detail::torn_limit_slow(name);
+}
+
+/// Arm one failpoint: spec is "error", "crash" or "torn:N" (N >= 0 decimal
+/// bytes). Throws ConfigError on a malformed spec.
+void configure(std::string_view name, std::string_view spec);
+
+/// Arm a comma-separated list of "name=spec" entries (the IOTAXO_FAILPOINTS
+/// syntax). Empty entries are ignored.
+void configure_from_spec(std::string_view spec);
+
+/// Disarm every failpoint and turn tracing off.
+void clear();
+
+/// Record (without acting on) every failpoint evaluated from now on.
+void set_tracing(bool on);
+
+/// Names evaluated since tracing was last enabled, in first-hit order.
+[[nodiscard]] std::vector<std::string> traced_points();
+
+}  // namespace iotaxo::fail

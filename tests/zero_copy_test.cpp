@@ -1176,6 +1176,19 @@ TEST(StoreZeroCopy, BlockBackedSourceMatchesOwnedIngest) {
   EXPECT_THROW((void)blocked.source_batch(0), ConfigError);
 }
 
+/// Fresh scratch directory for cold-tier spills. Cold compaction now
+/// commits each era through the directory's MANIFEST.iotm, which makes
+/// directory state sticky across compactions — tests sharing /tmp would
+/// inherit each other's era numbering, so every test gets its own dir.
+std::string make_scratch_dir(const char* tag) {
+  const std::string dir =
+      strprintf("/tmp/iotaxo_scratch_%s_%d", tag,
+                ::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
 TEST(StoreZeroCopy, ColdCompactSpillsErasAndPreservesResults) {
   UnifiedTraceStore store;
   for (int era = 0; era < 6; ++era) {
@@ -1192,10 +1205,10 @@ TEST(StoreZeroCopy, ColdCompactSpillsErasAndPreservesResults) {
   const auto before = all_queries(store);
   const auto timeline_before = store.rank_timeline(2);
 
+  const std::string dir = make_scratch_dir("cold_spill");
   UnifiedTraceStore::ColdTierOptions cold;
-  cold.directory = "/tmp";
-  cold.file_prefix = strprintf("iotaxo_cold_test_%d", ::testing::UnitTest::
-                                   GetInstance()->random_seed());
+  cold.directory = dir;
+  cold.file_prefix = "era";
   cold.binary.compress = true;
   cold.binary.checksum = true;
   cold.block_records = 16;
@@ -1220,10 +1233,7 @@ TEST(StoreZeroCopy, ColdCompactSpillsErasAndPreservesResults) {
   EXPECT_EQ(dfg::DfgBuilder(store).build({}),
             dfg::DfgBuilder(owned).build({}));
 
-  for (int n = 0; n < 8; ++n) {
-    std::remove(strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n)
-                    .c_str());
-  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(StoreZeroCopy, RepeatedColdCompactNeverRewritesLiveEras) {
@@ -1238,15 +1248,16 @@ TEST(StoreZeroCopy, RepeatedColdCompactNeverRewritesLiveEras) {
   ingest_both(0);
   ingest_both(1);
 
+  const std::string dir = make_scratch_dir("cold_seq");
   UnifiedTraceStore::ColdTierOptions cold;
-  cold.directory = "/tmp";
-  cold.file_prefix = strprintf("iotaxo_cold_seq_test_%d", ::testing::
-                                   UnitTest::GetInstance()->random_seed());
+  cold.directory = dir;
+  cold.file_prefix = "era";
   cold.binary.compress = true;
   cold.binary.checksum = true;
   cold.block_records = 16;
   const auto era_path = [&](int n) {
-    return strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n);
+    return strprintf("%s/%s-%d.iotb3", dir.c_str(), cold.file_prefix.c_str(),
+                     n);
   };
   ASSERT_EQ(store.compact(static_cast<std::size_t>(-1), cold), 1u);
   ASSERT_TRUE(std::filesystem::exists(era_path(0)));
@@ -1279,9 +1290,7 @@ TEST(StoreZeroCopy, RepeatedColdCompactNeverRewritesLiveEras) {
   ingest_both(4);
   EXPECT_THROW(store.compact(static_cast<std::size_t>(-1), cold), IoError);
 
-  for (int n = 0; n < 4; ++n) {
-    std::remove(era_path(n).c_str());
-  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(StoreZeroCopy, EncryptedProjectedIngestViewMatchesOwned) {
@@ -1347,10 +1356,10 @@ TEST(StoreZeroCopy, ColdCompactEncryptedProjectedErasPreserveResults) {
   }
   const auto before = all_queries(store);
 
+  const std::string dir = make_scratch_dir("cold_enc");
   UnifiedTraceStore::ColdTierOptions cold;
-  cold.directory = "/tmp";
-  cold.file_prefix = strprintf("iotaxo_cold_enc_test_%d", ::testing::UnitTest::
-                                   GetInstance()->random_seed());
+  cold.directory = dir;
+  cold.file_prefix = "era";
   cold.binary.compress = true;
   cold.binary.checksum = true;
   cold.binary.encrypt = true;
@@ -1371,15 +1380,12 @@ TEST(StoreZeroCopy, ColdCompactEncryptedProjectedErasPreserveResults) {
 
   // The spilled era cannot be opened without the key.
   const std::string era0 =
-      strprintf("/tmp/%s-0.iotb3", cold.file_prefix.c_str());
+      strprintf("%s/%s-0.iotb3", dir.c_str(), cold.file_prefix.c_str());
   UnifiedTraceStore keyless;
   EXPECT_THROW(keyless.ingest_view(era0, {{"framework", "test"}}),
                FormatError);
 
-  for (int n = 0; n < 4; ++n) {
-    std::remove(strprintf("/tmp/%s-%d.iotb3", cold.file_prefix.c_str(), n)
-                    .c_str());
-  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(StoreZeroCopy, ParallelColdScanIsDeterministicAcrossThreadCounts) {

@@ -13,6 +13,11 @@
 #                                               # benches, and fail if any
 #                                               # BENCH_*.json gate field
 #                                               # regresses below its floor
+#   ./tools/check_build.sh --faults [build-dir] # ASan build + the fault/
+#                                               # recovery suites, then
+#                                               # assert failpoints are inert
+#                                               # without IOTAXO_FAILPOINTS
+#                                               # and armable through it
 #
 # Bench gating convention: a bench that wants a regression gate emits a pair
 # of JSON keys, "<metric>" and "<metric>_floor". The floors live in the JSON
@@ -35,6 +40,9 @@ elif [[ "${1:-}" == "--ubsan" ]]; then
   shift
 elif [[ "${1:-}" == "--bench" ]]; then
   MODE=bench
+  shift
+elif [[ "${1:-}" == "--faults" ]]; then
+  MODE=faults
   shift
 fi
 
@@ -101,6 +109,41 @@ case "${MODE}" in
     # loads in the scan kernels, CRC table folds, block/footer offset
     # arithmetic in the IOTB3 view).
     ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+    ;;
+  faults)
+    BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIOTAXO_ASAN=ON
+    cmake --build "${BUILD_DIR}" -j
+    # The fault/recovery suites under ASan: the crash matrix (simulated
+    # death at every failpoint, recovery via attach_dir), torn-tmp cleanup,
+    # corrupt-pool quarantine, skip_damaged accounting — plus the
+    # hostile-input zero-copy suite, since both walk damaged containers.
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -R 'recovery_test|zero_copy_test'
+    # Failpoints must be inert when IOTAXO_FAILPOINTS is unset (the
+    # fast-path flag stays down; this is the zero-cost contract always-on
+    # capture daemons rely on)...
+    env -u IOTAXO_FAILPOINTS "${BUILD_DIR}/recovery_test" \
+      --gtest_filter='Failpoint.InactiveByDefaultAndAfterClear'
+    # ...and armable from the environment alone: an armed write failpoint
+    # must fail the CLI's durable container write cleanly, leaving no
+    # half-written target behind.
+    FAULT_TMP="$(mktemp -d)"
+    trap 'rm -rf "${FAULT_TMP}"' EXIT
+    if IOTAXO_FAILPOINTS="binary.file.write=error" \
+        "${BUILD_DIR}/iotaxo_cli" trace --framework lanl --workload mpiio \
+        --ranks 2 --binary-out "${FAULT_TMP}/x.iotb3" > /dev/null 2>&1; then
+      echo "FAULTS FAIL: env-armed failpoint did not fail the durable write"
+      exit 1
+    fi
+    if [[ -e "${FAULT_TMP}/x.iotb3" ]]; then
+      echo "FAULTS FAIL: failed durable write left a target file behind"
+      exit 1
+    fi
+    env -u IOTAXO_FAILPOINTS "${BUILD_DIR}/iotaxo_cli" trace \
+      --framework lanl --workload mpiio --ranks 2 \
+      --binary-out "${FAULT_TMP}/x.iotb3" > /dev/null
+    "${BUILD_DIR}/iotaxo_cli" fsck "${FAULT_TMP}/x.iotb3"
     ;;
   bench)
     BUILD_DIR="${1:-${REPO_ROOT}/build}"

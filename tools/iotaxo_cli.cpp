@@ -13,6 +13,7 @@
 //   iotaxo dfg      FILE.iotb [--rank N] [--dot OUT] [--json OUT]
 //                   [--phases] [--blocks] [--compare OTHER.iotb]
 //                   [--threads N] [--key PASSPHRASE]
+//   iotaxo fsck     DIR|FILE.iotb [--key PASSPHRASE] [--repair]
 //
 // Bundles are the on-disk trace format (one text trace per rank plus TSV
 // sidecars) produced by `trace --out` and consumed by replay/analyze/
@@ -31,7 +32,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +45,7 @@
 #include "analysis/dfg/dfg_export.h"
 #include "analysis/dfg/phase_segmenter.h"
 #include "analysis/report.h"
+#include "analysis/store_manifest.h"
 #include "analysis/unified_store.h"
 #include "anon/anonymizer.h"
 #include "frameworks/lanl_trace.h"
@@ -55,6 +59,7 @@
 #include "trace/binary_format.h"
 #include "trace/event_batch.h"
 #include "trace/record_view.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -87,7 +92,8 @@ struct Args {
 [[nodiscard]] bool is_flag_option(const char* name) {
   return std::strcmp(name, "phases") == 0 ||
          std::strcmp(name, "blocks") == 0 ||
-         std::strcmp(name, "project") == 0;
+         std::strcmp(name, "project") == 0 ||
+         std::strcmp(name, "repair") == 0;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -129,7 +135,8 @@ int usage() {
       "  iotaxo stat      FILE.iotb [--blocks] [--key PASSPHRASE]\n"
       "  iotaxo dfg       FILE.iotb [--rank N] [--dot OUT] [--json OUT]\n"
       "                   [--phases] [--blocks] [--compare OTHER.iotb]\n"
-      "                   [--threads N] [--key PASSPHRASE]\n",
+      "                   [--threads N] [--key PASSPHRASE]\n"
+      "  iotaxo fsck      DIR|FILE.iotb [--key PASSPHRASE] [--repair]\n",
       stderr);
   return 2;
 }
@@ -240,15 +247,9 @@ int cmd_trace(const Args& args) {
     } else {
       bytes = trace::encode_binary_v2(batch, trace::BinaryOptions{});
     }
-    std::FILE* f = std::fopen(binary_out.c_str(), "wb");
-    if (f == nullptr ||
-        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-      if (f != nullptr) {
-        std::fclose(f);
-      }
-      throw IoError("cannot write binary trace: " + binary_out);
-    }
-    std::fclose(f);
+    // Durable write (tmp + fsync + rename): a crash mid-write never
+    // leaves a half-container at the target path.
+    trace::write_binary_file(binary_out, bytes);
     std::printf("binary trace     : %s (%s, %s)\n", binary_out.c_str(),
                 format_bytes(static_cast<Bytes>(bytes.size())).c_str(),
                 v3 ? "IOTB3 block-structured, lazy zero-decode view"
@@ -749,16 +750,261 @@ int cmd_anonymize(const Args& args) {
   return 0;
 }
 
+/// Era sequence number from a container name ("era-7.iotb3" -> 7), used to
+/// keep fsck's report and repaired manifest in on-disk commit order.
+[[nodiscard]] std::optional<std::uint64_t> parse_era_seq(
+    const std::string& name) {
+  const std::string stem = std::filesystem::path(name).stem().string();
+  const std::size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || dash + 1 == stem.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = dash + 1; i < stem.size(); ++i) {
+    if (stem[i] < '0' || stem[i] > '9') {
+      return std::nullopt;
+    }
+    seq = seq * 10 + static_cast<std::uint64_t>(stem[i] - '0');
+  }
+  return seq;
+}
+
+/// Deep-validate one container: envelope, footer, and every block's CRC
+/// (decoding each block exactly once — for projected v3 both column
+/// groups). Returns the list of problems; empty means healthy.
+[[nodiscard]] std::vector<std::string> validate_container(
+    const trace::MappedTraceFile& file, const std::optional<CipherKey>& key) {
+  std::vector<std::string> problems;
+  trace::BinaryHeader header;
+  try {
+    header = trace::peek_binary_header(file.bytes());
+  } catch (const Error& err) {
+    problems.emplace_back(err.what());
+    return problems;
+  }
+  if (header.version == 3) {
+    std::optional<trace::BlockView> view;
+    try {
+      view.emplace(file.bytes(), key);
+    } catch (const Error& err) {
+      // Envelope, head, footer, or key check — nothing block-level is
+      // reachable past this.
+      problems.emplace_back(err.what());
+      return problems;
+    }
+    for (std::size_t b = 0; b < view->block_count(); ++b) {
+      try {
+        (void)view->block_bytes(b);
+      } catch (const Error& err) {
+        problems.push_back(strprintf("block %zu: %s", b, err.what()));
+      }
+    }
+    return problems;
+  }
+  if (header.version == 2 && !header.compressed && !header.encrypted) {
+    try {
+      const trace::BatchView view(file.bytes());
+      (void)view.record_bytes();  // forces the deferred whole-body CRC
+    } catch (const Error& err) {
+      problems.emplace_back(err.what());
+    }
+    return problems;
+  }
+  // v1 and transformed v2 have no zero-copy validator; a full decode
+  // exercises every checksum and length field they carry.
+  try {
+    (void)trace::decode_binary_batch(file.bytes(), key);
+  } catch (const Error& err) {
+    problems.emplace_back(err.what());
+  }
+  return problems;
+}
+
+// `fsck` is the offline half of the store's crash-recovery story: where
+// UnifiedTraceStore::attach_dir quarantines just enough to serve queries,
+// fsck decodes *every block of every container* against its CRC and checks
+// each committed file against the manifest's size/checksum/seq record.
+// Plain runs are read-only and exit non-zero when anything is damaged;
+// `--repair` removes orphaned .tmp files and rewrites MANIFEST.iotm to
+// commit exactly the containers that validated (adopting healthy files a
+// crash left uncommitted, dropping damaged ones into quarantine).
+int cmd_fsck(const Args& args) {
+  namespace fs = std::filesystem;
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const std::string& target = args.positional.front();
+  const std::optional<CipherKey> key = key_from_args(args);
+  const bool repair = !args.get("repair").empty();
+
+  if (!fs::is_directory(target)) {
+    const trace::MappedTraceFile file(target);
+    const std::vector<std::string> problems = validate_container(file, key);
+    if (problems.empty()) {
+      std::printf("%s: ok (%s, every block CRC verified)\n", target.c_str(),
+                  format_bytes(static_cast<Bytes>(file.size())).c_str());
+      return 0;
+    }
+    for (const std::string& p : problems) {
+      std::printf("%s: DAMAGED: %s\n", target.c_str(), p.c_str());
+    }
+    return 1;
+  }
+
+  // Directory sweep, mirroring attach_dir's recovery walk.
+  std::vector<std::string> tmps;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(target, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      tmps.push_back(name);
+    } else if (name != analysis::kManifestFileName &&
+               entry.path().extension().string().rfind(".iotb", 0) == 0) {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    throw IoError("cannot read directory '" + target + "': " + ec.message());
+  }
+  std::sort(tmps.begin(), tmps.end());
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              const auto sa = parse_era_seq(a);
+              const auto sb = parse_era_seq(b);
+              if (sa.has_value() != sb.has_value()) {
+                return sa.has_value();  // unnumbered files sort last
+              }
+              if (sa.has_value() && *sa != *sb) {
+                return *sa < *sb;
+              }
+              return a < b;
+            });
+
+  std::optional<analysis::StoreManifest> manifest;
+  std::vector<analysis::QuarantinedFile> quarantined;
+  try {
+    manifest = analysis::StoreManifest::load(target);
+  } catch (const Error& err) {
+    quarantined.push_back({std::string(analysis::kManifestFileName),
+                           std::string(err.what())});
+  }
+
+  // Deep-validate everything present, recording what a repaired manifest
+  // should commit. Committed entries are additionally checked against the
+  // manifest's recorded size and whole-file CRC.
+  std::size_t healthy = 0;
+  std::vector<analysis::ManifestEntry> committable;
+  std::uint64_t next_seq = manifest.has_value() ? manifest->next_seq : 0;
+  for (const std::string& name : names) {
+    const std::string path = target + "/" + name;
+    const analysis::ManifestEntry* listed =
+        manifest.has_value() ? manifest->find(name) : nullptr;
+    std::vector<std::string> problems;
+    std::uint32_t file_crc = 0;
+    std::uint64_t file_size = 0;
+    try {
+      const trace::MappedTraceFile file(path);
+      file_size = file.size();
+      file_crc = crc32(file.bytes());
+      if (listed != nullptr && listed->size != file_size) {
+        problems.push_back(strprintf(
+            "size %llu does not match the manifest's %llu",
+            static_cast<unsigned long long>(file_size),
+            static_cast<unsigned long long>(listed->size)));
+      } else if (listed != nullptr && listed->crc != file_crc) {
+        problems.emplace_back("file CRC does not match the manifest");
+      }
+      const std::vector<std::string> deep = validate_container(file, key);
+      problems.insert(problems.end(), deep.begin(), deep.end());
+    } catch (const Error& err) {
+      problems.emplace_back(err.what());
+    }
+    if (!problems.empty()) {
+      std::string reason;
+      for (const std::string& p : problems) {
+        reason += (reason.empty() ? "" : "; ") + p;
+      }
+      quarantined.push_back({name, reason});
+      continue;
+    }
+    ++healthy;
+    const std::uint64_t seq =
+        listed != nullptr ? listed->seq
+                          : parse_era_seq(name).value_or(next_seq);
+    committable.push_back({name, file_size, file_crc, seq});
+    next_seq = std::max(next_seq, seq + 1);
+    if (listed == nullptr && manifest.has_value() && !repair) {
+      std::printf("note             : %s validates but is not committed in "
+                  "the manifest (crash before the manifest update?); "
+                  "--repair adopts it\n",
+                  name.c_str());
+    }
+  }
+  if (manifest.has_value()) {
+    for (const analysis::ManifestEntry& e : manifest->entries) {
+      if (!fs::exists(target + "/" + e.name)) {
+        quarantined.push_back(
+            {e.name, "listed in manifest but missing on disk"});
+      }
+    }
+  }
+
+  std::printf("directory        : %s\n", target.c_str());
+  std::printf("manifest         : %s\n",
+              manifest.has_value()
+                  ? strprintf("%zu committed entr%s, next era seq %llu",
+                              manifest->entries.size(),
+                              manifest->entries.size() == 1 ? "y" : "ies",
+                              static_cast<unsigned long long>(
+                                  manifest->next_seq)).c_str()
+                  : (quarantined.empty() || quarantined.front().file !=
+                                                analysis::kManifestFileName
+                         ? "absent"
+                         : "CORRUPT"));
+  std::printf("healthy          : %zu container(s), every block CRC "
+              "verified\n",
+              healthy);
+  for (const std::string& tmp : tmps) {
+    std::printf("torn tmp         : %s%s\n", tmp.c_str(),
+                repair ? " (removed)" : "");
+  }
+  for (const analysis::QuarantinedFile& q : quarantined) {
+    std::printf("quarantined      : %s — %s\n", q.file.c_str(),
+                q.reason.c_str());
+  }
+
+  if (repair) {
+    for (const std::string& tmp : tmps) {
+      fs::remove(target + "/" + tmp);
+    }
+    analysis::StoreManifest repaired;
+    repaired.next_seq = next_seq;
+    repaired.entries = std::move(committable);
+    repaired.store(target);
+    std::printf("repaired         : manifest rewritten with %zu entr%s "
+                "(next era seq %llu)\n",
+                repaired.entries.size(),
+                repaired.entries.size() == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(repaired.next_seq));
+  }
+  return quarantined.empty() && tmps.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    // Only the container commands (`stat`, `dfg`) take a positional
-    // argument — exactly one; any other stray token means the user
-    // dropped an --option (e.g. `dfg a.iotb b.iotb` instead of
+    // Only the container commands (`stat`, `dfg`, `fsck`) take a
+    // positional argument — exactly one; any other stray token means the
+    // user dropped an --option (e.g. `dfg a.iotb b.iotb` instead of
     // `--compare`) and must not be silently ignored.
-    const bool takes_file = args.command == "stat" || args.command == "dfg";
+    const bool takes_file = args.command == "stat" ||
+                            args.command == "dfg" || args.command == "fsck";
     if (args.positional.size() > (takes_file ? 1u : 0u)) {
       throw ConfigError(
           strprintf("expected %s, got '%s'",
@@ -785,6 +1031,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "dfg") {
       return cmd_dfg(args);
+    }
+    if (args.command == "fsck") {
+      return cmd_fsck(args);
     }
     return usage();
   } catch (const Error& err) {
