@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "trace/binary_format.h"
 #include "trace/event_batch.h"
 #include "trace/sink.h"
@@ -161,6 +162,20 @@ int main() {
   const bool identical =
       check_per_event == check_batched && dur_per_event == dur_batched;
 
+  // --- armed replay for the embedded metrics object -----------------------
+  // This bench exercises only plain sinks and the v1/v2 codecs, none of
+  // which carry self-metrics instrumentation — the armed replay documents
+  // that: an empty object means the pipeline stages here stay metric-free.
+  const obs::MetricsSnapshot metrics_before = bench::metrics_baseline();
+  {
+    SummarySink sink;
+    for (const EventBatch& batch : batches) {
+      sink.on_batch(batch);
+    }
+    sink.flush();
+  }
+  const std::string metrics_json = bench::metrics_delta_json(metrics_before);
+
   const std::string json = strprintf(
       "{\n"
       "  \"bench\": \"batch_pipeline\",\n"
@@ -185,7 +200,8 @@ int main() {
       "    \"v2_encode_mev_s\": %.2f,\n"
       "    \"v1_decode_mev_s\": %.2f,\n"
       "    \"v2_decode_batch_mev_s\": %.2f\n"
-      "  }\n"
+      "  },\n"
+      "  \"metrics\": %s\n"
       "}\n",
       kEvents, kFlushUnit, mevents_per_s(summary_per_event),
       mevents_per_s(summary_batched), summary_speedup,
@@ -194,7 +210,8 @@ int main() {
       v1_blob.size(), v2_blob.size(),
       static_cast<double>(v2_blob.size()) / static_cast<double>(v1_blob.size()),
       mevents_per_s(v1_encode), mevents_per_s(v2_encode),
-      mevents_per_s(v1_decode), mevents_per_s(v2_decode_batch));
+      mevents_per_s(v1_decode), mevents_per_s(v2_decode_batch),
+      metrics_json.c_str());
 
   std::printf("=== bench_batch_pipeline ===\n");
   std::printf("SummarySink  per-event %.2f Mev/s | batched %.2f Mev/s | %.2fx\n",

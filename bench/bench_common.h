@@ -3,6 +3,7 @@
 // of paper-vs-measured rows.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "pfs/pfs.h"
 #include "sim/cluster.h"
 #include "taxonomy/overhead.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/mpi_io_test.h"
@@ -62,6 +64,54 @@ inline void print_sweep(const std::vector<taxonomy::OverheadPoint>& points) {
                    strprintf("%lld", p.events)});
   }
   std::fputs(table.render().c_str(), stdout);
+}
+
+/// Arm the self-metrics layer (util/metrics.h) and return the baseline
+/// snapshot for metrics_delta_json(). Benches call this *after* their
+/// timed floor loops — the gated measurements stay on the disarmed path;
+/// only the armed replay pass that follows feeds the "metrics" object
+/// embedded in the BENCH_*.json artifact.
+[[nodiscard]] inline obs::MetricsSnapshot metrics_baseline() {
+  obs::set_enabled(true);
+  return obs::snapshot();
+}
+
+/// Flatten the nonzero part of (now - baseline) into a JSON object body
+/// for embedding as `"metrics": {...}` next to a bench's floors: counters
+/// emit their delta, gauges their high-water mark, histograms ".count"
+/// and ".sum". Dotted metric names never match the `[A-Za-z0-9_]+` floor
+/// keys tools/check_build.sh gates on, so the object cannot perturb
+/// gating. An empty object means the bench's armed replay touched no
+/// instrumented layer.
+[[nodiscard]] inline std::string metrics_delta_json(
+    const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot d = obs::delta(before, obs::snapshot());
+  std::string out = "{";
+  bool first = true;
+  const auto emit = [&](const std::string& key, std::uint64_t v) {
+    if (v == 0) {
+      return;
+    }
+    out += strprintf("%s\n    \"%s\": %llu", first ? "" : ",", key.c_str(),
+                     static_cast<unsigned long long>(v));
+    first = false;
+  };
+  for (const auto& [name, m] : d.values) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        emit(name, m.value);
+        break;
+      case obs::MetricKind::kGauge:
+        emit(name + ".high_water", m.high_water);
+        break;
+      case obs::MetricKind::kHistogram:
+        emit(name + ".count", m.count);
+        emit(name + ".sum", m.sum);
+        break;
+    }
+  }
+  out += first ? "}" : "\n  }";
+  return out;
 }
 
 }  // namespace iotaxo::bench

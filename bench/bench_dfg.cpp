@@ -27,6 +27,7 @@
 
 #include "analysis/dfg/dfg.h"
 #include "analysis/unified_store.h"
+#include "bench_common.h"
 #include "trace/binary_format.h"
 #include "trace/event_batch.h"
 #include "util/strings.h"
@@ -190,6 +191,14 @@ int main() {
                     view_identical && compact_identical &&
                     offload_speedup >= kOffloadFloor;
 
+  // --- armed replay for the embedded metrics object ------------------------
+  // The gated builds above ran disarmed; one armed pass over the store's
+  // aggregate queries feeds the artifact's "metrics" object.
+  const obs::MetricsSnapshot metrics_before = bench::metrics_baseline();
+  (void)store.call_stats();
+  (void)store.hottest_files(10);
+  const std::string metrics_json = bench::metrics_delta_json(metrics_before);
+
   const std::string json = strprintf(
       "{\n"
       "  \"bench\": \"dfg\",\n"
@@ -205,14 +214,15 @@ int main() {
       "  \"parallel_build_wall_ms\": %.2f,\n"
       "  \"parallel_identical\": %s,\n"
       "  \"view_identical\": %s,\n"
-      "  \"compaction_identical\": %s\n"
+      "  \"compaction_identical\": %s,\n"
+      "  \"metrics\": %s\n"
       "}\n",
       kEvents, kStoreSources, serial_dfg.ranks.size(), store_records,
       offload_speedup, kOffloadFloor, serial.cpu * 1e3, parallel.cpu * 1e3,
       serial.wall * 1e3, parallel.wall * 1e3,
       (parallel_identical && two_thread_identical) ? "true" : "false",
       view_identical ? "true" : "false",
-      compact_identical ? "true" : "false");
+      compact_identical ? "true" : "false", metrics_json.c_str());
 
   std::printf("=== bench_dfg ===\n");
   std::printf("mined     %zu rank graphs from %zu sources (%zu events)\n",

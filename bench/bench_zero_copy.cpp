@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/unified_store.h"
+#include "bench_common.h"
 #include "trace/binary_format.h"
 #include "trace/event_batch.h"
 #include "trace/record_view.h"
@@ -262,6 +263,14 @@ int main() {
                     view_speedup >= kViewScanFloor &&
                     indexed_speedup >= kIndexedQueryFloor;
 
+  // --- armed replay for the embedded metrics object ------------------------
+  // All gated timings above ran disarmed; one armed pass over the windowed
+  // mix plus the aggregate queries feeds the artifact's "metrics" object.
+  const obs::MetricsSnapshot metrics_before = bench::metrics_baseline();
+  (void)windowed_queries();
+  (void)all_queries();
+  const std::string metrics_json = bench::metrics_delta_json(metrics_before);
+
   const std::string json = strprintf(
       "{\n"
       "  \"bench\": \"zero_copy\",\n"
@@ -277,7 +286,8 @@ int main() {
       "  \"pools_before\": %zu,\n"
       "  \"pools_after\": %zu,\n"
       "  \"compaction_identical\": %s,\n"
-      "  \"parallel_identical\": %s\n"
+      "  \"parallel_identical\": %s,\n"
+      "  \"metrics\": %s\n"
       "}\n",
       kEvents, kStoreSources, view_speedup, kViewScanFloor, view_speedup_crc,
       scans_identical ? "true" : "false", indexed_speedup, kIndexedQueryFloor,
@@ -285,7 +295,7 @@ int main() {
       (compact_serial_identical && compact_parallel_identical && compacted)
           ? "true"
           : "false",
-      parallel_identical ? "true" : "false");
+      parallel_identical ? "true" : "false", metrics_json.c_str());
 
   std::printf("=== bench_zero_copy ===\n");
   std::printf("view      open+scan %.2fx decode-then-scan (floor %.1fx; "

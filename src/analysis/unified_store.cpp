@@ -10,11 +10,45 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace iotaxo::analysis {
 
 namespace {
+
+/// Handles bound once; every record call is one relaxed load when metrics
+/// are disarmed (util/metrics.h). Segment/pool counts are added once per
+/// pool per query, never per record, so the armed cost stays off the
+/// scan loops.
+struct StoreMetrics {
+  obs::Counter& queries = obs::counter("store.query.count");
+  obs::Counter& pools_skipped = obs::counter("store.query.pools_skipped");
+  obs::Counter& segments_scanned = obs::counter("store.query.segments_scanned");
+  obs::Counter& segments_skipped = obs::counter("store.query.segments_skipped");
+  obs::Counter& damage_blocks = obs::counter("store.query.damage_skipped_blocks");
+  obs::Counter& damage_records = obs::counter("store.query.damage_skipped_records");
+  obs::Histogram& call_stats_ns = obs::histogram("store.query.call_stats_ns");
+  obs::Histogram& rank_timeline_ns = obs::histogram("store.query.rank_timeline_ns");
+  obs::Histogram& bytes_in_window_ns = obs::histogram("store.query.bytes_in_window_ns");
+  obs::Histogram& io_rate_series_ns = obs::histogram("store.query.io_rate_series_ns");
+  obs::Histogram& hottest_files_ns = obs::histogram("store.query.hottest_files_ns");
+  obs::Counter& compact_calls = obs::counter("store.compact.calls");
+  obs::Counter& eras_spilled = obs::counter("store.compact.eras_spilled");
+  obs::Counter& compact_bytes = obs::counter("store.compact.bytes_written");
+  obs::Counter& manifest_commits = obs::counter("store.compact.manifest_commits");
+  obs::Histogram& spill_ns = obs::histogram("store.compact.spill_ns");
+  obs::Histogram& attach_ns = obs::histogram("store.attach.duration_ns");
+  obs::Counter& attach_recovered = obs::counter("store.attach.recovered_eras");
+  obs::Counter& attach_quarantined = obs::counter("store.attach.quarantined");
+  obs::Counter& attach_torn_tmps = obs::counter("store.attach.torn_tmps_removed");
+};
+
+StoreMetrics& metrics() {
+  static StoreMetrics m;
+  return m;
+}
 
 // Queries dispatch each pool onto the public accessor seam declared in
 // unified_store.h (BatchAccess over an owned EventBatch, ViewAccess over a
@@ -289,6 +323,7 @@ std::size_t UnifiedTraceStore::ingest_view(
 }
 
 std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
+  metrics().compact_calls.add(1);
   std::vector<StorePool> merged;
   merged.reserve(pools_.size());
   std::size_t i = 0;
@@ -340,6 +375,9 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
       continue;  // already cold (or zero-copy ingested)
     }
     fail::point("store.cold.spill");
+    // Covers the whole spill: encode, durable write, manifest commit and
+    // the swap onto the mapped container.
+    const obs::ScopedTimer spill_timer(metrics().spill_ns);
     const std::vector<std::uint8_t> container =
         trace::encode_binary_v3(pool.batch, cold.binary, cold.block_records);
     // Era numbers come from a store-lifetime counter, never per-call: an
@@ -367,6 +405,9 @@ std::size_t UnifiedTraceStore::compact(std::size_t era_bytes,
     manifest.next_seq = cold_era_seq_;
     fail::point("store.manifest.update");
     manifest.store(cold.directory);
+    metrics().eras_spilled.add(1);
+    metrics().compact_bytes.add(container.size());
+    metrics().manifest_commits.add(1);
     trace::MappedTraceFile file(path);
     fail::point("store.cold.swap");
     // Swap-in must open what was just written: an encrypted era needs the
@@ -421,6 +462,7 @@ namespace {
 StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
                                           const AttachOptions& options) {
   namespace fs = std::filesystem;
+  const obs::ScopedTimer attach_timer(metrics().attach_ns);
   StoreHealth health;
   std::error_code ec;
   fs::directory_iterator dir_it(directory, ec);
@@ -442,6 +484,8 @@ StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
       fs::remove(entry.path(), ec);
       if (!ec) {
         ++health.torn_tmps_removed;
+        IOTAXO_LOG(LogLevel::kInfo)
+            << "attach_dir: removed torn write leftover '" << name << "'";
       }
       continue;
     }
@@ -478,6 +522,8 @@ StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
 
   const auto quarantine = [&health](const std::string& file,
                                     std::string reason) {
+    IOTAXO_LOG(LogLevel::kWarn)
+        << "attach_dir: quarantined '" << file << "': " << reason;
     health.quarantined.push_back({file, std::move(reason)});
   };
 
@@ -541,6 +587,14 @@ StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
       }
     }
   }
+  metrics().attach_recovered.add(health.recovered_eras);
+  metrics().attach_quarantined.add(health.quarantined.size());
+  metrics().attach_torn_tmps.add(health.torn_tmps_removed);
+  IOTAXO_LOG(LogLevel::kInfo)
+      << "attach_dir: '" << directory << "' recovered "
+      << health.recovered_eras << " era(s), quarantined "
+      << health.quarantined.size() << ", removed "
+      << health.torn_tmps_removed << " torn tmp(s)";
   return health;
 }
 
@@ -641,7 +695,16 @@ void UnifiedTraceStore::for_each_pool_chunk(
       chunks);
 }
 
+void UnifiedTraceStore::note_damage(std::uint64_t records) const noexcept {
+  damage_->blocks.fetch_add(1, std::memory_order_relaxed);
+  damage_->records.fetch_add(records, std::memory_order_relaxed);
+  metrics().damage_blocks.add(1);
+  metrics().damage_records.add(records);
+}
+
 std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
+  metrics().queries.add(1);
+  const obs::ScopedTimer query_timer(metrics().call_stats_ns);
   // Per-worker partials, merged in chunk (== pool == source) order: sums
   // commute, so the result matches the serial single-map scan exactly.
   const std::size_t chunks = query_chunks();
@@ -652,6 +715,7 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
     for (std::size_t s = begin; s < end; ++s) {
       const StorePool& pool = pools_[s];
       if (use_indexes_ && !pool.index.any) {
+        metrics().pools_skipped.add(1);
         continue;
       }
       with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
@@ -670,6 +734,7 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
             touched.push_back(k);
           }
         }
+        metrics().segments_scanned.add(touched.size());
         acc.segment_prefetch(touched, prefetch_threads(), /*hot_only=*/true);
         for (const std::size_t k : touched) {
           const std::size_t seg_begin = acc.segment_begin(k);
@@ -734,6 +799,8 @@ std::map<std::string, CallStats> UnifiedTraceStore::call_stats() const {
 
 std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
     int rank) const {
+  metrics().queries.add(1);
+  const obs::ScopedTimer query_timer(metrics().rank_timeline_ns);
   std::vector<trace::TraceEvent> out;
   for (const StorePool& pool : pools_) {
     with_access(pool.batch, pool.view, pool.blocks, [&](const auto& acc) {
@@ -747,6 +814,7 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
           touched.push_back(k);
         }
       }
+      metrics().segments_scanned.add(touched.size());
       acc.segment_prefetch(touched, resolved_query_threads(),
                            /*hot_only=*/false);
       for (std::size_t k = 0; k < segments; ++k) {
@@ -780,6 +848,8 @@ std::vector<trace::TraceEvent> UnifiedTraceStore::rank_timeline(
 }
 
 Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
+  metrics().queries.add(1);
+  const obs::ScopedTimer query_timer(metrics().bytes_in_window_ns);
   std::vector<Bytes> partials(query_chunks(), 0);
   for_each_pool_chunk(
       [&](std::size_t c, std::size_t chunk_begin, std::size_t chunk_end) {
@@ -789,11 +859,13 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
           if (use_indexes_ &&
               (!pool.index.any || pool.index.max_time < begin ||
                pool.index.min_time >= end)) {
+            metrics().pools_skipped.add(1);
             continue;  // no record can fall inside the window
           }
           const PoolIndex& idx = pool.index;
           if (use_indexes_ && !idx.has_name(idx.sys_write_id) &&
               !idx.has_name(idx.sys_read_id)) {
+            metrics().pools_skipped.add(1);
             continue;  // neither transfer call appears as a record name
           }
           with_access(pool.batch, pool.view, pool.blocks,
@@ -804,17 +876,21 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
             // projected pools decode a fraction of their stored bytes.
             std::vector<std::size_t> touched;
             touched.reserve(segments);
+            std::size_t index_skipped = 0;
             for (std::size_t k = 0; k < segments; ++k) {
               if (use_indexes_ &&
                   (!acc.segment_overlaps(k, begin, end) ||
                    (!acc.segment_has_name(k, idx.sys_write_id) &&
                     !acc.segment_has_name(k, idx.sys_read_id)))) {
+                ++index_skipped;
                 continue;  // skipped blocks stay compressed on disk
               }
               if (acc.segment_begin(k) != acc.segment_end(k)) {
                 touched.push_back(k);
               }
             }
+            metrics().segments_scanned.add(touched.size());
+            metrics().segments_skipped.add(index_skipped);
             acc.segment_prefetch(touched, prefetch_threads(),
                                  /*hot_only=*/true);
             for (const std::size_t k : touched) {
@@ -862,6 +938,8 @@ Bytes UnifiedTraceStore::bytes_in_window(SimTime begin, SimTime end) const {
 
 std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
     SimTime bucket_width) const {
+  metrics().queries.add(1);
+  const obs::ScopedTimer query_timer(metrics().io_rate_series_ns);
   std::vector<std::pair<SimTime, Bytes>> series;
   if (total_events_ == 0 || bucket_width <= 0) {
     return series;
@@ -969,11 +1047,13 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
         for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
           const StorePool& pool = pools_[s];
           if (use_indexes_ && !pool.index.any) {
+            metrics().pools_skipped.add(1);
             continue;
           }
           const PoolIndex& idx = pool.index;
           if (use_indexes_ && !idx.has_name(idx.sys_write_id) &&
               !idx.has_name(idx.sys_read_id)) {
+            metrics().pools_skipped.add(1);
             continue;
           }
           with_access(pool.batch, pool.view, pool.blocks,
@@ -981,16 +1061,20 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
             const std::size_t segments = acc.segment_count();
             std::vector<std::size_t> touched;
             touched.reserve(segments);
+            std::size_t index_skipped = 0;
             for (std::size_t k = 0; k < segments; ++k) {
               if (use_indexes_ &&
                   !acc.segment_has_name(k, idx.sys_write_id) &&
                   !acc.segment_has_name(k, idx.sys_read_id)) {
+                ++index_skipped;
                 continue;
               }
               if (acc.segment_begin(k) != acc.segment_end(k)) {
                 touched.push_back(k);
               }
             }
+            metrics().segments_scanned.add(touched.size());
+            metrics().segments_skipped.add(index_skipped);
             // The bucket scatter needs cls/name/start/bytes — all hot
             // columns — so projected pools run a HotRecordView loop over
             // the 33-byte stride instead of stitching full records.
@@ -1051,6 +1135,8 @@ std::vector<std::pair<SimTime, Bytes>> UnifiedTraceStore::io_rate_series(
 
 std::vector<FileHeat> UnifiedTraceStore::hottest_files(
     std::size_t limit) const {
+  metrics().queries.add(1);
+  const obs::ScopedTimer query_timer(metrics().hottest_files_ns);
   struct Tally {
     long long ops = 0;
     Bytes lib_bytes = 0;
@@ -1086,6 +1172,7 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
       // contributes no tallies, no fd deltas and no unresolved transfers.
       if (use_indexes_ && !pool.index.has_fd_path &&
           !pool.index.has_io_bytes) {
+        metrics().pools_skipped.add(1);
         continue;
       }
       PoolScan& scan = scans[s];
@@ -1093,18 +1180,22 @@ std::vector<FileHeat> UnifiedTraceStore::hottest_files(
         const std::size_t segments = acc.segment_count();
         std::vector<std::size_t> touched;
         touched.reserve(segments);
+        std::size_t index_skipped = 0;
         for (std::size_t k = 0; k < segments; ++k) {
           // The pool-level skip, per block: such a segment writes no fd
           // delta and contributes no transfers, so skipping it leaves the
           // serial fold's state untouched.
           if (use_indexes_ && !acc.segment_has_fd_path(k) &&
               !acc.segment_has_io_bytes(k)) {
+            ++index_skipped;
             continue;
           }
           if (acc.segment_begin(k) != acc.segment_end(k)) {
             touched.push_back(k);
           }
         }
+        metrics().segments_scanned.add(touched.size());
+        metrics().segments_skipped.add(index_skipped);
         // Paths and fds live in the cold column group, so this scan needs
         // full records — prefetch decodes (and stitches) them in parallel.
         acc.segment_prefetch(touched, prefetch_threads(),

@@ -714,11 +714,10 @@ class UnifiedTraceStore {
   };
 
   /// Record a skipped segment (const: queries are const, the tally is
-  /// deliberately mutable state like the lazy block caches).
-  void note_damage(std::uint64_t records) const noexcept {
-    damage_->blocks.fetch_add(1, std::memory_order_relaxed);
-    damage_->records.fetch_add(records, std::memory_order_relaxed);
-  }
+  /// deliberately mutable state like the lazy block caches). Also feeds
+  /// the store.query.damage_skipped_* metrics; defined out of line so the
+  /// header does not pull in util/metrics.h.
+  void note_damage(std::uint64_t records) const noexcept;
 
   std::vector<StoreSourceInfo> sources_;
   /// Storage pools in source order (each covering >= 1 source).

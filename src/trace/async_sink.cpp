@@ -3,8 +3,30 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace iotaxo::trace {
+
+namespace {
+
+/// Handles bound once; every record call is one relaxed load when metrics
+/// are disarmed (util/metrics.h).
+struct SinkMetrics {
+  obs::Counter& stalls = obs::counter("sink.async.backpressure_stalls");
+  obs::Histogram& stall_ns = obs::histogram("sink.async.backpressure_wait_ns");
+  obs::Counter& batches = obs::counter("sink.async.batches_delivered");
+  obs::Counter& events = obs::counter("sink.async.events_delivered");
+  obs::Counter& errors = obs::counter("sink.async.delivery_errors");
+  obs::Counter& dropped = obs::counter("sink.async.errors_dropped");
+  obs::Gauge& depth = obs::gauge("sink.async.queue_depth");
+};
+
+SinkMetrics& metrics() {
+  static SinkMetrics m;
+  return m;
+}
+
+}  // namespace
 
 AsyncBatchSink::AsyncBatchSink(SinkPtr downstream, AsyncOptions options)
     : downstream_(std::move(downstream)),
@@ -26,6 +48,9 @@ AsyncBatchSink::~AsyncBatchSink() {
     flush();
   } catch (...) {
     // Destruction is not allowed to throw; flush() callers get the error.
+    // The drop is not invisible though: it was counted as a delivery
+    // error at capture time, and lands here as an explicit dropped count.
+    metrics().dropped.add(1);
   }
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -60,12 +85,19 @@ void AsyncBatchSink::enqueue(EventBatch&& batch) {
   bool was_empty = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [this] {
-      return in_flight_ < options_.queue_capacity;
-    });
+    if (in_flight_ >= options_.queue_capacity) {
+      // Backpressure: the producer stalls until a worker frees a slot.
+      // Count the stall and how long the capture thread was held up.
+      metrics().stalls.add(1);
+      const obs::ScopedTimer stall_timer(metrics().stall_ns);
+      space_cv_.wait(lock, [this] {
+        return in_flight_ < options_.queue_capacity;
+      });
+    }
     was_empty = queue_.empty();
     queue_.push_back(std::move(batch));
     ++in_flight_;
+    metrics().depth.set(in_flight_);
   }
   // Only the empty -> non-empty transition needs a wakeup: busy workers
   // re-check the queue after every chunk, so skipping the notify (a futex
@@ -101,6 +133,7 @@ void AsyncBatchSink::drain_loop() {
       queue_cv_.notify_one();
     }
     for (EventBatch& batch : chunk) {
+      const std::size_t batch_events = batch.size();
       try {
         if (options_.concurrent_downstream) {
           downstream_->on_batch(batch);
@@ -108,7 +141,13 @@ void AsyncBatchSink::drain_loop() {
           const std::lock_guard<std::mutex> lock(delivery_mu_);
           downstream_->on_batch(batch);
         }
+        metrics().batches.add(1);
+        metrics().events.add(batch_events);
       } catch (...) {
+        // Recorded at capture time, not just at flush(): even if the only
+        // flush happens in the destructor (which must swallow), the error
+        // still shows up in the metrics surface.
+        metrics().errors.add(1);
         const std::lock_guard<std::mutex> lock(mu_);
         if (!first_error_) {
           first_error_ = std::current_exception();
@@ -120,6 +159,7 @@ void AsyncBatchSink::drain_loop() {
       const std::lock_guard<std::mutex> lock(mu_);
       in_flight_ -= chunk.size();
       drained = in_flight_ == 0;
+      metrics().depth.set(in_flight_);
     }
     space_cv_.notify_all();
     if (drained) {

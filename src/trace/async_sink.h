@@ -51,8 +51,11 @@ struct AsyncOptions {
 class AsyncBatchSink : public EventSink {
  public:
   explicit AsyncBatchSink(SinkPtr downstream, AsyncOptions options = {});
-  /// Drains outstanding batches (best effort; delivery errors are dropped
-  /// here — call flush() first if you need them).
+  /// Drains outstanding batches. A destructor cannot rethrow, so call
+  /// flush() first if you need the error — but a drain failure is never
+  /// invisible: it was counted in `sink.async.delivery_errors` when the
+  /// worker caught it, and the destructor's swallow additionally bumps
+  /// `sink.async.errors_dropped`.
   ~AsyncBatchSink() override;
 
   void on_event(const TraceEvent& ev) override;
@@ -63,7 +66,8 @@ class AsyncBatchSink : public EventSink {
   void on_batch_owned(EventBatch&& batch) override;
 
   /// Drain barrier: blocks until every queued batch has been delivered,
-  /// rethrows the first delivery error, then flushes the wrapped sink.
+  /// rethrows the first delivery error (also recorded in
+  /// `sink.async.delivery_errors`), then flushes the wrapped sink.
   void flush() override;
 
   /// Batches queued or in delivery right now (0 after flush()).

@@ -11,6 +11,7 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define IOTAXO_HAVE_POSIX_WRITE 1
@@ -702,6 +703,24 @@ void fsync_or_throw(int fd, const std::string& path) {
 }  // namespace
 #endif
 
+namespace {
+
+/// Handles bound once; every record call is one relaxed load when metrics
+/// are disarmed (util/metrics.h).
+struct DurableMetrics {
+  obs::Counter& files = obs::counter("durable.write.files");
+  obs::Counter& bytes = obs::counter("durable.write.bytes");
+  obs::Histogram& fsync_ns = obs::histogram("durable.write.fsync_ns");
+  obs::Histogram& rename_ns = obs::histogram("durable.write.rename_ns");
+};
+
+DurableMetrics& durable_metrics() {
+  static DurableMetrics m;
+  return m;
+}
+
+}  // namespace
+
 void write_binary_file(const std::string& path,
                        std::span<const std::uint8_t> bytes,
                        std::string_view point_prefix) {
@@ -731,15 +750,21 @@ void write_binary_file(const std::string& path,
       throw fail::CrashError("torn write of '" + tmp + "'");
     }
     fail::point(prefix + ".fsync");
-    fsync_or_throw(fd, tmp);
+    {
+      const obs::ScopedTimer fsync_timer(durable_metrics().fsync_ns);
+      fsync_or_throw(fd, tmp);
+    }
   } catch (...) {
     ::close(fd);
     throw;
   }
   ::close(fd);
   fail::point(prefix + ".rename");
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  {
+    const obs::ScopedTimer rename_timer(durable_metrics().rename_ns);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+    }
   }
   fail::point(prefix + ".dirsync");
   const int dfd = ::open(dir.c_str(), O_RDONLY);
@@ -776,8 +801,11 @@ void write_binary_file(const std::string& path,
       throw fail::CrashError("torn write of '" + tmp + "'");
     }
     fail::point(prefix + ".fsync");
-    if (std::fflush(f) != 0) {
-      throw IoError("cannot flush '" + tmp + "'");
+    {
+      const obs::ScopedTimer fsync_timer(durable_metrics().fsync_ns);
+      if (std::fflush(f) != 0) {
+        throw IoError("cannot flush '" + tmp + "'");
+      }
     }
   } catch (...) {
     std::fclose(f);
@@ -785,13 +813,21 @@ void write_binary_file(const std::string& path,
   }
   std::fclose(f);
   fail::point(prefix + ".rename");
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  {
+    const obs::ScopedTimer rename_timer(durable_metrics().rename_ns);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+    }
   }
   fail::point(prefix + ".dirsync");
 #endif
+  // Counted only once the file is fully durable (rename + dirsync done):
+  // the counters answer "how many era/manifest files landed", not "how
+  // many attempts started".
+  durable_metrics().files.add(1);
+  durable_metrics().bytes.add(bytes.size());
 }
 
 }  // namespace iotaxo::trace

@@ -8,12 +8,33 @@
 #include "util/compress.h"
 #include "util/crc32.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace iotaxo::trace {
 
 namespace {
+
+/// Handles bound once; every record call is one relaxed load when metrics
+/// are disarmed (util/metrics.h). `stored_bytes` is bumped exactly where
+/// LazyState::decoded_stored is, so the metric total cross-checks
+/// pool_infos() decoded accounting bit-for-bit.
+struct DecodeMetrics {
+  obs::Histogram& crc_ns = obs::histogram("block.decode.crc_ns");
+  obs::Histogram& decrypt_ns = obs::histogram("block.decode.decrypt_ns");
+  obs::Histogram& decompress_ns = obs::histogram("block.decode.decompress_ns");
+  obs::Counter& stored_bytes = obs::counter("block.decode.stored_bytes");
+  obs::Counter& full_blocks = obs::counter("block.decode.full_blocks");
+  obs::Counter& hot_blocks = obs::counter("block.decode.hot_blocks");
+  obs::Counter& failures = obs::counter("block.decode.failures");
+  obs::Counter& waits = obs::counter("block.decode.contention_waits");
+};
+
+DecodeMetrics& metrics() {
+  static DecodeMetrics m;
+  return m;
+}
 
 [[nodiscard]] std::uint32_t load_u32(const std::uint8_t* p) noexcept {
   std::uint32_t v = 0;
@@ -270,12 +291,16 @@ std::span<const std::uint8_t> BlockView::decode_group_plain(
                       static_cast<std::size_t>(len));
   // CRC over the STORED bytes — the ciphertext when encrypted — before
   // any decryption or decompression touches them.
-  if (header_.checksummed && crc32(stored) != crc_expect) {
-    throw FormatError(
-        strprintf("binary trace v3: block %zu checksum mismatch", b));
+  if (header_.checksummed) {
+    const obs::ScopedTimer timer(metrics().crc_ns);
+    if (crc32(stored) != crc_expect) {
+      throw FormatError(
+          strprintf("binary trace v3: block %zu checksum mismatch", b));
+    }
   }
   std::span<const std::uint8_t> plain = stored;
   if (header_.encrypted) {
+    const obs::ScopedTimer timer(metrics().decrypt_ns);
     try {
       owned = cbc_decrypt_with_iv(stored, *key_, v3layout::block_iv(b, group));
     } catch (const Error&) {
@@ -285,6 +310,7 @@ std::span<const std::uint8_t> BlockView::decode_group_plain(
     plain = owned;
   }
   if (header_.compressed) {
+    const obs::ScopedTimer timer(metrics().decompress_ns);
     try {
       owned = lz_decompress(plain);
     } catch (const Error&) {
@@ -301,6 +327,7 @@ std::span<const std::uint8_t> BlockView::decode_group_plain(
         strprintf("binary trace v3: block %zu size mismatch", b));
   }
   lazy_->decoded_stored.fetch_add(len, std::memory_order_relaxed);
+  metrics().stored_bytes.add(len);
   return plain;
 }
 
@@ -486,9 +513,13 @@ std::span<const std::uint8_t> BlockView::acquire_slot(
           // into `owned` stay valid across the move.
           slot.owned = std::move(owned);
           slot.bytes = plain;
+          // First-touch decode win: a hot-slot claim is a hot-group-only
+          // decode; a full-slot claim decoded (or stitched) whole records.
+          (hot ? metrics().hot_blocks : metrics().full_blocks).add(1);
           publish(kReady);
           return slot.bytes;
         } catch (const Error& err) {
+          metrics().failures.add(1);
           slot.error = err.what();
           publish(kFailed);
           throw FormatError(slot.error);
@@ -497,6 +528,7 @@ std::span<const std::uint8_t> BlockView::acquire_slot(
       continue;  // lost the claim race; re-read the winner's state
     }
     // kDecoding: park until the winner publishes ready or failed.
+    metrics().waits.add(1);
     std::unique_lock<std::mutex> lk(lz.stripe_m[stripe]);
     lz.stripe_cv[stripe].wait(lk, [&] {
       return slot.state.load(std::memory_order_acquire) != kDecoding;

@@ -1,8 +1,14 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 namespace iotaxo {
 
@@ -25,6 +31,41 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// A short stable id for the calling thread (std::thread::id prints as an
+/// opaque implementation-defined token; a hashed decimal stays readable).
+unsigned long thread_tag() {
+  static thread_local const unsigned long tag = static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000);
+  return tag;
+}
+
+// IOTAXO_LOG, read once at program start (the same static-init discipline
+// as IOTAXO_FAILPOINTS / IOTAXO_METRICS).
+const bool env_configured = [] {
+  const char* spec = std::getenv("IOTAXO_LOG");
+  if (spec == nullptr || *spec == '\0') {
+    return true;
+  }
+  if (std::strcmp(spec, "debug") == 0) {
+    g_level.store(LogLevel::kDebug);
+  } else if (std::strcmp(spec, "info") == 0) {
+    g_level.store(LogLevel::kInfo);
+  } else if (std::strcmp(spec, "warn") == 0) {
+    g_level.store(LogLevel::kWarn);
+  } else if (std::strcmp(spec, "error") == 0) {
+    g_level.store(LogLevel::kError);
+  } else if (std::strcmp(spec, "off") == 0) {
+    g_level.store(LogLevel::kOff);
+  } else {
+    std::fprintf(stderr,
+                 "iotaxo: IOTAXO_LOG='%s' is not debug|info|warn|error|off; "
+                 "keeping the default\n",
+                 spec);
+  }
+  return true;
+}();
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
@@ -36,8 +77,26 @@ void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) {
     return;
   }
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char stamp[32];
+  if (std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf) == 0) {
+    stamp[0] = '\0';
+  }
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[iotaxo %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%s.%03d %s tid=%lu] %s\n", stamp,
+               static_cast<int>(millis), level_name(level), thread_tag(),
+               message.c_str());
 }
 }  // namespace detail
 

@@ -1,5 +1,14 @@
-// Minimal leveled logger. Quiet by default so test and benchmark output
-// stays clean; callers opt in to diagnostics via set_log_level.
+// Minimal leveled logger. Quiet by default (warnings and errors only) so
+// test and benchmark output stays clean; callers opt in to diagnostics
+// via set_log_level or the IOTAXO_LOG environment variable, read once at
+// program start:
+//
+//   IOTAXO_LOG=debug|info|warn|error|off
+//
+// Each line carries a wall-clock timestamp, the emitting thread's id and
+// the level tag:
+//
+//   [2026-08-07 12:34:56.789 WARN tid=21437] attach_dir: quarantined ...
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,509 @@
+// Self-metrics layer tests: the obs registry (counters, gauges,
+// histograms, snapshots, deltas, JSON), concurrent-hammer exactness, the
+// disarmed path's inertness (bit-identical query results and error text
+// with metrics on or off), the async sink's pipeline metrics, and the
+// cold-store decode cross-check — the block.decode.stored_bytes counter
+// must equal the store's own pool_infos() decoded-byte accounting exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/unified_store.h"
+#include "trace/async_sink.h"
+#include "trace/binary_format.h"
+#include "trace/block_view.h"
+#include "trace/event_batch.h"
+#include "trace/sink.h"
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace iotaxo {
+namespace {
+
+using analysis::UnifiedTraceStore;
+using trace::EventBatch;
+using trace::TraceEvent;
+
+/// Arm metrics for one test and guarantee the disarmed default is
+/// restored (and values zeroed) however the test exits, so test order
+/// never leaks armed state into the inertness checks.
+struct ArmGuard {
+  ArmGuard() {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  ~ArmGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+[[nodiscard]] std::vector<TraceEvent> sample_events(int count) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < count; ++i) {
+    TraceEvent ev = trace::make_syscall(
+        i % 3 == 0 ? "SYS_read" : "SYS_write",
+        {"5", "4096", strprintf("%d", i)}, 4096);
+    ev.rank = i % 4;
+    ev.host = "host00";
+    ev.path = i % 2 == 0 ? strprintf("/pfs/f%d.dat", i % 8) : "";
+    ev.fd = 5;
+    ev.bytes = 4096;
+    ev.local_start = static_cast<SimTime>(i) * kMillisecond;
+    ev.duration = 10 * kMicrosecond;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::string make_scratch_dir(const char* tag) {
+  const std::string dir =
+      strprintf("/tmp/iotaxo_metrics_%s_%d", tag,
+                ::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+[[nodiscard]] std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                                          const std::string& name) {
+  const auto it = snap.values.find(name);
+  return it == snap.values.end() ? 0 : it->second.value;
+}
+
+[[nodiscard]] std::uint64_t hist_count(const obs::MetricsSnapshot& snap,
+                                       const std::string& name) {
+  const auto it = snap.values.find(name);
+  return it == snap.values.end() ? 0 : it->second.count;
+}
+
+// -------------------------------------------------------------- inertness
+
+// Must run before anything arms the registry in this process: the
+// check_build --metrics smoke additionally runs this test alone under
+// `env -u IOTAXO_METRICS` to pin the static-init default.
+TEST(Metrics, InactiveByDefault) {
+  ASSERT_FALSE(obs::enabled());
+  obs::Counter& c = obs::counter("test.inactive.counter");
+  obs::Histogram& h = obs::histogram("test.inactive.hist_ns");
+  obs::Gauge& g = obs::gauge("test.inactive.gauge");
+  c.add(7);
+  g.set(9);
+  h.record(1234);
+  { const obs::ScopedTimer t(h); }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.high_water(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Metrics, ArmDisarmRoundTrip) {
+  obs::Counter& c = obs::counter("test.roundtrip.counter");
+  {
+    const ArmGuard guard;
+    c.add(3);
+    EXPECT_EQ(c.value(), 3u);
+  }
+  EXPECT_FALSE(obs::enabled());
+  c.add(5);  // disarmed again: must not record
+  EXPECT_EQ(c.value(), 0u);  // guard reset zeroed the armed-time value too
+}
+
+// -------------------------------------------------------- concurrency
+
+TEST(Metrics, CounterConcurrentHammer) {
+  const ArmGuard guard;
+  obs::Counter& c = obs::counter("test.hammer.counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        c.add(3);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), kThreads * kAdds * 3);
+}
+
+TEST(Metrics, HistogramConcurrentHammer) {
+  const ArmGuard guard;
+  obs::Histogram& h = obs::histogram("test.hammer.hist_ns");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kRecords = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kRecords; ++i) {
+        h.record(i % 1024);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  constexpr std::uint64_t kTotal = kThreads * kRecords;
+  EXPECT_EQ(h.count(), kTotal);
+  // Exact serial sum: each thread records 0..1023 cyclically.
+  constexpr std::uint64_t kCycleSum = 1023 * 1024 / 2;
+  EXPECT_EQ(h.sum(), kThreads * (kRecords / 1024) * kCycleSum +
+                         kThreads * ((kRecords % 1024) *
+                                     ((kRecords % 1024) - 1) / 2));
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    bucket_total += h.bucket(b);
+  }
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+// ----------------------------------------------------------- primitives
+
+TEST(Metrics, Log2BucketBoundaries) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(7), 3u);
+  EXPECT_EQ(H::bucket_of(8), 4u);
+  EXPECT_EQ(H::bucket_of((1ull << 62) - 1), 62u);
+  EXPECT_EQ(H::bucket_of(1ull << 62), 63u);
+  EXPECT_EQ(H::bucket_of(std::numeric_limits<std::uint64_t>::max()), 63u);
+
+  const ArmGuard guard;
+  obs::Histogram& h = obs::histogram("test.bucket.hist_ns");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(1ull << 40);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(41), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Metrics, GaugeHighWaterMark) {
+  const ArmGuard guard;
+  obs::Gauge& g = obs::gauge("test.gauge.depth");
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3u);
+  EXPECT_EQ(g.high_water(), 12u);
+  g.reset();
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.high_water(), 0u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  (void)obs::counter("test.kind.once");
+  EXPECT_THROW((void)obs::gauge("test.kind.once"), ConfigError);
+  EXPECT_THROW((void)obs::histogram("test.kind.once"), ConfigError);
+}
+
+// ------------------------------------------------------ snapshot / JSON
+
+TEST(Metrics, SnapshotCarriesFullCatalogAndJsonIsDeterministic) {
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // A selection spanning every instrumented layer: pre-registration means
+  // they are present (zero) even though nothing ran in this test.
+  for (const char* name :
+       {"sink.async.batches_delivered", "sink.async.queue_depth",
+        "sink.async.backpressure_wait_ns", "block.decode.stored_bytes",
+        "block.decode.crc_ns", "store.query.count",
+        "store.query.segments_skipped", "store.compact.eras_spilled",
+        "store.attach.duration_ns", "durable.write.fsync_ns",
+        "durable.write.files"}) {
+    EXPECT_TRUE(snap.values.contains(name)) << name;
+  }
+  const std::string a = obs::to_json(snap);
+  const std::string b = obs::to_json(obs::snapshot());
+  EXPECT_EQ(a, b);  // same state -> byte-identical JSON
+  EXPECT_EQ(a.rfind("{\n  \"metrics_schema\": 1", 0), 0u);
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+  // The text report renders without throwing and mentions every kind.
+  const std::string text = obs::render_text(snap);
+  EXPECT_NE(text.find("store.query.count"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotDeltaExactAcrossCompactAndQueryCycle) {
+  const ArmGuard guard;
+  const std::string dir = make_scratch_dir("delta");
+  UnifiedTraceStore store;
+  store.ingest(EventBatch::from_events(sample_events(120)),
+               {{"framework", "test"}, {"application", "delta"}});
+
+  UnifiedTraceStore::ColdTierOptions cold;
+  cold.directory = dir;
+  cold.binary.compress = true;
+  cold.binary.checksum = true;
+  cold.block_records = 16;
+
+  const obs::MetricsSnapshot before = obs::snapshot();
+  store.compact(static_cast<std::size_t>(-1), cold);
+  (void)store.call_stats();
+  (void)store.bytes_in_window(0, 200 * kMillisecond);
+  (void)store.hottest_files(4);
+  const obs::MetricsSnapshot after = obs::snapshot();
+  const obs::MetricsSnapshot d = obs::delta(before, after);
+
+  // compact(era_bytes, cold) routes through compact(era_bytes), so one
+  // cold call counts one compaction.
+  EXPECT_EQ(counter_value(d, "store.compact.calls"), 1u);
+  EXPECT_EQ(counter_value(d, "store.compact.eras_spilled"), 1u);
+  EXPECT_EQ(counter_value(d, "store.compact.manifest_commits"), 1u);
+  // The era file on disk is exactly the spilled container bytes.
+  std::uint64_t era_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".iotb3") {
+      era_bytes += entry.file_size();
+    }
+  }
+  EXPECT_EQ(counter_value(d, "store.compact.bytes_written"), era_bytes);
+  // Era + manifest both go through the durable write protocol.
+  EXPECT_EQ(counter_value(d, "durable.write.files"), 2u);
+  EXPECT_GT(counter_value(d, "durable.write.bytes"), era_bytes);
+  EXPECT_EQ(hist_count(d, "store.compact.spill_ns"), 1u);
+  EXPECT_EQ(counter_value(d, "store.query.count"), 3u);
+  EXPECT_EQ(hist_count(d, "store.query.call_stats_ns"), 1u);
+  EXPECT_EQ(hist_count(d, "store.query.bytes_in_window_ns"), 1u);
+  EXPECT_EQ(hist_count(d, "store.query.hottest_files_ns"), 1u);
+
+  // Delta exactness: a second identical query round must produce the
+  // identical query-count delta (nothing lost, nothing double-counted).
+  const obs::MetricsSnapshot before2 = obs::snapshot();
+  (void)store.call_stats();
+  (void)store.bytes_in_window(0, 200 * kMillisecond);
+  (void)store.hottest_files(4);
+  const obs::MetricsSnapshot d2 = obs::delta(before2, obs::snapshot());
+  EXPECT_EQ(counter_value(d2, "store.query.count"), 3u);
+
+  // attach_dir recovery over the directory just committed.
+  const obs::MetricsSnapshot before3 = obs::snapshot();
+  UnifiedTraceStore recovered;
+  const analysis::StoreHealth health = recovered.attach_dir(dir);
+  const obs::MetricsSnapshot d3 = obs::delta(before3, obs::snapshot());
+  EXPECT_TRUE(health.healthy());
+  EXPECT_EQ(counter_value(d3, "store.attach.recovered_eras"), 1u);
+  EXPECT_EQ(counter_value(d3, "store.attach.quarantined"), 0u);
+  EXPECT_EQ(hist_count(d3, "store.attach.duration_ns"), 1u);
+
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------- disarmed inertness
+
+TEST(Metrics, DisarmedQueriesAreBitIdentical) {
+  ASSERT_FALSE(obs::enabled());
+  const EventBatch batch = EventBatch::from_events(sample_events(96));
+  trace::BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  options.project = true;
+  const std::vector<std::uint8_t> container =
+      trace::encode_binary_v3(batch, options, 16);
+  const std::string dir = make_scratch_dir("inert");
+  const std::string path = dir + "/c.iotb3";
+  write_file(path, container);
+
+  const auto run_queries = [&path] {
+    UnifiedTraceStore store;
+    store.ingest_view(path);
+    return std::tuple{store.call_stats(),
+                      store.bytes_in_window(0, 50 * kMillisecond),
+                      store.hottest_files(8)};
+  };
+  const auto disarmed = run_queries();
+  std::string armed_json;
+  {
+    const ArmGuard guard;
+    const auto armed = run_queries();
+    EXPECT_EQ(std::get<0>(disarmed), std::get<0>(armed));
+    EXPECT_EQ(std::get<1>(disarmed), std::get<1>(armed));
+    EXPECT_EQ(std::get<2>(disarmed).size(), std::get<2>(armed).size());
+    for (std::size_t i = 0; i < std::get<2>(disarmed).size(); ++i) {
+      EXPECT_EQ(std::get<2>(disarmed)[i].path, std::get<2>(armed)[i].path);
+      EXPECT_EQ(std::get<2>(disarmed)[i].bytes, std::get<2>(armed)[i].bytes);
+    }
+  }
+
+  // Error text identical too: corrupt one stored block byte and decode it
+  // armed and disarmed — instrumentation must not change the error path.
+  std::vector<std::uint8_t> corrupt = container;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  const auto decode_error = [&corrupt] {
+    try {
+      const trace::BlockView view(corrupt);
+      for (std::size_t b = 0; b < view.block_count(); ++b) {
+        (void)view.block_bytes(b);
+      }
+      return std::string("(no error)");
+    } catch (const Error& err) {
+      return std::string(err.what());
+    }
+  };
+  const std::string disarmed_error = decode_error();
+  std::string armed_error;
+  {
+    const ArmGuard guard;
+    armed_error = decode_error();
+  }
+  EXPECT_NE(disarmed_error, "(no error)");
+  EXPECT_EQ(disarmed_error, armed_error);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------- decode cross-check
+
+TEST(Metrics, ColdStoreDecodeCrossChecksPoolAccounting) {
+  const ArmGuard guard;
+  const EventBatch batch = EventBatch::from_events(sample_events(192));
+  trace::BinaryOptions options;
+  options.compress = true;
+  options.checksum = true;
+  options.project = true;
+  options.encrypt = true;
+  options.key = derive_key("metrics-test-key");
+  const std::vector<std::uint8_t> container =
+      trace::encode_binary_v3(batch, options, 16);
+  const std::string dir = make_scratch_dir("crosscheck");
+  const std::string path = dir + "/c.iotb3";
+  write_file(path, container);
+
+  UnifiedTraceStore store;
+  store.ingest_view(path, {}, options.key);
+
+  const auto decoded_now = [&store] {
+    std::uint64_t total = 0;
+    for (const analysis::StorePoolInfo& info : store.pool_infos()) {
+      total += info.decoded_stored_bytes;
+    }
+    return total;
+  };
+
+  // A narrow window, then a full scan: hot-only decodes first, cold
+  // stitches after. After every step the metric must equal the store's
+  // own accounting bit for bit.
+  const obs::MetricsSnapshot before = obs::snapshot();
+  const std::uint64_t decoded_before = decoded_now();
+  (void)store.bytes_in_window(60 * kMillisecond, 120 * kMillisecond);
+  const obs::MetricsSnapshot mid = obs::delta(before, obs::snapshot());
+  EXPECT_EQ(counter_value(mid, "block.decode.stored_bytes"),
+            decoded_now() - decoded_before);
+  EXPECT_GT(counter_value(mid, "block.decode.hot_blocks"), 0u);
+  EXPECT_GT(counter_value(mid, "store.query.segments_skipped"), 0u);
+  EXPECT_GT(hist_count(mid, "block.decode.crc_ns"), 0u);
+  EXPECT_GT(hist_count(mid, "block.decode.decrypt_ns"), 0u);
+  EXPECT_GT(hist_count(mid, "block.decode.decompress_ns"), 0u);
+
+  (void)store.hottest_files(8);  // needs cold columns: full decodes
+  const obs::MetricsSnapshot d = obs::delta(before, obs::snapshot());
+  EXPECT_EQ(counter_value(d, "block.decode.stored_bytes"),
+            decoded_now() - decoded_before);
+  EXPECT_GT(counter_value(d, "block.decode.full_blocks"), 0u);
+  EXPECT_EQ(counter_value(d, "block.decode.failures"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------ async sink
+
+class ThrowingSink : public trace::EventSink {
+ public:
+  void on_event(const TraceEvent&) override {
+    throw IoError("downstream is broken");
+  }
+};
+
+/// Delivery slow enough for a capacity-1 queue to backpressure producers.
+class SlowCountingSink : public trace::EventSink {
+ public:
+  void on_event(const TraceEvent&) override { ++events_; }
+  void on_batch(const EventBatch& batch) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    events_ += static_cast<long long>(batch.size());
+  }
+  [[nodiscard]] long long events() const noexcept { return events_; }
+
+ private:
+  long long events_ = 0;
+};
+
+TEST(Metrics, AsyncSinkDeliveryAndBackpressure) {
+  const ArmGuard guard;
+  const obs::MetricsSnapshot before = obs::snapshot();
+  auto downstream = std::make_shared<SlowCountingSink>();
+  {
+    trace::AsyncOptions options;
+    options.queue_capacity = 1;
+    options.workers = 1;
+    trace::AsyncBatchSink sink(downstream, options);
+    for (int b = 0; b < 8; ++b) {
+      EventBatch batch = EventBatch::from_events(sample_events(4));
+      sink.on_batch_owned(std::move(batch));
+    }
+    sink.flush();
+  }
+  const obs::MetricsSnapshot d = obs::delta(before, obs::snapshot());
+  EXPECT_EQ(counter_value(d, "sink.async.batches_delivered"), 8u);
+  EXPECT_EQ(counter_value(d, "sink.async.events_delivered"), 32u);
+  EXPECT_EQ(downstream->events(), 32);
+  EXPECT_GT(counter_value(d, "sink.async.backpressure_stalls"), 0u);
+  EXPECT_GT(hist_count(d, "sink.async.backpressure_wait_ns"), 0u);
+  const auto depth = d.values.find("sink.async.queue_depth");
+  ASSERT_NE(depth, d.values.end());
+  EXPECT_GE(depth->second.high_water, 1u);
+  EXPECT_EQ(counter_value(d, "sink.async.delivery_errors"), 0u);
+}
+
+TEST(Metrics, AsyncSinkRecordsDeliveryErrors) {
+  const ArmGuard guard;
+  const obs::MetricsSnapshot before = obs::snapshot();
+  {
+    trace::AsyncBatchSink sink(std::make_shared<ThrowingSink>());
+    sink.on_batch_owned(EventBatch::from_events(sample_events(2)));
+    EXPECT_THROW(sink.flush(), IoError);  // flush() rethrows first_error_
+    // Destroyed with no further error pending: nothing to drop.
+  }
+  const obs::MetricsSnapshot d = obs::delta(before, obs::snapshot());
+  EXPECT_EQ(counter_value(d, "sink.async.delivery_errors"), 1u);
+  EXPECT_EQ(counter_value(d, "sink.async.errors_dropped"), 0u);
+
+  // A destructor-swallowed drain failure is still visible in metrics.
+  const obs::MetricsSnapshot before2 = obs::snapshot();
+  {
+    trace::AsyncBatchSink sink(std::make_shared<ThrowingSink>());
+    sink.on_batch_owned(EventBatch::from_events(sample_events(2)));
+    // No flush(): the destructor drains, swallows, and counts the drop.
+  }
+  const obs::MetricsSnapshot d2 = obs::delta(before2, obs::snapshot());
+  EXPECT_EQ(counter_value(d2, "sink.async.delivery_errors"), 1u);
+  EXPECT_EQ(counter_value(d2, "sink.async.errors_dropped"), 1u);
+}
+
+}  // namespace
+}  // namespace iotaxo

@@ -18,6 +18,11 @@
 #                                               # assert failpoints are inert
 #                                               # without IOTAXO_FAILPOINTS
 #                                               # and armable through it
+#   ./tools/check_build.sh --metrics [build-dir]# build + the self-metrics
+#                                               # suite, then assert metrics
+#                                               # are inert when disarmed and
+#                                               # that an armed CLI run emits
+#                                               # the expected JSON key set
 #
 # Bench gating convention: a bench that wants a regression gate emits a pair
 # of JSON keys, "<metric>" and "<metric>_floor". The floors live in the JSON
@@ -43,6 +48,9 @@ elif [[ "${1:-}" == "--bench" ]]; then
   shift
 elif [[ "${1:-}" == "--faults" ]]; then
   MODE=faults
+  shift
+elif [[ "${1:-}" == "--metrics" ]]; then
+  MODE=metrics
   shift
 fi
 
@@ -144,6 +152,72 @@ case "${MODE}" in
       --framework lanl --workload mpiio --ranks 2 \
       --binary-out "${FAULT_TMP}/x.iotb3" > /dev/null
     "${BUILD_DIR}/iotaxo_cli" fsck "${FAULT_TMP}/x.iotb3"
+    ;;
+  metrics)
+    BUILD_DIR="${1:-${REPO_ROOT}/build}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+    cmake --build "${BUILD_DIR}" -j
+    # The self-metrics suite: registry exactness under concurrency,
+    # snapshot-delta arithmetic, the decode/pool_infos cross-check, the
+    # async sink's pipeline metrics.
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -R 'metrics_test'
+    # Metrics must be inert when IOTAXO_METRICS is unset — the disarmed
+    # mirror of the --faults inertness check.
+    env -u IOTAXO_METRICS "${BUILD_DIR}/metrics_test" \
+      --gtest_filter='Metrics.InactiveByDefault'
+    # An armed CLI run must produce the per-run JSON report with the
+    # instrumented layers lit up: a cold encrypted+projected multi-block
+    # container statted with --metrics-out has to show decode work, stage
+    # timings, index skips, and the durable write that produced the file.
+    METRICS_TMP="$(mktemp -d)"
+    trap 'rm -rf "${METRICS_TMP}"' EXIT
+    "${BUILD_DIR}/iotaxo_cli" trace --framework lanl --workload mpiio \
+      --ranks 4 --binary-out "${METRICS_TMP}/m.iotb3" --key smoke \
+      --project --block-records 256 \
+      --metrics-out "${METRICS_TMP}/trace_metrics.json" > /dev/null
+    "${BUILD_DIR}/iotaxo_cli" stat "${METRICS_TMP}/m.iotb3" --key smoke \
+      --metrics-out "${METRICS_TMP}/stat_metrics.json" > "${METRICS_TMP}/stat.out"
+    for key in metrics_schema block.decode.stored_bytes block.decode.crc_ns \
+               block.decode.decrypt_ns block.decode.decompress_ns \
+               store.query.count store.query.segments_scanned \
+               store.query.segments_skipped store.query.bytes_in_window_ns \
+               sink.async.queue_depth durable.write.fsync_ns; do
+      if ! grep -q "\"${key}\"" "${METRICS_TMP}/stat_metrics.json"; then
+        echo "METRICS FAIL: stat_metrics.json is missing '${key}'"
+        exit 1
+      fi
+    done
+    # The trace run's report must carry the durable write of the container.
+    if ! grep -q '"durable.write.files": 1' "${METRICS_TMP}/trace_metrics.json"; then
+      echo "METRICS FAIL: trace_metrics.json did not count the durable write"
+      exit 1
+    fi
+    # The armed stat run decoded blocks and skipped others by index.
+    if grep -q '"block.decode.stored_bytes": 0' "${METRICS_TMP}/stat_metrics.json"; then
+      echo "METRICS FAIL: armed stat reported zero decoded bytes"
+      exit 1
+    fi
+    if grep -q '"store.query.segments_skipped": 0' "${METRICS_TMP}/stat_metrics.json"; then
+      echo "METRICS FAIL: armed stat's window probe skipped no blocks"
+      exit 1
+    fi
+    # A plain (disarmed) run prints no metrics surface at all.
+    "${BUILD_DIR}/iotaxo_cli" stat "${METRICS_TMP}/m.iotb3" --key smoke \
+      > "${METRICS_TMP}/plain.out"
+    if grep -qE 'metrics|window probe' "${METRICS_TMP}/plain.out"; then
+      echo "METRICS FAIL: disarmed stat printed a metrics surface"
+      exit 1
+    fi
+    # IOTAXO_METRICS=FILE arms from the environment alone and dumps at exit.
+    IOTAXO_METRICS="${METRICS_TMP}/env_dump.json" \
+      "${BUILD_DIR}/iotaxo_cli" stat "${METRICS_TMP}/m.iotb3" --key smoke \
+      > /dev/null
+    if ! grep -q '"block.decode.stored_bytes"' "${METRICS_TMP}/env_dump.json"; then
+      echo "METRICS FAIL: IOTAXO_METRICS=FILE produced no at-exit dump"
+      exit 1
+    fi
+    echo "metrics ok: disarmed inert, armed CLI report complete"
     ;;
   bench)
     BUILD_DIR="${1:-${REPO_ROOT}/build}"

@@ -61,6 +61,7 @@
 #include "trace/record_view.h"
 #include "util/crc32.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/io_intensive.h"
@@ -93,7 +94,8 @@ struct Args {
   return std::strcmp(name, "phases") == 0 ||
          std::strcmp(name, "blocks") == 0 ||
          std::strcmp(name, "project") == 0 ||
-         std::strcmp(name, "repair") == 0;
+         std::strcmp(name, "repair") == 0 ||
+         std::strcmp(name, "metrics") == 0;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -127,7 +129,7 @@ int usage() {
       "                   [--pattern strided|nonstrided|nn] [--ranks N]\n"
       "                   [--block BYTES] [--total BYTES] [--out DIR]\n"
       "                   [--binary-out FILE.iotb|FILE.iotb3]\n"
-      "                   [--project] [--key PASSPHRASE]\n"
+      "                   [--project] [--key PASSPHRASE] [--block-records N]\n"
       "  iotaxo classify  [--ranks N]\n"
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
@@ -136,7 +138,13 @@ int usage() {
       "  iotaxo dfg       FILE.iotb [--rank N] [--dot OUT] [--json OUT]\n"
       "                   [--phases] [--blocks] [--compare OTHER.iotb]\n"
       "                   [--threads N] [--key PASSPHRASE]\n"
-      "  iotaxo fsck      DIR|FILE.iotb [--key PASSPHRASE] [--repair]\n",
+      "  iotaxo fsck      DIR|FILE.iotb [--key PASSPHRASE] [--repair]\n"
+      "  iotaxo metrics   [--out FILE.json]\n"
+      "\n"
+      "Every subcommand also accepts --metrics (print a self-metrics table\n"
+      "after the run) and --metrics-out FILE.json (write the run's metric\n"
+      "deltas as JSON); IOTAXO_METRICS=stderr|FILE.json arms an at-exit\n"
+      "dump instead.\n",
       stderr);
   return 2;
 }
@@ -243,7 +251,12 @@ int cmd_trace(const Args& args) {
         options.encrypt = true;
         options.key = derive_key(passphrase);
       }
-      bytes = trace::encode_binary_v3(batch, options);
+      // --block-records caps records per block (default 4096): smaller
+      // blocks mean finer mini-indexes (more skippable) at more per-block
+      // overhead.
+      bytes = trace::encode_binary_v3(
+          batch, options,
+          static_cast<std::size_t>(args.get_int("block-records", 4096)));
     } else {
       bytes = trace::encode_binary_v2(batch, trace::BinaryOptions{});
     }
@@ -359,6 +372,40 @@ void print_block_summary(const trace::BlockView& view) {
   return derive_key(passphrase);
 }
 
+// Armed `stat` runs add a narrow bytes_in_window query over the middle
+// third of the container's time span: one probe that lights up the
+// index-skip and (for projected containers) hot-only-decode metrics, so a
+// single `stat --metrics-out` report shows what the block mini-indexes
+// and column projection actually save. Whole-file stats are unchanged —
+// the probe only reads.
+void stat_window_probe(const analysis::UnifiedTraceStore& store) {
+  const std::vector<analysis::StorePoolInfo> infos = store.pool_infos();
+  if (infos.empty() || !infos.front().any) {
+    return;
+  }
+  SimTime begin = infos.front().min_time;
+  SimTime end = infos.front().max_time + 1;
+  const SimTime third = (end - begin) / 3;
+  if (third > 0) {
+    begin += third;
+    end -= third;
+  }
+  const obs::MetricsSnapshot before = obs::snapshot();
+  const Bytes bytes = store.bytes_in_window(begin, end);
+  const obs::MetricsSnapshot probe = obs::delta(before, obs::snapshot());
+  const auto metric = [&probe](const char* name) {
+    const auto it = probe.values.find(name);
+    return it == probe.values.end() ? std::uint64_t{0} : it->second.value;
+  };
+  std::printf("window probe     : %s transferred in the middle third "
+              "(%llu block(s) scanned, %llu skipped by index)\n",
+              format_bytes(bytes).c_str(),
+              static_cast<unsigned long long>(
+                  metric("store.query.segments_scanned")),
+              static_cast<unsigned long long>(
+                  metric("store.query.segments_skipped")));
+}
+
 // `stat` prints a container's shape through the zero-copy readers: the
 // file is mmapped and the per-call table is computed straight off the
 // fixed-stride records — no EventBatch is ever built. IOTB3 (including
@@ -372,7 +419,7 @@ int cmd_stat(const Args& args) {
     return usage();
   }
   const std::string& path = args.positional.front();
-  const trace::MappedTraceFile file(path);
+  trace::MappedTraceFile file(path);
 
   std::printf("file             : %s (%s, %s)\n", path.c_str(),
               format_bytes(static_cast<Bytes>(file.size())).c_str(),
@@ -383,7 +430,7 @@ int cmd_stat(const Args& args) {
       // IOTB3 is never decoded into a batch — blocks stream through the
       // per-block cache, and the summary lines above the table come from
       // the head and footer alone.
-      const trace::BlockView view(file.bytes(), key_from_args(args));
+      trace::BlockView view(file.bytes(), key_from_args(args));
       std::printf("container        : IOTB3%s%s%s%s, block-structured\n",
                   view.header().compressed ? ", compressed" : "",
                   view.encrypted() ? ", encrypted (per block)" : "",
@@ -402,7 +449,20 @@ int cmd_stat(const Args& args) {
       if (!args.get("blocks").empty()) {
         print_block_summary(view);
       }
-      print_call_table(analysis::BlockAccess{&view});
+      // Tally through the unified store rather than the bare view so
+      // `stat` exercises — and its metrics account for — the same
+      // accessor seam every analysis query scans through. The filed view
+      // shares the lazy decode cache with the probe above, so no block is
+      // decoded twice and the decode metrics cross-check pool_infos()
+      // exactly.
+      analysis::UnifiedTraceStore store;
+      store.ingest_view(std::move(file), std::move(view),
+                        {{"framework", "iotb"}, {"application", path}});
+      store.with_pool_access(
+          0, [](const auto& acc) { print_call_table(acc); });
+      if (obs::enabled()) {
+        stat_window_probe(store);
+      }
       return 0;
     }
     const trace::BatchView view(file.bytes());
@@ -994,6 +1054,75 @@ int cmd_fsck(const Args& args) {
   return quarantined.empty() && tmps.empty() ? 0 : 1;
 }
 
+// `metrics` prints the full self-metrics catalog — every name the toolkit
+// registers at startup, so scripts can discover the key set (and the
+// naming convention, layer.component.metric) without running a workload.
+// Values are whatever this fresh process has accumulated: mostly zero.
+int cmd_metrics(const Args& args) {
+  obs::set_enabled(true);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    write_text_file(out, obs::to_json(snap) + "\n");
+    std::printf("metrics JSON     : %s\n", out.c_str());
+    return 0;
+  }
+  std::fputs(obs::render_text(snap).c_str(), stdout);
+  std::printf(
+      "\narm a run with   : --metrics (table) or --metrics-out FILE.json on "
+      "any subcommand,\n"
+      "                   or IOTAXO_METRICS=stderr|FILE.json for an at-exit "
+      "dump\n");
+  return 0;
+}
+
+int run_command(const Args& args) {
+  if (args.command == "trace") {
+    return cmd_trace(args);
+  }
+  if (args.command == "classify") {
+    return cmd_classify(args);
+  }
+  if (args.command == "replay") {
+    return cmd_replay(args);
+  }
+  if (args.command == "analyze") {
+    return cmd_analyze(args);
+  }
+  if (args.command == "anonymize") {
+    return cmd_anonymize(args);
+  }
+  if (args.command == "stat") {
+    return cmd_stat(args);
+  }
+  if (args.command == "dfg") {
+    return cmd_dfg(args);
+  }
+  if (args.command == "fsck") {
+    return cmd_fsck(args);
+  }
+  if (args.command == "metrics") {
+    return cmd_metrics(args);
+  }
+  return usage();
+}
+
+/// The per-run metrics surface: what changed between arming (before the
+/// command ran) and now, as a table (--metrics) and/or JSON file
+/// (--metrics-out). Called on the error path too — a failed run's partial
+/// metrics are exactly what one wants when diagnosing it.
+void dump_run_metrics(const Args& args, const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot deltas = obs::delta(before, obs::snapshot());
+  const std::string out = args.get("metrics-out");
+  if (!out.empty()) {
+    write_text_file(out, obs::to_json(deltas) + "\n");
+    std::printf("metrics JSON     : %s\n", out.c_str());
+  }
+  if (!args.get("metrics").empty()) {
+    std::fputs(obs::render_text(deltas).c_str(), stdout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1011,31 +1140,28 @@ int main(int argc, char** argv) {
                     takes_file ? "one FILE.iotb" : "--option",
                     args.positional[takes_file ? 1 : 0].c_str()));
     }
-    if (args.command == "trace") {
-      return cmd_trace(args);
+    const bool want_metrics = !args.get("metrics").empty() ||
+                              !args.get("metrics-out").empty();
+    if (!want_metrics) {
+      return run_command(args);
     }
-    if (args.command == "classify") {
-      return cmd_classify(args);
+    // Arm before the run so the whole command is covered, snapshot so the
+    // report is this run's deltas (an IOTAXO_METRICS at-exit dump, if also
+    // set, still reports process totals).
+    obs::set_enabled(true);
+    const obs::MetricsSnapshot before = obs::snapshot();
+    try {
+      const int rc = run_command(args);
+      dump_run_metrics(args, before);
+      return rc;
+    } catch (...) {
+      try {
+        dump_run_metrics(args, before);
+      } catch (...) {
+        // Reporting must not mask the run's own error.
+      }
+      throw;
     }
-    if (args.command == "replay") {
-      return cmd_replay(args);
-    }
-    if (args.command == "analyze") {
-      return cmd_analyze(args);
-    }
-    if (args.command == "anonymize") {
-      return cmd_anonymize(args);
-    }
-    if (args.command == "stat") {
-      return cmd_stat(args);
-    }
-    if (args.command == "dfg") {
-      return cmd_dfg(args);
-    }
-    if (args.command == "fsck") {
-      return cmd_fsck(args);
-    }
-    return usage();
   } catch (const Error& err) {
     std::fprintf(stderr, "iotaxo: %s\n", err.what());
     return 1;
