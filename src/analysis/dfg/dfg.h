@@ -26,6 +26,7 @@
 // compact().
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -75,6 +76,22 @@ struct SeqEvent {
 
 /// Edge key: (from node, to node) as Dfg-global name ids.
 using EdgeKey = std::pair<trace::StrId, trace::StrId>;
+
+/// Fold one directly-follows transition into an edge. Shared by the cold
+/// builder and the live maintainer so the two fold paths cannot drift —
+/// bit-identity between snapshot() and build() rests on this being the
+/// single place a transition turns into stats.
+inline void add_transition(EdgeStats& edge, SimTime gap, Bytes bytes) {
+  if (edge.count == 0) {
+    edge.gap_min = edge.gap_max = gap;
+  } else {
+    edge.gap_min = std::min(edge.gap_min, gap);
+    edge.gap_max = std::max(edge.gap_max, gap);
+  }
+  edge.gap_sum += gap;
+  ++edge.count;
+  edge.bytes += bytes;
+}
 
 struct RankDfg {
   int rank = -1;
@@ -155,5 +172,11 @@ class DfgBuilder {
  private:
   const UnifiedTraceStore* store_;
 };
+
+/// Re-key a graph onto ids assigned in sorted-name order (id 0 stays "").
+/// Intern-time ids depend on the order names were first seen — pool
+/// chunking for the cold builder, record order for the live maintainer —
+/// so every producer canonicalizes before comparing or returning a Dfg.
+void canonicalize(Dfg& dfg);
 
 }  // namespace iotaxo::analysis::dfg

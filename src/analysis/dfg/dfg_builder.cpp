@@ -27,18 +27,6 @@ struct PoolPartial {
   std::map<int, RankPartial> ranks;
 };
 
-void add_transition(EdgeStats& edge, SimTime gap, Bytes bytes) {
-  if (edge.count == 0) {
-    edge.gap_min = edge.gap_max = gap;
-  } else {
-    edge.gap_min = std::min(edge.gap_min, gap);
-    edge.gap_max = std::max(edge.gap_max, gap);
-  }
-  edge.gap_sum += gap;
-  ++edge.count;
-  edge.bytes += bytes;
-}
-
 void merge_edge(EdgeStats& into, const EdgeStats& from) {
   if (from.count == 0) {
     return;
@@ -170,11 +158,14 @@ class NameTable {
   std::unordered_map<std::string, trace::StrId> index_;
 };
 
+}  // namespace
+
 /// Re-key the graph onto ids assigned in sorted-name order. Merge-time ids
 /// are handed out first-seen, which depends on how records are split into
-/// pools; sorting detaches the table from pooling so graphs mined from the
-/// same events are identical (==) across ingest splits, view vs owned
-/// sources, and compact().
+/// pools (or, for the live maintainer, record order); sorting detaches the
+/// table from intern order so graphs mined from the same events are
+/// identical (==) across ingest splits, view vs owned sources, compact(),
+/// and live vs cold builds.
 void canonicalize(Dfg& dfg) {
   std::vector<trace::StrId> order(dfg.names.size());
   for (trace::StrId id = 0; id < order.size(); ++id) {
@@ -208,8 +199,6 @@ void canonicalize(Dfg& dfg) {
     }
   }
 }
-
-}  // namespace
 
 Dfg DfgBuilder::build(const DfgOptions& options) const {
   const UnifiedTraceStore& store = *store_;

@@ -43,6 +43,12 @@ struct StoreMetrics {
   obs::Counter& attach_recovered = obs::counter("store.attach.recovered_eras");
   obs::Counter& attach_quarantined = obs::counter("store.attach.quarantined");
   obs::Counter& attach_torn_tmps = obs::counter("store.attach.torn_tmps_removed");
+  obs::Counter& ingest_flushes = obs::counter("ingest.flushes");
+  obs::Counter& ingest_events = obs::counter("ingest.events");
+  obs::Counter& era_seals = obs::counter("ingest.era_seals");
+  obs::Counter& index_adopted = obs::counter("ingest.index_adopted");
+  obs::Counter& index_rebuilt = obs::counter("ingest.index_rebuilt");
+  obs::Counter& attach_index_adopted = obs::counter("attach.index_adopted");
 };
 
 StoreMetrics& metrics() {
@@ -113,12 +119,11 @@ void correct_record(trace::EventBatch& batch, std::size_t i,
 /// Approximate resident footprint of an owned pool — the quantity
 /// compact() sizes eras by.
 [[nodiscard]] std::size_t approx_batch_bytes(const trace::EventBatch& batch) {
-  std::size_t strings = 0;
-  batch.pool().for_each([&strings](trace::StrId, std::string_view s) {
-    strings += s.size() + sizeof(std::string);
-  });
+  // O(1): the seal check runs once per streamed flush, so this must not
+  // walk records or the string pool.
   return batch.size() * sizeof(trace::EventRecord) +
-         batch.arg_ids().size() * sizeof(trace::StrId) + strings;
+         batch.arg_ids().size() * sizeof(trace::StrId) +
+         batch.pool().byte_size();
 }
 
 }  // namespace
@@ -155,30 +160,66 @@ void UnifiedTraceStore::index_pool(StorePool& pool) {
     pool.index = std::move(idx);
     return;
   }
+  if (pool.view.has_value() && adopt_indexes_ &&
+      pool.view->persisted_index().has_value()) {
+    // The container carries a validated v2 footer: adopt it instead of
+    // scanning records. find_string_unchecked keeps the deferred payload
+    // CRC deferred (the table was structurally validated at open); the
+    // footer's own CRC already vouched for the index bits.
+    const trace::PoolIndexFooter& f = *pool.view->persisted_index();
+    idx.any = f.any;
+    idx.min_time = f.min_time;
+    idx.max_time = f.max_time;
+    idx.has_fd_path = f.has_fd_path;
+    idx.has_io_bytes = f.has_io_bytes;
+    idx.sys_write_id =
+        pool.view->find_string_unchecked("SYS_write").value_or(0);
+    idx.sys_read_id = pool.view->find_string_unchecked("SYS_read").value_or(0);
+    idx.name_present.assign(pool.view->string_count(), false);
+    for (trace::StrId id = 1; id < idx.name_present.size(); ++id) {
+      if (f.has_name(id)) {
+        idx.name_present[id] = true;
+      }
+    }
+    pool.persisted_index = true;
+    metrics().index_adopted.add(1);
+    pool.index = std::move(idx);
+    return;
+  }
+  if (pool.view.has_value()) {
+    // A v2 view pool that could have carried a footer gets the full scan.
+    metrics().index_rebuilt.add(1);
+  }
   with_access(pool.batch, pool.view, pool.blocks, [&idx](const auto& acc) {
     idx.sys_write_id = acc.find("SYS_write").value_or(0);
     idx.sys_read_id = acc.find("SYS_read").value_or(0);
     idx.name_present.assign(acc.string_count(), false);
-    const std::size_t n = acc.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& rec = acc.record(i);
-      idx.name_present[rec.name] = true;
-      if (!idx.any) {
-        idx.min_time = idx.max_time = rec.local_start;
-        idx.any = true;
-      } else {
-        idx.min_time = std::min(idx.min_time, rec.local_start);
-        idx.max_time = std::max(idx.max_time, rec.local_start);
-      }
-      if (rec.path != 0 && rec.fd >= 0) {
-        idx.has_fd_path = true;
-      }
-      if (rec.is_io_call() && rec.bytes > 0) {
-        idx.has_io_bytes = true;
-      }
-    }
+    fold_index_records(idx, acc, 0, acc.size());
   });
   pool.index = std::move(idx);
+}
+
+template <class Acc>
+void UnifiedTraceStore::fold_index_records(PoolIndex& idx, const Acc& acc,
+                                           std::size_t begin,
+                                           std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& rec = acc.record(i);
+    idx.name_present[rec.name] = true;
+    if (!idx.any) {
+      idx.min_time = idx.max_time = rec.local_start;
+      idx.any = true;
+    } else {
+      idx.min_time = std::min(idx.min_time, rec.local_start);
+      idx.max_time = std::max(idx.max_time, rec.local_start);
+    }
+    if (rec.path != 0 && rec.fd >= 0) {
+      idx.has_fd_path = true;
+    }
+    if (rec.is_io_call() && rec.bytes > 0) {
+      idx.has_io_bytes = true;
+    }
+  }
 }
 
 std::optional<SkewDriftModel> UnifiedTraceStore::fit_model(
@@ -205,6 +246,14 @@ std::size_t UnifiedTraceStore::ingest_source(
       correct_record(batch, i, *model);
     }
   }
+  metrics().ingest_flushes.add(1);
+  metrics().ingest_events.add(batch.size());
+  if (stream_.has_value() && batch.size() <= stream_->flush_events) {
+    return stream_append(std::move(info), std::move(batch), dependencies);
+  }
+  // Any non-absorbing ingest closes the open era first, so it stays the
+  // last pool and pool order stays source order.
+  seal_open_era();
   info.events = static_cast<long long>(batch.size());
   total_events_ += info.events;
   dependencies_.insert(dependencies_.end(), dependencies.begin(),
@@ -216,7 +265,76 @@ std::size_t UnifiedTraceStore::ingest_source(
   pool.first_source = source_index;
   index_pool(pool);
   pools_.push_back(std::move(pool));
+  notify_ingest(pools_.size() - 1, 0, pools_.back().batch.size());
   return source_index;
+}
+
+std::size_t UnifiedTraceStore::stream_append(
+    StoreSourceInfo info, trace::EventBatch batch,
+    const std::vector<trace::DependencyEdge>& dependencies) {
+  info.events = static_cast<long long>(batch.size());
+  total_events_ += info.events;
+  dependencies_.insert(dependencies_.end(), dependencies.begin(),
+                       dependencies.end());
+  const std::size_t source_index = sources_.size();
+  sources_.push_back(std::move(info));
+  if (pools_.empty() || !pools_.back().open) {
+    StorePool pool;
+    pool.batch = std::move(batch);
+    pool.first_source = source_index;
+    pool.open = true;
+    pool.flushes = 1;
+    index_pool(pool);
+    pools_.push_back(std::move(pool));
+    notify_ingest(pools_.size() - 1, 0, pools_.back().batch.size());
+  } else {
+    // Appending re-interns string ids, exactly as compact() merging these
+    // pools later would have — which is why era-ingested stores answer
+    // every query bit-identically to one-pool-per-flush stores.
+    StorePool& pool = pools_.back();
+    const std::size_t old_size = pool.batch.size();
+    pool.batch.append(batch);
+    pool.source_count += 1;
+    pool.flushes += 1;
+    extend_open_index(pool, old_size, pool.batch.size());
+    notify_ingest(pools_.size() - 1, old_size, pool.batch.size());
+  }
+  const StorePool& era = pools_.back();
+  if (approx_batch_bytes(era.batch) >= stream_->era_bytes ||
+      (stream_->era_flushes != 0 && era.flushes >= stream_->era_flushes)) {
+    seal_open_era();
+  }
+  return source_index;
+}
+
+void UnifiedTraceStore::extend_open_index(StorePool& pool, std::size_t begin,
+                                          std::size_t end) {
+  PoolIndex& idx = pool.index;
+  // The append re-interned: the transfer calls may have just (re)appeared
+  // and the string table may have grown. StringPool::find is a hash
+  // lookup, so this stays O(appended records), never a rescan.
+  idx.sys_write_id = pool.batch.pool().find("SYS_write").value_or(0);
+  idx.sys_read_id = pool.batch.pool().find("SYS_read").value_or(0);
+  if (idx.name_present.size() < pool.batch.pool().size()) {
+    idx.name_present.resize(pool.batch.pool().size(), false);
+  }
+  fold_index_records(idx, BatchAccess{&pool.batch}, begin, end);
+}
+
+bool UnifiedTraceStore::seal_open_era() {
+  if (pools_.empty() || !pools_.back().open) {
+    return false;
+  }
+  pools_.back().open = false;
+  metrics().era_seals.add(1);
+  return true;
+}
+
+void UnifiedTraceStore::notify_ingest(std::size_t pool, std::size_t begin,
+                                      std::size_t end) {
+  if (ingest_listener_ && begin != end) {
+    ingest_listener_(pool, begin, end);
+  }
 }
 
 std::size_t UnifiedTraceStore::ingest(const trace::TraceBundle& bundle) {
@@ -272,6 +390,17 @@ std::size_t UnifiedTraceStore::ingest_view(
     throw ConfigError(
         "unified store: the view does not borrow the given mapped file");
   }
+  metrics().ingest_flushes.add(1);
+  metrics().ingest_events.add(view.size());
+  if (stream_.has_value() && view.size() <= stream_->flush_events) {
+    // A small flush while streaming: materialize it into the open era
+    // (decoding verifies the CRC) and drop the mapped file — tens of
+    // thousands of tiny capture flushes must not pin tens of thousands of
+    // mappings.
+    trace::EventBatch batch = trace::decode_binary_batch(bytes);
+    return stream_append(parse_source_info(metadata), std::move(batch), {});
+  }
+  seal_open_era();
   StorePool pool;
   pool.view.emplace(std::move(view));
   pool.file = std::move(file);
@@ -286,6 +415,8 @@ std::size_t UnifiedTraceStore::ingest_view(
   index_pool(pool);
   sources_.push_back(std::move(info));
   pools_.push_back(std::move(pool));
+  notify_ingest(pools_.size() - 1, 0,
+                static_cast<std::size_t>(sources_.back().events));
   return source_index;
 }
 
@@ -298,6 +429,13 @@ std::size_t UnifiedTraceStore::ingest_view(
     throw ConfigError(
         "unified store: the view does not borrow the given mapped file");
   }
+  metrics().ingest_flushes.add(1);
+  metrics().ingest_events.add(view.size());
+  if (stream_.has_value() && view.size() <= stream_->flush_events) {
+    trace::EventBatch batch = view.to_batch();
+    return stream_append(parse_source_info(metadata), std::move(batch), {});
+  }
+  seal_open_era();
   StorePool pool;
   pool.blocks.emplace(std::move(view));
   pool.file = std::move(file);
@@ -312,6 +450,8 @@ std::size_t UnifiedTraceStore::ingest_view(
   index_pool(pool);
   sources_.push_back(std::move(info));
   pools_.push_back(std::move(pool));
+  notify_ingest(pools_.size() - 1, 0,
+                static_cast<std::size_t>(sources_.back().events));
   return source_index;
 }
 
@@ -319,11 +459,20 @@ std::size_t UnifiedTraceStore::ingest_view(
     const std::string& path,
     const std::map<std::string, std::string>& metadata,
     const std::optional<CipherKey>& key) {
-  return ingest_view(trace::MappedTraceFile(path), metadata, key);
+  // When index adoption is on, the open usually touches only the header,
+  // string table, and footer pages — don't prefault the record pages. A
+  // footer-less (or corrupt-footer) container still scans fine; the pages
+  // just fault in on demand.
+  return ingest_view(trace::MappedTraceFile(path, /*prefault=*/!adopt_indexes_),
+                     metadata, key);
 }
 
 std::size_t UnifiedTraceStore::compact(std::size_t era_bytes) {
   metrics().compact_calls.add(1);
+  // Compaction is an era boundary: the open era is sealed and becomes an
+  // ordinary merge candidate (the cold overload inherits this via the
+  // delegation below).
+  seal_open_era();
   std::vector<StorePool> merged;
   merged.reserve(pools_.size());
   std::size_t i = 0;
@@ -563,6 +712,9 @@ StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
           continue;
         }
         ingest_view(std::move(file), options.metadata, options.key);
+        if (pools_.back().persisted_index) {
+          metrics().attach_index_adopted.add(1);
+        }
         ++health.recovered_eras;
       } catch (const Error& err) {
         quarantine(e.name, err.what());
@@ -581,6 +733,9 @@ StoreHealth UnifiedTraceStore::attach_dir(const std::string& directory,
     for (const std::string& name : names) {
       try {
         ingest_view(directory + "/" + name, options.metadata, options.key);
+        if (pools_.back().persisted_index) {
+          metrics().attach_index_adopted.add(1);
+        }
         ++health.recovered_eras;
       } catch (const Error& err) {
         quarantine(name, err.what());
@@ -629,6 +784,9 @@ std::vector<StorePoolInfo> UnifiedTraceStore::pool_infos() const {
       info.min_time = pool.index.min_time;
       info.max_time = pool.index.max_time;
     }
+    info.open_era = pool.open;
+    info.flushes_absorbed = pool.flushes;
+    info.persisted_index = pool.persisted_index;
     infos.push_back(info);
   }
   return infos;

@@ -377,6 +377,15 @@ struct StorePoolInfo {
   bool any = false;
   SimTime min_time = 0;
   SimTime max_time = 0;
+  /// Streaming-ingest state: open_era is true while this pool is the
+  /// store's growing open batch (seal_open_era / a large ingest closes it);
+  /// flushes_absorbed counts the ingest calls folded into it (0 for pools
+  /// that never streamed).
+  bool open_era = false;
+  std::size_t flushes_absorbed = 0;
+  /// View-backed v2 pools only: the container carried a valid persisted
+  /// index footer and the pool adopted it instead of scanning records.
+  bool persisted_index = false;
   bool operator==(const StorePoolInfo&) const = default;
 };
 
@@ -405,6 +414,23 @@ struct AttachOptions {
   /// Source metadata applied to every attached container ("framework",
   /// "application").
   std::map<std::string, std::string> metadata;
+};
+
+/// Knobs for streaming (era-aware) ingest: set_stream_ingest routes small
+/// flushes into one growing *open era* pool instead of filing a pool per
+/// flush, so a long capture session produces tens of pools, not tens of
+/// thousands. The open era's index is maintained incrementally per append
+/// (stamp bounds extended, presence flags OR'd — never a rescan).
+struct StreamIngestOptions {
+  /// Flushes of at most this many events are absorbed into the open era;
+  /// larger ingests seal it and file their own pool as before.
+  std::size_t flush_events = 4096;
+  /// Seal the open era once its approximate in-memory footprint exceeds
+  /// this (the same quantity compact() sizes eras by).
+  std::size_t era_bytes = 8u << 20;
+  /// Also seal after this many absorbed flushes — an age bound for
+  /// low-rate streams. 0 = no flush-count bound.
+  std::size_t era_flushes = 0;
 };
 
 /// How queries react to damaged data (sticky per-block decode failures).
@@ -565,6 +591,43 @@ class UnifiedTraceStore {
   void set_use_indexes(bool use) noexcept { use_indexes_ = use; }
   [[nodiscard]] bool use_indexes() const noexcept { return use_indexes_; }
 
+  /// Enable streaming ingest (see StreamIngestOptions). Query results are
+  /// identical to one-pool-per-flush ingest — the open era batch is exactly
+  /// what compact() would have produced from the individual pools.
+  void set_stream_ingest(const StreamIngestOptions& options) {
+    stream_ = options;
+  }
+  /// Disable streaming ingest, sealing any open era first.
+  void disable_stream_ingest() {
+    seal_open_era();
+    stream_.reset();
+  }
+  [[nodiscard]] bool stream_ingest_enabled() const noexcept {
+    return stream_.has_value();
+  }
+  /// Close the open era batch (it becomes an ordinary sealed pool that
+  /// compact() / the cold tier may merge or spill). Returns whether an open
+  /// era existed. The next absorbed flush starts a fresh era.
+  bool seal_open_era();
+
+  /// Adopt persisted v2 index footers at ingest_view/attach_dir (default
+  /// on) instead of scanning records. The off position exists so tests and
+  /// bench_ingest can compare adopted vs rebuilt indexes; results are
+  /// identical either way.
+  void set_adopt_indexes(bool adopt) noexcept { adopt_indexes_ = adopt; }
+  [[nodiscard]] bool adopt_indexes() const noexcept { return adopt_indexes_; }
+
+  /// Called after records [begin_record, end_record) of pool `pool` are
+  /// filed (any ingest path: new pool, open-era append, attached
+  /// container). At most one listener; set an empty function to detach.
+  /// The live-DFG maintainer (analysis/dfg/live_dfg.h) hangs off this seam.
+  using IngestListener =
+      std::function<void(std::size_t pool, std::size_t begin_record,
+                         std::size_t end_record)>;
+  void set_ingest_listener(IngestListener listener) {
+    ingest_listener_ = std::move(listener);
+  }
+
   /// Damage tolerance for queries (ScanPolicy::skip_damaged); default is
   /// fail-fast.
   void set_scan_policy(ScanPolicy policy) noexcept { scan_policy_ = policy; }
@@ -658,6 +721,14 @@ class UnifiedTraceStore {
     PoolIndex index;
     std::size_t first_source = 0;
     std::size_t source_count = 1;
+    /// Streaming ingest: true while this is the store's open era batch
+    /// (always the LAST pool — any non-absorbing ingest seals it first, so
+    /// pools stay sorted by first_source); flushes counts the ingest calls
+    /// absorbed (0 for pools that never streamed).
+    bool open = false;
+    std::size_t flushes = 0;
+    /// A valid persisted v2 index footer was adopted for this pool.
+    bool persisted_index = false;
   };
 
   [[nodiscard]] std::optional<SkewDriftModel> fit_model(
@@ -676,8 +747,32 @@ class UnifiedTraceStore {
   /// Bounds check shared by the inline pool accessors.
   void check_pool_index(std::size_t p) const;
 
-  /// (Re)build a pool's skip index from its records.
-  static void index_pool(StorePool& pool);
+  /// (Re)build a pool's skip index: adopt a persisted footer when the pool
+  /// is a v2 view carrying a valid one (and adopt_indexes_), else fold a
+  /// full record scan through the same seam open-era appends extend
+  /// through (fold_index_records).
+  void index_pool(StorePool& pool);
+
+  /// The one index-maintenance seam: fold records [begin, end) of an
+  /// accessor into `idx` (stamp bounds, presence flags, name filter).
+  /// Callers size idx.name_present and resolve the transfer-call ids; both
+  /// full ingest scans and incremental open-era appends run through this.
+  template <class Acc>
+  static void fold_index_records(PoolIndex& idx, const Acc& acc,
+                                 std::size_t begin, std::size_t end);
+
+  /// Absorb a small flush into the open era batch (creating it if needed),
+  /// extending the pool index over just the appended suffix, then seal by
+  /// size/flush-count. Returns the new source index.
+  std::size_t stream_append(
+      StoreSourceInfo info, trace::EventBatch batch,
+      const std::vector<trace::DependencyEdge>& dependencies);
+
+  /// Re-resolve the open era's transfer-call ids and grow its name filter
+  /// after an append re-interned strings, then fold the appended suffix.
+  void extend_open_index(StorePool& pool, std::size_t begin, std::size_t end);
+
+  void notify_ingest(std::size_t pool, std::size_t begin, std::size_t end);
 
   /// Worker threads a scan resolves to: query_threads_, or hardware
   /// concurrency when auto (0).
@@ -732,6 +827,9 @@ class UnifiedTraceStore {
   /// still serve block-backed pools from).
   std::size_t cold_era_seq_ = 0;
   bool use_indexes_ = true;
+  std::optional<StreamIngestOptions> stream_;
+  bool adopt_indexes_ = true;
+  IngestListener ingest_listener_;
 };
 
 }  // namespace iotaxo::analysis

@@ -33,6 +33,7 @@ constexpr std::uint8_t kFlagCompressed = 0x01;
 constexpr std::uint8_t kFlagEncrypted = 0x02;
 constexpr std::uint8_t kFlagChecksummed = 0x04;
 constexpr std::uint8_t kFlagProjected = 0x08;  // v3 columnar projection
+constexpr std::uint8_t kFlagIndexed = 0x10;    // v2 pool-index footer
 constexpr std::size_t kHeaderSize = kContainerHeaderSize;
 // Fixed fields plus the four (possibly zero-length) string length prefixes
 // of a v1 record — the minimum body bytes one record can occupy. Corrupt
@@ -216,10 +217,13 @@ void encode_cold_record(Writer& w, const EventRecord& rec) {
 }
 
 /// Wrap a finished body in the shared container envelope (compress /
-/// encrypt / checksum, then magic + flags + counts).
+/// encrypt / checksum, then magic + flags + counts). `extra_flags` carries
+/// body-shape bits the caller already baked into the payload (today only
+/// kFlagIndexed from the v2 encoder).
 [[nodiscard]] std::vector<std::uint8_t> seal_container(
     const char (&magic)[6], std::vector<std::uint8_t> payload,
-    std::uint64_t count, const BinaryOptions& options) {
+    std::uint64_t count, const BinaryOptions& options,
+    std::uint8_t extra_flags = 0) {
   if (options.encrypt && !options.key.has_value()) {
     throw ConfigError("binary trace: encryption requested without a key");
   }
@@ -227,7 +231,7 @@ void encode_cold_record(Writer& w, const EventRecord& rec) {
     throw ConfigError(
         "binary trace: columnar projection requires the v3 block container");
   }
-  std::uint8_t flags = 0;
+  std::uint8_t flags = extra_flags;
   if (options.compress) {
     payload = lz_compress(payload);
     flags |= kFlagCompressed;
@@ -300,7 +304,8 @@ void encode_cold_record(Writer& w, const EventRecord& rec) {
 }
 
 [[nodiscard]] EventBatch decode_batch_body(std::span<const std::uint8_t> body,
-                                           std::uint64_t count) {
+                                           std::uint64_t count,
+                                           bool indexed = false) {
   Reader r(body);
   EventBatch batch;
 
@@ -374,13 +379,70 @@ void encode_cold_record(Writer& w, const EventRecord& rec) {
                               static_cast<std::size_t>(args_begin),
                               args_count));
   }
-  if (!r.at_end()) {
+  // Indexed bodies carry the pool-index footer after the records; the
+  // decoder materializes the batch, so the footer is simply skipped.
+  if (!indexed && !r.at_end()) {
     throw FormatError("binary trace: trailing bytes after records");
   }
   return batch;
 }
 
 }  // namespace
+
+std::optional<PoolIndexFooter> parse_v2_index_footer(
+    std::span<const std::uint8_t> tail, std::uint64_t expect_records,
+    std::uint32_t expect_nstrings, std::string* error) {
+  const auto fail = [error](const char* why) -> std::optional<PoolIndexFooter> {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return std::nullopt;
+  };
+  if (tail.size() < v2footer::kFixedSize + v2footer::kTrailerSize) {
+    return fail("index footer truncated");
+  }
+  Reader trailer(tail.subspan(tail.size() - v2footer::kTrailerSize));
+  const std::uint64_t footer_len = trailer.u64();
+  const std::uint32_t footer_crc = trailer.u32();
+  if (trailer.u32() != v2footer::kFooterMagic) {
+    return fail("bad index footer magic");
+  }
+  if (footer_len != tail.size() - v2footer::kTrailerSize) {
+    return fail("index footer length mismatch");
+  }
+  const std::span<const std::uint8_t> footer =
+      tail.first(static_cast<std::size_t>(footer_len));
+  if (crc32(footer) != footer_crc) {
+    return fail("index footer CRC mismatch");
+  }
+  Reader r(footer);
+  const std::uint8_t flags = r.u8();
+  PoolIndexFooter out;
+  out.any = (flags & v2footer::kAny) != 0;
+  out.has_fd_path = (flags & v2footer::kHasFdPath) != 0;
+  out.has_io_bytes = (flags & v2footer::kHasIoBytes) != 0;
+  out.min_time = r.i64();
+  out.max_time = r.i64();
+  out.records = r.u64();
+  const std::uint32_t nstrings = r.u32();
+  // The footer must describe THIS body: a stale or transplanted footer
+  // whose counts disagree with the envelope is rejected, not adopted.
+  if (out.records != expect_records) {
+    return fail("index footer record count mismatch");
+  }
+  if (nstrings != expect_nstrings) {
+    return fail("index footer string count mismatch");
+  }
+  const std::size_t bitmap_bytes = (nstrings + 7u) / 8u;
+  if (footer_len != v2footer::kFixedSize + bitmap_bytes) {
+    return fail("index footer bitmap length mismatch");
+  }
+  out.name_bitmap.assign(footer.begin() + v2footer::kFixedSize, footer.end());
+  if (error != nullptr) {
+    error->clear();
+  }
+  return out;
+}
 
 std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
                                         const BinaryOptions& options) {
@@ -404,7 +466,48 @@ std::vector<std::uint8_t> encode_binary_v2(const EventBatch& batch,
   for (const EventRecord& rec : batch.records()) {
     encode_record(body, rec);
   }
-  return seal_container(kMagicV2, body.take(), batch.size(), options);
+  if (!options.index_footer) {
+    return seal_container(kMagicV2, body.take(), batch.size(), options);
+  }
+
+  // Pool-index footer: the same stats UnifiedTraceStore::index_pool folds
+  // from a record scan, persisted so readers can skip that scan.
+  std::uint8_t flags = 0;
+  SimTime min_time = 0;
+  SimTime max_time = 0;
+  std::vector<std::uint8_t> bitmap((batch.pool().size() + 7) / 8);
+  for (const EventRecord& rec : batch.records()) {
+    if ((flags & v2footer::kAny) == 0) {
+      min_time = max_time = rec.local_start;
+      flags |= v2footer::kAny;
+    } else {
+      min_time = std::min(min_time, rec.local_start);
+      max_time = std::max(max_time, rec.local_start);
+    }
+    bitmap[rec.name >> 3] |= static_cast<std::uint8_t>(1u << (rec.name & 7u));
+    if (rec.path != 0 && rec.fd >= 0) {
+      flags |= v2footer::kHasFdPath;
+    }
+    if (rec.is_io_call() && rec.bytes > 0) {
+      flags |= v2footer::kHasIoBytes;
+    }
+  }
+  Writer footer;
+  footer.u8(flags);
+  footer.i64(min_time);
+  footer.i64(max_time);
+  footer.u64(batch.size());
+  footer.u32(static_cast<std::uint32_t>(batch.pool().size()));
+  for (const std::uint8_t byte : bitmap) {
+    footer.u8(byte);
+  }
+  const std::vector<std::uint8_t> footer_bytes = footer.take();
+  body.bytes(footer_bytes);
+  body.u64(footer_bytes.size());
+  body.u32(crc32(footer_bytes));
+  body.u32(v2footer::kFooterMagic);
+  return seal_container(kMagicV2, body.take(), batch.size(), options,
+                        kFlagIndexed);
 }
 
 std::vector<std::uint8_t> encode_binary_v2(
@@ -578,8 +681,12 @@ BinaryHeader peek_binary_header(std::span<const std::uint8_t> data) {
   h.encrypted = (flags & kFlagEncrypted) != 0;
   h.checksummed = (flags & kFlagChecksummed) != 0;
   h.projected = (flags & kFlagProjected) != 0;
+  h.indexed = (flags & kFlagIndexed) != 0;
   if (h.projected && h.version != 3) {
     throw FormatError("binary trace: projected flag is v3-only");
+  }
+  if (h.indexed && h.version != 2) {
+    throw FormatError("binary trace: indexed flag is v2-only");
   }
   h.count = r.u64();
   h.payload_length = r.u64();
@@ -594,7 +701,7 @@ std::vector<TraceEvent> decode_binary(std::span<const std::uint8_t> data,
   }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {
-    return decode_batch_body(body, h.count).to_events();
+    return decode_batch_body(body, h.count, h.indexed).to_events();
   }
   // A count the body cannot hold is corruption and must not reach
   // reserve() as a giant allocation.
@@ -623,7 +730,7 @@ EventBatch decode_binary_batch(std::span<const std::uint8_t> data,
   }
   const std::vector<std::uint8_t> body = open_container(data, h, key);
   if (h.version == 2) {
-    return decode_batch_body(body, h.count);
+    return decode_batch_body(body, h.count, h.indexed);
   }
   // v1 interop fast path: intern each record's strings straight from the
   // body into the output batch — no per-event TraceEvent round-trip, no

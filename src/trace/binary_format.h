@@ -6,7 +6,8 @@
 //
 // Three container versions share one outer envelope:
 //   magic   "IOTB1\n", "IOTB2\n" or "IOTB3\n"   6 bytes
-//   flags   u8  (bit0 compressed, bit1 encrypted, bit2 checksummed)
+//   flags   u8  (bit0 compressed, bit1 encrypted, bit2 checksummed,
+//                bit4 indexed — v2-only pool-index footer; see below)
 //   count   u64 LE   number of event records
 //   paylen  u64 LE   payload length (everything after this header)
 //   payload
@@ -35,6 +36,33 @@
 //             u32 host-id      u32 path-id      i32 fd
 //             i64 bytes        i64 offset
 //             u32 uid          u32 gid
+//
+// v2 index footer (flags bit4, BinaryOptions::index_footer): the store's
+// pool index serialized after the record section, so readers that file the
+// container (ingest_view, attach_dir) adopt it instead of scanning every
+// record — the v2 counterpart of v3's per-block mini-indexes. Layout
+// (offsets in v2footer below):
+//   footer  fixed fields + name bitmap:
+//             u8  flags        bit0 any, bit1 has_fd_path, bit2 has_io_bytes
+//             i64 min_time     min/max local_start over all records
+//             i64 max_time     (meaningful iff bit0 any)
+//             u64 records      record count (must equal the envelope count)
+//             u32 nstrings     string-table size (must match the body's)
+//             name bitmap      (nstrings + 7) / 8 bytes; bit id set iff
+//                              some record's *name* is string id `id`
+//   trailer (16 bytes, last in the body)
+//             footer_len  u64  byte length of the footer region
+//             footer_crc  u32  CRC-32 of the footer region (always present,
+//                              independent of the deferred payload CRC, so
+//                              adoption can trust the index without hashing
+//                              the whole payload)
+//             magic       u32  v2footer::kFooterMagic
+// The footer rides inside the payload, so the envelope CRC and the
+// durable-write protocol cover it like any other body bytes. Readers
+// without bit4 knowledge never see it (the bit is rejected as unknown);
+// footer-less files keep decoding exactly as before. A corrupt or
+// truncated footer never fails an open — readers fall back to scanning
+// records (parse_v2_index_footer returns nullopt with the reason).
 //
 // v3 body (IOTB3): the *block-structured* container — the v2 record section
 // split into fixed-record-count blocks that are independently compressed,
@@ -99,6 +127,10 @@
 //                                                  lazy, on
 //                                                  first touch)
 //   v2 compressed/encrypted   yes                  no          no
+//   v2 indexed (footer)       yes (footer          yes (footer no
+//                             skipped)             parsed, bad
+//                                                  footer =
+//                                                  scan fallback)
 //   v3 plain / checksummed /  yes                  no          yes (blocks
 //      compressed                                              decoded +
 //                                                              verified
@@ -211,6 +243,55 @@ inline constexpr std::uint64_t kKeyCheckPlain = 0x33425846'1077B3AAULL;
 }
 }  // namespace v3layout
 
+/// Byte layout of the optional IOTB2 index footer (see the container
+/// comment above). Shared by the encoder, trace::BatchView and the
+/// corruption tests. Offsets are within the footer region.
+namespace v2footer {
+inline constexpr std::size_t kFlags = 0;      // u8
+inline constexpr std::size_t kMinTime = 1;    // i64
+inline constexpr std::size_t kMaxTime = 9;    // i64
+inline constexpr std::size_t kRecords = 17;   // u64
+inline constexpr std::size_t kNStrings = 25;  // u32
+inline constexpr std::size_t kFixedSize = 29; // name bitmap follows
+
+inline constexpr std::uint8_t kAny = 0x01;
+inline constexpr std::uint8_t kHasFdPath = 0x02;
+inline constexpr std::uint8_t kHasIoBytes = 0x04;
+
+/// Trailer: footer_len u64 + footer_crc u32 + magic u32.
+inline constexpr std::size_t kTrailerSize = 16;
+inline constexpr std::uint32_t kFooterMagic = 0x32495846u;  // "FXI2" LE
+}  // namespace v2footer
+
+/// A v2 index footer in parsed form: everything UnifiedTraceStore's pool
+/// index needs except the interned transfer-call ids (those are looked up
+/// in the string table at adoption time).
+struct PoolIndexFooter {
+  bool any = false;
+  SimTime min_time = 0;
+  SimTime max_time = 0;
+  bool has_fd_path = false;
+  bool has_io_bytes = false;
+  std::uint64_t records = 0;
+  /// Name-presence filter, one bit per string id, (nstrings + 7) / 8 bytes.
+  std::vector<std::uint8_t> name_bitmap;
+
+  [[nodiscard]] bool has_name(StrId id) const noexcept {
+    return (id >> 3) < name_bitmap.size() &&
+           ((name_bitmap[id >> 3] >> (id & 7u)) & 1u) != 0;
+  }
+};
+
+/// Parse the index-footer region of an indexed v2 body — `tail` is
+/// everything after the `count x 81`-byte record section. Validates the
+/// footer's own CRC and cross-checks the record/string counts against the
+/// envelope, so a corrupt, truncated or mismatched footer degrades to
+/// nullopt (with the reason in `*error` when given) rather than an open
+/// failure; callers fall back to scanning records.
+[[nodiscard]] std::optional<PoolIndexFooter> parse_v2_index_footer(
+    std::span<const std::uint8_t> tail, std::uint64_t expect_records,
+    std::uint32_t expect_nstrings, std::string* error = nullptr);
+
 struct BinaryOptions {
   bool compress = false;
   bool encrypt = false;
@@ -219,6 +300,10 @@ struct BinaryOptions {
   /// column group so narrow queries decode a fraction of the bytes.
   /// Rejected (ConfigError) by the v1/v2 encoders.
   bool project = false;
+  /// Append the pool-index footer (v2 only; flags bit4) so readers adopt
+  /// the index instead of scanning records. Ignored by the v1/v3 encoders
+  /// (v3 always carries per-block mini-indexes).
+  bool index_footer = false;
   /// Required when encrypt is true.
   std::optional<CipherKey> key;
   /// IV derivation seed for v1/v2 whole-body encryption (vary per file).
@@ -284,6 +369,7 @@ struct BinaryHeader {
   bool encrypted = false;
   bool checksummed = false;
   bool projected = false;  // v3 columnar projection (flags bit3)
+  bool indexed = false;    // v2 pool-index footer (flags bit4)
   std::uint64_t count = 0;
   std::uint64_t payload_length = 0;
 };

@@ -50,9 +50,18 @@ void EventBatch::append(const EventBatch& other) {
     return slot;
   };
 
+  // Grow geometrically: vector::reserve allocates exactly what is asked
+  // for, so a streaming store appending many small flushes would otherwise
+  // reallocate (and copy) the whole open era on every flush.
+  const auto grow = [](auto& v, std::size_t extra) {
+    const std::size_t want = v.size() + extra;
+    if (want > v.capacity()) {
+      v.reserve(std::max(want, v.capacity() * 2));
+    }
+  };
   pool_.reserve(pool_.size() + other.pool_.size());
-  records_.reserve(records_.size() + other.records_.size());
-  arg_ids_.reserve(arg_ids_.size() + other.arg_ids_.size());
+  grow(records_, other.records_.size());
+  grow(arg_ids_, other.arg_ids_.size());
   for (std::size_t i = 0; i < other.records_.size(); ++i) {
     EventRecord rec = other.records_[i];
     rec.name = xlat(rec.name);

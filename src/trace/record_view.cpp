@@ -123,37 +123,63 @@ BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
   }
   args_ = body.subspan(pos, static_cast<std::size_t>(nargids) * 4);
   pos += args_.size();
-  // Validate the table values here, not just the records' slice bounds:
-  // the constructor contract is "throws on anything decode_binary_batch
-  // would reject", and consumers (materialize, the replay adapter)
-  // dereference arg ids long after open. Branch-free max fold (SSE/NEON
-  // fast path in scan_kernels) — a throw inside the loop would cost the
-  // view gate real open time on big argument tables.
-  if (nargids > 0) {
-    const std::uint32_t max_arg_id = scan::max_u32_le(
-        args_.data(), static_cast<std::size_t>(nargids));
-    if (max_arg_id >= nstrings) {
-      throw FormatError(strprintf(
-          "binary trace v2: arg string id %u out of range", max_arg_id));
-    }
-  }
 
   // --- fixed-stride record section ---------------------------------------
   count_ = static_cast<std::size_t>(header_.count);
-  const std::size_t records_bytes = body.size() - pos;
-  if (records_bytes / v2layout::kStride < count_) {
+  const std::size_t avail_records = body.size() - pos;
+  if (avail_records / v2layout::kStride < count_) {
     throw FormatError("binary trace: truncated record");
   }
-  if (records_bytes != count_ * v2layout::kStride) {
+  const std::size_t records_bytes = count_ * v2layout::kStride;
+  if (header_.indexed) {
+    // The record section is located by the envelope count, never the
+    // footer trailer — so a corrupt or truncated footer degrades to a
+    // scan fallback (persisted_index() nullopt), not an open failure.
+    persisted_ = parse_v2_index_footer(body.subspan(pos + records_bytes),
+                                       header_.count, nstrings,
+                                       &footer_error_);
+  } else if (avail_records != records_bytes) {
     throw FormatError("binary trace: trailing bytes after records");
   }
   records_ = body.subspan(pos, records_bytes);
 
   // --- one validation pass over the records so every accessor after this
-  // point is an unchecked load -------------------------------------------
+  // point is an unchecked load. When a validated index footer is present
+  // the pass is deferred to the first record touch instead (same gate as
+  // the deferred CRC): an index-adopting open must stay O(strings), and a
+  // query the footer lets skip this pool must never page the record
+  // section in at all. ----------------------------------------------------
+  if (persisted_.has_value()) {
+    crc_gate_ = std::make_shared<CrcGate>();
+  } else {
+    validate_records();
+    records_validated_ = true;
+    // Arm the deferred-CRC gate last: the accessors the pass above used
+    // run gate-free during construction (the structural pass must not pay
+    // the hash the laziness exists to avoid).
+    if (header_.checksummed) {
+      crc_gate_ = std::make_shared<CrcGate>();
+    }
+  }
+}
+
+void BatchView::validate_records() const {
+  const std::size_t nstrings = strings_.size();
+  // Validate the arg table's values, not just its slice bounds: consumers
+  // (materialize, the replay adapter) dereference arg ids long after open.
+  // Branch-free max fold (SSE/NEON fast path in scan_kernels) — a throw
+  // inside the loop would cost real time on big argument tables.
+  const std::size_t nargids = arg_id_count();
+  if (nargids > 0) {
+    const std::uint32_t max_arg_id = scan::max_u32_le(args_.data(), nargids);
+    if (max_arg_id >= nstrings) {
+      throw FormatError(strprintf(
+          "binary trace v2: arg string id %u out of range", max_arg_id));
+    }
+  }
   std::uint64_t args_sum = 0;
   for (std::size_t i = 0; i < count_; ++i) {
-    const RecordView rec = record(i);
+    const RecordView rec(records_.data() + i * v2layout::kStride);
     if (static_cast<std::uint8_t>(rec.cls()) >
         static_cast<std::uint8_t>(EventClass::kAnnotation)) {
       throw FormatError("binary trace: bad event class");
@@ -166,15 +192,8 @@ BatchView::BatchView(std::span<const std::uint8_t> data) : buffer_(data) {
     }
     args_sum += rec.args_count();
   }
-  if (args_sum > nargids) {
+  if (args_sum > arg_id_count()) {
     throw FormatError("binary trace v2: record args out of range");
-  }
-
-  // Arm the deferred-CRC gate last: the accessors the loops above used run
-  // gate-free during construction (the structural pass must not pay the
-  // hash the laziness exists to avoid).
-  if (header_.checksummed) {
-    crc_gate_ = std::make_shared<CrcGate>();
   }
 }
 
@@ -184,9 +203,22 @@ void BatchView::verify_checksum_slow() const {
   if (state == 1) {
     return;
   }
-  if (state == 2 || crc32(body_) != stored_crc_) {
+  if (state == 2 ||
+      (header_.checksummed && crc32(body_) != stored_crc_)) {
     crc_gate_->state.store(2, std::memory_order_release);
     throw FormatError("binary trace: checksum mismatch");
+  }
+  if (!records_validated_) {
+    // Index-adopting opens deferred the structural record pass; it runs
+    // here, after the CRC vouched for the bytes, so every accessor behind
+    // the gate is still an unchecked load.
+    try {
+      validate_records();
+    } catch (const FormatError&) {
+      crc_gate_->state.store(2, std::memory_order_release);
+      throw;
+    }
+    records_validated_ = true;
   }
   crc_gate_->state.store(1, std::memory_order_release);
 }
@@ -202,6 +234,11 @@ std::string_view BatchView::string(StrId id) const {
 
 std::optional<StrId> BatchView::find_string(std::string_view s) const {
   ensure_checksum();
+  return find_string_unchecked(s);
+}
+
+std::optional<StrId> BatchView::find_string_unchecked(
+    std::string_view s) const noexcept {
   for (std::size_t id = 0; id < strings_.size(); ++id) {
     if (strings_[id] == s) {
       return static_cast<StrId>(id);
@@ -248,7 +285,8 @@ TraceEvent BatchView::materialize(std::size_t i,
 
 // ---------------------------------------------------------------- mapping
 
-MappedTraceFile::MappedTraceFile(const std::string& path) : path_(path) {
+MappedTraceFile::MappedTraceFile(const std::string& path, bool prefault)
+    : path_(path) {
 #if IOTAXO_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -266,7 +304,9 @@ MappedTraceFile::MappedTraceFile(const std::string& path) : path_(path) {
     // thousands of minor faults mid-scan.
     int flags = MAP_PRIVATE;
 #ifdef MAP_POPULATE
-    flags |= MAP_POPULATE;
+    if (prefault) {
+      flags |= MAP_POPULATE;
+    }
 #endif
     void* p = ::mmap(nullptr, len, PROT_READ, flags, fd, 0);
     if (p != MAP_FAILED) {
@@ -298,6 +338,7 @@ MappedTraceFile::MappedTraceFile(const std::string& path) : path_(path) {
   }
   ::close(fd);
 #else
+  (void)prefault;  // the read fallback always loads everything
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw IoError("cannot open trace file: " + path);

@@ -270,11 +270,13 @@ class BatchView {
     return RecordView(records_.data() + i * v2layout::kStride);
   }
 
-  /// Verify the deferred whole-payload CRC: a no-op when the container is
-  /// not checksummed or the CRC already verified; throws FormatError on a
-  /// mismatch (sticky — every later touch rethrows). Every record/string
-  /// accessor calls this, so callers only need it to force verification
-  /// eagerly (or before handing raw record_bytes() to a scan kernel).
+  /// Verify the deferred payload checks: the whole-payload CRC and, on
+  /// index-adopting opens that skipped it, the structural record pass. A
+  /// no-op once verified (or when nothing was deferred); throws
+  /// FormatError on a mismatch (sticky — every later touch rethrows).
+  /// Every record/string accessor calls this, so callers only need it to
+  /// force verification eagerly (or before handing raw record_bytes() to
+  /// a scan kernel).
   void ensure_checksum() const {
     if (crc_gate_ != nullptr &&
         crc_gate_->state.load(std::memory_order_acquire) != 1) {
@@ -304,6 +306,24 @@ class BatchView {
   /// Id for `s` if the table holds it (linear scan — the table is small
   /// relative to the record section).
   [[nodiscard]] std::optional<StrId> find_string(std::string_view s) const;
+  /// find_string without forcing the deferred payload CRC. The string table
+  /// was structurally validated at open; index adoption uses this so
+  /// resolving the transfer-call ids does not pay the whole-payload hash
+  /// the persisted index exists to avoid.
+  [[nodiscard]] std::optional<StrId> find_string_unchecked(
+      std::string_view s) const noexcept;
+
+  /// The parsed v2 index footer when the container carries one (flags bit4)
+  /// and it validated (own CRC + count cross-checks). nullopt on footer-less
+  /// containers AND on a corrupt footer — callers fall back to scanning;
+  /// footer_error() says why when an indexed container yields nullopt.
+  [[nodiscard]] const std::optional<PoolIndexFooter>& persisted_index()
+      const noexcept {
+    return persisted_;
+  }
+  [[nodiscard]] const std::string& footer_error() const noexcept {
+    return footer_error_;
+  }
 
   [[nodiscard]] std::size_t arg_id_count() const noexcept {
     return args_.size() / 4;
@@ -331,27 +351,37 @@ class BatchView {
                                        std::uint32_t args_begin) const;
 
  private:
-  /// Shared deferred-CRC gate: 0 unverified, 1 verified, 2 failed
-  /// (sticky). Shared across view copies so the payload is hashed at most
-  /// once; the mutex serializes the slow path, the atomic keeps the
-  /// per-access fast path to one acquire load.
+  /// Shared deferred-verification gate (CRC + deferred record pass):
+  /// 0 unverified, 1 verified, 2 failed (sticky). Shared across view
+  /// copies so the payload is hashed at most once; the mutex serializes
+  /// the slow path, the atomic keeps the per-access fast path to one
+  /// acquire load.
   struct CrcGate {
     std::mutex m;
     std::atomic<int> state{0};
   };
 
   void verify_checksum_slow() const;
+  void validate_records() const;
 
   BinaryHeader header_;
   std::span<const std::uint8_t> buffer_;   // the whole borrowed container
   std::span<const std::uint8_t> body_;     // the payload the CRC covers
   std::span<const std::uint8_t> records_;  // count_ * kStride bytes
   std::span<const std::uint8_t> args_;     // nargids * 4 bytes
+  std::optional<PoolIndexFooter> persisted_;
+  std::string footer_error_;
   std::vector<std::string_view> strings_;  // id -> bytes in the buffer
   std::size_t string_bytes_ = 0;
   std::size_t count_ = 0;
   std::uint32_t stored_crc_ = 0;
-  std::shared_ptr<CrcGate> crc_gate_;  // null when not checksummed
+  // True once the structural record pass ran (eagerly in the constructor,
+  // or behind the gate for index-adopting opens). Only mutated under the
+  // gate mutex after construction.
+  mutable bool records_validated_ = false;
+  // Null when nothing was deferred (not checksummed and records validated
+  // eagerly).
+  std::shared_ptr<CrcGate> crc_gate_;
 };
 
 /// Read-only bytes of a trace file, mmapped when possible. Move-only; the
@@ -362,8 +392,11 @@ class MappedTraceFile {
   MappedTraceFile() = default;
   /// Opens and maps `path`; falls back to reading the file into an owned
   /// buffer when mmap is unavailable. Throws IoError when the file cannot
-  /// be opened or read.
-  explicit MappedTraceFile(const std::string& path);
+  /// be opened or read. `prefault` faults the whole mapping in up front —
+  /// right for opens that will scan every record, wrong for index-adopting
+  /// opens that only touch the header, string table, and footer pages
+  /// (record pages then fault in lazily if a query ever needs them).
+  explicit MappedTraceFile(const std::string& path, bool prefault = true);
   ~MappedTraceFile();
 
   MappedTraceFile(MappedTraceFile&& other) noexcept;

@@ -7,7 +7,8 @@ namespace iotaxo::trace {
 
 StringPool::StringPool() { (void)intern(std::string_view{}); }
 
-StringPool::StringPool(const StringPool& other) : index_(other.index_) {
+StringPool::StringPool(const StringPool& other)
+    : index_(other.index_), bytes_(other.bytes_) {
   by_id_.assign(other.by_id_.size(), nullptr);
   for (const auto& [s, id] : index_) {
     by_id_[id] = &s;
@@ -17,6 +18,7 @@ StringPool::StringPool(const StringPool& other) : index_(other.index_) {
 StringPool& StringPool::operator=(const StringPool& other) {
   if (this != &other) {
     index_ = other.index_;
+    bytes_ = other.bytes_;
     by_id_.assign(other.by_id_.size(), nullptr);
     for (const auto& [s, id] : index_) {
       by_id_[id] = &s;
@@ -34,6 +36,7 @@ StrId StringPool::intern(std::string_view s) {
   const auto [inserted, ok] = index_.emplace(std::string(s), id);
   (void)ok;
   by_id_.push_back(&inserted->first);
+  bytes_ += s.size() + sizeof(std::string);
   return id;
 }
 
@@ -58,6 +61,7 @@ const std::string& StringPool::str(StrId id) const {
 void StringPool::clear() {
   index_.clear();
   by_id_.clear();
+  bytes_ = 0;
   (void)intern(std::string_view{});
 }
 

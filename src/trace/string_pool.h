@@ -7,6 +7,7 @@
 // Id 0 is always the empty string, so zero-initialized records are valid.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -43,12 +44,23 @@ class StringPool {
   /// Number of distinct strings (including the implicit empty string).
   [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
 
+  /// Total bytes of interned string payload plus per-entry overhead, kept
+  /// incrementally so size estimates (era seal checks run once per flush)
+  /// never have to walk the pool.
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bytes_; }
+
   /// Pre-size for ~n distinct strings. The re-intern paths (batch append,
   /// container decode) know the incoming pool size up front; reserving
   /// avoids the rehash cascade that otherwise shows up in ingest profiles.
+  /// Growth is geometric: a stream of small appends each asking for "size
+  /// + a little more" must not re-reserve (and rehash/copy) every call.
   void reserve(std::size_t n) {
-    index_.reserve(n);
-    by_id_.reserve(n);
+    if (n <= by_id_.capacity()) {
+      return;
+    }
+    const std::size_t want = std::max(n, by_id_.capacity() * 2);
+    index_.reserve(want);
+    by_id_.reserve(want);
   }
 
   /// Visit every interned string in id order (serialization).
@@ -76,6 +88,7 @@ class StringPool {
   // by_id_ can point straight into the map.
   std::unordered_map<std::string, StrId, Hash, std::equal_to<>> index_;
   std::vector<const std::string*> by_id_;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace iotaxo::trace

@@ -109,6 +109,15 @@ constexpr CatalogEntry kCatalog[] = {
     {"store.attach.quarantined", MetricKind::kCounter},
     {"store.attach.recovered_eras", MetricKind::kCounter},
     {"store.attach.torn_tmps_removed", MetricKind::kCounter},
+    // Streaming ingest (analysis/unified_store.cpp)
+    {"ingest.era_seals", MetricKind::kCounter},
+    {"ingest.events", MetricKind::kCounter},
+    {"ingest.flushes", MetricKind::kCounter},
+    {"ingest.index_adopted", MetricKind::kCounter},
+    {"ingest.index_rebuilt", MetricKind::kCounter},
+    {"attach.index_adopted", MetricKind::kCounter},
+    // Live DFG maintenance (analysis/dfg/live_dfg.cpp)
+    {"dfg.incremental_merges", MetricKind::kCounter},
     // Durable writes (trace/binary_format.cpp write_binary_file)
     {"durable.write.bytes", MetricKind::kCounter},
     {"durable.write.files", MetricKind::kCounter},

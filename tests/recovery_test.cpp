@@ -540,6 +540,75 @@ TEST(CrashMatrix, TornWritesAtEveryWidthRecover) {
   }
 }
 
+// Streaming ingest adds a window the original matrix never exercised: the
+// open era is sealed (an in-memory state change) before the cold commit
+// persists it. A crash anywhere between the seal and the manifest rename
+// must roll back to the last committed state — the seal itself commits
+// nothing — and a clean re-run afterwards must commit everything the
+// streamed flushes carried.
+TEST(CrashMatrix, CrashBetweenEraSealAndManifestCommitRollsBack) {
+  FailpointGuard guard;
+  UnifiedTraceStore owned_before;
+  owned_before.ingest(EventBatch::from_events(era_events(0, 40)),
+                      {{"framework", "test"}});
+  const auto before = all_queries(owned_before);
+  UnifiedTraceStore owned_after;
+  for (int era = 0; era < 2; ++era) {
+    owned_after.ingest(EventBatch::from_events(era_events(era, 40)),
+                       {{"framework", "test"}});
+  }
+  const auto after = all_queries(owned_after);
+
+  const auto stream_era1 = [](UnifiedTraceStore& store) {
+    store.set_stream_ingest(StreamIngestOptions{});
+    const std::vector<TraceEvent> events = era_events(1, 40);
+    for (std::size_t i = 0; i < events.size(); i += 8) {
+      store.ingest(
+          EventBatch::from_events({events.begin() + static_cast<long>(i),
+                                   events.begin() + static_cast<long>(i + 8)}),
+          {{"framework", "test"}});
+    }
+    EXPECT_EQ(store.pool_infos().back().flushes_absorbed, 5u);
+    EXPECT_TRUE(store.seal_open_era());
+  };
+
+  for (const char* point :
+       {"store.cold.spill", "store.cold.rename", "store.manifest.rename"}) {
+    SCOPED_TRACE(point);
+    const std::string dir = make_scratch_dir("stream_seal");
+    commit_era(dir, 0, 40);
+    {
+      UnifiedTraceStore store;
+      (void)store.attach_dir(dir);
+      stream_era1(store);
+      fail::configure(point, "crash");
+      EXPECT_THROW(
+          (void)store.compact(static_cast<std::size_t>(-1), cold_options(dir)),
+          fail::CrashError);
+      fail::clear();
+    }  // the crashed process's store (and its sealed era) dies with it
+    UnifiedTraceStore recovered;
+    const StoreHealth health = recovered.attach_dir(dir);
+    EXPECT_EQ(all_queries(recovered), before);
+    EXPECT_EQ(health.recovered_eras, 1u);
+
+    // The retry: stream the same flushes again and commit cleanly. A crash
+    // after the era rename leaves a stale uncommitted container behind
+    // (quarantined here, adopted or removed by `fsck --repair`); the
+    // re-commit spills under a fresh seq, so queries still see exactly the
+    // committed data.
+    stream_era1(recovered);
+    ASSERT_GE(
+        recovered.compact(static_cast<std::size_t>(-1), cold_options(dir)),
+        1u);
+    UnifiedTraceStore committed;
+    const StoreHealth committed_health = committed.attach_dir(dir);
+    EXPECT_LE(committed_health.quarantined.size(), 1u);
+    EXPECT_EQ(all_queries(committed), after);
+    std::filesystem::remove_all(dir);
+  }
+}
+
 // An `error`-spec failure (transient syscall error, not a crash) surfaces
 // as IoError through compact, and the store directory stays attachable.
 TEST(CrashMatrix, ErrorSpecSurfacesIoErrorAndKeepsDirConsistent) {

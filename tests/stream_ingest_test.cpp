@@ -1,0 +1,500 @@
+// Streaming-ingest tests: the v2 persisted index footer (round-trip,
+// corrupt/truncated fallback-to-scan, adopted-vs-rebuilt query identity),
+// era-aware open batches (bit-identical to one-pool-per-flush across every
+// query and the mined DFG, bounded pool counts, seal semantics), and the
+// live DFG maintainer (snapshot == cold rebuild at any thread count, for
+// any flush interleaving, rank filters and sequences included).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/dfg/dfg.h"
+#include "analysis/dfg/live_dfg.h"
+#include "analysis/unified_store.h"
+#include "trace/binary_format.h"
+#include "trace/event_batch.h"
+#include "trace/record_view.h"
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace iotaxo::trace {
+namespace {
+
+using analysis::StreamIngestOptions;
+using analysis::UnifiedTraceStore;
+
+/// Metrics record only while armed; scope the arming so other tests keep
+/// seeing the (cheaper) disarmed counters.
+struct ObsGuard {
+  ObsGuard() { obs::set_enabled(true); }
+  ~ObsGuard() { obs::set_enabled(false); }
+};
+
+[[nodiscard]] std::uint64_t metric_delta(const obs::MetricsSnapshot& before,
+                                         const char* name) {
+  const obs::MetricsSnapshot d = obs::delta(before, obs::snapshot());
+  const auto it = d.values.find(name);
+  return it == d.values.end() ? 0 : it->second.value;
+}
+
+/// One flush of the synthetic capture stream: a few ranks doing interleaved
+/// reads/writes plus the occasional probe and rank-less annotation, so the
+/// index flags, the DFG class filter, and the name bitmap all have work to
+/// do.
+[[nodiscard]] std::vector<TraceEvent> flush_events(int flush, int count) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < count; ++i) {
+    const int seq = flush * count + i;
+    TraceEvent ev;
+    if (seq % 13 == 5) {
+      ev.cls = EventClass::kClockProbe;
+      ev.name = "clock_probe";
+    } else if (seq % 17 == 3) {
+      ev.cls = EventClass::kAnnotation;
+      ev.name = "phase marker";
+    } else {
+      ev = make_syscall(seq % 3 == 0 ? "SYS_read" : "SYS_write",
+                        {"5", "4096", strprintf("%d", seq)}, 4096);
+      ev.path = seq % 2 == 0 ? strprintf("/pfs/out%d.dat", flush % 4) : "";
+      ev.fd = 5;
+      ev.bytes = 4096;
+    }
+    ev.rank = seq % 5 == 0 ? -1 : seq % 4;
+    ev.host = strprintf("host%02d", seq % 4);
+    ev.local_start = static_cast<SimTime>(seq) * kMillisecond;
+    ev.duration = 10 * kMicrosecond;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+[[nodiscard]] auto all_queries(const UnifiedTraceStore& store) {
+  return std::tuple{store.call_stats(), store.rank_timeline(1),
+                    store.bytes_in_window(0, 100 * kSecond),
+                    store.io_rate_series(from_millis(50.0)),
+                    store.hottest_files(8)};
+}
+
+[[nodiscard]] std::string scratch_dir(const char* tag) {
+  const std::string dir =
+      strprintf("/tmp/iotaxo_stream_%s_%d", tag,
+                ::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------ persisted footer
+
+TEST(IndexFooter, RoundTripMatchesScan) {
+  const EventBatch batch = EventBatch::from_events(flush_events(0, 64));
+  BinaryOptions options;
+  options.checksum = true;
+  options.index_footer = true;
+  const std::vector<std::uint8_t> bytes = encode_binary_v2(batch, options);
+
+  const BatchView view(bytes);
+  EXPECT_TRUE(view.header().indexed);
+  ASSERT_TRUE(view.persisted_index().has_value());
+  EXPECT_TRUE(view.footer_error().empty());
+  const PoolIndexFooter& footer = *view.persisted_index();
+
+  // Recompute what index_pool's scan would find and compare field by field.
+  bool any = false;
+  SimTime min_time = 0;
+  SimTime max_time = 0;
+  bool has_fd_path = false;
+  bool has_io_bytes = false;
+  std::vector<bool> names(batch.pool().size(), false);
+  for (const EventRecord& rec : batch.records()) {
+    if (!any || rec.local_start < min_time) {
+      min_time = rec.local_start;
+    }
+    if (!any || rec.local_start > max_time) {
+      max_time = rec.local_start;
+    }
+    any = true;
+    names[rec.name] = true;
+    has_fd_path = has_fd_path || (rec.path != 0 && rec.fd >= 0);
+    has_io_bytes = has_io_bytes || (rec.is_io_call() && rec.bytes > 0);
+  }
+  EXPECT_EQ(footer.any, any);
+  EXPECT_EQ(footer.min_time, min_time);
+  EXPECT_EQ(footer.max_time, max_time);
+  EXPECT_EQ(footer.has_fd_path, has_fd_path);
+  EXPECT_EQ(footer.has_io_bytes, has_io_bytes);
+  EXPECT_EQ(footer.records, batch.size());
+  for (StrId id = 0; id < names.size(); ++id) {
+    EXPECT_EQ(footer.has_name(id), names[id]) << "name id " << id;
+  }
+  // Out-of-range ids are simply absent, not UB.
+  EXPECT_FALSE(footer.has_name(static_cast<StrId>(names.size() + 100)));
+
+  // The records themselves are untouched by the footer.
+  ASSERT_EQ(view.size(), batch.size());
+  const EventBatch decoded = decode_binary_batch(bytes);
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded.record(i), batch.record(i)) << "record " << i;
+  }
+}
+
+TEST(IndexFooter, FooterlessContainersStillParse) {
+  const EventBatch batch = EventBatch::from_events(flush_events(0, 16));
+  const std::vector<std::uint8_t> bytes =
+      encode_binary_v2(batch, BinaryOptions{});
+  const BatchView view(bytes);
+  EXPECT_FALSE(view.header().indexed);
+  EXPECT_FALSE(view.persisted_index().has_value());
+  EXPECT_EQ(view.size(), batch.size());
+}
+
+TEST(IndexFooter, CorruptFooterFallsBackToScan) {
+  const EventBatch batch = EventBatch::from_events(flush_events(0, 48));
+  BinaryOptions options;
+  options.checksum = false;  // isolate the footer's own CRC
+  options.index_footer = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v2(batch, options);
+
+  // Flip the last footer byte (just before the 16-byte trailer): the
+  // footer CRC no longer matches, but the container must still open with
+  // every record served — adoption degrades to a scan, never to a failure.
+  bytes[bytes.size() - v2footer::kTrailerSize - 1] ^= 0x01u;
+  const BatchView view(bytes);
+  EXPECT_FALSE(view.persisted_index().has_value());
+  EXPECT_FALSE(view.footer_error().empty());
+  ASSERT_EQ(view.size(), batch.size());
+  const EventBatch redecoded = decode_binary_batch(bytes);
+  ASSERT_EQ(redecoded.size(), batch.size());
+  for (std::size_t i = 0; i < redecoded.size(); ++i) {
+    EXPECT_EQ(redecoded.record(i), batch.record(i)) << "record " << i;
+  }
+
+  // A store ingesting the damaged container rebuilds the index by scan and
+  // answers queries identically to one fed the pristine bytes.
+  ObsGuard obs_guard;
+  const obs::MetricsSnapshot before = obs::snapshot();
+  UnifiedTraceStore damaged;
+  damaged.ingest(decode_binary_batch(bytes), {{"framework", "test"}});
+  UnifiedTraceStore pristine;
+  pristine.ingest(batch, {{"framework", "test"}});
+  EXPECT_EQ(all_queries(damaged), all_queries(pristine));
+  EXPECT_EQ(metric_delta(before, "ingest.index_adopted"), 0u);
+}
+
+TEST(IndexFooter, TruncatedFooterFallsBackToScan) {
+  const EventBatch batch = EventBatch::from_events(flush_events(1, 48));
+  BinaryOptions options;
+  options.checksum = false;  // the paylen patch below assumes no file CRC
+  options.index_footer = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v2(batch, options);
+
+  // Truncate the trailer's second half and patch the envelope's payload
+  // length to match — a crash that tore the tail off the footer region but
+  // left the records intact. The footer parse must fail cleanly.
+  const std::uint64_t paylen = static_cast<std::uint64_t>(bytes.size()) -
+                               kContainerHeaderSize - 8;
+  for (std::size_t b = 0; b < 8; ++b) {
+    bytes[15 + b] = static_cast<std::uint8_t>(paylen >> (8 * b));
+  }
+  bytes.resize(bytes.size() - 8);
+  const BatchView view(bytes);
+  EXPECT_FALSE(view.persisted_index().has_value());
+  EXPECT_FALSE(view.footer_error().empty());
+  EXPECT_EQ(view.size(), batch.size());
+}
+
+TEST(IndexFooter, DeferredRecordValidationCatchesCorruptRecords) {
+  // A valid footer defers the structural record pass past open (that is
+  // what makes index-adopting restarts O(strings)); the pass still runs —
+  // behind the verification gate — before any record content is served.
+  const EventBatch batch = EventBatch::from_events(flush_events(2, 48));
+  BinaryOptions options;
+  options.checksum = false;  // isolate the structural check from the CRC
+  options.index_footer = true;
+  std::vector<std::uint8_t> bytes = encode_binary_v2(batch, options);
+
+  // Clobber the last record's class byte. The record section ends where
+  // the footer begins (trailer = footer_len u64 + footer CRC u32 + magic).
+  std::uint64_t footer_len = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    footer_len |= static_cast<std::uint64_t>(
+                      bytes[bytes.size() - v2footer::kTrailerSize + b])
+                  << (8 * b);
+  }
+  const std::size_t records_end =
+      bytes.size() - v2footer::kTrailerSize - footer_len;
+  bytes[records_end - v2layout::kStride + v2layout::kCls] = 0xFF;
+
+  const BatchView view(bytes);  // open succeeds: the pass is deferred
+  ASSERT_TRUE(view.persisted_index().has_value());
+  EXPECT_EQ(view.size(), batch.size());
+  // Index facts are served from the footer without touching records...
+  EXPECT_EQ(view.persisted_index()->records, batch.size());
+  // ...but the first record touch runs the deferred pass and fails sticky.
+  EXPECT_THROW((void)view.record(0), FormatError);
+  EXPECT_THROW((void)view.record_bytes(), FormatError);
+
+  // A checksummed container reports even non-structural record damage (a
+  // flipped ret value, which no validation pass inspects) as a CRC
+  // mismatch on first touch — also after a clean, deferring open.
+  options.checksum = true;
+  std::vector<std::uint8_t> summed = encode_binary_v2(batch, options);
+  std::uint64_t summed_footer_len = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    summed_footer_len |=
+        static_cast<std::uint64_t>(
+            summed[summed.size() - 4 - v2footer::kTrailerSize + b])
+        << (8 * b);
+  }
+  const std::size_t summed_records_end =
+      summed.size() - 4 - v2footer::kTrailerSize - summed_footer_len;
+  summed[summed_records_end - v2layout::kStride + v2layout::kRet] ^= 0x01u;
+  const BatchView summed_view(summed);
+  ASSERT_TRUE(summed_view.persisted_index().has_value());
+  EXPECT_THROW((void)summed_view.record(0), FormatError);
+}
+
+TEST(IndexFooter, AdoptedVsRebuiltQueriesIdentical) {
+  const std::string dir = scratch_dir("adopt");
+  BinaryOptions options;
+  options.checksum = true;
+  options.index_footer = true;
+  for (int era = 0; era < 4; ++era) {
+    write_binary_file(
+        strprintf("%s/era-%d.iotb", dir.c_str(), era),
+        encode_binary_v2(EventBatch::from_events(flush_events(era, 64)),
+                         options));
+  }
+
+  ObsGuard obs_guard;
+  const obs::MetricsSnapshot before_adopt = obs::snapshot();
+  UnifiedTraceStore adopted;
+  for (int era = 0; era < 4; ++era) {
+    adopted.ingest_view(strprintf("%s/era-%d.iotb", dir.c_str(), era),
+                        {{"framework", "test"}});
+  }
+  EXPECT_EQ(metric_delta(before_adopt, "ingest.index_adopted"), 4u);
+  EXPECT_EQ(metric_delta(before_adopt, "ingest.index_rebuilt"), 0u);
+
+  const obs::MetricsSnapshot before_rebuild = obs::snapshot();
+  UnifiedTraceStore rebuilt;
+  rebuilt.set_adopt_indexes(false);
+  for (int era = 0; era < 4; ++era) {
+    rebuilt.ingest_view(strprintf("%s/era-%d.iotb", dir.c_str(), era),
+                        {{"framework", "test"}});
+  }
+  EXPECT_EQ(metric_delta(before_rebuild, "ingest.index_adopted"), 0u);
+  EXPECT_EQ(metric_delta(before_rebuild, "ingest.index_rebuilt"), 4u);
+
+  EXPECT_EQ(all_queries(adopted), all_queries(rebuilt));
+  namespace dfg = analysis::dfg;
+  EXPECT_EQ(dfg::DfgBuilder(adopted).build(), dfg::DfgBuilder(rebuilt).build());
+
+  std::size_t persisted = 0;
+  for (const analysis::StorePoolInfo& info : adopted.pool_infos()) {
+    persisted += info.persisted_index ? 1 : 0;
+  }
+  EXPECT_EQ(persisted, 4u);
+  for (const analysis::StorePoolInfo& info : rebuilt.pool_infos()) {
+    EXPECT_FALSE(info.persisted_index);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IndexFooter, AttachDirAdoptsPersistedIndexes) {
+  const std::string dir = scratch_dir("attach_adopt");
+  BinaryOptions options;
+  options.checksum = true;
+  options.index_footer = true;
+  for (int era = 0; era < 3; ++era) {
+    write_binary_file(
+        strprintf("%s/era-%d.iotb", dir.c_str(), era),
+        encode_binary_v2(EventBatch::from_events(flush_events(era, 32)),
+                         options));
+  }
+  ObsGuard obs_guard;
+  const obs::MetricsSnapshot before = obs::snapshot();
+  UnifiedTraceStore store;
+  const analysis::StoreHealth health = store.attach_dir(dir);
+  EXPECT_TRUE(health.healthy());
+  EXPECT_EQ(store.pool_count(), 3u);
+  EXPECT_EQ(metric_delta(before, "attach.index_adopted"), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ era-aware ingest
+
+TEST(StreamIngest, EraIngestMatchesOnePoolPerFlush) {
+  constexpr int kFlushes = 60;
+  constexpr int kPerFlush = 24;
+
+  UnifiedTraceStore streamed;
+  StreamIngestOptions sopts;
+  sopts.era_bytes = 64 * kKiB;  // force several seals mid-run
+  streamed.set_stream_ingest(sopts);
+  UnifiedTraceStore per_flush;
+  for (int f = 0; f < kFlushes; ++f) {
+    const EventBatch batch = EventBatch::from_events(flush_events(f, kPerFlush));
+    streamed.ingest(batch, {{"framework", "test"}});
+    per_flush.ingest(batch, {{"framework", "test"}});
+  }
+
+  // The tentpole's point: a flush storm lands in a handful of pools...
+  EXPECT_EQ(per_flush.pool_count(), static_cast<std::size_t>(kFlushes));
+  EXPECT_LT(streamed.pool_count(), per_flush.pool_count() / 4);
+  EXPECT_EQ(streamed.sources().size(), per_flush.sources().size());
+
+  // ...with bit-identical answers from every query and the mined DFG.
+  EXPECT_EQ(all_queries(streamed), all_queries(per_flush));
+  namespace dfg = analysis::dfg;
+  EXPECT_EQ(dfg::DfgBuilder(streamed).build({.keep_sequences = true}),
+            dfg::DfgBuilder(per_flush).build({.keep_sequences = true}));
+
+  // The last pool is the open era; sealed pools report their flush counts.
+  const std::vector<analysis::StorePoolInfo> infos = streamed.pool_infos();
+  std::size_t open = 0;
+  std::size_t flushes_absorbed = 0;
+  for (std::size_t p = 0; p < infos.size(); ++p) {
+    open += infos[p].open_era ? 1 : 0;
+    flushes_absorbed += infos[p].flushes_absorbed;
+    if (infos[p].open_era) {
+      EXPECT_EQ(p, infos.size() - 1) << "open era must be the last pool";
+    }
+  }
+  EXPECT_LE(open, 1u);
+  EXPECT_EQ(flushes_absorbed, static_cast<std::size_t>(kFlushes));
+}
+
+TEST(StreamIngest, SealSemanticsAndLargeFlushBypass) {
+  UnifiedTraceStore store;
+  StreamIngestOptions sopts;
+  sopts.flush_events = 32;
+  store.set_stream_ingest(sopts);
+
+  EXPECT_FALSE(store.seal_open_era());  // nothing open yet
+  store.ingest(EventBatch::from_events(flush_events(0, 8)),
+               {{"framework", "test"}});
+  store.ingest(EventBatch::from_events(flush_events(1, 8)),
+               {{"framework", "test"}});
+  EXPECT_EQ(store.pool_count(), 1u);
+  ASSERT_FALSE(store.pool_infos().empty());
+  EXPECT_TRUE(store.pool_infos().back().open_era);
+  EXPECT_EQ(store.pool_infos().back().flushes_absorbed, 2u);
+
+  // A flush above the threshold seals the open era and files its own pool.
+  store.ingest(EventBatch::from_events(flush_events(2, 40)),
+               {{"framework", "test"}});
+  EXPECT_EQ(store.pool_count(), 2u);
+  EXPECT_FALSE(store.pool_infos().front().open_era);
+  EXPECT_FALSE(store.pool_infos().back().open_era);
+
+  // New small flushes open a fresh era; sealing it is idempotent.
+  store.ingest(EventBatch::from_events(flush_events(3, 8)),
+               {{"framework", "test"}});
+  EXPECT_EQ(store.pool_count(), 3u);
+  EXPECT_TRUE(store.seal_open_era());
+  EXPECT_FALSE(store.seal_open_era());
+
+  // era_flushes caps absorption by flush count.
+  UnifiedTraceStore capped;
+  StreamIngestOptions copts;
+  copts.era_flushes = 3;
+  capped.set_stream_ingest(copts);
+  for (int f = 0; f < 9; ++f) {
+    capped.ingest(EventBatch::from_events(flush_events(f, 4)),
+                  {{"framework", "test"}});
+  }
+  EXPECT_EQ(capped.pool_count(), 3u);
+  for (const analysis::StorePoolInfo& info : capped.pool_infos()) {
+    EXPECT_EQ(info.flushes_absorbed, 3u);
+  }
+}
+
+TEST(StreamIngest, CompactSealsAndPreservesQueries) {
+  UnifiedTraceStore store;
+  store.set_stream_ingest(StreamIngestOptions{});
+  for (int f = 0; f < 10; ++f) {
+    store.ingest(EventBatch::from_events(flush_events(f, 16)),
+                 {{"framework", "test"}});
+  }
+  const auto before = all_queries(store);
+  // compact() must seal the open era before merging (an open pool merged
+  // under a growing batch would corrupt the incremental index).
+  (void)store.compact(static_cast<std::size_t>(-1));
+  EXPECT_FALSE(store.pool_infos().empty());
+  EXPECT_FALSE(store.pool_infos().back().open_era);
+  EXPECT_EQ(all_queries(store), before);
+}
+
+// ------------------------------------------------------ live DFG
+
+TEST(LiveDfg, MatchesColdRebuildAcrossThreadCounts) {
+  namespace dfg = analysis::dfg;
+  UnifiedTraceStore store;
+  StreamIngestOptions sopts;
+  sopts.era_bytes = 48 * kKiB;
+  store.set_stream_ingest(sopts);
+  const std::unique_ptr<dfg::LiveDfg> live = dfg::set_live_dfg(store);
+
+  for (int f = 0; f < 40; ++f) {
+    store.ingest(EventBatch::from_events(flush_events(f, 24)),
+                 {{"framework", "test"}});
+    if (f % 13 == 7) {
+      // Mid-stream snapshots must match a cold rebuild at that instant.
+      EXPECT_EQ(live->snapshot(), dfg::DfgBuilder(store).build())
+          << "after flush " << f;
+    }
+  }
+  const dfg::Dfg snap = live->snapshot();
+  EXPECT_GT(live->events_folded(), 0);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(snap, dfg::DfgBuilder(store).build({.threads = threads}))
+        << "threads=" << threads;
+  }
+
+  // compact() rewrites pool boundaries, not the record stream — the live
+  // state needs no re-fold and still matches a cold rebuild.
+  (void)store.compact(static_cast<std::size_t>(-1));
+  EXPECT_EQ(live->snapshot(), dfg::DfgBuilder(store).build());
+}
+
+TEST(LiveDfg, RankFilterAndSequencesMatchCold) {
+  namespace dfg = analysis::dfg;
+  UnifiedTraceStore store;
+  store.set_stream_ingest(StreamIngestOptions{});
+  dfg::LiveDfgOptions lopts;
+  lopts.rank = 2;
+  lopts.keep_sequences = true;
+  const std::unique_ptr<dfg::LiveDfg> live = dfg::set_live_dfg(store, lopts);
+  for (int f = 0; f < 12; ++f) {
+    store.ingest(EventBatch::from_events(flush_events(f, 20)),
+                 {{"framework", "test"}});
+  }
+  EXPECT_EQ(live->snapshot(),
+            dfg::DfgBuilder(store).build({.rank = 2, .keep_sequences = true}));
+}
+
+TEST(LiveDfg, AttachMidSessionCatchesUp) {
+  namespace dfg = analysis::dfg;
+  UnifiedTraceStore store;
+  store.set_stream_ingest(StreamIngestOptions{});
+  for (int f = 0; f < 8; ++f) {
+    store.ingest(EventBatch::from_events(flush_events(f, 16)),
+                 {{"framework", "test"}});
+  }
+  // The maintainer folds what the store already holds at construction.
+  const std::unique_ptr<dfg::LiveDfg> live = dfg::set_live_dfg(store);
+  EXPECT_EQ(live->snapshot(), dfg::DfgBuilder(store).build());
+  for (int f = 8; f < 16; ++f) {
+    store.ingest(EventBatch::from_events(flush_events(f, 16)),
+                 {{"framework", "test"}});
+  }
+  EXPECT_EQ(live->snapshot(), dfg::DfgBuilder(store).build());
+}
+
+}  // namespace
+}  // namespace iotaxo::trace

@@ -23,6 +23,13 @@
 #                                               # are inert when disarmed and
 #                                               # that an armed CLI run emits
 #                                               # the expected JSON key set
+#   ./tools/check_build.sh --stream [build-dir] # build + the streaming-
+#                                               # ingest suite, then drive
+#                                               # 1000 small CLI flushes and
+#                                               # assert the era batcher kept
+#                                               # the pool count bounded and
+#                                               # the restart adopted the
+#                                               # persisted indexes
 #
 # Bench gating convention: a bench that wants a regression gate emits a pair
 # of JSON keys, "<metric>" and "<metric>_floor". The floors live in the JSON
@@ -51,6 +58,9 @@ elif [[ "${1:-}" == "--faults" ]]; then
   shift
 elif [[ "${1:-}" == "--metrics" ]]; then
   MODE=metrics
+  shift
+elif [[ "${1:-}" == "--stream" ]]; then
+  MODE=stream
   shift
 fi
 
@@ -219,6 +229,39 @@ case "${MODE}" in
     fi
     echo "metrics ok: disarmed inert, armed CLI report complete"
     ;;
+  stream)
+    BUILD_DIR="${1:-${REPO_ROOT}/build}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+    cmake --build "${BUILD_DIR}" -j
+    # The streaming-ingest suite: footer round-trips and corruption
+    # fallbacks, era-ingest vs one-pool-per-flush identity, live-DFG vs
+    # cold-rebuild identity.
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -R 'stream_ingest_test'
+    # End-to-end smoke: a 1000-flush storm of small flushes must land in a
+    # bounded number of era pools (the whole point of the open batch), and
+    # a restart on the written era containers must adopt their persisted
+    # indexes instead of rescanning records.
+    STREAM_TMP="$(mktemp -d)"
+    trap 'rm -rf "${STREAM_TMP}"' EXIT
+    "${BUILD_DIR}/iotaxo_cli" stream --dir "${STREAM_TMP}" \
+      --flushes 1000 --events 50 > "${STREAM_TMP}/capture.out"
+    POOLS="$(sed -nE 's/^pools +: ([0-9]+).*/\1/p' "${STREAM_TMP}/capture.out")"
+    if [[ -z "${POOLS}" || "${POOLS}" -gt 32 ]]; then
+      echo "STREAM FAIL: 1000 flushes produced ${POOLS:-?} pools (want <= 32)"
+      cat "${STREAM_TMP}/capture.out"
+      exit 1
+    fi
+    "${BUILD_DIR}/iotaxo_cli" stream --dir "${STREAM_TMP}" --attach \
+      > "${STREAM_TMP}/attach.out"
+    ADOPTED="$(sed -nE 's/^indexes adopted +: ([0-9]+).*/\1/p' "${STREAM_TMP}/attach.out")"
+    if [[ -z "${ADOPTED}" || "${ADOPTED}" -eq 0 ]]; then
+      echo "STREAM FAIL: restart adopted ${ADOPTED:-?} persisted indexes (want > 0)"
+      cat "${STREAM_TMP}/attach.out"
+      exit 1
+    fi
+    echo "stream ok: 1000 flushes -> ${POOLS} pool(s); restart adopted ${ADOPTED} index(es)"
+    ;;
   bench)
     BUILD_DIR="${1:-${REPO_ROOT}/build}"
     cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
@@ -230,7 +273,7 @@ case "${MODE}" in
     # The gated benches: each writes BENCH_<name>.json next to itself and
     # exits nonzero when its hard gates fail.
     for bench in bench_batch_pipeline bench_async_flush bench_zero_copy \
-                 bench_dfg bench_iotb3; do
+                 bench_dfg bench_iotb3 bench_ingest; do
       echo "--- ${bench}"
       (cd "${BUILD_DIR}" && "./${bench}") || STATUS=1
     done

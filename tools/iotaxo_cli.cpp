@@ -9,11 +9,13 @@
 //   iotaxo replay   --in DIR [--sync barriers|deps|none]
 //   iotaxo analyze  --in DIR [DIR...]
 //   iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]
-//   iotaxo stat     FILE.iotb [--blocks] [--key PASSPHRASE]
+//   iotaxo stat     DIR|FILE.iotb [--blocks] [--key PASSPHRASE]
 //   iotaxo dfg      FILE.iotb [--rank N] [--dot OUT] [--json OUT]
 //                   [--phases] [--blocks] [--compare OTHER.iotb]
 //                   [--threads N] [--key PASSPHRASE]
 //   iotaxo fsck     DIR|FILE.iotb [--key PASSPHRASE] [--repair]
+//   iotaxo stream   --dir DIR [--flushes N] [--events N]
+//                   [--era-bytes BYTES] [--attach]
 //
 // Bundles are the on-disk trace format (one text trace per rank plus TSV
 // sidecars) produced by `trace --out` and consumed by replay/analyze/
@@ -95,6 +97,7 @@ struct Args {
          std::strcmp(name, "blocks") == 0 ||
          std::strcmp(name, "project") == 0 ||
          std::strcmp(name, "repair") == 0 ||
+         std::strcmp(name, "attach") == 0 ||
          std::strcmp(name, "metrics") == 0;
 }
 
@@ -134,11 +137,13 @@ int usage() {
       "  iotaxo replay    --in DIR [--sync barriers|deps|none]\n"
       "  iotaxo analyze   --in DIR [--in2 DIR] [--in3 DIR]\n"
       "  iotaxo anonymize --in DIR --out DIR [--mode random|encrypt]\n"
-      "  iotaxo stat      FILE.iotb [--blocks] [--key PASSPHRASE]\n"
+      "  iotaxo stat      DIR|FILE.iotb [--blocks] [--key PASSPHRASE]\n"
       "  iotaxo dfg       FILE.iotb [--rank N] [--dot OUT] [--json OUT]\n"
       "                   [--phases] [--blocks] [--compare OTHER.iotb]\n"
       "                   [--threads N] [--key PASSPHRASE]\n"
       "  iotaxo fsck      DIR|FILE.iotb [--key PASSPHRASE] [--repair]\n"
+      "  iotaxo stream    --dir DIR [--flushes N] [--events N]\n"
+      "                   [--era-bytes BYTES] [--attach]\n"
       "  iotaxo metrics   [--out FILE.json]\n"
       "\n"
       "Every subcommand also accepts --metrics (print a self-metrics table\n"
@@ -364,6 +369,32 @@ void print_block_summary(const trace::BlockView& view) {
               view.projected() ? ", projected" : "");
 }
 
+// The store's per-pool shape, including streaming-ingest state: whether a
+// pool is the growing open era or sealed, how many flushes it absorbed,
+// and whether a view-backed pool adopted a persisted index footer instead
+// of scanning its records.
+void print_pool_table(const analysis::UnifiedTraceStore& store) {
+  TextTable table(
+      {"Pool", "Sources", "Records", "Kind", "State", "Flushes", "Index"});
+  for (std::size_t c = 1; c < 3; ++c) {
+    table.set_align(c, Align::kRight);
+  }
+  table.set_align(5, Align::kRight);
+  const std::vector<analysis::StorePoolInfo> infos = store.pool_infos();
+  for (std::size_t p = 0; p < infos.size(); ++p) {
+    const analysis::StorePoolInfo& info = infos[p];
+    table.add_row({strprintf("%zu", p), strprintf("%zu", info.source_count),
+                   strprintf("%lld", info.records),
+                   info.block_backed ? "block"
+                   : info.view_backed ? "view"
+                                      : "owned",
+                   info.open_era ? "open era" : "sealed",
+                   strprintf("%zu", info.flushes_absorbed),
+                   info.persisted_index ? "adopted" : "scanned"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
 [[nodiscard]] std::optional<CipherKey> key_from_args(const Args& args) {
   const std::string passphrase = args.get("key");
   if (passphrase.empty()) {
@@ -419,6 +450,26 @@ int cmd_stat(const Args& args) {
     return usage();
   }
   const std::string& path = args.positional.front();
+  if (std::filesystem::is_directory(path)) {
+    // A store directory: attach (with crash recovery) and print the pool
+    // table — the streaming-ingest view of the store, including which
+    // attached containers brought a persisted index footer along.
+    analysis::UnifiedTraceStore store;
+    analysis::AttachOptions options;
+    options.key = key_from_args(args);
+    const analysis::StoreHealth health = store.attach_dir(path, options);
+    std::printf("directory        : %s\n", path.c_str());
+    std::printf("attached         : %zu container(s), %zu quarantined\n",
+                health.recovered_eras, health.quarantined.size());
+    std::size_t adopted = 0;
+    for (const analysis::StorePoolInfo& info : store.pool_infos()) {
+      adopted += info.persisted_index ? 1 : 0;
+    }
+    std::printf("indexes adopted  : %zu of %zu pool(s)\n", adopted,
+                store.pool_count());
+    print_pool_table(store);
+    return health.healthy() ? 0 : 1;
+  }
   trace::MappedTraceFile file(path);
 
   std::printf("file             : %s (%s, %s)\n", path.c_str(),
@@ -468,6 +519,22 @@ int cmd_stat(const Args& args) {
     const trace::BatchView view(file.bytes());
     std::printf("container        : IOTB2%s, zero-copy\n",
                 view.header().checksummed ? ", checksummed (CRC ok)" : "");
+    if (view.header().indexed) {
+      if (view.persisted_index().has_value()) {
+        const trace::PoolIndexFooter& footer = *view.persisted_index();
+        std::printf("index footer     : present (footer CRC ok, %llu "
+                    "record(s), span %s)\n",
+                    static_cast<unsigned long long>(footer.records),
+                    footer.any
+                        ? format_duration(footer.max_time - footer.min_time)
+                              .c_str()
+                        : "empty");
+      } else {
+        std::printf("index footer     : INVALID (%s) — readers fall back "
+                    "to a record scan\n",
+                    view.footer_error().c_str());
+      }
+    }
     std::printf("records          : %zu\n", view.size());
     std::printf("string table     : %zu distinct strings, %s\n",
                 view.string_count(),
@@ -865,6 +932,12 @@ int cmd_anonymize(const Args& args) {
     try {
       const trace::BatchView view(file.bytes());
       (void)view.record_bytes();  // forces the deferred whole-body CRC
+      // An indexed container whose footer failed its own CRC/shape check
+      // still opens (readers degrade to a record scan), but fsck's job is
+      // to surface the damage.
+      if (view.header().indexed && !view.persisted_index().has_value()) {
+        problems.push_back("index footer: " + view.footer_error());
+      }
     } catch (const Error& err) {
       problems.emplace_back(err.what());
     }
@@ -1054,6 +1127,108 @@ int cmd_fsck(const Args& args) {
   return quarantined.empty() && tmps.empty() ? 0 : 1;
 }
 
+// `stream` exercises the streaming-ingest path end to end, and is the
+// driver behind check_build.sh --stream. The capture half synthesizes
+// --flushes small flushes (--events each) and feeds them through a
+// streaming store — the pool table printed at the end shows the open era
+// and how few pools the flush storm produced — while mirroring the same
+// records into era-sized IOTB2 containers written to --dir with checksums
+// and persisted index footers. The --attach half is the restart: a fresh
+// store attaches the directory, and the "indexes adopted" line proves the
+// persisted footers were adopted instead of rescanned.
+int cmd_stream(const Args& args) {
+  const std::string dir = args.get("dir");
+  if (dir.empty()) {
+    return usage();
+  }
+  if (!args.get("attach").empty()) {
+    obs::set_enabled(true);
+    const obs::MetricsSnapshot before = obs::snapshot();
+    analysis::UnifiedTraceStore store;
+    analysis::AttachOptions options;
+    options.key = key_from_args(args);
+    const analysis::StoreHealth health = store.attach_dir(dir, options);
+    const obs::MetricsSnapshot deltas = obs::delta(before, obs::snapshot());
+    const auto metric = [&deltas](const char* name) {
+      const auto it = deltas.values.find(name);
+      return it == deltas.values.end() ? std::uint64_t{0} : it->second.value;
+    };
+    std::printf("attached         : %zu container(s), %zu quarantined\n",
+                health.recovered_eras, health.quarantined.size());
+    std::printf("pools            : %zu\n", store.pool_count());
+    std::printf("indexes adopted  : %llu\n",
+                static_cast<unsigned long long>(
+                    metric("ingest.index_adopted")));
+    std::printf("indexes rebuilt  : %llu\n",
+                static_cast<unsigned long long>(
+                    metric("ingest.index_rebuilt")));
+    print_pool_table(store);
+    return health.healthy() ? 0 : 1;
+  }
+
+  const auto flushes = static_cast<std::size_t>(args.get_int("flushes", 1000));
+  const auto events = static_cast<std::size_t>(args.get_int("events", 64));
+  const auto era_bytes =
+      static_cast<std::size_t>(args.get_int("era-bytes", 4 * kMiB));
+  std::filesystem::create_directories(dir);
+
+  analysis::UnifiedTraceStore store;
+  analysis::StreamIngestOptions sopts;
+  sopts.era_bytes = era_bytes;
+  store.set_stream_ingest(sopts);
+
+  trace::BinaryOptions bopts;
+  bopts.checksum = true;
+  bopts.index_footer = true;
+  trace::EventBatch era_batch;
+  std::size_t eras_written = 0;
+  const auto write_era = [&] {
+    if (era_batch.empty()) {
+      return;
+    }
+    trace::write_binary_file(
+        strprintf("%s/era-%zu.iotb", dir.c_str(), eras_written),
+        trace::encode_binary_v2(era_batch, bopts));
+    era_batch.reset();
+    ++eras_written;
+  };
+
+  SimTime now = 0;
+  for (std::size_t f = 0; f < flushes; ++f) {
+    trace::EventBatch flush;
+    for (std::size_t e = 0; e < events; ++e) {
+      trace::TraceEvent ev;
+      ev.name = e % 2 == 0 ? "SYS_write" : "SYS_read";
+      ev.rank = static_cast<int>(e % 4);
+      ev.node = ev.rank;
+      ev.local_start = now;
+      ev.duration = 500;
+      ev.path = "/scratch/stream.dat";
+      ev.fd = 3;
+      ev.bytes = 4 * kKiB;
+      ev.ret = static_cast<long long>(ev.bytes);
+      now += 1000;
+      flush.append(ev);
+    }
+    store.ingest(flush, {{"framework", "stream"}, {"application", "smoke"}});
+    era_batch.append(flush);
+    // Seal the on-disk era at the same granularity the store seals its
+    // open batch: 81 bytes of fixed record plus change per event.
+    if (era_batch.size() * 96 >= era_bytes) {
+      write_era();
+    }
+  }
+  write_era();
+
+  std::printf("flushes          : %zu of %zu event(s)\n", flushes, events);
+  std::printf("pools            : %zu (open era included)\n",
+              store.pool_count());
+  std::printf("era files        : %zu written to %s (indexed, checksummed)\n",
+              eras_written, dir.c_str());
+  print_pool_table(store);
+  return 0;
+}
+
 // `metrics` prints the full self-metrics catalog — every name the toolkit
 // registers at startup, so scripts can discover the key set (and the
 // naming convention, layer.component.metric) without running a workload.
@@ -1100,6 +1275,9 @@ int run_command(const Args& args) {
   }
   if (args.command == "fsck") {
     return cmd_fsck(args);
+  }
+  if (args.command == "stream") {
+    return cmd_stream(args);
   }
   if (args.command == "metrics") {
     return cmd_metrics(args);
